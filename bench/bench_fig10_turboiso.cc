@@ -1,0 +1,70 @@
+// Figure 10: CECI vs TurboIso vs Boosted-TurboIso on HU, first 1,024
+// embeddings (§6.2).
+//
+// The paper reports CECI 2.71x and 2.52x faster than TurboIso and
+// Boosted-TurboIso on average. Expected shape: CECI fastest at every
+// query size; the boosted variant between TurboIso and CECI.
+#include <cstdio>
+
+#include "baselines/turbo_iso.h"
+#include "bench/bench_common.h"
+#include "ceci/matcher.h"
+#include "gen/query_gen.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ceci;
+  using namespace ceci::bench;
+  Banner("Figure 10 - CECI vs TurboIso / Boosted-TurboIso (HU)", "Fig. 10",
+         "first 1,024 embeddings; single-threaded; averages over 8 queries");
+
+  Dataset d = MakeDataset("HU");
+  NlcIndex nlc(d.graph);
+  CeciMatcher matcher(d.graph);
+  constexpr std::uint64_t kLimit = 1024;
+
+  std::printf("%6s %12s %12s %12s %11s %11s\n", "|Vq|", "CECI", "TurboIso",
+              "Boosted", "Turbo/CECI", "Boost/CECI");
+  for (std::size_t size : {4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+    QueryGenOptions qopt;
+    qopt.num_vertices = size;
+    qopt.seed = 9100 + size;
+    auto queries = GenerateQueries(d.graph, 8, qopt);
+    if (queries.empty()) continue;
+    double ceci_total = 0;
+    double turbo_total = 0;
+    double boost_total = 0;
+    for (const Graph& query : queries) {
+      MatchOptions options;
+      options.limit = kLimit;
+      Timer t;
+      auto ceci = matcher.Match(query, options);
+      ceci_total += t.Seconds();
+
+      TurboIsoOptions turbo_options;
+      turbo_options.limit = kLimit;
+      TurboIsoResult turbo =
+          TurboIsoCount(d.graph, nlc, query, turbo_options);
+      turbo_total += turbo.seconds;
+
+      turbo_options.boosted = true;
+      TurboIsoResult boosted =
+          TurboIsoCount(d.graph, nlc, query, turbo_options);
+      boost_total += boosted.seconds;
+
+      if (ceci->embedding_count != turbo.embeddings ||
+          ceci->embedding_count != boosted.embeddings) {
+        std::printf("COUNT MISMATCH size=%zu\n", size);
+        return 1;
+      }
+    }
+    double n = static_cast<double>(queries.size());
+    std::printf("%6zu %12s %12s %12s %10.2fx %10.2fx\n", size,
+                FmtSeconds(ceci_total / n).c_str(),
+                FmtSeconds(turbo_total / n).c_str(),
+                FmtSeconds(boost_total / n).c_str(),
+                turbo_total / ceci_total, boost_total / ceci_total);
+    std::fflush(stdout);
+  }
+  return 0;
+}

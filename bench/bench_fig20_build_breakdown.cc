@@ -1,0 +1,39 @@
+// Figure 20: breakdown of CECI construction into IO, communication, and
+// computation on the shared-storage cluster (§5, §6.6).
+//
+// The paper shows IO dominating construction when the graph is loaded on
+// demand from lustre. Expected shape: IO the largest share at every
+// machine count, communication growing with machines.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "distsim/dist_matcher.h"
+
+int main() {
+  using namespace ceci;
+  using namespace ceci::bench;
+  using namespace ceci::distsim;
+  Banner("Figure 20 - CECI construction breakdown (IO/comm/compute)",
+         "Fig. 20", "QG1 on FS, shared-storage mode, sums over machines");
+
+  Dataset d = MakeDataset("FS");
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  std::printf("%9s %11s %11s %11s %7s %7s %7s\n", "machines", "compute",
+              "IO", "comm", "cmp%", "io%", "comm%");
+  for (std::size_t machines : {2u, 4u, 8u, 16u}) {
+    DistOptions options;
+    options.num_machines = machines;
+    options.storage = GraphStorage::kShared;
+    auto result = DistributedMatch(d.graph, query, options);
+    const double compute = result->build_compute_seconds;
+    const double io = result->build_io_seconds;
+    const double comm = result->build_comm_seconds;
+    const double total = compute + io + comm;
+    std::printf("%9zu %11s %11s %11s %6.1f%% %6.1f%% %6.1f%%\n", machines,
+                FmtSeconds(compute).c_str(), FmtSeconds(io).c_str(),
+                FmtSeconds(comm).c_str(), 100 * compute / total,
+                100 * io / total, 100 * comm / total);
+    std::fflush(stdout);
+  }
+  return 0;
+}

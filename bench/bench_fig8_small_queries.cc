@@ -1,0 +1,66 @@
+// Figure 8: CECI vs DualSim vs PsgL on QG2, QG3, QG5 (WG, WT, LJ).
+//
+// The paper reports average speedups of 19.7x/49.3x/86.7x over PsgL and
+// 2.5x/1.7x/19.8x over DualSim for QG2/QG3/QG5. Expected shape: CECI
+// fastest, and the PsgL gap grows with query complexity (QG5 worst) since
+// PsgL cannot prune unpromising paths before exhaustive expansion.
+#include <cstdio>
+
+#include "baselines/dual_sim.h"
+#include "baselines/psgl.h"
+#include "bench/bench_common.h"
+#include "ceci/matcher.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ceci;
+  using namespace ceci::bench;
+  Banner("Figure 8 - CECI vs DualSim vs PsgL (QG2, QG3, QG5)", "Fig. 8",
+         "speedup = engine time / CECI time; higher favors CECI");
+  std::printf("%-4s %-4s %12s %10s %10s %10s %8s %8s\n", "DS", "QG",
+              "embeddings", "CECI", "DualSim", "PsgL", "DS/CECI",
+              "PsgL/CECI");
+
+  for (const char* abbr : {"WG", "WT", "LJ"}) {
+    Dataset d = MakeDataset(abbr);
+    CeciMatcher matcher(d.graph);
+    for (PaperQuery pq :
+         {PaperQuery::kQG2, PaperQuery::kQG3, PaperQuery::kQG5}) {
+      Graph query = MakePaperQuery(pq);
+
+      Timer t;
+      auto ceci = matcher.Match(query, MatchOptions{});
+      double ceci_s = t.Seconds();
+
+      DualSimResult ds = DualSimCount(d.graph, query, DualSimOptions{});
+      PsglResult psgl = PsglCount(d.graph, query, PsglOptions{});
+
+      if (ceci->embedding_count != ds.embeddings ||
+          (!psgl.overflowed && ceci->embedding_count != psgl.embeddings)) {
+        std::printf("COUNT MISMATCH on %s %s!\n", abbr,
+                    PaperQueryName(pq).c_str());
+        return 1;
+      }
+      // An overflowed PsgL run is the paper's out-of-memory failure mode
+      // (§6.4); report it as DNF.
+      char psgl_time[24];
+      char psgl_ratio[24];
+      if (psgl.overflowed) {
+        std::snprintf(psgl_time, sizeof(psgl_time), "%s", "DNF(mem)");
+        std::snprintf(psgl_ratio, sizeof(psgl_ratio), "%s", "inf");
+      } else {
+        std::snprintf(psgl_time, sizeof(psgl_time), "%s",
+                      FmtSeconds(psgl.seconds).c_str());
+        std::snprintf(psgl_ratio, sizeof(psgl_ratio), "%.1fx",
+                      psgl.seconds / ceci_s);
+      }
+      std::printf("%-4s %-4s %12llu %10s %10s %10s %7.1fx %8s\n", abbr,
+                  PaperQueryName(pq).c_str(),
+                  static_cast<unsigned long long>(ceci->embedding_count),
+                  FmtSeconds(ceci_s).c_str(), FmtSeconds(ds.seconds).c_str(),
+                  psgl_time, ds.seconds / ceci_s, psgl_ratio);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

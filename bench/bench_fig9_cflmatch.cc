@@ -1,0 +1,80 @@
+// Figure 9: CECI vs CFLMatch, labeled queries of growing size, first
+// 1,024 embeddings (single-threaded, §6.2).
+//
+// The paper reports CECI 3.5x faster on RD (100 random labels) and 1.9x on
+// HU (multi-labels), with the gap narrowing as queries grow (CFL's order
+// advantage on large queries). Expected shape: CECI faster at every size;
+// ratio larger on RD than HU.
+#include <cstdio>
+
+#include "baselines/cfl_enumerator.h"
+#include "bench/bench_common.h"
+#include "ceci/matcher.h"
+#include "gen/query_gen.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr std::size_t kQueriesPerSize = 8;
+constexpr std::uint64_t kLimit = 1024;
+
+void RunDataset(const char* abbr, std::size_t max_size) {
+  using namespace ceci;
+  using namespace ceci::bench;
+  Dataset d = MakeDataset(abbr);
+  NlcIndex nlc(d.graph);
+  CeciMatcher matcher(d.graph);
+  CflMatcher cfl_matcher(d.graph, nlc);  // matrix built once, as CFL does
+  std::printf("-- %s (%s)\n", abbr, d.analog.c_str());
+  std::printf("%6s %12s %12s %9s\n", "|Vq|", "CECI(avg)", "CFL(avg)",
+              "CFL/CECI");
+  for (std::size_t size : {4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u}) {
+    if (size > max_size) break;
+    QueryGenOptions qopt;
+    qopt.num_vertices = size;
+    qopt.seed = 7000 + size;
+    auto queries = GenerateQueries(d.graph, kQueriesPerSize, qopt);
+    if (queries.empty()) continue;
+    double ceci_total = 0;
+    double cfl_total = 0;
+    for (const Graph& query : queries) {
+      MatchOptions options;
+      options.limit = kLimit;
+      Timer t;
+      auto ceci = matcher.Match(query, options);
+      ceci_total += t.Seconds();
+
+      CflOptions cfl_options;
+      cfl_options.limit = kLimit;
+      CflResult cfl = cfl_matcher.Run(query, cfl_options);
+      cfl_total += cfl.seconds;
+
+      if (ceci->embedding_count != cfl.embeddings) {
+        std::printf("COUNT MISMATCH size=%zu (%llu vs %llu)\n", size,
+                    static_cast<unsigned long long>(ceci->embedding_count),
+                    static_cast<unsigned long long>(cfl.embeddings));
+        std::exit(1);
+      }
+    }
+    double n = static_cast<double>(queries.size());
+    std::printf("%6zu %12s %12s %8.2fx\n", size,
+                ceci::bench::FmtSeconds(ceci_total / n).c_str(),
+                ceci::bench::FmtSeconds(cfl_total / n).c_str(),
+                cfl_total / ceci_total);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ceci::bench::Banner(
+      "Figure 9 - CECI vs CFLMatch, labeled queries, first 1,024", "Fig. 9",
+      "DFS-extracted queries; single-threaded; averages over 8 queries");
+  // RD is capped at 32 query vertices: the 48-vertex sweep alone runs for
+  // minutes on one core (dominated by the CFL edge-verification blowup the
+  // figure demonstrates).
+  RunDataset("RD", 32);
+  RunDataset("HU", 48);
+  return 0;
+}

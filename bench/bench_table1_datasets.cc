@@ -1,0 +1,26 @@
+// Table 1: graph datasets used in the experiments.
+//
+// Prints the generator analogs standing in for the paper's SNAP/Yahoo
+// graphs (substitution in DESIGN.md §1.4), with the properties the rest of
+// the benches rely on.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace ceci;
+  using namespace ceci::bench;
+  Banner("Table 1 - dataset inventory", "Table 1",
+         "Generator analogs of the paper's graphs at laptop scale.");
+  std::printf("%-5s %-14s %-36s %10s %11s %8s %7s\n", "Abbr", "Paper graph",
+              "Analog", "|V|", "|E|", "max-deg", "labels");
+  for (const char* abbr :
+       {"CP", "FS", "HU", "LJ", "OK", "WG", "WT", "YH", "YT", "RD"}) {
+    Dataset d = MakeDataset(abbr);
+    std::printf("%-5s %-14s %-36s %10zu %11zu %8zu %7zu\n", d.abbr.c_str(),
+                d.paper_name.c_str(), d.analog.c_str(),
+                d.graph.num_vertices(), d.graph.num_edges(),
+                d.graph.max_degree(), d.graph.num_labels());
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fraud-ring detection in a payment network, including distributed search.
+//
+// Money-laundering rings appear as short cycles through specific account
+// types (mule -> shell -> merchant). This example labels a synthetic
+// payment network, lists ring patterns with a first-k budget (the paper's
+// first-1,024 style of interactive querying), and then re-runs the search
+// on the simulated distributed runtime of §5 to show the same counts with
+// per-machine statistics.
+#include <cstdio>
+
+#include "ceci/matcher.h"
+#include "distsim/dist_matcher.h"
+#include "gen/labels.h"
+#include "util/logging.h"
+#include "gen/random_graphs.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using namespace ceci;
+
+enum AccountType : Label {
+  kRetail = 0,
+  kMule = 1,
+  kShell = 2,
+  kMerchant = 3,
+};
+
+}  // namespace
+
+int main() {
+  // Payment graph: heavy-tailed (merchants/hubs), 4 account types.
+  Graph payments = AssignRandomLabels(GenerateSocialGraph(30000, 12, 99),
+                                      4, 100);
+  std::printf("payment network: %s\n\n", payments.Summary().c_str());
+
+  // Ring pattern: mule -> shell -> merchant -> mule (triangle), with a
+  // second shell fanning in (diamond).
+  GraphBuilder qb;
+  qb.AddLabel(0, kMule);
+  qb.AddLabel(1, kShell);
+  qb.AddLabel(2, kMerchant);
+  qb.AddLabel(3, kShell);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(1, 2);
+  qb.AddEdge(0, 2);
+  qb.AddEdge(2, 3);
+  qb.AddEdge(0, 3);
+  auto ring = qb.Build();
+  CECI_CHECK(ring.ok());
+
+  // --- Interactive budgeted search: first 100 suspicious rings ---
+  CeciMatcher matcher(payments);
+  MatchOptions options;
+  options.threads = 4;
+  options.limit = 100;
+  int printed = 0;
+  EmbeddingVisitor show = [&](std::span<const VertexId> m) {
+    if (printed < 3) {
+      std::printf("  ring: mule=%u shell=%u merchant=%u shell=%u\n", m[0],
+                  m[1], m[2], m[3]);
+      ++printed;
+    }
+    return true;
+  };
+  auto budgeted = matcher.Match(*ring, options, &show);
+  CECI_CHECK(budgeted.ok());
+  std::printf("budgeted search: stopped after %llu rings (limit 100)\n\n",
+              static_cast<unsigned long long>(budgeted->embedding_count));
+
+  // --- Full count ---
+  options.limit = 0;
+  auto full = matcher.Match(*ring, options);
+  CECI_CHECK(full.ok());
+  std::printf("full search: %llu rings, %.1fms total "
+              "(enumeration %.0f%% of runtime)\n\n",
+              static_cast<unsigned long long>(full->embedding_count),
+              full->stats.total_seconds * 1e3,
+              100.0 * full->stats.enumerate_seconds /
+                  full->stats.total_seconds);
+
+  // --- Same query on the simulated 4-machine cluster (§5) ---
+  distsim::DistOptions dist_options;
+  dist_options.num_machines = 4;
+  dist_options.threads_per_machine = 2;
+  auto dist = distsim::DistributedMatch(payments, *ring, dist_options);
+  CECI_CHECK(dist.ok());
+  std::printf("distributed (4 simulated machines): %llu rings, makespan "
+              "%.1fms\n",
+              static_cast<unsigned long long>(dist->embeddings),
+              dist->makespan_seconds * 1e3);
+  for (const auto& m : dist->machines) {
+    std::printf("  machine: %zu pivots, %llu rings, build %.1fms, "
+                "enumerate %.1fms, comm %.2fms, stolen %llu units\n",
+                m.pivots, static_cast<unsigned long long>(m.embeddings),
+                m.build_compute_seconds * 1e3, m.enum_compute_seconds * 1e3,
+                m.comm_seconds * 1e3,
+                static_cast<unsigned long long>(m.stolen_units));
+  }
+  if (dist->embeddings != full->embedding_count) {
+    std::fprintf(stderr, "count mismatch between local and distributed!\n");
+    return 1;
+  }
+  return 0;
+}

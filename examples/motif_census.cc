@@ -1,0 +1,61 @@
+// Motif census: count every connected 3- and 4-vertex pattern in a graph.
+//
+// Graph pattern mining (paper §1, §7) often starts from a motif census —
+// the frequency profile of small subgraphs, used to characterize networks
+// (e.g., network motifs in biology). This example runs the full census of
+// connected unlabeled motifs on sizes 3 and 4 with the CECI matcher and
+// reports the profile together with per-motif search statistics, using the
+// counting fast path since only frequencies are needed.
+#include <cstdio>
+
+#include "ceci/matcher.h"
+#include "gen/random_graphs.h"
+#include "graphio/pattern_parser.h"
+#include "util/logging.h"
+
+namespace {
+
+struct Motif {
+  const char* name;
+  const char* pattern;
+};
+
+// All connected unlabeled graphs on 3 and 4 vertices.
+constexpr Motif kMotifs[] = {
+    {"path-3 (wedge)", "(a)-(b)-(c)"},
+    {"triangle", "(a)-(b)-(c); (a)-(c)"},
+    {"path-4", "(a)-(b)-(c)-(d)"},
+    {"star-4 (claw)", "(a)-(b); (a)-(c); (a)-(d)"},
+    {"square", "(a)-(b)-(c)-(d); (a)-(d)"},
+    {"paw (triangle+tail)", "(a)-(b)-(c); (a)-(c); (c)-(d)"},
+    {"diamond (chordal square)", "(a)-(b)-(c)-(d); (a)-(d); (a)-(c)"},
+    {"4-clique", "(a)-(b); (a)-(c); (a)-(d); (b)-(c); (b)-(d); (c)-(d)"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace ceci;
+  Graph network = GenerateSocialGraph(8000, 10, 21);
+  std::printf("network: %s\n\n", network.Summary().c_str());
+  std::printf("%-28s %14s %10s %14s\n", "motif", "count", "time", "calls");
+
+  CeciMatcher matcher(network);
+  for (const Motif& motif : kMotifs) {
+    auto query = ParsePattern(motif.pattern);
+    CECI_CHECK(query.ok()) << query.status().ToString();
+    MatchOptions options;
+    options.threads = 2;
+    options.leaf_count_shortcut = true;  // frequencies only
+    auto result = matcher.Match(*query, options);
+    CECI_CHECK(result.ok());
+    std::printf("%-28s %14llu %9.1fms %14llu\n", motif.name,
+                static_cast<unsigned long long>(result->embedding_count),
+                result->stats.total_seconds * 1e3,
+                static_cast<unsigned long long>(
+                    result->stats.enumeration.recursive_calls));
+  }
+  std::printf("\n(each motif counted once per vertex set: automorphisms "
+              "are broken)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Protein-interaction motif search.
+//
+// The paper motivates subgraph listing with the analysis of protein-
+// protein interaction (PPI) networks [44]: structural motifs — small
+// labeled patterns — are searched in a large interaction graph. This
+// example builds a synthetic PPI-like network (dense ER core, protein
+// families as labels, the regime of the paper's Human dataset) and counts
+// three classic motifs:
+//
+//   * triangle of kinase-kinase-phosphatase (signalling feedback),
+//   * "bi-fan"-style square across two families,
+//   * hub motif: a scaffold protein bound to three distinct families.
+#include <cstdio>
+
+#include "ceci/matcher.h"
+#include "gen/labels.h"
+#include "util/logging.h"
+#include "gen/random_graphs.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using namespace ceci;
+
+// Protein families used as labels.
+enum Family : Label {
+  kKinase = 0,
+  kPhosphatase = 1,
+  kScaffold = 2,
+  kReceptor = 3,
+  kLigase = 4,
+};
+
+Graph MakeMotif(const std::vector<Label>& labels,
+                const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder;
+  for (VertexId v = 0; v < labels.size(); ++v) builder.AddLabel(v, labels[v]);
+  for (auto [a, b] : edges) builder.AddEdge(a, b);
+  auto g = builder.Build();
+  CECI_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+void Search(const CeciMatcher& matcher, const char* name,
+            const Graph& motif) {
+  MatchOptions options;
+  options.threads = 4;
+  auto result = matcher.Match(motif, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-34s %10llu occurrences  (%.1fms, %llu search-tree nodes)\n",
+              name, static_cast<unsigned long long>(result->embedding_count),
+              result->stats.total_seconds * 1e3,
+              static_cast<unsigned long long>(
+                  result->stats.enumeration.recursive_calls));
+}
+
+}  // namespace
+
+int main() {
+  // Synthetic interactome: 5,000 proteins, ~150K interactions, 5 families.
+  Graph network =
+      AssignRandomLabels(GenerateErdosRenyi(5000, 150000, 42), 5, 43);
+  std::printf("PPI network: %s\n\n", network.Summary().c_str());
+
+  CeciMatcher matcher(network);
+
+  Search(matcher, "kinase-kinase-phosphatase loop",
+         MakeMotif({kKinase, kKinase, kPhosphatase},
+                   {{0, 1}, {1, 2}, {0, 2}}));
+
+  Search(matcher, "receptor/ligase bi-fan square",
+         MakeMotif({kReceptor, kReceptor, kLigase, kLigase},
+                   {{0, 2}, {0, 3}, {1, 2}, {1, 3}}));
+
+  Search(matcher, "scaffold hub (3 distinct partners)",
+         MakeMotif({kScaffold, kKinase, kPhosphatase, kReceptor},
+                   {{0, 1}, {0, 2}, {0, 3}}));
+
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Friend-recommendation mining on a social graph.
+//
+// Subgraph listing powers graph pattern mining (paper §1): here open
+// triangles ("wedges": A-B, B-C, but no A-C edge yet) are mined from a
+// power-law social network, and the most frequent missing edges become
+// friend recommendations. The example demonstrates:
+//   * the visitor API consuming embeddings concurrently,
+//   * fine-grained dynamic workload balancing (the hubs of a power-law
+//     graph create exactly the ExtremeClusters of §4.3),
+//   * per-phase statistics.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "ceci/matcher.h"
+#include "gen/random_graphs.h"
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace ceci;
+
+  // A power-law friendship network with triadic closure.
+  Graph network = GenerateSocialGraph(20000, 10, 7);
+  std::printf("social network: %s\n", network.Summary().c_str());
+
+  // Query: a path A-B-C (all labels equal). Embeddings where A-C is not
+  // an edge are open triangles; the missing edge is a recommendation.
+  GraphBuilder qb;
+  for (VertexId u = 0; u < 3; ++u) qb.AddLabel(u, 0);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(1, 2);
+  auto wedge = qb.Build();
+  CECI_CHECK(wedge.ok());
+
+  std::mutex mu;
+  std::map<std::pair<VertexId, VertexId>, std::uint32_t> missing_edges;
+  EmbeddingVisitor collect = [&](std::span<const VertexId> m) {
+    VertexId a = m[0], c = m[2];
+    if (a > c) std::swap(a, c);
+    if (!network.HasEdge(a, c)) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++missing_edges[{a, c}];
+    }
+    return true;
+  };
+
+  CeciMatcher matcher(network);
+  MatchOptions options;
+  options.threads = 4;
+  options.distribution = Distribution::kFineDynamic;  // split hub clusters
+  options.beta = 0.2;
+  auto result = matcher.Match(*wedge, options, &collect);
+  CECI_CHECK(result.ok());
+
+  std::printf("wedges scanned: %llu, open triangles: %zu unique pairs\n",
+              static_cast<unsigned long long>(result->embedding_count),
+              missing_edges.size());
+  std::printf("extreme clusters decomposed: %zu (of %zu clusters) into %zu "
+              "work units\n",
+              result->stats.decomposition.extreme_clusters,
+              result->stats.embedding_clusters,
+              result->stats.decomposition.work_units);
+
+  // Rank by common-neighbor count (each open triangle contributes one).
+  std::vector<std::pair<std::uint32_t, std::pair<VertexId, VertexId>>> ranked;
+  ranked.reserve(missing_edges.size());
+  for (const auto& [edge, count] : missing_edges) {
+    ranked.emplace_back(count, edge);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("\ntop friend recommendations (common friends):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+    std::printf("  user %u <-> user %u  (%u common friends)\n",
+                ranked[i].second.first, ranked[i].second.second,
+                ranked[i].first);
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "baselines/bare_enumerator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "ceci/query_tree.h"
+#include "ceci/symmetry.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+// Per-worker backtracking engine over the raw graph.
+class BareWorker {
+ public:
+  BareWorker(const Graph& data, const Graph& query, const QueryTree& tree,
+             const SymmetryConstraints& symmetry,
+             std::atomic<std::uint64_t>* emitted, std::uint64_t limit,
+             const EmbeddingVisitor* visitor)
+      : data_(data),
+        query_(query),
+        tree_(tree),
+        symmetry_(symmetry),
+        emitted_(emitted),
+        limit_(limit),
+        visitor_(visitor) {
+    mapping_.assign(query.num_vertices(), kInvalidVertex);
+    scratch_.resize(query.num_vertices());
+  }
+
+  void RunCluster(VertexId pivot) {
+    mapping_[tree_.root()] = pivot;
+    Recurse(1);
+    mapping_[tree_.root()] = kInvalidVertex;
+  }
+
+  std::uint64_t embeddings() const { return embeddings_; }
+  std::uint64_t recursive_calls() const { return recursive_calls_; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  bool Feasible(VertexId u, VertexId v) {
+    if (data_.degree(v) < query_.degree(u)) return false;
+    if (!data_.HasAllLabels(v, query_.labels(u))) return false;
+    for (VertexId m : mapping_) {
+      if (m == v) return false;  // injectivity
+    }
+    // Symmetry bounds against matched partners.
+    for (VertexId w : symmetry_.must_be_less(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] >= v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_greater(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] <= v) return false;
+    }
+    // All query edges to matched vertices must exist in the data graph
+    // (tree edge to the parent is implied by candidate generation).
+    for (VertexId w : query_.neighbors(u)) {
+      if (w != tree_.parent(u) && mapping_[w] != kInvalidVertex &&
+          !data_.HasEdge(v, mapping_[w])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(std::size_t pos) {
+    ++recursive_calls_;
+    const auto& order = tree_.matching_order();
+    if (pos == order.size()) return Emit();
+    if (emitted_ != nullptr &&
+        emitted_->load(std::memory_order_relaxed) >= limit_) {
+      stopped_ = true;
+      return false;
+    }
+    const VertexId u = order[pos];
+    const VertexId parent_match = mapping_[tree_.parent(u)];
+    for (VertexId v : data_.neighbors(parent_match)) {
+      if (!Feasible(u, v)) continue;
+      mapping_[u] = v;
+      bool keep_going = Recurse(pos + 1);
+      mapping_[u] = kInvalidVertex;
+      if (!keep_going && stopped_) return false;
+    }
+    return true;
+  }
+
+  bool Emit() {
+    if (emitted_ != nullptr) {
+      std::uint64_t ticket = emitted_->fetch_add(1, std::memory_order_relaxed);
+      if (ticket >= limit_) {
+        stopped_ = true;
+        return false;
+      }
+    }
+    ++embeddings_;
+    if (visitor_ != nullptr && !(*visitor_)(mapping_)) {
+      stopped_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const Graph& data_;
+  const Graph& query_;
+  const QueryTree& tree_;
+  const SymmetryConstraints& symmetry_;
+  std::atomic<std::uint64_t>* emitted_;
+  std::uint64_t limit_;
+  const EmbeddingVisitor* visitor_;
+  std::vector<VertexId> mapping_;
+  std::vector<std::vector<VertexId>> scratch_;
+  std::uint64_t embeddings_ = 0;
+  std::uint64_t recursive_calls_ = 0;
+  bool stopped_ = false;
+};
+
+// Label+degree candidate count (no NLC — this baseline has no index).
+std::size_t SimpleCount(const Graph& data, const Graph& query, VertexId u) {
+  std::size_t count = 0;
+  for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+    if (data.degree(v) >= query.degree(u) &&
+        data.HasAllLabels(v, query.labels(u))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+BareResult BareCount(const Graph& data, const Graph& query,
+                     const BareOptions& options,
+                     const EmbeddingVisitor* visitor) {
+  Timer timer;
+  BareResult result;
+
+  // Root: argmin candidates/degree with the cheap filters.
+  VertexId root = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    if (query.degree(u) == 0) continue;
+    double cost = static_cast<double>(SimpleCount(data, query, u)) /
+                  static_cast<double>(query.degree(u));
+    if (cost < best) {
+      best = cost;
+      root = u;
+    }
+  }
+  auto tree = QueryTree::Build(query, root);
+  CECI_CHECK(tree.ok()) << tree.status().ToString();
+
+  SymmetryConstraints symmetry =
+      options.break_automorphisms
+          ? SymmetryConstraints::Compute(query)
+          : SymmetryConstraints::None(query.num_vertices());
+
+  std::vector<VertexId> pivots;
+  for (VertexId v : data.VerticesWithLabel(query.label(root))) {
+    if (data.degree(v) >= query.degree(root) &&
+        data.HasAllLabels(v, query.labels(root))) {
+      pivots.push_back(v);
+    }
+  }
+
+  std::atomic<std::uint64_t> emitted{0};
+  const std::uint64_t limit = options.limit == 0
+                                  ? std::numeric_limits<std::uint64_t>::max()
+                                  : options.limit;
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(options.threads, pivots.size()));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::uint64_t> counts(workers, 0);
+  std::vector<std::uint64_t> calls(workers, 0);
+
+  auto worker_fn = [&](std::size_t wid) {
+    BareWorker worker(data, query, *tree, symmetry, &emitted, limit, visitor);
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= pivots.size() || worker.stopped()) break;
+      worker.RunCluster(pivots[i]);
+      if (emitted.load(std::memory_order_relaxed) >= limit) break;
+    }
+    counts[wid] = worker.embeddings();
+    calls[wid] = worker.recursive_calls();
+  };
+
+  if (workers == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_fn, w);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    result.embeddings += counts[w];
+    result.recursive_calls += calls[w];
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace ceci

@@ -1,0 +1,38 @@
+// "Bare graph" parallel subgraph listing — the index-free baseline of the
+// paper's Figure 19. Backtracking runs directly on the data graph: the
+// candidates of a query vertex are the data neighbors of its tree parent's
+// match, filtered only by label and degree, and every back edge is verified
+// against the adjacency structure. No CECI, no NLC filtering, no
+// refinement; clusters (root candidates) are distributed dynamically across
+// threads.
+#ifndef CECI_BASELINES_BARE_ENUMERATOR_H_
+#define CECI_BASELINES_BARE_ENUMERATOR_H_
+
+#include <cstdint>
+
+#include "ceci/enumerator.h"
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct BareOptions {
+  std::size_t threads = 1;
+  std::uint64_t limit = 0;  // 0 = all embeddings
+  bool break_automorphisms = true;
+};
+
+struct BareResult {
+  std::uint64_t embeddings = 0;
+  std::uint64_t recursive_calls = 0;
+  double seconds = 0.0;
+};
+
+/// Lists embeddings of `query` in `data` without any auxiliary index.
+/// `visitor` may be null; with threads > 1 it must be thread-safe.
+BareResult BareCount(const Graph& data, const Graph& query,
+                     const BareOptions& options,
+                     const EmbeddingVisitor* visitor = nullptr);
+
+}  // namespace ceci
+
+#endif  // CECI_BASELINES_BARE_ENUMERATOR_H_

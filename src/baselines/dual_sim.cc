@@ -1,0 +1,209 @@
+#include "baselines/dual_sim.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "ceci/query_tree.h"
+#include "ceci/symmetry.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+class DualSimWorker {
+ public:
+  DualSimWorker(PagedGraph* paged, const Graph& query, const QueryTree& tree,
+                const SymmetryConstraints& symmetry,
+                std::atomic<std::uint64_t>* emitted, std::uint64_t limit,
+                const EmbeddingVisitor* visitor)
+      : paged_(paged),
+        query_(query),
+        tree_(tree),
+        symmetry_(symmetry),
+        emitted_(emitted),
+        limit_(limit),
+        visitor_(visitor) {
+    mapping_.assign(query.num_vertices(), kInvalidVertex);
+  }
+
+  void RunCluster(VertexId pivot) {
+    mapping_[tree_.root()] = pivot;
+    Recurse(1);
+    mapping_[tree_.root()] = kInvalidVertex;
+  }
+
+  std::uint64_t embeddings() const { return embeddings_; }
+  std::uint64_t recursive_calls() const { return recursive_calls_; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  bool Feasible(VertexId u, VertexId v) {
+    const Graph& g = paged_->graph();
+    if (g.degree(v) < query_.degree(u)) return false;
+    if (!g.HasAllLabels(v, query_.labels(u))) return false;
+    for (VertexId m : mapping_) {
+      if (m == v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_less(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] >= v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_greater(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] <= v) return false;
+    }
+    for (VertexId w : query_.neighbors(u)) {
+      if (w != tree_.parent(u) && mapping_[w] != kInvalidVertex &&
+          !paged_->HasEdge(v, mapping_[w])) {  // paged edge probe
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(std::size_t pos) {
+    ++recursive_calls_;
+    const auto& order = tree_.matching_order();
+    if (pos == order.size()) return Emit();
+    if (emitted_->load(std::memory_order_relaxed) >= limit_) {
+      stopped_ = true;
+      return false;
+    }
+    const VertexId u = order[pos];
+    auto nbrs = paged_->Neighbors(mapping_[tree_.parent(u)]);
+    // The span stays valid (pages are accounting-only), but each candidate
+    // re-touches its page as DualSim would when matching within it.
+    for (VertexId v : nbrs) {
+      if (!Feasible(u, v)) continue;
+      mapping_[u] = v;
+      bool keep_going = Recurse(pos + 1);
+      mapping_[u] = kInvalidVertex;
+      if (!keep_going && stopped_) return false;
+    }
+    return true;
+  }
+
+  bool Emit() {
+    std::uint64_t ticket = emitted_->fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= limit_) {
+      stopped_ = true;
+      return false;
+    }
+    ++embeddings_;
+    if (visitor_ != nullptr && !(*visitor_)(mapping_)) {
+      stopped_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  PagedGraph* paged_;
+  const Graph& query_;
+  const QueryTree& tree_;
+  const SymmetryConstraints& symmetry_;
+  std::atomic<std::uint64_t>* emitted_;
+  std::uint64_t limit_;
+  const EmbeddingVisitor* visitor_;
+  std::vector<VertexId> mapping_;
+  std::uint64_t embeddings_ = 0;
+  std::uint64_t recursive_calls_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+DualSimResult DualSimCount(const Graph& data, const Graph& query,
+                           const DualSimOptions& options,
+                           const EmbeddingVisitor* visitor) {
+  Timer timer;
+  DualSimResult result;
+
+  VertexId root = 0;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    if (query.degree(u) == 0) continue;
+    std::size_t score =
+        data.VerticesWithLabel(query.label(u)).size() / query.degree(u);
+    if (score < best) {
+      best = score;
+      root = u;
+    }
+  }
+  auto tree = QueryTree::Build(query, root);
+  CECI_CHECK(tree.ok()) << tree.status().ToString();
+  SymmetryConstraints symmetry =
+      options.break_automorphisms
+          ? SymmetryConstraints::Compute(query)
+          : SymmetryConstraints::None(query.num_vertices());
+
+  std::vector<VertexId> pivots;
+  for (VertexId v : data.VerticesWithLabel(query.label(root))) {
+    if (data.degree(v) >= query.degree(root) &&
+        data.HasAllLabels(v, query.labels(root))) {
+      pivots.push_back(v);
+    }
+  }
+
+  std::atomic<std::uint64_t> emitted{0};
+  const std::uint64_t limit = options.limit == 0
+                                  ? std::numeric_limits<std::uint64_t>::max()
+                                  : options.limit;
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(options.threads, pivots.size()));
+  std::atomic<std::size_t> next{0};
+
+  struct PerWorker {
+    std::uint64_t embeddings = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double io_seconds = 0.0;
+  };
+  std::vector<PerWorker> per(workers);
+
+  // The pool is divided among workers, as DualSim's buffer would be.
+  PagedGraphOptions paging = options.paging;
+  paging.pool_pages =
+      std::max<std::size_t>(1, options.paging.pool_pages / workers);
+
+  auto worker_fn = [&](std::size_t wid) {
+    PagedGraph paged(data, paging);
+    DualSimWorker worker(&paged, query, *tree, symmetry, &emitted, limit,
+                         visitor);
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= pivots.size() || worker.stopped()) break;
+      worker.RunCluster(pivots[i]);
+      if (emitted.load(std::memory_order_relaxed) >= limit) break;
+    }
+    per[wid] = PerWorker{worker.embeddings(), worker.recursive_calls(),
+                         paged.page_hits(), paged.page_misses(),
+                         paged.simulated_io_seconds()};
+  };
+
+  if (workers == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_fn, w);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  double max_io = 0.0;
+  for (const PerWorker& p : per) {
+    result.embeddings += p.embeddings;
+    result.recursive_calls += p.calls;
+    result.page_hits += p.hits;
+    result.page_misses += p.misses;
+    max_io = std::max(max_io, p.io_seconds);
+  }
+  result.compute_seconds = timer.Seconds();
+  result.io_seconds = max_io;
+  result.seconds = result.compute_seconds + result.io_seconds;
+  return result;
+}
+
+}  // namespace ceci

@@ -1,0 +1,50 @@
+// DualSim-style baseline (Kim et al. [24]).
+//
+// DualSim enumerates subgraphs from disk: adjacency lists live in slotted
+// pages, a bounded set of pages is resident at a time, and matching runs
+// against the resident set — which makes it IO-bound and caps the workload
+// it can feed a many-core machine (§6.1). This substitute runs the same
+// tree-guided enumeration as the bare baseline but funnels *every*
+// adjacency access through a per-worker PagedGraph buffer pool, charging a
+// modeled latency per page miss. Reported time = measured compute + the
+// slowest worker's modeled IO, preserving DualSim's IO-bound character.
+// Substitution documented in DESIGN.md §1.4.
+#ifndef CECI_BASELINES_DUAL_SIM_H_
+#define CECI_BASELINES_DUAL_SIM_H_
+
+#include <cstdint>
+
+#include "baselines/paged_graph.h"
+#include "ceci/enumerator.h"
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct DualSimOptions {
+  std::size_t threads = 1;
+  std::uint64_t limit = 0;  // 0 = all
+  bool break_automorphisms = true;
+  PagedGraphOptions paging;
+};
+
+struct DualSimResult {
+  std::uint64_t embeddings = 0;
+  std::uint64_t recursive_calls = 0;
+  std::uint64_t page_hits = 0;
+  std::uint64_t page_misses = 0;
+  /// Wall-clock compute time of the run.
+  double compute_seconds = 0.0;
+  /// Modeled IO time of the slowest worker.
+  double io_seconds = 0.0;
+  /// compute + io: the number comparable to the other engines' `seconds`.
+  double seconds = 0.0;
+};
+
+/// Lists embeddings of `query` in `data` through the paged store.
+DualSimResult DualSimCount(const Graph& data, const Graph& query,
+                           const DualSimOptions& options,
+                           const EmbeddingVisitor* visitor = nullptr);
+
+}  // namespace ceci
+
+#endif  // CECI_BASELINES_DUAL_SIM_H_

@@ -1,0 +1,55 @@
+#include "baselines/paged_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ceci {
+
+PagedGraph::PagedGraph(const Graph& g, const PagedGraphOptions& options)
+    : graph_(&g), options_(options) {
+  CECI_CHECK(options.page_entries >= 1 && options.pool_pages >= 1);
+  num_pages_ =
+      (g.num_directed_edges() + options.page_entries - 1) /
+      options.page_entries;
+}
+
+void PagedGraph::Touch(std::uint64_t page) {
+  auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    ++hits_;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  ++misses_;
+  if (resident_.size() >= options_.pool_pages) {
+    std::uint64_t victim = recency_.back();
+    recency_.pop_back();
+    resident_.erase(victim);
+  }
+  recency_.push_front(page);
+  resident_[page] = recency_.begin();
+}
+
+std::span<const VertexId> PagedGraph::Neighbors(VertexId v) {
+  auto adj = graph_->neighbors(v);
+  // Locate the adjacency list inside the page space via its global offset
+  // (the beginning_position array of §5 maps to CSR offsets here).
+  const std::uint64_t begin_entry =
+      static_cast<std::uint64_t>(adj.data() -
+                                 graph_->neighbors(0).data());
+  const std::uint64_t end_entry = begin_entry + adj.size();
+  const std::uint64_t first_page = begin_entry / options_.page_entries;
+  const std::uint64_t last_page =
+      adj.empty() ? first_page : (end_entry - 1) / options_.page_entries;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) Touch(p);
+  return adj;
+}
+
+bool PagedGraph::HasEdge(VertexId u, VertexId v) {
+  if (graph_->degree(u) > graph_->degree(v)) std::swap(u, v);
+  auto adj = Neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+}  // namespace ceci

@@ -1,0 +1,77 @@
+// Slotted-page graph store with a bounded buffer pool and modeled IO cost.
+//
+// DualSim [24] is a disk-based engine: each vertex's adjacency list lives
+// in a slotted page, and at any moment only a bounded combination of pages
+// is resident; every page fault costs an IO. We do not have the authors'
+// SSD testbed, so the store keeps pages in memory but *accounts* a
+// configurable latency per miss — preserving DualSim's IO-bound character
+// (the paper's explanation for its limited speedup, §6.1) while staying
+// deterministic and laptop-runnable. See DESIGN.md §1.4.
+#ifndef CECI_BASELINES_PAGED_GRAPH_H_
+#define CECI_BASELINES_PAGED_GRAPH_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct PagedGraphOptions {
+  /// Page payload in adjacency entries (4 KiB of 4-byte ids by default).
+  std::size_t page_entries = 1024;
+  /// Buffer pool capacity in pages.
+  std::size_t pool_pages = 256;
+  /// Modeled latency charged per page miss, in seconds (50 µs ≈ a fast
+  /// SSD random read of a 4 KiB page).
+  double miss_seconds = 50e-6;
+};
+
+/// Read-only paged view of a Graph with an LRU buffer pool. Not
+/// thread-safe; DualSim workers own private instances.
+class PagedGraph {
+ public:
+  PagedGraph(const Graph& g, const PagedGraphOptions& options);
+
+  /// Adjacency list of v. Faults in every page the list spans.
+  std::span<const VertexId> Neighbors(VertexId v);
+
+  /// Edge probe through the pool (binary search on the paged list).
+  bool HasEdge(VertexId u, VertexId v);
+
+  std::size_t degree(VertexId v) const { return graph_->degree(v); }
+  const Graph& graph() const { return *graph_; }
+
+  std::uint64_t page_hits() const { return hits_; }
+  std::uint64_t page_misses() const { return misses_; }
+  /// Total modeled IO time accumulated so far, in seconds.
+  double simulated_io_seconds() const {
+    return static_cast<double>(misses_) * options_.miss_seconds;
+  }
+  std::size_t num_pages() const { return num_pages_; }
+
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  void Touch(std::uint64_t page);
+
+  const Graph* graph_;
+  PagedGraphOptions options_;
+  std::size_t num_pages_ = 0;
+  // LRU pool: page id -> position in recency list.
+  std::list<std::uint64_t> recency_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      resident_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_BASELINES_PAGED_GRAPH_H_

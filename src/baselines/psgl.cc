@@ -1,0 +1,216 @@
+#include "baselines/psgl.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "ceci/query_tree.h"
+#include "ceci/symmetry.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+struct LevelContext {
+  const Graph* data;
+  const Graph* query;
+  const QueryTree* tree;
+  const SymmetryConstraints* symmetry;
+  VertexId u;        // query vertex being expanded into
+  std::size_t pos;   // matching-order position of u
+};
+
+// Verifies the non-tree edges of the *last* vertex of a partial embedding
+// (the vertex at matching-order position pos-1). PsgL expands along tree
+// edges and checks the remaining constraints when the intermediate result
+// is picked up again — the deferred verification that makes it pay for
+// unpromising paths the paper's Fig. 18 counts (§6.6).
+bool VerifyLastVertex(const LevelContext& ctx, const VertexId* partial,
+                      std::size_t stride) {
+  const auto& order = ctx.tree->matching_order();
+  const VertexId u_last = order[stride - 1];
+  const VertexId v_last = partial[stride - 1];
+  for (std::uint32_t e : ctx.tree->nte_in(u_last)) {
+    const VertexId u_n = ctx.tree->non_tree_edges()[e].parent;
+    const VertexId v_n = partial[ctx.tree->order_position(u_n)];
+    if (!ctx.data->HasEdge(v_last, v_n)) return false;
+  }
+  return true;
+}
+
+// Expands one partial embedding (stride = pos values in matching order)
+// into `out`, appending extended embeddings of stride pos+1. Only the
+// tree edge, label/degree filters, injectivity, and symmetry bounds gate
+// the expansion; the new vertex's non-tree edges are verified when the
+// extended partial is popped at the next level.
+void ExpandOne(const LevelContext& ctx, const VertexId* partial,
+               std::vector<VertexId>* out, std::vector<VertexId>* mapping) {
+  const auto& order = ctx.tree->matching_order();
+  std::fill(mapping->begin(), mapping->end(), kInvalidVertex);
+  for (std::size_t i = 0; i < ctx.pos; ++i) {
+    (*mapping)[order[i]] = partial[i];
+  }
+  const VertexId parent_match = (*mapping)[ctx.tree->parent(ctx.u)];
+  for (VertexId v : ctx.data->neighbors(parent_match)) {
+    if (ctx.data->degree(v) < ctx.query->degree(ctx.u)) continue;
+    if (!ctx.data->HasAllLabels(v, ctx.query->labels(ctx.u))) continue;
+    bool ok = true;
+    for (std::size_t i = 0; i < ctx.pos && ok; ++i) {
+      if (partial[i] == v) ok = false;  // injectivity
+    }
+    if (!ok) continue;
+    for (VertexId w : ctx.symmetry->must_be_less(ctx.u)) {
+      if ((*mapping)[w] != kInvalidVertex && (*mapping)[w] >= v) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (VertexId w : ctx.symmetry->must_be_greater(ctx.u)) {
+      if ((*mapping)[w] != kInvalidVertex && (*mapping)[w] <= v) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    out->insert(out->end(), partial, partial + ctx.pos);
+    out->push_back(v);
+  }
+}
+
+}  // namespace
+
+PsglResult PsglCount(const Graph& data, const Graph& query,
+                     const PsglOptions& options,
+                     const EmbeddingVisitor* visitor) {
+  Timer timer;
+  PsglResult result;
+  const std::size_t nq = query.num_vertices();
+
+  // Root by cheap selectivity, BFS tree/order — same preprocessing class
+  // of heuristics PsgL applies to its decomposition.
+  VertexId root = 0;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (VertexId u = 0; u < nq; ++u) {
+    std::size_t bucket = data.VerticesWithLabel(query.label(u)).size();
+    if (query.degree(u) == 0) continue;
+    std::size_t score = bucket / query.degree(u);
+    if (score < best) {
+      best = score;
+      root = u;
+    }
+  }
+  auto tree = QueryTree::Build(query, root);
+  CECI_CHECK(tree.ok()) << tree.status().ToString();
+  SymmetryConstraints symmetry =
+      options.break_automorphisms ? SymmetryConstraints::Compute(query)
+                                  : SymmetryConstraints::None(nq);
+
+  // Level 0: one partial embedding per root candidate.
+  std::vector<VertexId> level;
+  for (VertexId v : data.VerticesWithLabel(query.label(root))) {
+    if (data.degree(v) >= query.degree(root) &&
+        data.HasAllLabels(v, query.labels(root))) {
+      level.push_back(v);
+    }
+  }
+  result.peak_intermediate = level.size();
+
+  const std::size_t workers = std::max<std::size_t>(options.threads, 1);
+  result.worker_seconds.assign(workers, 0.0);
+  for (std::size_t pos = 1; pos < nq; ++pos) {
+    LevelContext ctx{&data, &query, &tree.value(), &symmetry,
+                     tree->matching_order()[pos], pos};
+    const std::size_t count = level.size() / pos;
+    std::vector<std::vector<VertexId>> bins(workers);
+    std::atomic<std::uint64_t> expansions{0};
+    std::atomic<std::uint64_t> produced{0};
+    std::atomic<bool> overflow{false};
+    const std::uint64_t entry_cap =
+        static_cast<std::uint64_t>(options.max_intermediate) * (pos + 1);
+
+    auto worker_fn = [&](std::size_t wid) {
+      const double cpu_start = ThreadCpuSeconds();
+      std::vector<VertexId> mapping(nq, kInvalidVertex);
+      std::uint64_t local_expansions = 0;
+      std::size_t last_bin_size = 0;
+      const std::size_t per = (count + workers - 1) / workers;
+      const std::size_t begin = wid * per;
+      const std::size_t end = std::min(begin + per, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (overflow.load(std::memory_order_relaxed)) break;
+        const VertexId* partial = level.data() + i * pos;
+        ++local_expansions;  // one expansion attempt per popped partial
+        if (!VerifyLastVertex(ctx, partial, pos)) continue;
+        ExpandOne(ctx, partial, &bins[wid], &mapping);
+        // Track produced entries so a level exceeding the memory budget
+        // aborts mid-flight instead of exhausting the allocator.
+        std::uint64_t delta = bins[wid].size() - last_bin_size;
+        last_bin_size = bins[wid].size();
+        if (produced.fetch_add(delta, std::memory_order_relaxed) + delta >
+            entry_cap) {
+          overflow.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      expansions.fetch_add(local_expansions, std::memory_order_relaxed);
+      result.worker_seconds[wid] += ThreadCpuSeconds() - cpu_start;
+    };
+
+    if (workers == 1) {
+      worker_fn(0);
+    } else {
+      std::vector<std::thread> threads;
+      for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back(worker_fn, w);
+      }
+      for (auto& t : threads) t.join();
+    }
+    result.expansions += expansions.load();
+
+    std::size_t total = 0;
+    for (const auto& bin : bins) total += bin.size();
+    if (overflow.load() || total / (pos + 1) > options.max_intermediate) {
+      result.overflowed = true;
+      result.seconds = timer.Seconds();
+      return result;
+    }
+    level.clear();
+    level.reserve(total);
+    for (auto& bin : bins) {
+      level.insert(level.end(), bin.begin(), bin.end());
+      bin.clear();
+      bin.shrink_to_fit();
+    }
+    result.peak_intermediate =
+        std::max(result.peak_intermediate, level.size() / (pos + 1));
+  }
+
+  // Final level: rows still carry the last vertex's deferred non-tree
+  // edges; verify them on assembly.
+  const std::size_t stride = nq;
+  const std::size_t rows = stride == 0 ? 0 : level.size() / stride;
+  LevelContext final_ctx{&data, &query, &tree.value(), &symmetry,
+                         kInvalidVertex, stride};
+  const auto& order = tree->matching_order();
+  std::vector<VertexId> mapping(nq, kInvalidVertex);
+  // Each assembled row is one more search-space node (it is picked up and
+  // its deferred constraints checked), mirroring a recursive call.
+  result.expansions += rows;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const VertexId* row = level.data() + i * stride;
+    if (stride > 1 && !VerifyLastVertex(final_ctx, row, stride)) continue;
+    ++result.embeddings;
+    if (visitor != nullptr) {
+      for (std::size_t k = 0; k < stride; ++k) mapping[order[k]] = row[k];
+      if (!(*visitor)(mapping)) break;
+    }
+    if (options.limit != 0 && result.embeddings >= options.limit) break;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace ceci

@@ -1,0 +1,54 @@
+// PsgL-style baseline (Shao et al. [47]): parallel subgraph listing by
+// intermediate-embedding expansion.
+//
+// Reproduces the traits the paper contrasts CECI against (§1, §6):
+//  * all partial embeddings of level k are materialized before level k+1
+//    is produced — the exponential intermediate result sets that made PsgL
+//    run out of memory on the Yahoo graph (§6.4);
+//  * every expansion works on the bare graph with label/degree checks and
+//    per-edge verification — no pre-filtering index, so unpromising paths
+//    are not pruned early (Fig. 18);
+//  * work is re-distributed across workers after every expansion level
+//    (the paper calls this exhaustive work distribution, §6.1).
+#ifndef CECI_BASELINES_PSGL_H_
+#define CECI_BASELINES_PSGL_H_
+
+#include <cstdint>
+
+#include "ceci/enumerator.h"
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct PsglOptions {
+  std::size_t threads = 1;
+  std::uint64_t limit = 0;  // applied only at the final level, as in PsgL
+  bool break_automorphisms = true;
+  /// Abort (overflowed=true) when an intermediate level exceeds this many
+  /// partial embeddings — the analog of PsgL exhausting 512 GB (§6.4).
+  std::size_t max_intermediate = 48u << 20;
+};
+
+struct PsglResult {
+  std::uint64_t embeddings = 0;
+  /// Partial-embedding expansions (the recursive-call analog of Fig. 18).
+  std::uint64_t expansions = 0;
+  std::size_t peak_intermediate = 0;
+  bool overflowed = false;
+  double seconds = 0.0;
+  /// Accumulated CPU time per worker across all levels (thread CPU clock);
+  /// max over workers is the simulated parallel makespan of the expansion
+  /// phases — used by the scalability comparison (Figs. 13/14).
+  std::vector<double> worker_seconds;
+};
+
+/// Lists embeddings of `query` in `data` with level-synchronous parallel
+/// expansion. `visitor` may be null; with threads > 1 it must be
+/// thread-safe.
+PsglResult PsglCount(const Graph& data, const Graph& query,
+                     const PsglOptions& options,
+                     const EmbeddingVisitor* visitor = nullptr);
+
+}  // namespace ceci
+
+#endif  // CECI_BASELINES_PSGL_H_

@@ -1,0 +1,161 @@
+#include "baselines/quicksi.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ceci/symmetry.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+// QuickSI's QI-sequence: a connected vertex order that visits infrequent
+// (selective) vertices and edges first. Selectivity of a query vertex is
+// estimated by the frequency of its label in the data graph weighted by
+// inverse degree; each subsequent vertex is the frontier vertex whose
+// anchor edge is rarest.
+std::vector<VertexId> QiSequence(const Graph& data, const Graph& query,
+                                 std::vector<VertexId>* anchors) {
+  const std::size_t nq = query.num_vertices();
+  auto vertex_freq = [&](VertexId u) {
+    double bucket =
+        static_cast<double>(data.VerticesWithLabel(query.label(u)).size());
+    return bucket / static_cast<double>(std::max<std::size_t>(
+                        query.degree(u), 1));
+  };
+
+  std::vector<VertexId> order;
+  std::vector<char> placed(nq, 0);
+  VertexId first = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < nq; ++u) {
+    double f = vertex_freq(u);
+    if (f < best) {
+      best = f;
+      first = u;
+    }
+  }
+  order.push_back(first);
+  placed[first] = 1;
+  anchors->assign(1, kInvalidVertex);
+
+  while (order.size() < nq) {
+    VertexId next = kInvalidVertex;
+    VertexId anchor = kInvalidVertex;
+    double next_score = std::numeric_limits<double>::infinity();
+    for (VertexId u = 0; u < nq; ++u) {
+      if (placed[u]) continue;
+      for (VertexId w : query.neighbors(u)) {
+        if (!placed[w]) continue;
+        double score = vertex_freq(u);
+        if (score < next_score) {
+          next_score = score;
+          next = u;
+          anchor = w;
+        }
+        break;
+      }
+    }
+    CECI_CHECK(next != kInvalidVertex) << "query must be connected";
+    order.push_back(next);
+    anchors->push_back(anchor);
+    placed[next] = 1;
+  }
+  return order;
+}
+
+class QuickSiEngine {
+ public:
+  QuickSiEngine(const Graph& data, const Graph& query,
+                const QuickSiOptions& options,
+                const EmbeddingVisitor* visitor, QuickSiResult* result)
+      : data_(data),
+        query_(query),
+        options_(options),
+        visitor_(visitor),
+        result_(result) {
+    symmetry_ = options.break_automorphisms
+                    ? SymmetryConstraints::Compute(query)
+                    : SymmetryConstraints::None(query.num_vertices());
+    order_ = QiSequence(data, query, &anchors_);
+    mapping_.assign(query.num_vertices(), kInvalidVertex);
+  }
+
+  void Run() { Recurse(0); }
+
+ private:
+  bool Feasible(VertexId u, VertexId v) {
+    if (data_.degree(v) < query_.degree(u)) return false;
+    if (!data_.HasAllLabels(v, query_.labels(u))) return false;
+    for (VertexId m : mapping_) {
+      if (m == v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_less(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] >= v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_greater(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] <= v) return false;
+    }
+    for (VertexId w : query_.neighbors(u)) {
+      if (mapping_[w] != kInvalidVertex && !data_.HasEdge(v, mapping_[w])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(std::size_t pos) {
+    ++result_->recursive_calls;
+    if (pos == order_.size()) {
+      ++result_->embeddings;
+      if (visitor_ != nullptr && !(*visitor_)(mapping_)) return false;
+      return options_.limit == 0 || result_->embeddings < options_.limit;
+    }
+    const VertexId u = order_[pos];
+    if (pos == 0) {
+      for (VertexId v : data_.VerticesWithLabel(query_.label(u))) {
+        if (!Feasible(u, v)) continue;
+        mapping_[u] = v;
+        bool keep_going = Recurse(pos + 1);
+        mapping_[u] = kInvalidVertex;
+        if (!keep_going) return false;
+      }
+    } else {
+      const VertexId anchor_match = mapping_[anchors_[pos]];
+      for (VertexId v : data_.neighbors(anchor_match)) {
+        if (!Feasible(u, v)) continue;
+        mapping_[u] = v;
+        bool keep_going = Recurse(pos + 1);
+        mapping_[u] = kInvalidVertex;
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  }
+
+  const Graph& data_;
+  const Graph& query_;
+  const QuickSiOptions& options_;
+  const EmbeddingVisitor* visitor_;
+  QuickSiResult* result_;
+  SymmetryConstraints symmetry_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> anchors_;
+  std::vector<VertexId> mapping_;
+};
+
+}  // namespace
+
+QuickSiResult QuickSiCount(const Graph& data, const Graph& query,
+                           const QuickSiOptions& options,
+                           const EmbeddingVisitor* visitor) {
+  Timer timer;
+  QuickSiResult result;
+  QuickSiEngine engine(data, query, options, visitor, &result);
+  engine.Run();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace ceci

@@ -1,0 +1,37 @@
+// QuickSI-style sequential matcher (Shang et al. [46], §7).
+//
+// QuickSI's contribution is its QI-sequence: a connected matching order
+// that visits infrequent vertices and edges first, shrinking intermediate
+// result sets before the bushy part of the search. This reimplementation
+// keeps that trait — label-frequency-driven connected ordering with
+// anchor-edge candidate generation and eager edge verification — and
+// serves as one more independently-coded oracle for the equivalence tests.
+#ifndef CECI_BASELINES_QUICKSI_H_
+#define CECI_BASELINES_QUICKSI_H_
+
+#include <cstdint>
+
+#include "ceci/enumerator.h"
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct QuickSiOptions {
+  std::uint64_t limit = 0;  // 0 = all
+  bool break_automorphisms = true;
+};
+
+struct QuickSiResult {
+  std::uint64_t embeddings = 0;
+  std::uint64_t recursive_calls = 0;
+  double seconds = 0.0;
+};
+
+/// Enumerates embeddings of `query` in `data` with a QI-sequence order.
+QuickSiResult QuickSiCount(const Graph& data, const Graph& query,
+                           const QuickSiOptions& options,
+                           const EmbeddingVisitor* visitor = nullptr);
+
+}  // namespace ceci
+
+#endif  // CECI_BASELINES_QUICKSI_H_

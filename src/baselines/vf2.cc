@@ -1,0 +1,127 @@
+#include "baselines/vf2.h"
+
+#include <algorithm>
+
+#include "ceci/symmetry.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+class Vf2State {
+ public:
+  Vf2State(const Graph& data, const Graph& query, const Vf2Options& options,
+           const EmbeddingVisitor* visitor)
+      : data_(data), query_(query), options_(options), visitor_(visitor) {
+    symmetry_ = options.break_automorphisms
+                    ? SymmetryConstraints::Compute(query)
+                    : SymmetryConstraints::None(query.num_vertices());
+    // Connected search order: start anywhere, always extend along an edge
+    // to a matched vertex (classic VF2 candidate-pair generation).
+    const std::size_t n = query.num_vertices();
+    order_.reserve(n);
+    std::vector<char> placed(n, 0);
+    order_.push_back(0);
+    placed[0] = 1;
+    while (order_.size() < n) {
+      bool advanced = false;
+      for (VertexId u = 0; u < n && !advanced; ++u) {
+        if (placed[u]) continue;
+        for (VertexId w : query_.neighbors(u)) {
+          if (placed[w]) {
+            order_.push_back(u);
+            placed[u] = 1;
+            anchor_.push_back(w);
+            advanced = true;
+            break;
+          }
+        }
+      }
+      CECI_CHECK(advanced) << "query graph must be connected";
+    }
+    mapping_.assign(n, kInvalidVertex);
+  }
+
+  Vf2Result Run() {
+    Recurse(0);
+    result_.recursive_calls = recursive_calls_;
+    return result_;
+  }
+
+ private:
+  bool Feasible(VertexId u, VertexId v) {
+    if (data_.degree(v) < query_.degree(u)) return false;
+    if (!data_.HasAllLabels(v, query_.labels(u))) return false;
+    for (VertexId m : mapping_) {
+      if (m == v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_less(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] >= v) return false;
+    }
+    for (VertexId w : symmetry_.must_be_greater(u)) {
+      if (mapping_[w] != kInvalidVertex && mapping_[w] <= v) return false;
+    }
+    for (VertexId w : query_.neighbors(u)) {
+      if (mapping_[w] != kInvalidVertex && !data_.HasEdge(v, mapping_[w])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(std::size_t pos) {
+    ++recursive_calls_;
+    if (pos == order_.size()) {
+      ++result_.embeddings;
+      if (visitor_ != nullptr && !(*visitor_)(mapping_)) return false;
+      return options_.limit == 0 || result_.embeddings < options_.limit;
+    }
+    const VertexId u = order_[pos];
+    if (pos == 0) {
+      for (VertexId v = 0; v < data_.num_vertices(); ++v) {
+        if (!Feasible(u, v)) continue;
+        mapping_[u] = v;
+        bool keep_going = Recurse(pos + 1);
+        mapping_[u] = kInvalidVertex;
+        if (!keep_going) return false;
+      }
+    } else {
+      // Candidates: data neighbors of the anchor's match.
+      const VertexId anchor_match = mapping_[anchor_[pos - 1]];
+      for (VertexId v : data_.neighbors(anchor_match)) {
+        if (!Feasible(u, v)) continue;
+        mapping_[u] = v;
+        bool keep_going = Recurse(pos + 1);
+        mapping_[u] = kInvalidVertex;
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  }
+
+  const Graph& data_;
+  const Graph& query_;
+  Vf2Options options_;
+  const EmbeddingVisitor* visitor_;
+  SymmetryConstraints symmetry_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> anchor_;  // anchor_[i]: matched neighbor of order_[i+1]
+  std::vector<VertexId> mapping_;
+  std::uint64_t recursive_calls_ = 0;
+  Vf2Result result_;
+};
+
+}  // namespace
+
+Vf2Result Vf2Count(const Graph& data, const Graph& query,
+                   const Vf2Options& options,
+                   const EmbeddingVisitor* visitor) {
+  Timer timer;
+  Vf2State state(data, query, options, visitor);
+  Vf2Result result = state.Run();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace ceci

@@ -1,0 +1,36 @@
+// VF2-style sequential matcher (Cordella et al. [10]).
+//
+// State-space search over the raw graphs with the classic feasibility
+// rules: label compatibility, degree, injectivity, and consistency of
+// already-matched query edges. Deliberately index-free and single-threaded;
+// in this repository it is the *test oracle* every other matcher is
+// validated against, and the sequential reference point of §7.
+#ifndef CECI_BASELINES_VF2_H_
+#define CECI_BASELINES_VF2_H_
+
+#include <cstdint>
+
+#include "ceci/enumerator.h"
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct Vf2Options {
+  std::uint64_t limit = 0;  // 0 = all
+  bool break_automorphisms = true;
+};
+
+struct Vf2Result {
+  std::uint64_t embeddings = 0;
+  std::uint64_t recursive_calls = 0;
+  double seconds = 0.0;
+};
+
+/// Enumerates embeddings of `query` in `data`.
+Vf2Result Vf2Count(const Graph& data, const Graph& query,
+                   const Vf2Options& options,
+                   const EmbeddingVisitor* visitor = nullptr);
+
+}  // namespace ceci
+
+#endif  // CECI_BASELINES_VF2_H_

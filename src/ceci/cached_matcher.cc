@@ -1,0 +1,142 @@
+#include "ceci/cached_matcher.h"
+
+#include <sstream>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/preprocess.h"
+#include "ceci/refinement.h"
+#include "ceci/symmetry.h"
+#include "util/timer.h"
+
+namespace ceci {
+
+struct CachedMatcher::Entry {
+  Preprocessed pre;
+  SymmetryConstraints symmetry;
+  CeciIndex index;
+  MatchStats build_stats;  // phase times & index accounting of the build
+};
+
+CachedMatcher::CachedMatcher(const Graph& data) : data_(data), nlc_(data) {}
+
+std::string CachedMatcher::QueryKey(const Graph& query,
+                                    const MatchOptions& options) {
+  std::ostringstream key;
+  key << OrderStrategyName(options.order) << '|'
+      << (options.break_automorphisms ? 'S' : 'N') << '|';
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    key << 'v';
+    for (Label l : query.labels(u)) key << l << ',';
+  }
+  key << '|';
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    for (VertexId w : query.neighbors(u)) {
+      if (u < w) key << u << '-' << w << ';';
+    }
+  }
+  return key.str();
+}
+
+Result<MatchResult> CachedMatcher::Match(const Graph& query,
+                                         const MatchOptions& options,
+                                         const EmbeddingVisitor* visitor) {
+  const std::string key = QueryKey(query, options);
+  std::shared_ptr<const Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      entry = it->second;
+    }
+  }
+
+  if (entry == nullptr) {
+    auto fresh = std::make_shared<Entry>();
+    MatchStats& stats = fresh->build_stats;
+    Timer phase;
+    PreprocessOptions pre_options;
+    pre_options.order = options.order;
+    auto pre = Preprocess(data_, nlc_, query, pre_options);
+    if (!pre.ok()) return pre.status();
+    fresh->pre = std::move(pre).value();
+    fresh->symmetry = options.break_automorphisms
+                          ? SymmetryConstraints::Compute(query)
+                          : SymmetryConstraints::None(query.num_vertices());
+    stats.automorphisms_broken = fresh->symmetry.automorphism_count();
+    stats.preprocess_seconds = phase.Seconds();
+    stats.theoretical_bytes = CeciIndex::TheoreticalBytes(
+        query.num_edges(), data_.num_directed_edges());
+
+    if (!fresh->pre.infeasible) {
+      phase.Reset();
+      CeciBuilder builder(data_, nlc_);
+      fresh->index =
+          builder.Build(query, fresh->pre.tree, BuildOptions{}, &stats.build);
+      stats.build_seconds = phase.Seconds();
+      phase.Reset();
+      RefineCeci(fresh->pre.tree, data_.num_vertices(), &fresh->index,
+                 &stats.refine);
+      fresh->index.Freeze();
+      stats.refine_seconds = phase.Seconds();
+      stats.ceci_bytes = fresh->index.MemoryBytes();
+      stats.candidate_edges = fresh->index.TotalCandidateEdges();
+      stats.embedding_clusters =
+          fresh->index.pivots(fresh->pre.tree).size();
+      stats.total_cardinality = stats.refine.total_cardinality;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++misses_;
+      entry = cache_.emplace(key, fresh).first->second;  // first writer wins
+    }
+  }
+
+  MatchResult result;
+  result.stats = entry->build_stats;
+  if (entry->pre.infeasible) return result;
+
+  Timer phase;
+  ScheduleOptions schedule;
+  schedule.threads = options.threads;
+  schedule.distribution = options.distribution;
+  schedule.beta = options.beta;
+  schedule.limit = options.limit;
+  schedule.enumeration.nte_intersection = options.nte_intersection;
+  schedule.enumeration.leaf_count_shortcut =
+      options.leaf_count_shortcut && visitor == nullptr;
+  schedule.enumeration.symmetry = &entry->symmetry;
+  ScheduleResult sched = RunParallelEnumeration(
+      data_, entry->pre.tree, entry->index, schedule, visitor);
+  result.stats.enumerate_seconds = phase.Seconds();
+  result.stats.enumeration = sched.stats;
+  result.stats.worker_seconds = std::move(sched.worker_seconds);
+  result.stats.decomposition = sched.decomposition;
+  result.embedding_count = sched.embeddings;
+  result.stats.total_seconds = result.stats.preprocess_seconds +
+                               result.stats.build_seconds +
+                               result.stats.refine_seconds +
+                               result.stats.enumerate_seconds;
+  return result;
+}
+
+Result<std::uint64_t> CachedMatcher::Count(const Graph& query,
+                                           std::size_t threads) {
+  MatchOptions options;
+  options.threads = threads;
+  auto result = Match(query, options);
+  if (!result.ok()) return result.status();
+  return result->embedding_count;
+}
+
+std::size_t CachedMatcher::cache_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void CachedMatcher::ClearCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace ceci

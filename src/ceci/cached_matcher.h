@@ -1,0 +1,62 @@
+// CachedMatcher: a multi-query session over one data graph.
+//
+// Dashboards and monitoring workloads re-run the same small set of query
+// shapes continuously. The CECI for a (data, query, matching order) triple
+// is immutable once refined, so this facade memoizes the preprocessed
+// query tree, symmetry constraints, and refined index per structural query
+// key and pays only enumeration on repeats — the in-memory counterpart of
+// the on-disk persistence in `ceci/index_io.h`.
+#ifndef CECI_CECI_CACHED_MATCHER_H_
+#define CECI_CECI_CACHED_MATCHER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ceci/matcher.h"
+
+namespace ceci {
+
+/// Thread-safe memoizing wrapper around the CECI pipeline.
+class CachedMatcher {
+ public:
+  /// Indexes `data` (NLC) once; the graph must outlive the matcher.
+  explicit CachedMatcher(const Graph& data);
+
+  CachedMatcher(const CachedMatcher&) = delete;
+  CachedMatcher& operator=(const CachedMatcher&) = delete;
+
+  /// Same contract as CeciMatcher::Match; construction and refinement are
+  /// served from the cache when the same query shape (and order strategy /
+  /// symmetry setting) was matched before.
+  Result<MatchResult> Match(const Graph& query, const MatchOptions& options,
+                            const EmbeddingVisitor* visitor = nullptr);
+
+  /// Convenience count.
+  Result<std::uint64_t> Count(const Graph& query, std::size_t threads = 1);
+
+  std::size_t cache_entries() const;
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+  void ClearCache();
+
+  /// Structural cache key of a query under given options: labels + edges +
+  /// order strategy + symmetry flag. Exposed for tests.
+  static std::string QueryKey(const Graph& query,
+                              const MatchOptions& options);
+
+ private:
+  struct Entry;
+
+  const Graph& data_;
+  NlcIndex nlc_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Entry>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_CACHED_MATCHER_H_

@@ -1,0 +1,81 @@
+// TE/NTE candidate list: the key-value structure of paper §3.1/§3.6.
+//
+// Each list maps a candidate v_p of the parent (tree parent for TE lists,
+// NTE parent for NTE lists) to the sorted set of candidates of the child
+// query vertex adjacent to v_p. Keys are kept sorted so lookups are binary
+// searches, mirroring the paper's sorted STL-vector-of-pairs layout.
+#ifndef CECI_CECI_CANDIDATE_LIST_H_
+#define CECI_CECI_CANDIDATE_LIST_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ceci {
+
+/// Sorted key → sorted value-set candidate map.
+///
+/// Two storage modes: the *mutable* mode keeps one vector per key (cheap
+/// appends and pruning during construction/refinement); Freeze() converts
+/// to a CSR-flat layout — keys, offsets, one contiguous value array — that
+/// the enumeration hot path reads with one fewer indirection and much
+/// better locality. Freeze is idempotent; mutating a frozen list is a
+/// programming error (checked).
+class CandidateList {
+ public:
+  CandidateList() = default;
+
+  /// Appends a key with its value set. Keys must arrive in strictly
+  /// ascending order (the builder expands sorted frontiers, so this holds
+  /// naturally); values must be sorted.
+  void Append(VertexId key, std::vector<VertexId> values);
+
+  /// Value set for `key`; empty span if the key is absent.
+  std::span<const VertexId> Find(VertexId key) const;
+
+  /// Converts to the immutable CSR-flat layout. Call after refinement.
+  void Freeze();
+  bool frozen() const { return frozen_; }
+
+  std::size_t num_keys() const { return keys_.size(); }
+  std::span<const VertexId> keys() const { return keys_; }
+  std::span<const VertexId> values_at(std::size_t idx) const {
+    if (frozen_) {
+      return {flat_values_.data() + flat_offsets_[idx],
+              flat_values_.data() + flat_offsets_[idx + 1]};
+    }
+    return values_[idx];
+  }
+
+  /// Total number of candidate edges stored.
+  std::size_t TotalValues() const;
+
+  /// Sorted union of all value sets (the candidate set contribution).
+  std::vector<VertexId> UnionOfValues() const;
+
+  /// Drops keys failing `keep_key` and values failing `keep_value`; keys
+  /// left with no values are dropped too. Returns the number of candidate
+  /// edges removed.
+  std::size_t Prune(const std::function<bool(VertexId)>& keep_key,
+                    const std::function<bool(VertexId)>& keep_value);
+
+  /// Approximate heap bytes (8 bytes per stored edge plus key overhead,
+  /// matching the paper's Table 2 accounting of 8 bytes per edge).
+  std::size_t MemoryBytes() const;
+
+  bool empty() const { return keys_.empty(); }
+  void clear();
+
+ private:
+  std::vector<VertexId> keys_;
+  std::vector<std::vector<VertexId>> values_;   // mutable mode
+  bool frozen_ = false;
+  std::vector<std::uint32_t> flat_offsets_;     // frozen mode, size keys+1
+  std::vector<VertexId> flat_values_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_CANDIDATE_LIST_H_

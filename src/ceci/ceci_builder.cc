@@ -1,0 +1,210 @@
+#include "ceci/ceci_builder.h"
+
+#include <algorithm>
+
+#include "ceci/preprocess.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+// Thread-private expansion bin (§3.6): one contiguous chunk of the frontier
+// expands into a private list of (key, values) pairs, merged in chunk order
+// afterwards so the result is identical to serial execution.
+struct ExpansionBin {
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> entries;
+  std::vector<VertexId> dead_frontier;
+  BuildStats stats;
+};
+
+}  // namespace
+
+CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
+                             const BuildOptions& options,
+                             BuildStats* stats) const {
+  Timer timer;
+  BuildStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = BuildStats{};
+
+  const std::size_t nq = query.num_vertices();
+  const std::size_t nd = data_.num_vertices();
+  CeciIndex index(nq);
+
+  std::vector<std::vector<NlcIndex::Entry>> profiles(nq);
+  for (VertexId u = 0; u < nq; ++u) {
+    profiles[u] = NlcIndex::Profile(query, u);
+  }
+  // Candidate-set membership flags; drive the cascading deletions.
+  std::vector<std::vector<char>> alive(nq, std::vector<char>(nd, 0));
+
+  const VertexId root = tree.root();
+  if (options.root_candidates != nullptr) {
+    index.at(root).candidates = *options.root_candidates;
+  } else {
+    index.at(root).candidates = CollectCandidates(data_, nlc_, query, root);
+  }
+  for (VertexId v : index.at(root).candidates) alive[root][v] = 1;
+
+  // Expands one frontier vertex of u through LF / DF / NLCF.
+  auto expand_te = [&](VertexId u, VertexId v_f, std::vector<VertexId>* vals,
+                       BuildStats* s) {
+    ++s->frontier_expansions;
+    s->neighbors_scanned += data_.degree(v_f);
+    for (VertexId v : data_.neighbors(v_f)) {
+      if (!data_.HasAllLabels(v, query.labels(u))) {
+        ++s->rejected_label;
+        continue;
+      }
+      if (data_.degree(v) < query.degree(u)) {
+        ++s->rejected_degree;
+        continue;
+      }
+      if (!nlc_.Covers(v, profiles[u])) {
+        ++s->rejected_nlc;
+        continue;
+      }
+      vals->push_back(v);  // neighbors are sorted, so vals is sorted
+    }
+  };
+
+  // Removes `dead` vertices from the candidate set of `u_owner` and drops
+  // their key entries from the TE lists of u_owner's already-built children
+  // (Algorithm 1 lines 9-12 / the analogous NTE cascade).
+  std::vector<char> processed(nq, 0);
+  processed[root] = 1;
+  auto cascade_remove = [&](VertexId u_owner,
+                            const std::vector<VertexId>& dead) {
+    if (dead.empty()) return;
+    for (VertexId v : dead) alive[u_owner][v] = 0;
+    auto& cands = index.at(u_owner).candidates;
+    cands.erase(std::remove_if(cands.begin(), cands.end(),
+                               [&](VertexId v) {
+                                 return !alive[u_owner][v];
+                               }),
+                cands.end());
+    for (VertexId u_c : tree.children(u_owner)) {
+      if (!processed[u_c]) continue;
+      index.at(u_c).te.Prune(
+          [&](VertexId key) { return alive[u_owner][key] != 0; },
+          [](VertexId) { return true; });
+    }
+    // NTE lists built earlier whose parent is u_owner also key by it.
+    for (std::uint32_t e : tree.nte_out(u_owner)) {
+      VertexId u_c = tree.non_tree_edges()[e].child;
+      if (!processed[u_c] || index.at(u_c).nte.empty()) continue;
+      auto ids = tree.nte_in(u_c);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        if (ids[k] == e) {
+          index.at(u_c).nte[k].Prune(
+              [&](VertexId key) { return alive[u_owner][key] != 0; },
+              [](VertexId) { return true; });
+        }
+      }
+    }
+  };
+
+  // Matching order, not raw BFS order: it is a topological order of the
+  // tree and additionally guarantees every NTE parent is built before its
+  // NTE child (the BFS default makes the two coincide, per the paper).
+  for (VertexId u : tree.matching_order()) {
+    if (u == root) continue;
+    const VertexId u_p = tree.parent(u);
+    CeciVertexData& ud = index.at(u);
+    const std::vector<VertexId>& frontier = index.at(u_p).candidates;
+
+    // --- TE expansion (Algorithm 1) ---
+    std::vector<VertexId> dead_frontier;
+    const bool parallel = options.pool != nullptr &&
+                          frontier.size() >= options.parallel_threshold;
+    if (!parallel) {
+      for (VertexId v_f : frontier) {
+        std::vector<VertexId> vals;
+        expand_te(u, v_f, &vals, stats);
+        if (vals.empty()) {
+          dead_frontier.push_back(v_f);
+        } else {
+          ud.te.Append(v_f, std::move(vals));
+        }
+      }
+    } else {
+      const std::size_t chunks =
+          std::min(frontier.size(), options.pool->num_threads() * 4);
+      std::vector<ExpansionBin> bins(chunks);
+      const std::size_t per = (frontier.size() + chunks - 1) / chunks;
+      options.pool->ParallelFor(chunks, 1, [&](std::size_t c) {
+        ExpansionBin& bin = bins[c];
+        std::size_t begin = c * per;
+        std::size_t end = std::min(begin + per, frontier.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          VertexId v_f = frontier[i];
+          std::vector<VertexId> vals;
+          expand_te(u, v_f, &vals, &bin.stats);
+          if (vals.empty()) {
+            bin.dead_frontier.push_back(v_f);
+          } else {
+            bin.entries.emplace_back(v_f, std::move(vals));
+          }
+        }
+      });
+      for (ExpansionBin& bin : bins) {
+        for (auto& [key, vals] : bin.entries) {
+          ud.te.Append(key, std::move(vals));
+        }
+        dead_frontier.insert(dead_frontier.end(), bin.dead_frontier.begin(),
+                             bin.dead_frontier.end());
+        stats->rejected_label += bin.stats.rejected_label;
+        stats->rejected_degree += bin.stats.rejected_degree;
+        stats->rejected_nlc += bin.stats.rejected_nlc;
+        stats->frontier_expansions += bin.stats.frontier_expansions;
+        stats->neighbors_scanned += bin.stats.neighbors_scanned;
+      }
+    }
+
+    // Candidate set of u = union of TE values.
+    for (std::size_t i = 0; i < ud.te.num_keys(); ++i) {
+      for (VertexId v : ud.te.values_at(i)) {
+        if (!alive[u][v]) {
+          alive[u][v] = 1;
+          ud.candidates.push_back(v);
+        }
+      }
+    }
+    std::sort(ud.candidates.begin(), ud.candidates.end());
+
+    stats->cascade_removals += dead_frontier.size();
+    cascade_remove(u_p, dead_frontier);
+
+    // --- NTE expansion (§3.2, last paragraph) ---
+    auto nte_ids = tree.nte_in(u);
+    if (!options.build_nte_lists) nte_ids = {};
+    ud.nte.resize(nte_ids.size());
+    for (std::size_t k = 0; k < nte_ids.size(); ++k) {
+      const VertexId u_n = tree.non_tree_edges()[nte_ids[k]].parent;
+      std::vector<VertexId> dead_nte;
+      for (VertexId v_n : index.at(u_n).candidates) {
+        std::vector<VertexId> vals;
+        ++stats->frontier_expansions;
+        stats->neighbors_scanned += data_.degree(v_n);
+        for (VertexId v : data_.neighbors(v_n)) {
+          if (alive[u][v]) vals.push_back(v);
+        }
+        if (vals.empty()) {
+          dead_nte.push_back(v_n);
+        } else {
+          ud.nte[k].Append(v_n, std::move(vals));
+        }
+      }
+      stats->nte_cascade_removals += dead_nte.size();
+      cascade_remove(u_n, dead_nte);
+    }
+
+    processed[u] = 1;
+  }
+
+  stats->seconds = timer.Seconds();
+  return index;
+}
+
+}  // namespace ceci

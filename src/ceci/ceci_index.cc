@@ -1,0 +1,43 @@
+#include "ceci/ceci_index.h"
+
+#include <algorithm>
+
+namespace ceci {
+
+Cardinality CeciIndex::CardinalityOf(VertexId u, VertexId v) const {
+  const CeciVertexData& data = per_vertex_[u];
+  auto it =
+      std::lower_bound(data.candidates.begin(), data.candidates.end(), v);
+  if (it == data.candidates.end() || *it != v) return 0;
+  return data.cardinalities[static_cast<std::size_t>(
+      it - data.candidates.begin())];
+}
+
+void CeciIndex::Freeze() {
+  for (auto& pv : per_vertex_) {
+    pv.te.Freeze();
+    for (auto& list : pv.nte) list.Freeze();
+  }
+}
+
+std::size_t CeciIndex::TotalCandidateEdges() const {
+  std::size_t total = 0;
+  for (const auto& pv : per_vertex_) {
+    total += pv.te.TotalValues();
+    for (const auto& list : pv.nte) total += list.TotalValues();
+  }
+  return total;
+}
+
+std::size_t CeciIndex::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& pv : per_vertex_) {
+    bytes += pv.candidates.size() * sizeof(VertexId);
+    bytes += pv.cardinalities.size() * sizeof(Cardinality);
+    bytes += pv.te.MemoryBytes();
+    for (const auto& list : pv.nte) bytes += list.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace ceci

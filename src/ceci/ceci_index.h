@@ -1,0 +1,75 @@
+// The Compact Embedding Cluster Index (paper §3.1).
+//
+// One CeciIndex represents every embedding cluster of a (data graph, query
+// graph) pair: per non-root query vertex a TE candidate list keyed by its
+// tree parent's candidates and one NTE candidate list per incoming non-tree
+// edge; the root holds the cluster pivots. Size is O(|E_q| × |E_g|) (§3.4).
+// Built by CeciBuilder, refined by Refiner, consumed by Enumerator.
+#ifndef CECI_CECI_CECI_INDEX_H_
+#define CECI_CECI_CECI_INDEX_H_
+
+#include <vector>
+
+#include "ceci/candidate_list.h"
+#include "ceci/query_tree.h"
+#include "graph/types.h"
+
+namespace ceci {
+
+/// Per-query-vertex slice of the index.
+struct CeciVertexData {
+  /// Alive candidates, sorted. For the root these are the cluster pivots.
+  std::vector<VertexId> candidates;
+  /// cardinality(u, candidates[i]) as computed by refinement (§3.3);
+  /// parallel to `candidates`. Zero before refinement.
+  std::vector<Cardinality> cardinalities;
+  /// TE candidates keyed by parent's candidates. Empty for the root.
+  CandidateList te;
+  /// NTE candidates, parallel to QueryTree::nte_in(u).
+  std::vector<CandidateList> nte;
+};
+
+/// The index. Plain data; lifetime bound to the QueryTree it was built for.
+class CeciIndex {
+ public:
+  CeciIndex() = default;
+  explicit CeciIndex(std::size_t num_query_vertices)
+      : per_vertex_(num_query_vertices) {}
+
+  CeciVertexData& at(VertexId u) { return per_vertex_[u]; }
+  const CeciVertexData& at(VertexId u) const { return per_vertex_[u]; }
+
+  std::size_t num_query_vertices() const { return per_vertex_.size(); }
+
+  /// Cluster pivots (candidates of the root query vertex).
+  const std::vector<VertexId>& pivots(const QueryTree& tree) const {
+    return per_vertex_[tree.root()].candidates;
+  }
+
+  /// cardinality(u, v); zero if v is not an alive candidate of u.
+  Cardinality CardinalityOf(VertexId u, VertexId v) const;
+
+  /// Freezes every candidate list into the CSR-flat layout (call after
+  /// refinement; enumeration then reads contiguous storage).
+  void Freeze();
+
+  /// Total candidate edges stored across all TE and NTE lists.
+  std::size_t TotalCandidateEdges() const;
+
+  /// Approximate heap bytes of the index (Table 2 accounting).
+  std::size_t MemoryBytes() const;
+
+  /// The paper's theoretical bound: |E_q| × |E_g| candidate edges at
+  /// 8 bytes each (§6.4).
+  static std::size_t TheoreticalBytes(std::size_t query_edges,
+                                      std::size_t data_edges) {
+    return query_edges * data_edges * 8;
+  }
+
+ private:
+  std::vector<CeciVertexData> per_vertex_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_CECI_INDEX_H_

@@ -1,0 +1,216 @@
+#include "ceci/enumerator.h"
+
+#include <algorithm>
+
+#include "util/intersection.h"
+#include "util/logging.h"
+
+namespace ceci {
+
+Enumerator::Enumerator(const Graph& data, const QueryTree& tree,
+                       const CeciIndex& index, const EnumOptions& options)
+    : data_(&data), tree_(tree), index_(index), options_(options) {
+  CECI_CHECK(options.symmetry != nullptr)
+      << "pass SymmetryConstraints::None() to disable symmetry breaking";
+  symmetry_ = options.symmetry;
+  const std::size_t nq = tree.num_vertices();
+  mapping_.assign(nq, kInvalidVertex);
+  scratch_.resize(nq);
+  span_scratch_.reserve(nq);
+}
+
+Enumerator::Enumerator(const QueryTree& tree, const CeciIndex& index,
+                       const EnumOptions& options)
+    : data_(nullptr), tree_(tree), index_(index), options_(options) {
+  CECI_CHECK(options.nte_intersection)
+      << "graph-free enumeration requires NTE intersection";
+  CECI_CHECK(options.symmetry != nullptr)
+      << "pass SymmetryConstraints::None() to disable symmetry breaking";
+  symmetry_ = options.symmetry;
+  const std::size_t nq = tree.num_vertices();
+  mapping_.assign(nq, kInvalidVertex);
+  scratch_.resize(nq);
+  span_scratch_.reserve(nq);
+}
+
+void Enumerator::SetSharedLimit(std::atomic<std::uint64_t>* counter,
+                                std::uint64_t limit) {
+  shared_counter_ = counter;
+  shared_limit_ = limit;
+}
+
+bool Enumerator::LimitReached() const {
+  if (abort_flag_ != nullptr &&
+      abort_flag_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return shared_counter_ != nullptr &&
+         shared_counter_->load(std::memory_order_relaxed) >= shared_limit_;
+}
+
+std::uint64_t Enumerator::EnumerateAll(const EmbeddingVisitor* visitor) {
+  std::uint64_t total = 0;
+  for (VertexId pivot : index_.pivots(tree_)) {
+    total += EnumerateCluster(pivot, visitor);
+    if (stopped_ || LimitReached()) break;
+  }
+  return total;
+}
+
+std::uint64_t Enumerator::EnumerateCluster(VertexId pivot,
+                                           const EmbeddingVisitor* visitor) {
+  VertexId prefix[1] = {pivot};
+  return EnumerateFromPrefix(std::span<const VertexId>(prefix, 1), visitor);
+}
+
+std::uint64_t Enumerator::EnumerateFromPrefix(
+    std::span<const VertexId> prefix, const EmbeddingVisitor* visitor) {
+  CECI_CHECK(!prefix.empty() && prefix.size() <= tree_.num_vertices());
+  visitor_ = visitor;
+  stopped_ = false;
+  std::fill(mapping_.begin(), mapping_.end(), kInvalidVertex);
+  const auto& order = tree_.matching_order();
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    mapping_[order[i]] = prefix[i];
+  }
+  const std::uint64_t before = stats_.embeddings;
+  Recurse(prefix.size());
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    mapping_[order[i]] = kInvalidVertex;
+  }
+  visitor_ = nullptr;
+  return stats_.embeddings - before;
+}
+
+bool Enumerator::Emit() {
+  if (shared_counter_ != nullptr) {
+    std::uint64_t ticket =
+        shared_counter_->fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= shared_limit_) {
+      stopped_ = true;
+      return false;
+    }
+  }
+  ++stats_.embeddings;
+  if (visitor_ != nullptr && !(*visitor_)(mapping_)) {
+    stopped_ = true;
+    if (abort_flag_ != nullptr) {
+      abort_flag_->store(true, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  return true;
+}
+
+void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
+                            std::vector<VertexId>* out) {
+  const CeciVertexData& ud = index_.at(u);
+  const VertexId parent_match = mapping[tree_.parent(u)];
+  std::span<const VertexId> te = ud.te.Find(parent_match);
+
+  const auto nte_ids = tree_.nte_in(u);
+  if (options_.nte_intersection && !nte_ids.empty()) {
+    span_scratch_.clear();
+    span_scratch_.push_back(te);
+    for (std::size_t k = 0; k < nte_ids.size(); ++k) {
+      const VertexId u_n = tree_.non_tree_edges()[nte_ids[k]].parent;
+      span_scratch_.push_back(ud.nte[k].Find(mapping[u_n]));
+    }
+    ++stats_.intersections;
+    IntersectSortedMulti(span_scratch_, out);
+  } else {
+    out->assign(te.begin(), te.end());
+  }
+
+  // Symmetry bounds: the candidate must exceed every already-matched
+  // "must be less" partner and stay below every matched "must be greater"
+  // partner. Candidates are sorted, so this is a range restriction.
+  VertexId lo = 0;
+  VertexId hi = kInvalidVertex;
+  for (VertexId w : symmetry_->must_be_less(u)) {
+    if (mapping[w] != kInvalidVertex) lo = std::max(lo, mapping[w] + 1);
+  }
+  for (VertexId w : symmetry_->must_be_greater(u)) {
+    if (mapping[w] != kInvalidVertex) hi = std::min(hi, mapping[w]);
+  }
+  if (lo > 0 || hi != kInvalidVertex) {
+    auto begin = std::lower_bound(out->begin(), out->end(), lo);
+    auto end = std::lower_bound(begin, out->end(), hi);
+    out->erase(end, out->end());
+    out->erase(out->begin(), begin);
+  }
+
+  // Injectivity: drop vertices already used by the partial embedding.
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&](VertexId v) {
+                              for (VertexId m : mapping) {
+                                if (m == v) return true;
+                              }
+                              return false;
+                            }),
+             out->end());
+
+  // Edge-verification ablation: each surviving candidate must close every
+  // matched non-tree edge on the data graph.
+  if (!options_.nte_intersection && !nte_ids.empty()) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [&](VertexId v) {
+                                for (std::uint32_t e : nte_ids) {
+                                  const VertexId u_n =
+                                      tree_.non_tree_edges()[e].parent;
+                                  ++stats_.edge_verifications;
+                                  if (!data_->HasEdge(v, mapping[u_n])) {
+                                    return true;
+                                  }
+                                }
+                                return false;
+                              }),
+               out->end());
+  }
+}
+
+void Enumerator::CollectExtensions(std::span<const VertexId> mapping,
+                                   VertexId u, std::vector<VertexId>* out) {
+  Candidates(mapping, u, out);
+}
+
+bool Enumerator::Recurse(std::size_t pos) {
+  ++stats_.recursive_calls;
+  const auto& order = tree_.matching_order();
+  if (pos == order.size()) {
+    return Emit();
+  }
+  if (LimitReached()) {
+    stopped_ = true;
+    return false;
+  }
+  const VertexId u = order[pos];
+  std::vector<VertexId>& cands = scratch_[pos];
+  Candidates(mapping_, u, &cands);
+  if (options_.leaf_count_shortcut && visitor_ == nullptr &&
+      pos + 1 == order.size()) {
+    // Counting fast path: every candidate completes exactly one embedding.
+    std::uint64_t admit = cands.size();
+    if (shared_counter_ != nullptr && admit > 0) {
+      const std::uint64_t ticket =
+          shared_counter_->fetch_add(admit, std::memory_order_relaxed);
+      if (ticket >= shared_limit_) {
+        admit = 0;
+      } else {
+        admit = std::min<std::uint64_t>(admit, shared_limit_ - ticket);
+      }
+      if (admit < cands.size()) stopped_ = true;
+    }
+    stats_.embeddings += admit;
+    return !stopped_;
+  }
+  for (VertexId v : cands) {
+    mapping_[u] = v;
+    bool keep_going = Recurse(pos + 1);
+    mapping_[u] = kInvalidVertex;
+    if (!keep_going && stopped_) return false;
+  }
+  return true;
+}
+
+}  // namespace ceci

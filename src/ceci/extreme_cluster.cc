@@ -1,0 +1,138 @@
+#include "ceci/extreme_cluster.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci {
+namespace {
+
+class Decomposer {
+ public:
+  Decomposer(const Graph& data, const QueryTree& tree, const CeciIndex& index,
+             const EnumOptions& enum_options, Cardinality threshold,
+             std::vector<WorkUnit>* out)
+      : tree_(tree),
+        index_(index),
+        threshold_(threshold),
+        out_(out),
+        helper_(data, tree, index, enum_options) {
+    mapping_.assign(tree.num_vertices(), kInvalidVertex);
+  }
+
+  // Algorithm 3's prepare_work: extend the prefix at the next matching
+  // order position, splitting the estimated workload proportionally to the
+  // extensions' cardinalities.
+  void Split(std::vector<VertexId>* prefix, Cardinality workload) {
+    const auto& order = tree_.matching_order();
+    if (prefix->size() == order.size()) {
+      // Fully instantiated embedding; emit as a trivial unit.
+      out_->push_back(WorkUnit{*prefix, workload});
+      return;
+    }
+    const VertexId u_next = order[prefix->size()];
+    std::vector<VertexId> extensions;
+    helper_.CollectExtensions(mapping_, u_next, &extensions);
+    if (extensions.empty()) return;  // prefix extends to no embedding
+
+    Cardinality total = 0;
+    std::vector<Cardinality> cards(extensions.size(), 0);
+    for (std::size_t i = 0; i < extensions.size(); ++i) {
+      cards[i] = index_.CardinalityOf(u_next, extensions[i]);
+      total = SaturatingAdd(total, cards[i]);
+    }
+    if (total == 0) return;
+
+    for (std::size_t i = 0; i < extensions.size(); ++i) {
+      if (cards[i] == 0) continue;
+      // myWork = card(u_next, v') / total × workload, in floating point to
+      // dodge saturation artifacts; clamp to at least 1.
+      double share = static_cast<double>(workload) *
+                     (static_cast<double>(cards[i]) /
+                      static_cast<double>(total));
+      auto my_work = static_cast<Cardinality>(std::max(share, 1.0));
+      prefix->push_back(extensions[i]);
+      mapping_[u_next] = extensions[i];
+      if (my_work <= threshold_) {
+        out_->push_back(WorkUnit{*prefix, my_work});
+      } else {
+        Split(prefix, my_work);
+      }
+      mapping_[u_next] = kInvalidVertex;
+      prefix->pop_back();
+    }
+  }
+
+  void SeedRoot(VertexId pivot) {
+    mapping_[tree_.root()] = pivot;
+  }
+  void ClearRoot() { mapping_[tree_.root()] = kInvalidVertex; }
+
+ private:
+  const QueryTree& tree_;
+  const CeciIndex& index_;
+  const Cardinality threshold_;
+  std::vector<WorkUnit>* out_;
+  Enumerator helper_;
+  std::vector<VertexId> mapping_;
+};
+
+}  // namespace
+
+std::vector<WorkUnit> BuildWorkUnits(const Graph& data, const QueryTree& tree,
+                                     const CeciIndex& index,
+                                     const EnumOptions& enum_options,
+                                     std::size_t workers, double beta,
+                                     bool decompose, bool sort_by_cardinality,
+                                     DecomposeStats* stats) {
+  Timer timer;
+  DecomposeStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = DecomposeStats{};
+
+  const CeciVertexData& root_data = index.at(tree.root());
+  Cardinality total = 0;
+  for (Cardinality c : root_data.cardinalities) {
+    total = SaturatingAdd(total, c);
+  }
+  std::vector<WorkUnit> units;
+
+  Cardinality threshold = kCardinalityCap;
+  if (decompose && workers > 0 && total > 0) {
+    const double expected =
+        static_cast<double>(total) / static_cast<double>(workers);
+    threshold = static_cast<Cardinality>(
+        std::max(beta * expected, 1.0));
+  }
+  stats->threshold = threshold;
+
+  Decomposer decomposer(data, tree, index, enum_options, threshold, &units);
+  for (std::size_t i = 0; i < root_data.candidates.size(); ++i) {
+    const VertexId pivot = root_data.candidates[i];
+    const Cardinality card = root_data.cardinalities[i];
+    if (card == 0) continue;
+    if (!decompose || card <= threshold) {
+      units.push_back(WorkUnit{{pivot}, card});
+    } else {
+      ++stats->extreme_clusters;
+      decomposer.SeedRoot(pivot);
+      std::vector<VertexId> prefix = {pivot};
+      decomposer.Split(&prefix, card);
+      decomposer.ClearRoot();
+    }
+  }
+
+  // Larger work first so stragglers are small (§4.3).
+  if (sort_by_cardinality) {
+    std::stable_sort(units.begin(), units.end(),
+                     [](const WorkUnit& a, const WorkUnit& b) {
+                       return a.cardinality > b.cardinality;
+                     });
+  }
+  stats->work_units = units.size();
+  stats->seconds = timer.Seconds();
+  return units;
+}
+
+}  // namespace ceci

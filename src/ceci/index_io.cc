@@ -1,0 +1,150 @@
+#include "ceci/index_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace ceci {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'E', 'I', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t num_query_vertices;
+};
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  std::uint64_t size = v.size();
+  if (!WritePod(out, size)) return false;
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+  std::uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+bool WriteList(std::ofstream& out, const CandidateList& list) {
+  std::uint64_t keys = list.num_keys();
+  if (!WritePod(out, keys)) return false;
+  for (std::size_t i = 0; i < list.num_keys(); ++i) {
+    if (!WritePod(out, list.keys()[i])) return false;
+    auto vals = list.values_at(i);
+    std::vector<VertexId> copy(vals.begin(), vals.end());
+    if (!WriteVec(out, copy)) return false;
+  }
+  return true;
+}
+
+bool ReadList(std::ifstream& in, CandidateList* list) {
+  std::uint64_t keys = 0;
+  if (!ReadPod(in, &keys)) return false;
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    VertexId key = 0;
+    std::vector<VertexId> vals;
+    if (!ReadPod(in, &key) || !ReadVec(in, &vals)) return false;
+    list->Append(key, std::move(vals));
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteCeciIndex(const CeciIndex& index, const QueryTree& tree,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.num_query_vertices = index.num_query_vertices();
+  if (!WritePod(out, h)) return Status::IoError("write failure");
+  if (!WriteVec(out, tree.matching_order())) {
+    return Status::IoError("write failure");
+  }
+  for (VertexId u = 0; u < index.num_query_vertices(); ++u) {
+    const CeciVertexData& ud = index.at(u);
+    if (!WriteVec(out, ud.candidates) || !WriteVec(out, ud.cardinalities)) {
+      return Status::IoError("write failure");
+    }
+    if (!WriteList(out, ud.te)) return Status::IoError("write failure");
+    std::uint64_t nte_count = ud.nte.size();
+    if (!WritePod(out, nte_count)) return Status::IoError("write failure");
+    for (const CandidateList& list : ud.nte) {
+      if (!WriteList(out, list)) return Status::IoError("write failure");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CeciIndex> ReadCeciIndex(const QueryTree& tree,
+                                const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  Header h{};
+  if (!ReadPod(in, &h)) return Status::Corruption("truncated header");
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (h.version != kVersion) {
+    return Status::Corruption("unsupported index version");
+  }
+  if (h.num_query_vertices != tree.num_vertices()) {
+    return Status::InvalidArgument(
+        "index was built for a different query size");
+  }
+  std::vector<VertexId> order;
+  if (!ReadVec(in, &order)) return Status::Corruption("truncated order");
+  if (order != tree.matching_order()) {
+    return Status::InvalidArgument(
+        "index was built for a different matching order");
+  }
+
+  CeciIndex index(tree.num_vertices());
+  for (VertexId u = 0; u < tree.num_vertices(); ++u) {
+    CeciVertexData& ud = index.at(u);
+    if (!ReadVec(in, &ud.candidates) || !ReadVec(in, &ud.cardinalities)) {
+      return Status::Corruption("truncated candidates for u" +
+                                std::to_string(u));
+    }
+    if (!ReadList(in, &ud.te)) {
+      return Status::Corruption("truncated TE list for u" +
+                                std::to_string(u));
+    }
+    std::uint64_t nte_count = 0;
+    if (!ReadPod(in, &nte_count)) return Status::Corruption("truncated NTE");
+    ud.nte.resize(nte_count);
+    for (std::uint64_t k = 0; k < nte_count; ++k) {
+      if (!ReadList(in, &ud.nte[k])) {
+        return Status::Corruption("truncated NTE list for u" +
+                                  std::to_string(u));
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace ceci

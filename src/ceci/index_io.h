@@ -1,0 +1,35 @@
+// CECI index persistence.
+//
+// §6.4 notes that for graphs whose CECI exceeds memory the authors "plan
+// to store it in non-volatile memory". This module provides the storage
+// half of that plan: a refined CECI serializes to a compact on-disk image
+// and loads back for enumeration without re-running construction and
+// refinement — useful when one query shape is matched repeatedly against
+// a static data graph.
+//
+// The image records the matching order it was built for; loading validates
+// it against the caller's QueryTree so an index can never be silently used
+// with a mismatched order.
+#ifndef CECI_CECI_INDEX_IO_H_
+#define CECI_CECI_INDEX_IO_H_
+
+#include <string>
+
+#include "ceci/ceci_index.h"
+#include "ceci/query_tree.h"
+#include "util/status.h"
+
+namespace ceci {
+
+/// Serializes a (refined) index to `path`.
+Status WriteCeciIndex(const CeciIndex& index, const QueryTree& tree,
+                      const std::string& path);
+
+/// Loads an index written by WriteCeciIndex. Fails if the image's matching
+/// order does not match `tree`'s.
+Result<CeciIndex> ReadCeciIndex(const QueryTree& tree,
+                                const std::string& path);
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_INDEX_IO_H_

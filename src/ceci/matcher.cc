@@ -1,0 +1,106 @@
+#include "ceci/matcher.h"
+
+#include <memory>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/preprocess.h"
+#include "ceci/refinement.h"
+#include "ceci/symmetry.h"
+#include "util/timer.h"
+
+namespace ceci {
+
+CeciMatcher::CeciMatcher(const Graph& data) : data_(data), nlc_(data) {}
+
+Result<MatchResult> CeciMatcher::Match(const Graph& query,
+                                       const MatchOptions& options,
+                                       const EmbeddingVisitor* visitor) const {
+  Timer total_timer;
+  MatchResult result;
+  MatchStats& stats = result.stats;
+
+  // --- Preprocessing (§2.2) ---
+  Timer phase;
+  PreprocessOptions pre_options;
+  pre_options.order = options.order;
+  auto pre = Preprocess(data_, nlc_, query, pre_options);
+  if (!pre.ok()) return pre.status();
+  SymmetryConstraints symmetry =
+      options.break_automorphisms ? SymmetryConstraints::Compute(query)
+                                  : SymmetryConstraints::None(
+                                        query.num_vertices());
+  stats.automorphisms_broken = symmetry.automorphism_count();
+  stats.preprocess_seconds = phase.Seconds();
+
+  // Directed adjacency entries: every undirected data edge can serve a
+  // query edge in either orientation, so the §3.4 bound counts 2|E_g|
+  // candidate entries per query edge.
+  stats.theoretical_bytes = CeciIndex::TheoreticalBytes(
+      query.num_edges(), data_.num_directed_edges());
+
+  if (pre->infeasible) {
+    // Some query vertex has no candidates at all: zero embeddings.
+    stats.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // --- CECI creation + BFS filtering (§3.2) ---
+  phase.Reset();
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (options.threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.threads);
+    pool = owned_pool.get();
+  }
+  BuildOptions build_options;
+  build_options.pool = pool;
+  CeciBuilder builder(data_, nlc_);
+  CeciIndex index =
+      builder.Build(query, pre->tree, build_options, &stats.build);
+  stats.build_seconds = phase.Seconds();
+  stats.ceci_bytes_unrefined = index.MemoryBytes();
+  stats.candidate_edges_unrefined = index.TotalCandidateEdges();
+
+  // --- Reverse-BFS refinement (§3.3) ---
+  phase.Reset();
+  RefineCeci(pre->tree, data_.num_vertices(), &index, &stats.refine);
+  index.Freeze();  // CSR-flat lists for the enumeration hot path
+  stats.refine_seconds = phase.Seconds();
+  stats.ceci_bytes = index.MemoryBytes();
+  stats.candidate_edges = index.TotalCandidateEdges();
+  stats.embedding_clusters = index.pivots(pre->tree).size();
+  stats.total_cardinality = stats.refine.total_cardinality;
+
+  // --- Parallel enumeration (§4) ---
+  phase.Reset();
+  ScheduleOptions schedule;
+  schedule.threads = options.threads;
+  schedule.distribution = options.distribution;
+  schedule.beta = options.beta;
+  schedule.limit = options.limit;
+  schedule.enumeration.nte_intersection = options.nte_intersection;
+  schedule.enumeration.leaf_count_shortcut =
+      options.leaf_count_shortcut && visitor == nullptr;
+  schedule.enumeration.symmetry = &symmetry;
+  ScheduleResult sched =
+      RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);
+  stats.enumerate_seconds = phase.Seconds();
+  stats.enumeration = sched.stats;
+  stats.worker_seconds = std::move(sched.worker_seconds);
+  stats.decomposition = sched.decomposition;
+
+  result.embedding_count = sched.embeddings;
+  stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+Result<std::uint64_t> CeciMatcher::Count(const Graph& query,
+                                         std::size_t threads) const {
+  MatchOptions options;
+  options.threads = threads;
+  auto result = Match(query, options);
+  if (!result.ok()) return result.status();
+  return result->embedding_count;
+}
+
+}  // namespace ceci

@@ -1,0 +1,81 @@
+// CeciMatcher: the library's top-level subgraph-matching API.
+//
+// Runs the full CECI pipeline of the paper: preprocessing (§2.2) → CECI
+// creation with BFS filtering (§3.2) → reverse-BFS refinement (§3.3) →
+// parallel set-intersection enumeration with workload balancing (§4).
+//
+// Typical use:
+//
+//   ceci::CeciMatcher matcher(data_graph);
+//   ceci::MatchOptions options;
+//   options.threads = 8;
+//   auto result = matcher.Match(query_graph, options);
+//   if (result.ok()) std::cout << result->embedding_count;
+#ifndef CECI_CECI_MATCHER_H_
+#define CECI_CECI_MATCHER_H_
+
+#include <cstdint>
+
+#include "ceci/matching_order.h"
+#include "ceci/scheduler.h"
+#include "ceci/stats.h"
+#include "graph/graph.h"
+#include "graph/nlc_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ceci {
+
+struct MatchOptions {
+  /// Worker threads for filtering and enumeration.
+  std::size_t threads = 1;
+  /// Workload distribution policy (§4.2).
+  Distribution distribution = Distribution::kCoarseDynamic;
+  /// Extreme-cluster threshold factor β (§4.3).
+  double beta = 0.2;
+  /// Stop after this many embeddings (paper's first-1,024 experiments);
+  /// 0 enumerates everything.
+  std::uint64_t limit = 0;
+  /// Matching-order heuristic (§2.2).
+  OrderStrategy order = OrderStrategy::kBfs;
+  /// List each embedding once, breaking query automorphisms (§2.2).
+  bool break_automorphisms = true;
+  /// Set-intersection NTE handling (§4); false = edge-verification
+  /// ablation.
+  bool nte_intersection = true;
+  /// Counting fast path for visitor-less matches: the final matching-order
+  /// position contributes |candidates| without recursing per candidate.
+  /// Exact; off by default to keep search statistics paper-comparable.
+  bool leaf_count_shortcut = false;
+};
+
+/// Reusable matcher over one data graph. Thread-compatible: concurrent
+/// Match() calls on the same instance are safe (all mutable state is
+/// per-call); building the NLC index happens once in the constructor.
+class CeciMatcher {
+ public:
+  /// Indexes `data` (neighborhood label counts). The graph must outlive
+  /// the matcher.
+  explicit CeciMatcher(const Graph& data);
+
+  /// Finds embeddings of `query` in the data graph. `visitor`, when given,
+  /// receives each embedding (thread-safe callback required if
+  /// options.threads > 1).
+  Result<MatchResult> Match(const Graph& query, const MatchOptions& options,
+                            const EmbeddingVisitor* visitor = nullptr) const;
+
+  /// Convenience: count all embeddings with default options and `threads`.
+  Result<std::uint64_t> Count(const Graph& query,
+                              std::size_t threads = 1) const;
+
+  const Graph& data() const { return data_; }
+  const NlcIndex& nlc_index() const { return nlc_; }
+
+ private:
+  const Graph& data_;
+  NlcIndex nlc_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_MATCHER_H_

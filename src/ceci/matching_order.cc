@@ -1,0 +1,124 @@
+#include "ceci/matching_order.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ceci {
+namespace {
+
+// Greedy frontier order: repeatedly pick, among tree vertices whose parent
+// is already placed, the one minimizing candidate_count / (1 + back edges
+// to placed vertices). Selective vertices with many back-connections come
+// early, limiting intermediate result sizes.
+std::vector<VertexId> EdgeRankedOrder(
+    const Graph& query, const QueryTree& tree,
+    const std::vector<std::size_t>& counts) {
+  const std::size_t n = query.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  std::vector<char> available(n, 0);
+
+  order.push_back(tree.root());
+  placed[tree.root()] = 1;
+  for (VertexId c : tree.children(tree.root())) available[c] = 1;
+
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (VertexId u = 0; u < n; ++u) {
+      if (!available[u]) continue;
+      std::size_t back_edges = 0;
+      for (VertexId w : query.neighbors(u)) back_edges += placed[w];
+      double score = static_cast<double>(counts[u]) /
+                     static_cast<double>(1 + back_edges);
+      if (score < best_score ||
+          (score == best_score && (best == kInvalidVertex || u < best))) {
+        best_score = score;
+        best = u;
+      }
+    }
+    CECI_CHECK(best != kInvalidVertex) << "query tree frontier empty";
+    order.push_back(best);
+    placed[best] = 1;
+    available[best] = 0;
+    for (VertexId c : tree.children(best)) available[c] = 1;
+  }
+  return order;
+}
+
+// Path-ranked order (TurboIso-style): score each subtree by the cheapest
+// root-to-leaf candidate-count product inside it, then emit a DFS pre-order
+// that visits cheaper subtrees first. Pre-order is a topological order of
+// the tree.
+std::vector<VertexId> PathRankedOrder(
+    const QueryTree& tree, const std::vector<std::size_t>& counts) {
+  const std::size_t n = counts.size();
+  std::vector<double> path_score(n, 0.0);
+  // Bottom-up over the BFS order reversed: leaves first.
+  const auto& bfs = tree.bfs_order();
+  for (auto it = bfs.rbegin(); it != bfs.rend(); ++it) {
+    VertexId u = *it;
+    double self = static_cast<double>(std::max<std::size_t>(counts[u], 1));
+    auto kids = tree.children(u);
+    if (kids.empty()) {
+      path_score[u] = self;
+    } else {
+      double best = std::numeric_limits<double>::infinity();
+      for (VertexId c : kids) best = std::min(best, path_score[c]);
+      path_score[u] = self * best;
+    }
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<VertexId> stack = {tree.root()};
+  while (!stack.empty()) {
+    VertexId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    std::vector<VertexId> kids(tree.children(u).begin(),
+                               tree.children(u).end());
+    // Descending so the cheapest child is popped (visited) first.
+    std::sort(kids.begin(), kids.end(), [&](VertexId a, VertexId b) {
+      if (path_score[a] != path_score[b]) {
+        return path_score[a] > path_score[b];
+      }
+      return a > b;
+    });
+    for (VertexId c : kids) stack.push_back(c);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string OrderStrategyName(OrderStrategy s) {
+  switch (s) {
+    case OrderStrategy::kBfs:
+      return "bfs";
+    case OrderStrategy::kEdgeRanked:
+      return "edge-ranked";
+    case OrderStrategy::kPathRanked:
+      return "path-ranked";
+  }
+  return "?";
+}
+
+std::vector<VertexId> ComputeMatchingOrder(
+    const Graph& query, const QueryTree& tree,
+    const std::vector<std::size_t>& candidate_counts,
+    OrderStrategy strategy) {
+  switch (strategy) {
+    case OrderStrategy::kBfs:
+      return tree.bfs_order();
+    case OrderStrategy::kEdgeRanked:
+      return EdgeRankedOrder(query, tree, candidate_counts);
+    case OrderStrategy::kPathRanked:
+      return PathRankedOrder(tree, candidate_counts);
+  }
+  return tree.bfs_order();
+}
+
+}  // namespace ceci

@@ -1,0 +1,34 @@
+// Matching (visit) order selection (paper §2.2).
+//
+// All orders produced here are topological orders of the BFS query tree
+// (parent before child), which CECI construction requires. BFS order is
+// the paper's default; the edge-ranked order follows Tran et al. [53]
+// (prefer selective vertices with many back-connections), and the
+// path-ranked order follows TurboIso [17] (visit cheapest root-to-leaf
+// paths first). The paper reports up to 34.5% speedup from the ranked
+// orders over naive BFS.
+#ifndef CECI_CECI_MATCHING_ORDER_H_
+#define CECI_CECI_MATCHING_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "ceci/query_tree.h"
+#include "graph/graph.h"
+
+namespace ceci {
+
+enum class OrderStrategy { kBfs, kEdgeRanked, kPathRanked };
+
+std::string OrderStrategyName(OrderStrategy s);
+
+/// Computes a matching order for `tree` using per-vertex candidate counts
+/// as the selectivity estimate. The result is always a valid topological
+/// order of the tree.
+std::vector<VertexId> ComputeMatchingOrder(
+    const Graph& query, const QueryTree& tree,
+    const std::vector<std::size_t>& candidate_counts, OrderStrategy strategy);
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_MATCHING_ORDER_H_

@@ -1,0 +1,100 @@
+#include "ceci/preprocess.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ceci {
+namespace {
+
+// Chooses the label bucket to scan: the least frequent label of u.
+Label ScanLabel(const Graph& data, const Graph& query, VertexId u) {
+  Label best = query.label(u);
+  std::size_t best_size = std::numeric_limits<std::size_t>::max();
+  for (Label l : query.labels(u)) {
+    std::size_t size = data.VerticesWithLabel(l).size();
+    if (size < best_size) {
+      best_size = size;
+      best = l;
+    }
+  }
+  return best;
+}
+
+// Applies the label containment, degree, and NLC filters.
+bool PassesFilters(const Graph& data, const NlcIndex& data_nlc,
+                   const Graph& query, VertexId u,
+                   std::span<const NlcIndex::Entry> u_profile, VertexId v) {
+  if (data.degree(v) < query.degree(u)) return false;
+  if (!data.HasAllLabels(v, query.labels(u))) return false;
+  return data_nlc.Covers(v, u_profile);
+}
+
+}  // namespace
+
+std::size_t CountCandidates(const Graph& data, const NlcIndex& data_nlc,
+                            const Graph& query, VertexId u) {
+  auto profile = NlcIndex::Profile(query, u);
+  std::size_t count = 0;
+  for (VertexId v : data.VerticesWithLabel(ScanLabel(data, query, u))) {
+    if (PassesFilters(data, data_nlc, query, u, profile, v)) ++count;
+  }
+  return count;
+}
+
+std::vector<VertexId> CollectCandidates(const Graph& data,
+                                        const NlcIndex& data_nlc,
+                                        const Graph& query, VertexId u) {
+  auto profile = NlcIndex::Profile(query, u);
+  std::vector<VertexId> out;
+  for (VertexId v : data.VerticesWithLabel(ScanLabel(data, query, u))) {
+    if (PassesFilters(data, data_nlc, query, u, profile, v)) {
+      out.push_back(v);
+    }
+  }
+  // Label buckets are sorted by vertex id, so `out` is already sorted.
+  return out;
+}
+
+Result<Preprocessed> Preprocess(const Graph& data, const NlcIndex& data_nlc,
+                                const Graph& query,
+                                const PreprocessOptions& options) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("empty query graph");
+  }
+  Preprocessed out;
+  const std::size_t nq = query.num_vertices();
+  out.candidate_counts.resize(nq);
+  for (VertexId u = 0; u < nq; ++u) {
+    out.candidate_counts[u] = CountCandidates(data, data_nlc, query, u);
+    if (out.candidate_counts[u] == 0) out.infeasible = true;
+  }
+
+  // Root selection (§2.2): argmin |candidate(u)| / degree(u). Isolated
+  // query vertices are rejected by QueryTree::Build (disconnected query).
+  VertexId root = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < nq; ++u) {
+    if (query.degree(u) == 0) continue;
+    double cost = static_cast<double>(out.candidate_counts[u]) /
+                  static_cast<double>(query.degree(u));
+    if (cost < best_cost) {
+      best_cost = cost;
+      root = u;
+    }
+  }
+  if (nq == 1) root = 0;  // single-vertex query: trivial tree
+  out.root = root;
+
+  auto tree = QueryTree::Build(query, root);
+  if (!tree.ok()) return tree.status();
+  out.tree = std::move(tree).value();
+
+  std::vector<VertexId> order = ComputeMatchingOrder(
+      query, out.tree, out.candidate_counts, options.order);
+  CECI_RETURN_IF_ERROR(out.tree.SetMatchingOrder(std::move(order)));
+  return out;
+}
+
+}  // namespace ceci

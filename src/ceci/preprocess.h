@@ -1,0 +1,51 @@
+// Preprocessing (paper §2.2): per-query-vertex candidate counting with the
+// label/degree/NLC filters, root selection by argmin |candidate(u)|/degree(u),
+// BFS query-tree construction, and matching-order selection.
+#ifndef CECI_CECI_PREPROCESS_H_
+#define CECI_CECI_PREPROCESS_H_
+
+#include <vector>
+
+#include "ceci/matching_order.h"
+#include "ceci/query_tree.h"
+#include "graph/graph.h"
+#include "graph/nlc_index.h"
+#include "util/status.h"
+
+namespace ceci {
+
+struct PreprocessOptions {
+  OrderStrategy order = OrderStrategy::kBfs;
+};
+
+/// Output of preprocessing: the chosen root, the query tree with its
+/// matching order applied, and the per-vertex candidate counts that drove
+/// the choices.
+struct Preprocessed {
+  VertexId root = kInvalidVertex;
+  QueryTree tree;
+  /// |candidate(u)| after label, degree, and NLC filtering.
+  std::vector<std::size_t> candidate_counts;
+  /// True iff some query vertex has zero candidates (no embeddings exist).
+  bool infeasible = false;
+};
+
+/// Counts candidates of one query vertex under the LDF+NLC filters.
+std::size_t CountCandidates(const Graph& data, const NlcIndex& data_nlc,
+                            const Graph& query, VertexId u);
+
+/// Materializes the candidate list of one query vertex (used for root
+/// pivots and by index-free baselines).
+std::vector<VertexId> CollectCandidates(const Graph& data,
+                                        const NlcIndex& data_nlc,
+                                        const Graph& query, VertexId u);
+
+/// Runs the full preprocessing pipeline. Fails only on malformed input
+/// (empty or disconnected query).
+Result<Preprocessed> Preprocess(const Graph& data, const NlcIndex& data_nlc,
+                                const Graph& query,
+                                const PreprocessOptions& options);
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_PREPROCESS_H_

@@ -1,0 +1,93 @@
+#include "ceci/query_tree.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ceci {
+
+Result<QueryTree> QueryTree::Build(const Graph& query, VertexId root) {
+  const std::size_t n = query.num_vertices();
+  if (root >= n) return Status::InvalidArgument("root out of range");
+
+  QueryTree tree;
+  tree.root_ = root;
+  tree.parent_.assign(n, kInvalidVertex);
+  tree.children_.assign(n, {});
+  tree.depth_.assign(n, 0);
+  tree.bfs_order_.reserve(n);
+
+  std::vector<char> visited(n, 0);
+  std::deque<VertexId> frontier = {root};
+  visited[root] = 1;
+  while (!frontier.empty()) {
+    VertexId u = frontier.front();
+    frontier.pop_front();
+    tree.bfs_order_.push_back(u);
+    for (VertexId w : query.neighbors(u)) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        tree.parent_[w] = u;
+        tree.children_[u].push_back(w);
+        tree.depth_[w] = tree.depth_[u] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  if (tree.bfs_order_.size() != n) {
+    return Status::InvalidArgument("query graph is disconnected");
+  }
+
+  // Collect non-tree edges (u < w canonical, orientation set below).
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : query.neighbors(u)) {
+      if (u < w && tree.parent_[w] != u && tree.parent_[u] != w) {
+        tree.ntes_.push_back(NonTreeEdge{u, w});
+      }
+    }
+  }
+
+  Status st = tree.SetMatchingOrder(tree.bfs_order_);
+  if (!st.ok()) return st;
+  return tree;
+}
+
+Status QueryTree::SetMatchingOrder(std::vector<VertexId> order) {
+  const std::size_t n = parent_.size();
+  if (order.size() != n) {
+    return Status::InvalidArgument("matching order has wrong length");
+  }
+  std::vector<std::size_t> pos(n, n);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    VertexId u = order[i];
+    if (u >= n || pos[u] != n) {
+      return Status::InvalidArgument("matching order is not a permutation");
+    }
+    pos[u] = i;
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (parent_[u] != kInvalidVertex && pos[parent_[u]] >= pos[u]) {
+      return Status::InvalidArgument(
+          "matching order is not a topological order of the query tree");
+    }
+  }
+  matching_order_ = std::move(order);
+  order_pos_ = std::move(pos);
+  ReorientNonTreeEdges();
+  return Status::Ok();
+}
+
+void QueryTree::ReorientNonTreeEdges() {
+  const std::size_t n = parent_.size();
+  nte_in_.assign(n, {});
+  nte_out_.assign(n, {});
+  for (std::uint32_t i = 0; i < ntes_.size(); ++i) {
+    NonTreeEdge& e = ntes_[i];
+    if (order_pos_[e.parent] > order_pos_[e.child]) {
+      std::swap(e.parent, e.child);
+    }
+    nte_out_[e.parent].push_back(i);
+    nte_in_[e.child].push_back(i);
+  }
+}
+
+}  // namespace ceci

@@ -1,0 +1,44 @@
+// Reverse-BFS refinement and cardinality computation (paper §3.3, Alg. 2).
+//
+// Candidates are revisited from the leaves of the query tree up to the
+// root. For each (query vertex u, candidate v):
+//
+//   cardinality(u, v) = Π over tree children u_c of
+//                       Σ over v_c ∈ TE[u_c].Find(v), v_c alive,
+//                       cardinality(u_c, v_c)
+//
+// with leaves at 1, and cardinality forced to 0 when v is missing from the
+// value union of any incoming NTE list. Zero-cardinality candidates are
+// guaranteed to match no embedding and are pruned; the final compaction
+// removes dead keys/values from every list. The root's cardinalities are
+// the per-embedding-cluster workload bounds used by extreme-cluster
+// decomposition (§4.3).
+#ifndef CECI_CECI_REFINEMENT_H_
+#define CECI_CECI_REFINEMENT_H_
+
+#include <cstdint>
+
+#include "ceci/ceci_index.h"
+#include "ceci/query_tree.h"
+
+namespace ceci {
+
+struct RefineStats {
+  /// Candidates removed (cardinality fell to zero).
+  std::uint64_t pruned_candidates = 0;
+  /// Candidate edges removed during the compaction sweep.
+  std::uint64_t pruned_edges = 0;
+  /// Sum of pivot cardinalities (upper bound on total embeddings).
+  Cardinality total_cardinality = 0;
+  double seconds = 0.0;
+};
+
+/// Refines `index` in place (reverse matching order) and fills per-candidate
+/// cardinalities. `data_num_vertices` sizes the internal scratch maps.
+/// `stats` may be null.
+void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
+                CeciIndex* index, RefineStats* stats);
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_REFINEMENT_H_

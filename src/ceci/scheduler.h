@@ -1,0 +1,70 @@
+// Parallel embedding enumeration across embedding clusters (paper §4.2).
+//
+// Three workload-distribution policies:
+//  * kStatic (ST): clusters are dealt round-robin to workers up front.
+//  * kCoarseDynamic (CGD): workers pull whole clusters from a shared pool.
+//  * kFineDynamic (FGD): extreme clusters are decomposed first (§4.3) and
+//    the resulting sub-cluster units are pulled dynamically.
+#ifndef CECI_CECI_SCHEDULER_H_
+#define CECI_CECI_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ceci/ceci_index.h"
+#include "ceci/enumerator.h"
+#include "ceci/extreme_cluster.h"
+#include "ceci/query_tree.h"
+
+namespace ceci {
+
+enum class Distribution { kStatic, kCoarseDynamic, kFineDynamic };
+
+std::string DistributionName(Distribution d);
+
+struct ScheduleOptions {
+  std::size_t threads = 1;
+  Distribution distribution = Distribution::kCoarseDynamic;
+  /// Extreme-cluster threshold factor (§4.3; the paper fixes 0.2 in §6.3).
+  double beta = 0.2;
+  /// Stop after this many embeddings across all workers; 0 = unlimited.
+  std::uint64_t limit = 0;
+  EnumOptions enumeration;
+};
+
+struct ScheduleResult {
+  std::uint64_t embeddings = 0;
+  EnumStats stats;               // aggregated over workers
+  /// Per-worker CPU time (thread CPU clock). On a machine with enough
+  /// cores this matches per-worker wall time; on smaller machines it is
+  /// the simulated per-core busy time, so max(worker_seconds) is the
+  /// simulated parallel makespan and their sum the serial-equivalent work.
+  std::vector<double> worker_seconds;
+  DecomposeStats decomposition;
+  double seconds = 0.0;          // wall time of the enumeration phase
+
+  /// Simulated parallel completion time: max over workers.
+  double SimulatedMakespan() const {
+    double m = 0.0;
+    for (double w : worker_seconds) m = m > w ? m : w;
+    return m;
+  }
+  /// Total CPU work across workers.
+  double TotalWork() const {
+    double s = 0.0;
+    for (double w : worker_seconds) s += w;
+    return s;
+  }
+};
+
+/// Runs parallel enumeration. `visitor` may be null (count only); it is
+/// invoked concurrently from worker threads when set.
+ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
+                                      const CeciIndex& index,
+                                      const ScheduleOptions& options,
+                                      const EmbeddingVisitor* visitor);
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_SCHEDULER_H_

@@ -1,0 +1,55 @@
+// Aggregated per-query statistics reported by CeciMatcher. Feeds Table 2
+// (index size), Fig. 18 (recursive calls), Fig. 19 (phase breakdown), and
+// Fig. 15 (phase timings).
+#ifndef CECI_CECI_STATS_H_
+#define CECI_CECI_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/enumerator.h"
+#include "ceci/extreme_cluster.h"
+#include "ceci/refinement.h"
+#include "graph/types.h"
+
+namespace ceci {
+
+struct MatchStats {
+  // Phase wall times (seconds).
+  double preprocess_seconds = 0.0;
+  double build_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double enumerate_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  // Index accounting (§3.4 / Table 2).
+  std::size_t ceci_bytes = 0;
+  std::size_t ceci_bytes_unrefined = 0;
+  std::size_t theoretical_bytes = 0;
+  std::size_t candidate_edges = 0;
+  std::size_t candidate_edges_unrefined = 0;
+
+  // Cluster accounting (§4.2-4.3).
+  std::size_t embedding_clusters = 0;
+  Cardinality total_cardinality = 0;
+  DecomposeStats decomposition;
+
+  // Sub-phase details.
+  BuildStats build;
+  RefineStats refine;
+  EnumStats enumeration;
+  std::vector<double> worker_seconds;
+
+  // Symmetry.
+  std::size_t automorphisms_broken = 0;
+};
+
+struct MatchResult {
+  std::uint64_t embedding_count = 0;
+  MatchStats stats;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_STATS_H_

@@ -1,0 +1,69 @@
+// Automorphism breaking (paper §2.2).
+//
+// Symmetric query vertices make every embedding appear once per query
+// automorphism. The paper combines TurboIso's NEC equivalence groups with
+// the ordering-based symmetry breaking of Grochow & Kellis [16]. We
+// implement the full Grochow–Kellis scheme: enumerate Aut(G_q) (queries are
+// small), then repeatedly pick the least vertex with a non-trivial orbit,
+// emit M[v] < M[w] for every other orbit member w, and descend into the
+// stabilizer. The resulting conditions break *all* automorphisms, so each
+// embedding is listed exactly once.
+#ifndef CECI_CECI_SYMMETRY_H_
+#define CECI_CECI_SYMMETRY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ceci {
+
+/// Ordering constraints that kill automorphisms.
+class SymmetryConstraints {
+ public:
+  /// M[smaller] < M[larger] must hold in every reported embedding.
+  struct Constraint {
+    VertexId smaller;
+    VertexId larger;
+  };
+
+  /// Computes the automorphism group of `query` and derives ordering
+  /// constraints. If automorphism enumeration exceeds an internal search
+  /// budget (pathologically symmetric large queries), returns an empty set
+  /// — callers then enumerate automorphic duplicates, which is safe but
+  /// redundant.
+  static SymmetryConstraints Compute(const Graph& query);
+
+  /// An empty constraint set (automorphism breaking disabled).
+  static SymmetryConstraints None(std::size_t num_query_vertices);
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Query vertices w whose match must be less than u's match.
+  std::span<const VertexId> must_be_less(VertexId u) const {
+    return lower_than_[u];
+  }
+  /// Query vertices w whose match must be greater than u's match.
+  std::span<const VertexId> must_be_greater(VertexId u) const {
+    return higher_than_[u];
+  }
+
+  /// |Aut(G_q)| as found by the enumerator (1 when asymmetric; 0 when the
+  /// search budget was exhausted and breaking is disabled).
+  std::size_t automorphism_count() const { return automorphism_count_; }
+
+  bool empty() const { return constraints_.empty(); }
+
+ private:
+  void IndexConstraints(std::size_t n);
+
+  std::vector<Constraint> constraints_;
+  std::vector<std::vector<VertexId>> lower_than_;
+  std::vector<std::vector<VertexId>> higher_than_;
+  std::size_t automorphism_count_ = 1;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_SYMMETRY_H_

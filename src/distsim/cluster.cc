@@ -1,0 +1,105 @@
+#include "distsim/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/intersection.h"
+#include "util/logging.h"
+
+namespace ceci::distsim {
+
+double PivotWorkload(const Graph& data, VertexId v, bool neighbors_visible) {
+  double w = static_cast<double>(data.degree(v));
+  if (neighbors_visible) {
+    for (VertexId u : data.neighbors(v)) {
+      w += static_cast<double>(data.degree(u));
+    }
+  }
+  // Vertex-id scaling: smaller ids do more work under id-ordered
+  // automorphism breaking, so weight them higher: (|V| - v) / |V|.
+  const double n = static_cast<double>(data.num_vertices());
+  return w * ((n - static_cast<double>(v)) / n);
+}
+
+double JaccardSimilarity(const Graph& data, VertexId a, VertexId b) {
+  auto na = data.neighbors(a);
+  auto nb = data.neighbors(b);
+  if (na.empty() && nb.empty()) return 0.0;
+  std::size_t inter = IntersectionSize(na, nb);
+  std::size_t uni = na.size() + nb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+PivotAssignment AssignPivots(const Graph& data,
+                             const std::vector<VertexId>& pivots,
+                             const AssignOptions& options) {
+  CECI_CHECK(options.num_machines >= 1);
+  PivotAssignment out;
+  out.per_machine.assign(options.num_machines, {});
+  out.workloads.assign(options.num_machines, 0.0);
+  if (pivots.empty()) return out;
+
+  std::vector<double> workload(pivots.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    workload[i] = PivotWorkload(data, pivots[i], options.neighbors_visible);
+    total += workload[i];
+  }
+  const double max_allowed =
+      options.max_load_factor * total /
+      static_cast<double>(options.num_machines);
+
+  // Largest first (LPT greedy gives good balance).
+  std::vector<std::size_t> order(pivots.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (workload[a] != workload[b]) return workload[a] > workload[b];
+    return pivots[a] < pivots[b];
+  });
+
+  auto least_loaded = [&] {
+    std::size_t best = 0;
+    for (std::size_t m = 1; m < options.num_machines; ++m) {
+      if (out.workloads[m] < out.workloads[best]) best = m;
+    }
+    return best;
+  };
+
+  // (pivot index, machine) of the top-k placements for similarity lookups.
+  std::vector<std::pair<std::size_t, std::size_t>> placed_top;
+  const std::size_t top_k = std::min(options.jaccard_top_k, order.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t i = order[rank];
+    std::size_t target = least_loaded();
+    if (options.neighbors_visible && rank < top_k) {
+      const std::size_t deg_i = data.degree(pivots[i]);
+      for (const auto& [j, machine] : placed_top) {
+        if (out.workloads[machine] + workload[i] > max_allowed) continue;
+        // Size early-exit: J(a,b) <= min/max of the neighborhood sizes,
+        // so a size ratio below the threshold cannot qualify.
+        const std::size_t deg_j = data.degree(pivots[j]);
+        const std::size_t lo = std::min(deg_i, deg_j);
+        const std::size_t hi = std::max(deg_i, deg_j);
+        if (hi == 0 ||
+            static_cast<double>(lo) <
+                options.jaccard_threshold * static_cast<double>(hi)) {
+          continue;
+        }
+        if (JaccardSimilarity(data, pivots[i], pivots[j]) >=
+            options.jaccard_threshold) {
+          target = machine;
+          ++out.jaccard_colocations;
+          break;
+        }
+      }
+      placed_top.emplace_back(i, target);
+    }
+    out.per_machine[target].push_back(pivots[i]);
+    out.workloads[target] += workload[i];
+  }
+
+  for (auto& list : out.per_machine) std::sort(list.begin(), list.end());
+  return out;
+}
+
+}  // namespace ceci::distsim

@@ -1,0 +1,275 @@
+#include "distsim/dist_matcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/extreme_cluster.h"
+#include "ceci/preprocess.h"
+#include "ceci/refinement.h"
+#include "ceci/symmetry.h"
+#include "distsim/shared_store.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ceci::distsim {
+namespace {
+
+struct MachineState {
+  Machine accounting;
+  std::vector<VertexId> pivots;
+  CeciIndex index;
+  BuildStats build_stats;
+  std::vector<WorkUnit> units;
+  std::uint64_t embeddings = 0;
+  std::uint64_t stolen_units = 0;
+  double build_compute = 0.0;     // measured CPU, construction + refinement
+  double own_enum_compute = 0.0;  // measured CPU, enumerating own units
+  double enum_compute = 0.0;      // simulated, after the stealing replay
+  double build_comm = 0.0;        // comm accrued by end of construction
+  double steal_unit_bytes = 0.0;  // modeled MPI_Get payload per unit
+};
+
+// Deterministic replay of the paper's work-stealing protocol (§5): every
+// machine starts its own unit queue when its construction finishes; a
+// machine whose queue drains steals from the victim with the most
+// remaining estimated work (MPI_Get), paying a communication charge. Unit
+// times are the machine's measured enumeration CPU time split across its
+// units proportionally to their cardinalities. Running the replay instead
+// of physically stealing between host threads keeps the simulated
+// makespans meaningful on hosts with fewer cores than simulated machines.
+void ReplayWorkStealing(const DistOptions& options,
+                        std::vector<std::unique_ptr<MachineState>>* machines) {
+  const std::size_t m = machines->size();
+
+  // Per-machine queue of estimated unit times (largest first, as the pool
+  // is sorted by cardinality) and the remaining-total per machine.
+  std::vector<std::deque<double>> queues(m);
+  std::vector<double> remaining(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    MachineState& machine = *(*machines)[i];
+    Cardinality total_card = 0;
+    for (const WorkUnit& unit : machine.units) {
+      total_card = SaturatingAdd(total_card, unit.cardinality);
+    }
+    for (const WorkUnit& unit : machine.units) {
+      double share =
+          total_card == 0
+              ? (machine.units.empty()
+                     ? 0.0
+                     : 1.0 / static_cast<double>(machine.units.size()))
+              : static_cast<double>(unit.cardinality) /
+                    static_cast<double>(total_card);
+      double t = machine.own_enum_compute * share;
+      queues[i].push_back(t);
+      remaining[i] += t;
+    }
+  }
+
+  // Lanes: threads_per_machine execution slots per machine, each starting
+  // when its machine's construction (+ modeled io/comm) completes.
+  struct Lane {
+    double time;
+    std::size_t machine;
+    bool operator>(const Lane& other) const { return time > other.time; }
+  };
+  std::priority_queue<Lane, std::vector<Lane>, std::greater<Lane>> lanes;
+  std::vector<double> busy_until(m, 0.0);
+  std::vector<double> start_time(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    MachineState& machine = *(*machines)[i];
+    start_time[i] = machine.build_compute +
+                    machine.accounting.io_seconds() +
+                    machine.accounting.comm_seconds();
+    busy_until[i] = start_time[i];
+    for (std::size_t t = 0; t < options.threads_per_machine; ++t) {
+      lanes.push(Lane{start_time[i], i});
+    }
+  }
+
+  std::vector<double> steal_comm(m, 0.0);
+  while (!lanes.empty()) {
+    Lane lane = lanes.top();
+    lanes.pop();
+    const std::size_t self = lane.machine;
+    double unit_time = -1.0;
+    if (!queues[self].empty()) {
+      unit_time = queues[self].front();
+      queues[self].pop_front();
+      remaining[self] -= unit_time;
+    } else if (options.work_stealing) {
+      // Victim: machine with the most remaining estimated work.
+      std::size_t victim = self;
+      double victim_remaining = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != self && remaining[j] > victim_remaining) {
+          victim_remaining = remaining[j];
+          victim = j;
+        }
+      }
+      if (victim != self && !queues[victim].empty()) {
+        unit_time = queues[victim].back();
+        queues[victim].pop_back();
+        remaining[victim] -= unit_time;
+        MachineState& machine = *(*machines)[self];
+        const double comm = options.cost_model.MessageSeconds(
+            static_cast<std::uint64_t>((*machines)[victim]->steal_unit_bytes));
+        steal_comm[self] += comm;
+        lane.time += comm;  // the MPI_Get delays this lane
+        ++machine.stolen_units;
+      }
+    }
+    if (unit_time < 0.0) continue;  // nothing left anywhere for this lane
+    lane.time += unit_time;
+    busy_until[self] = std::max(busy_until[self], lane.time);
+    lanes.push(lane);
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    MachineState& machine = *(*machines)[i];
+    // Busy window after construction; steal communication is inside the
+    // lane times already, so enum_compute covers execution + MPI_Gets.
+    machine.enum_compute = std::max(busy_until[i] - start_time[i], 0.0);
+    (void)steal_comm[i];
+  }
+}
+
+}  // namespace
+
+Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
+                                    const DistOptions& options) {
+  if (options.num_machines < 1 || options.threads_per_machine < 1) {
+    return Status::InvalidArgument("machine and thread counts must be >= 1");
+  }
+  DistResult result;
+
+  // --- Coordinator: preprocessing + pivot distribution (§5) ---
+  // The NLC index is a one-time per-data-graph structure (amortized over
+  // queries, like the graph load itself); it is excluded from the per-query
+  // preprocess time.
+  NlcIndex nlc(data);
+  Timer phase;
+  auto pre = Preprocess(data, nlc, query, PreprocessOptions{});
+  if (!pre.ok()) return pre.status();
+  SymmetryConstraints symmetry =
+      options.break_automorphisms
+          ? SymmetryConstraints::Compute(query)
+          : SymmetryConstraints::None(query.num_vertices());
+  std::vector<VertexId> pivots;
+  if (!pre->infeasible) {
+    pivots = CollectCandidates(data, nlc, query, pre->root);
+  }
+
+  AssignOptions assign_options;
+  assign_options.num_machines = options.num_machines;
+  assign_options.neighbors_visible =
+      options.storage == GraphStorage::kReplicated;
+  assign_options.jaccard_top_k = options.jaccard_top_k;
+  PivotAssignment assignment = AssignPivots(data, pivots, assign_options);
+  result.jaccard_colocations = assignment.jaccard_colocations;
+  result.preprocess_seconds = phase.Seconds();
+
+  SharedStore store(&options.cost_model);
+  std::vector<std::unique_ptr<MachineState>> machines;
+  machines.reserve(options.num_machines);
+  for (std::size_t m = 0; m < options.num_machines; ++m) {
+    auto state = std::make_unique<MachineState>();
+    state->accounting =
+        Machine(static_cast<std::uint32_t>(m), &options.cost_model);
+    state->pivots = std::move(assignment.per_machine[m]);
+    machines.push_back(std::move(state));
+  }
+
+  // Pivot distribution messages: coordinator (machine 0) sends each other
+  // machine its pivot list; both ends pay.
+  for (std::size_t m = 1; m < options.num_machines; ++m) {
+    const std::uint64_t bytes = machines[m]->pivots.size() * sizeof(VertexId);
+    machines[0]->accounting.ChargeMessage(bytes);
+    machines[m]->accounting.ChargeMessage(bytes);
+  }
+
+  // --- Per-machine CECI construction + own-pool enumeration ---
+  std::atomic<std::uint64_t> total_embeddings{0};
+  EnumOptions enum_options;
+  enum_options.symmetry = &symmetry;
+
+  auto machine_fn = [&](std::size_t mid) {
+    MachineState& self = *machines[mid];
+    if (self.pivots.empty()) return;
+
+    const double build_cpu_start = ThreadCpuSeconds();
+    BuildOptions build_options;
+    build_options.root_candidates = &self.pivots;
+    CeciBuilder builder(data, nlc);
+    self.index =
+        builder.Build(query, pre->tree, build_options, &self.build_stats);
+    RefineCeci(pre->tree, data.num_vertices(), &self.index, nullptr);
+    self.index.Freeze();
+    self.units = BuildWorkUnits(data, pre->tree, self.index, enum_options,
+                                options.threads_per_machine, options.beta,
+                                options.decompose_extreme_clusters,
+                                /*sort_by_cardinality=*/true, nullptr);
+    self.build_compute = ThreadCpuSeconds() - build_cpu_start;
+    if (options.storage == GraphStorage::kShared) {
+      store.ChargeBuild(&self.accounting, self.build_stats);
+    }
+    self.build_comm = self.accounting.comm_seconds();
+    self.steal_unit_bytes =
+        self.units.empty()
+            ? 0.0
+            : static_cast<double>(self.index.MemoryBytes()) /
+                  static_cast<double>(self.units.size());
+
+    // Enumerate the machine's own pool; the work-stealing replay below
+    // redistributes tail units analytically.
+    const double enum_cpu_start = ThreadCpuSeconds();
+    Enumerator enumerator(data, pre->tree, self.index, enum_options);
+    std::uint64_t emitted = 0;
+    for (const WorkUnit& unit : self.units) {
+      emitted += enumerator.EnumerateFromPrefix(unit.prefix, nullptr);
+    }
+    self.own_enum_compute = ThreadCpuSeconds() - enum_cpu_start;
+    self.embeddings = emitted;
+    total_embeddings.fetch_add(emitted, std::memory_order_relaxed);
+  };
+
+  {
+    std::vector<std::thread> machine_threads;
+    machine_threads.reserve(options.num_machines);
+    for (std::size_t m = 0; m < options.num_machines; ++m) {
+      machine_threads.emplace_back(machine_fn, m);
+    }
+    for (auto& t : machine_threads) t.join();
+  }
+
+  ReplayWorkStealing(options, &machines);
+
+  // --- Reports ---
+  result.embeddings = total_embeddings.load();
+  double slowest = 0.0;
+  for (auto& m : machines) {
+    MachineReport report;
+    report.pivots = m->pivots.size();
+    report.embeddings = m->embeddings;
+    report.stolen_units = m->stolen_units;
+    report.build_compute_seconds = m->build_compute;
+    report.enum_compute_seconds = m->enum_compute;
+    report.io_seconds = m->accounting.io_seconds();
+    report.comm_seconds = m->accounting.comm_seconds();
+    report.total_seconds = m->build_compute + m->enum_compute +
+                           report.io_seconds + report.comm_seconds;
+    slowest = std::max(slowest, report.total_seconds);
+    result.build_compute_seconds += m->build_compute;
+    result.build_io_seconds += report.io_seconds;
+    result.build_comm_seconds += m->build_comm;
+    result.machines.push_back(report);
+  }
+  result.makespan_seconds = result.preprocess_seconds + slowest;
+  return result;
+}
+
+}  // namespace ceci::distsim

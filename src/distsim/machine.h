@@ -1,0 +1,60 @@
+// One simulated machine of the cluster: accumulates measured compute time
+// and modeled communication/storage time, plus traffic counters.
+#ifndef CECI_DISTSIM_MACHINE_H_
+#define CECI_DISTSIM_MACHINE_H_
+
+#include <cstdint>
+
+#include "distsim/cost_model.h"
+
+namespace ceci::distsim {
+
+class Machine {
+ public:
+  Machine() = default;
+  Machine(std::uint32_t id, const CostModel* model)
+      : id_(id), model_(model) {}
+
+  std::uint32_t id() const { return id_; }
+
+  /// Charges a network message of `bytes` to this machine's comm budget.
+  void ChargeMessage(std::uint64_t bytes) {
+    comm_seconds_ += model_->MessageSeconds(bytes);
+    bytes_sent_ += bytes;
+    ++messages_;
+  }
+
+  /// Charges shared-store reads (requests totalling `bytes`).
+  void ChargeStorage(std::uint64_t requests, std::uint64_t bytes) {
+    io_seconds_ += model_->StorageSeconds(requests, bytes);
+    bytes_read_ += bytes;
+  }
+
+  void AddCompute(double seconds) { compute_seconds_ += seconds; }
+
+  double compute_seconds() const { return compute_seconds_; }
+  double comm_seconds() const { return comm_seconds_; }
+  double io_seconds() const { return io_seconds_; }
+  /// Modeled end-to-end busy time of this machine.
+  double total_seconds() const {
+    return compute_seconds_ + comm_seconds_ + io_seconds_;
+  }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  std::uint32_t id_ = 0;
+  const CostModel* model_ = nullptr;
+  double compute_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+  double io_seconds_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace ceci::distsim
+
+#endif  // CECI_DISTSIM_MACHINE_H_

@@ -1,0 +1,44 @@
+// Shared-storage (lustre) accounting for the distributed runtime (§5).
+//
+// In the paper's second distributed mode, one CSR copy of the data graph
+// lives on a lustre file system and machines fetch adjacency lists on
+// demand through a beginning_position array while creating their CECIs.
+// Here the graph is in host memory; this helper converts the builder's
+// access counters (adjacency requests + entries scanned) into modeled IO
+// time through the CostModel, which is what inflates CECI construction by
+// up to ~100× in Fig. 17/20.
+#ifndef CECI_DISTSIM_SHARED_STORE_H_
+#define CECI_DISTSIM_SHARED_STORE_H_
+
+#include "ceci/ceci_builder.h"
+#include "distsim/cost_model.h"
+#include "distsim/machine.h"
+
+namespace ceci::distsim {
+
+class SharedStore {
+ public:
+  explicit SharedStore(const CostModel* model) : model_(model) {}
+
+  /// Charges `machine` for the adjacency traffic a CECI build performed:
+  /// one request per frontier expansion, 4 bytes per scanned entry, plus
+  /// one beginning_position lookup (8 bytes) per request.
+  void ChargeBuild(Machine* machine, const BuildStats& stats) const {
+    const std::uint64_t bytes =
+        stats.neighbors_scanned * 4 + stats.frontier_expansions * 8;
+    machine->ChargeStorage(stats.frontier_expansions, bytes);
+  }
+
+  /// Charges loading a full replica of the graph (replicated mode's one-off
+  /// cost; not used in the shared mode where reads are on demand).
+  void ChargeReplicaLoad(Machine* machine, std::uint64_t graph_bytes) const {
+    machine->ChargeStorage(1, graph_bytes);
+  }
+
+ private:
+  const CostModel* model_;
+};
+
+}  // namespace ceci::distsim
+
+#endif  // CECI_DISTSIM_SHARED_STORE_H_

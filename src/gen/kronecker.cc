@@ -1,0 +1,49 @@
+#include "gen/kronecker.h"
+
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace ceci {
+
+Graph GenerateKronecker(const KroneckerOptions& options) {
+  CECI_CHECK(options.scale >= 1 && options.scale <= 30);
+  const std::uint64_t n = std::uint64_t{1} << options.scale;
+  const std::uint64_t m = n * static_cast<std::uint64_t>(options.edge_factor);
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  const double ab = options.a + options.b;
+  const double c_norm =
+      options.c / (1.0 - ab);  // probability of quadrant C given not A/B
+
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (int bit = 0; bit < options.scale; ++bit) {
+      // Noise per level as in the Graph500 reference: jitter quadrant
+      // probabilities slightly so the degree distribution is not exactly
+      // self-similar.
+      double r1 = uniform(rng);
+      double r2 = uniform(rng);
+      int ubit = r1 > ab ? 1 : 0;
+      int vbit;
+      if (ubit == 0) {
+        vbit = r2 > options.a / ab ? 1 : 0;
+      } else {
+        vbit = r2 > c_norm ? 1 : 0;
+      }
+      u = (u << 1) | static_cast<std::uint64_t>(ubit);
+      v = (v << 1) | static_cast<std::uint64_t>(vbit);
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  auto graph = builder.Build();
+  CECI_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+}  // namespace ceci

@@ -1,0 +1,35 @@
+// Graph500 Kronecker (R-MAT) generator.
+//
+// The paper's synthetic dataset rand_500k is produced by the Graph500
+// Kronecker generator [15]. This is a from-scratch implementation of the
+// standard recursive-quadrant edge sampler with the Graph500 initiator
+// probabilities (A=0.57, B=0.19, C=0.19, D=0.05), noise, dedup, and
+// symmetrization.
+#ifndef CECI_GEN_KRONECKER_H_
+#define CECI_GEN_KRONECKER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct KroneckerOptions {
+  /// log2 of the vertex count.
+  int scale = 14;
+  /// Average undirected edges per vertex (Graph500 uses 16).
+  int edge_factor = 16;
+  /// Initiator matrix probabilities; Graph500 defaults.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a Kronecker graph. All vertices carry label 0; use
+/// AssignRandomLabels() to label it afterwards.
+Graph GenerateKronecker(const KroneckerOptions& options);
+
+}  // namespace ceci
+
+#endif  // CECI_GEN_KRONECKER_H_

@@ -1,0 +1,61 @@
+#include "gen/labels.h"
+
+#include <functional>
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace ceci {
+namespace {
+
+Graph Rebuild(const Graph& g,
+              const std::function<void(VertexId, GraphBuilder&)>& labeler) {
+  GraphBuilder builder;
+  builder.ReserveVertices(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    labeler(v, builder);
+    for (VertexId w : g.neighbors(v)) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  auto out = builder.Build();
+  CECI_CHECK(out.ok()) << out.status().ToString();
+  return std::move(out).value();
+}
+
+}  // namespace
+
+Graph AssignRandomLabels(const Graph& g, std::size_t num_labels,
+                         std::uint64_t seed) {
+  CECI_CHECK(num_labels >= 1);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Label> pick(
+      0, static_cast<Label>(num_labels - 1));
+  std::vector<Label> labels(g.num_vertices());
+  for (auto& l : labels) l = pick(rng);
+  return Rebuild(g, [&](VertexId v, GraphBuilder& b) {
+    b.AddLabel(v, labels[v]);
+  });
+}
+
+Graph AssignMultiLabels(const Graph& g, std::size_t num_labels,
+                        std::size_t max_labels_per_vertex,
+                        std::uint64_t seed) {
+  CECI_CHECK(num_labels >= 1 && max_labels_per_vertex >= 1);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Label> pick_label(
+      0, static_cast<Label>(num_labels - 1));
+  std::uniform_int_distribution<std::size_t> pick_count(
+      1, max_labels_per_vertex);
+  std::vector<std::vector<Label>> labels(g.num_vertices());
+  for (auto& ls : labels) {
+    std::size_t k = pick_count(rng);
+    for (std::size_t i = 0; i < k; ++i) ls.push_back(pick_label(rng));
+  }
+  return Rebuild(g, [&](VertexId v, GraphBuilder& b) {
+    for (Label l : labels[v]) b.AddLabel(v, l);
+  });
+}
+
+}  // namespace ceci

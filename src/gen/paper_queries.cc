@@ -1,0 +1,49 @@
+#include "gen/paper_queries.h"
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace ceci {
+
+Graph MakePaperQuery(PaperQuery which) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::size_t n = 0;
+  switch (which) {
+    case PaperQuery::kQG1:  // triangle
+      n = 3;
+      edges = {{0, 1}, {1, 2}, {0, 2}};
+      break;
+    case PaperQuery::kQG2:  // square (4-cycle)
+      n = 4;
+      edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+      break;
+    case PaperQuery::kQG3:  // chordal square
+      n = 4;
+      edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}};
+      break;
+    case PaperQuery::kQG4:  // 4-clique
+      n = 4;
+      edges = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+      break;
+    case PaperQuery::kQG5:  // house: 5-cycle plus one chord
+      n = 5;
+      edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 4}};
+      break;
+  }
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  for (VertexId v = 0; v < n; ++v) builder.AddLabel(v, 0);
+  for (auto [u, v] : edges) builder.AddEdge(u, v);
+  auto g = builder.Build();
+  CECI_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+std::string PaperQueryName(PaperQuery which) {
+  return "QG" + std::to_string(static_cast<int>(which));
+}
+
+}  // namespace ceci

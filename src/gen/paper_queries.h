@@ -1,0 +1,32 @@
+// The five unlabeled query graphs QG1–QG5 of the paper's Figure 6, as used
+// by PsgL, TTJ, and DualSim (§6). All vertices carry label 0. The shapes
+// are chosen to satisfy the backtracking-depth constraints stated in §6.3
+// (QG1 depth 3, QG3 depth 4, QG5 depth 5):
+//
+//   QG1 triangle        QG2 square          QG3 chordal square
+//   QG4 4-clique        QG5 house (5-cycle + chord)
+#ifndef CECI_GEN_PAPER_QUERIES_H_
+#define CECI_GEN_PAPER_QUERIES_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ceci {
+
+enum class PaperQuery { kQG1 = 1, kQG2 = 2, kQG3 = 3, kQG4 = 4, kQG5 = 5 };
+
+/// Builds the requested query graph.
+Graph MakePaperQuery(PaperQuery which);
+
+/// "QG1" .. "QG5".
+std::string PaperQueryName(PaperQuery which);
+
+/// All five, in order.
+inline constexpr PaperQuery kAllPaperQueries[] = {
+    PaperQuery::kQG1, PaperQuery::kQG2, PaperQuery::kQG3, PaperQuery::kQG4,
+    PaperQuery::kQG5};
+
+}  // namespace ceci
+
+#endif  // CECI_GEN_PAPER_QUERIES_H_

@@ -1,0 +1,94 @@
+#include "gen/query_gen.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace ceci {
+namespace {
+
+// One DFS attempt from `source`. Returns selected data vertices in visit
+// order, or an empty vector if fewer than `want` vertices are reachable.
+std::vector<VertexId> DfsSample(const Graph& data, VertexId source,
+                                std::size_t want, std::mt19937_64& rng) {
+  std::vector<VertexId> selected;
+  std::vector<char> in_selected(data.num_vertices(), 0);
+  std::vector<VertexId> stack = {source};
+  while (!stack.empty() && selected.size() < want) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    if (in_selected[v]) continue;
+    in_selected[v] = 1;
+    selected.push_back(v);
+    auto nbrs = data.neighbors(v);
+    std::vector<VertexId> shuffled(nbrs.begin(), nbrs.end());
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    for (VertexId w : shuffled) {
+      if (!in_selected[w]) stack.push_back(w);
+    }
+  }
+  if (selected.size() < want) selected.clear();
+  return selected;
+}
+
+}  // namespace
+
+std::optional<Graph> GenerateQuery(const Graph& data,
+                                   const QueryGenOptions& options) {
+  CECI_CHECK(options.num_vertices >= 1);
+  if (options.num_vertices > data.num_vertices()) return std::nullopt;
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<VertexId> pick(
+      0, static_cast<VertexId>(data.num_vertices() - 1));
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<VertexId> selected =
+        DfsSample(data, pick(rng), options.num_vertices, rng);
+    if (selected.empty()) continue;
+    std::unordered_map<VertexId, VertexId> remap;
+    remap.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      remap[selected[i]] = static_cast<VertexId>(i);
+    }
+    GraphBuilder builder;
+    builder.ReserveVertices(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      VertexId dv = selected[i];
+      if (options.inherit_labels) {
+        // First label only, mirroring the paper's single-label transfer.
+        builder.AddLabel(static_cast<VertexId>(i), data.label(dv));
+      } else {
+        builder.AddLabel(static_cast<VertexId>(i), 0);
+      }
+      // Every backward edge to already-selected vertices (induced subgraph).
+      for (VertexId w : data.neighbors(dv)) {
+        auto it = remap.find(w);
+        if (it != remap.end() && it->second < i) {
+          builder.AddEdge(static_cast<VertexId>(i), it->second);
+        }
+      }
+    }
+    auto q = builder.Build();
+    CECI_CHECK(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+  return std::nullopt;
+}
+
+std::vector<Graph> GenerateQueries(const Graph& data, std::size_t count,
+                                   const QueryGenOptions& options) {
+  std::vector<Graph> out;
+  out.reserve(count);
+  QueryGenOptions opt = options;
+  for (std::size_t i = 0; i < count; ++i) {
+    opt.seed = options.seed + i;
+    auto q = GenerateQuery(data, opt);
+    if (q.has_value()) out.push_back(std::move(*q));
+  }
+  return out;
+}
+
+}  // namespace ceci

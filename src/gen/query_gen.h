@@ -1,0 +1,40 @@
+// DFS-based connected query generator (paper §6.2).
+//
+// Queries of a requested size are extracted from a data graph by a random
+// DFS walk: each newly visited vertex is added together with every backward
+// edge to already-selected vertices, so the query is an induced connected
+// subgraph and at least one isomorphic embedding is guaranteed to exist.
+// Labels are inherited from the data vertices (first label only when a
+// vertex is multi-labeled, as in the paper).
+#ifndef CECI_GEN_QUERY_GEN_H_
+#define CECI_GEN_QUERY_GEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ceci {
+
+struct QueryGenOptions {
+  std::size_t num_vertices = 5;
+  std::uint64_t seed = 1;
+  /// Inherit labels from data vertices (true for §6.2 labeled experiments;
+  /// false produces all-label-0 queries like QG1–QG5).
+  bool inherit_labels = true;
+};
+
+/// Extracts one connected query graph from `data`. Returns nullopt only if
+/// the data graph has no connected subgraph of the requested size reachable
+/// from the sampled sources (retries internally).
+std::optional<Graph> GenerateQuery(const Graph& data,
+                                   const QueryGenOptions& options);
+
+/// Convenience: a batch of `count` queries with seeds seed, seed+1, ...
+std::vector<Graph> GenerateQueries(const Graph& data, std::size_t count,
+                                   const QueryGenOptions& options);
+
+}  // namespace ceci
+
+#endif  // CECI_GEN_QUERY_GEN_H_

@@ -1,0 +1,114 @@
+#include "gen/random_graphs.h"
+
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace ceci {
+
+Graph GenerateErdosRenyi(std::size_t n, std::size_t m, std::uint64_t seed) {
+  CECI_CHECK(n >= 2);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> pick(0,
+                                               static_cast<VertexId>(n - 1));
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  // Sampling with replacement then dedup in the builder; oversample a bit so
+  // the final edge count lands near m despite collisions.
+  std::size_t target = m + m / 16 + 8;
+  for (std::size_t i = 0; i < target; ++i) {
+    builder.AddEdge(pick(rng), pick(rng));
+  }
+  auto graph = builder.Build();
+  CECI_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t attach,
+                             std::uint64_t seed) {
+  CECI_CHECK(n > attach && attach >= 1);
+  std::mt19937_64 rng(seed);
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  // Repeated-endpoint list: sampling an index uniformly from it realizes
+  // degree-proportional selection.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * n * attach);
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(attach + 1); v < n; ++v) {
+    for (std::size_t k = 0; k < attach; ++k) {
+      std::uniform_int_distribution<std::size_t> pick(0,
+                                                      endpoints.size() - 1);
+      VertexId target = endpoints[pick(rng)];
+      builder.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  auto graph = builder.Build();
+  CECI_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+Graph GenerateSocialGraph(std::size_t n, std::size_t max_attach,
+                          std::uint64_t seed, double triad_prob) {
+  CECI_CHECK(n > max_attach && max_attach >= 1);
+  std::mt19937_64 rng(seed);
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(n * (max_attach + 1));
+  // Adjacency of already-inserted vertices, for triad formation.
+  std::vector<std::vector<VertexId>> adj(n);
+  auto add_edge = [&](VertexId a, VertexId b) {
+    builder.AddEdge(a, b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  };
+  // Seed clique.
+  for (VertexId u = 0; u <= max_attach; ++u) {
+    for (VertexId v = u + 1; v <= max_attach; ++v) add_edge(u, v);
+  }
+  // Geometric attachment count mirrors the degree mass of real social
+  // graphs: most vertices sit in the low-degree tail while hubs still
+  // emerge preferentially.
+  std::geometric_distribution<std::size_t> pick_attach(0.3);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (VertexId v = static_cast<VertexId>(max_attach + 1); v < n; ++v) {
+    const std::size_t k = std::min(max_attach, 1 + pick_attach(rng));
+    VertexId last_target = kInvalidVertex;
+    for (std::size_t i = 0; i < k; ++i) {
+      VertexId target = kInvalidVertex;
+      if (last_target != kInvalidVertex && coin(rng) < triad_prob &&
+          !adj[last_target].empty()) {
+        // Triad formation (Holme–Kim): link to a neighbor of the previous
+        // target, closing a triangle.
+        std::uniform_int_distribution<std::size_t> pick(
+            0, adj[last_target].size() - 1);
+        target = adj[last_target][pick(rng)];
+      } else {
+        std::uniform_int_distribution<std::size_t> pick(
+            0, endpoints.size() - 1);
+        target = endpoints[pick(rng)];
+      }
+      if (target == v) continue;
+      add_edge(v, target);
+      last_target = target;
+    }
+  }
+  auto graph = builder.Build();
+  CECI_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+}  // namespace ceci

@@ -1,0 +1,36 @@
+// Classical random-graph generators used as laptop-scale analogs of the
+// paper's SNAP datasets (see DESIGN.md §1.4): Barabási–Albert preferential
+// attachment reproduces the power-law skew of the social graphs (FS, LJ,
+// OK, YT) that drives CECI's embedding-cluster imbalance, and Erdős–Rényi
+// approximates the flatter-degree web/citation graphs (WG, CP).
+#ifndef CECI_GEN_RANDOM_GRAPHS_H_
+#define CECI_GEN_RANDOM_GRAPHS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ceci {
+
+/// G(n, m) Erdős–Rényi: n vertices, m distinct undirected edges.
+Graph GenerateErdosRenyi(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree.
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t attach,
+                             std::uint64_t seed);
+
+/// Social-graph analog (Holme–Kim style): preferential attachment with a
+/// geometric per-vertex attachment count capped at `max_attach`, plus
+/// triad formation — after each preferential link, the next link closes a
+/// triangle through the previous target with probability `triad_prob`.
+/// Unlike pure BA (minimum degree = attach, negligible clustering), this
+/// reproduces both the low-degree fringe that CECI's degree/NLC filters
+/// prune (Table 2's space savings) and the high clustering that makes
+/// enumeration dominate runtime on real social graphs (§6.1).
+Graph GenerateSocialGraph(std::size_t n, std::size_t max_attach,
+                          std::uint64_t seed, double triad_prob = 0.5);
+
+}  // namespace ceci
+
+#endif  // CECI_GEN_RANDOM_GRAPHS_H_

@@ -1,0 +1,54 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/intersection.h"
+
+namespace ceci {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+bool Graph::HasLabel(VertexId v, Label l) const {
+  auto ls = labels(v);
+  return std::binary_search(ls.begin(), ls.end(), l);
+}
+
+bool Graph::HasAllLabels(VertexId v, std::span<const Label> required) const {
+  auto ls = labels(v);
+  // Both sorted; subset test by merge.
+  std::size_t i = 0;
+  for (Label need : required) {
+    while (i < ls.size() && ls[i] < need) ++i;
+    if (i == ls.size() || ls[i] != need) return false;
+  }
+  return true;
+}
+
+std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
+  if (l >= num_labels_) return {};
+  return {label_index_.data() + label_index_offsets_[l],
+          label_index_.data() + label_index_offsets_[l + 1]};
+}
+
+std::string Graph::Summary() const {
+  std::ostringstream os;
+  os << "|V|=" << num_vertices() << " |E|=" << num_edges()
+     << " labels=" << num_labels_ << " max_deg=" << max_degree_;
+  return os.str();
+}
+
+std::size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(EdgeId) +
+         neighbors_.size() * sizeof(VertexId) +
+         label_offsets_.size() * sizeof(std::uint32_t) +
+         vertex_labels_.size() * sizeof(Label) +
+         label_index_offsets_.size() * sizeof(EdgeId) +
+         label_index_.size() * sizeof(VertexId);
+}
+
+}  // namespace ceci

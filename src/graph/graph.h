@@ -1,0 +1,98 @@
+// In-memory labeled graph in CSR form with sorted adjacency lists.
+//
+// This single representation serves both data graphs and query graphs
+// (paper §2.1): vertices carry one or more labels; adjacency is undirected
+// (directed inputs are symmetrized at build time, matching the paper's
+// treatment of directed data graphs for undirected query matching).
+#ifndef CECI_GRAPH_GRAPH_H_
+#define CECI_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ceci {
+
+/// Immutable labeled graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Number of vertices.
+  std::size_t num_vertices() const { return offsets_.size() - 1; }
+
+  /// Number of undirected edges (each stored twice internally).
+  std::size_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Number of directed adjacency entries (2 * num_edges()).
+  std::size_t num_directed_edges() const { return neighbors_.size(); }
+
+  /// Degree of v.
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted, duplicate-free neighbor list of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff (u, v) is an edge; O(log degree(min)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Labels of v, sorted ascending. Most vertices have exactly one.
+  std::span<const Label> labels(VertexId v) const {
+    return {vertex_labels_.data() + label_offsets_[v],
+            vertex_labels_.data() + label_offsets_[v + 1]};
+  }
+
+  /// First (primary) label of v.
+  Label label(VertexId v) const { return vertex_labels_[label_offsets_[v]]; }
+
+  /// True iff v carries label l.
+  bool HasLabel(VertexId v, Label l) const;
+
+  /// True iff every label in `required` is carried by v
+  /// (the L_q(u) ⊆ L(f(u)) containment of §2.1).
+  bool HasAllLabels(VertexId v, std::span<const Label> required) const;
+
+  /// Number of distinct labels in the graph (max label value + 1).
+  std::size_t num_labels() const { return num_labels_; }
+
+  /// Sorted list of vertices carrying label l (inverted label index).
+  std::span<const VertexId> VerticesWithLabel(Label l) const;
+
+  /// Maximum vertex degree.
+  std::size_t max_degree() const { return max_degree_; }
+
+  /// Human-readable one-line summary: |V|, |E|, labels, max degree.
+  std::string Summary() const;
+
+  /// Approximate heap footprint in bytes (CSR + labels + label index).
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<EdgeId> offsets_;        // size |V|+1
+  std::vector<VertexId> neighbors_;    // size 2|E|, sorted per vertex
+  std::vector<std::uint32_t> label_offsets_;  // size |V|+1
+  std::vector<Label> vertex_labels_;   // concatenated sorted label lists
+  std::vector<EdgeId> label_index_offsets_;   // size num_labels_+1
+  std::vector<VertexId> label_index_;  // vertices grouped by label
+  std::size_t num_labels_ = 0;
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_GRAPH_GRAPH_H_

@@ -1,0 +1,101 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace ceci {
+
+void GraphBuilder::ReserveVertices(std::size_t n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+void GraphBuilder::AddLabel(VertexId v, Label l) {
+  num_vertices_ = std::max<std::size_t>(num_vertices_, v + 1);
+  labels_.emplace_back(v, l);
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  num_vertices_ = std::max<std::size_t>(num_vertices_,
+                                        std::max(u, v) + std::size_t{1});
+  edges_.emplace_back(u, v);
+}
+
+Result<Graph> GraphBuilder::Build() {
+  if (num_vertices_ == 0) {
+    return Status::InvalidArgument("graph has no vertices");
+  }
+  const std::size_t n = num_vertices_;
+
+  // Symmetrize, sort, dedupe adjacency.
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  directed.reserve(edges_.size() * 2);
+  for (auto [u, v] : edges_) {
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (auto [u, v] : directed) g.offsets_[u + 1]++;
+  for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.neighbors_.resize(directed.size());
+  {
+    std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (auto [u, v] : directed) g.neighbors_[cursor[u]++] = v;
+  }
+
+  // Labels: sort by (vertex, label), dedupe; default label 0 for unlabeled.
+  std::sort(labels_.begin(), labels_.end());
+  labels_.erase(std::unique(labels_.begin(), labels_.end()), labels_.end());
+  g.label_offsets_.assign(n + 1, 0);
+  g.vertex_labels_.clear();
+  {
+    std::size_t li = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t begin = g.vertex_labels_.size();
+      while (li < labels_.size() && labels_[li].first == v) {
+        g.vertex_labels_.push_back(labels_[li].second);
+        ++li;
+      }
+      if (g.vertex_labels_.size() == begin) {
+        g.vertex_labels_.push_back(0);  // default label
+      }
+      g.label_offsets_[v + 1] =
+          static_cast<std::uint32_t>(g.vertex_labels_.size());
+    }
+  }
+
+  Label max_label = 0;
+  for (Label l : g.vertex_labels_) max_label = std::max(max_label, l);
+  g.num_labels_ = static_cast<std::size_t>(max_label) + 1;
+
+  // Inverted label index: vertices grouped by each label they carry.
+  g.label_index_offsets_.assign(g.num_labels_ + 1, 0);
+  for (Label l : g.vertex_labels_) g.label_index_offsets_[l + 1]++;
+  for (std::size_t l = 0; l < g.num_labels_; ++l) {
+    g.label_index_offsets_[l + 1] += g.label_index_offsets_[l];
+  }
+  g.label_index_.resize(g.vertex_labels_.size());
+  {
+    std::vector<EdgeId> cursor(g.label_index_offsets_.begin(),
+                               g.label_index_offsets_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      for (Label l : g.labels(v)) g.label_index_[cursor[l]++] = v;
+    }
+  }
+
+  g.max_degree_ = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(static_cast<VertexId>(v)));
+  }
+
+  num_vertices_ = 0;
+  edges_.clear();
+  labels_.clear();
+  return g;
+}
+
+}  // namespace ceci

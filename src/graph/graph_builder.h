@@ -1,0 +1,47 @@
+// Mutable edge-list accumulator that finalizes into an immutable Graph.
+#ifndef CECI_GRAPH_GRAPH_BUILDER_H_
+#define CECI_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace ceci {
+
+/// Accumulates vertices, labels, and edges, then builds a Graph.
+///
+/// Directed inputs are symmetrized; self loops and duplicate edges are
+/// dropped. Vertices without an explicit label get label 0.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares `n` vertices (ids 0..n-1). Optional; AddEdge grows the
+  /// vertex space automatically.
+  void ReserveVertices(std::size_t n);
+
+  /// Adds label `l` to vertex `v` (creating the vertex if needed).
+  void AddLabel(VertexId v, Label l);
+
+  /// Adds an undirected edge {u, v}. Self loops are ignored.
+  void AddEdge(VertexId u, VertexId v);
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_added_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  /// Fails if no vertices were declared.
+  Result<Graph> Build();
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<std::pair<VertexId, Label>> labels_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_GRAPH_GRAPH_BUILDER_H_

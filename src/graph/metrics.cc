@@ -1,0 +1,131 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/intersection.h"
+
+namespace ceci {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return stats;
+  std::vector<std::size_t> degrees(n);
+  std::size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.degree(v);
+    total += degrees[v];
+  }
+  std::sort(degrees.begin(), degrees.end());
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = static_cast<double>(total) / static_cast<double>(n);
+  auto percentile = [&](double p) {
+    std::size_t idx = static_cast<std::size_t>(p * (n - 1));
+    return static_cast<double>(degrees[idx]);
+  };
+  stats.p50 = percentile(0.50);
+  stats.p90 = percentile(0.90);
+  stats.p99 = percentile(0.99);
+  stats.skew = stats.mean > 0 ? static_cast<double>(stats.max) / stats.mean
+                              : 0.0;
+  return stats;
+}
+
+std::uint64_t CountTriangles(const Graph& g) {
+  // Orient edges low-to-high and intersect forward adjacencies: each
+  // triangle {a < b < c} is found exactly once at edge (a, b).
+  std::uint64_t triangles = 0;
+  std::vector<VertexId> forward_a;
+  std::vector<VertexId> forward_b;
+  for (VertexId a = 0; a < g.num_vertices(); ++a) {
+    auto adj_a = g.neighbors(a);
+    auto begin_a = std::upper_bound(adj_a.begin(), adj_a.end(), a);
+    forward_a.assign(begin_a, adj_a.end());
+    for (VertexId b : forward_a) {
+      auto adj_b = g.neighbors(b);
+      auto begin_b = std::upper_bound(adj_b.begin(), adj_b.end(), b);
+      triangles += IntersectionSize(
+          forward_a,
+          adj_b.subspan(static_cast<std::size_t>(begin_b - adj_b.begin())));
+    }
+  }
+  return triangles;
+}
+
+std::uint64_t CountWedges(const Graph& g) {
+  std::uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  std::uint64_t wedges = CountWedges(g);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+namespace {
+
+std::vector<std::size_t> ComponentSizes(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<char> seen(n, 0);
+  std::vector<std::size_t> sizes;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::size_t size = 0;
+    std::deque<VertexId> frontier = {s};
+    seen[s] = 1;
+    while (!frontier.empty()) {
+      VertexId v = frontier.front();
+      frontier.pop_front();
+      ++size;
+      for (VertexId w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          frontier.push_back(w);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::size_t CountConnectedComponents(const Graph& g) {
+  return ComponentSizes(g).size();
+}
+
+std::size_t LargestComponentSize(const Graph& g) {
+  auto sizes = ComponentSizes(g);
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+double LabelEntropyBits(const Graph& g) {
+  std::vector<std::uint64_t> counts(g.num_labels(), 0);
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (Label l : g.labels(v)) {
+      ++counts[l];
+      ++total;
+    }
+  }
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (std::uint64_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace ceci

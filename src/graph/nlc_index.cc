@@ -1,0 +1,52 @@
+#include "graph/nlc_index.h"
+
+#include <algorithm>
+
+namespace ceci {
+
+NlcIndex::NlcIndex(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  offsets_.assign(n + 1, 0);
+  std::vector<Entry> scratch;
+  std::vector<std::vector<Entry>> per_vertex(n);
+  for (VertexId v = 0; v < n; ++v) {
+    per_vertex[v] = Profile(g, v);
+    offsets_[v + 1] = offsets_[v] + per_vertex[v].size();
+  }
+  entries_.reserve(offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    entries_.insert(entries_.end(), per_vertex[v].begin(),
+                    per_vertex[v].end());
+  }
+}
+
+bool NlcIndex::Covers(VertexId v, std::span<const Entry> required) const {
+  auto have = entries(v);
+  std::size_t i = 0;
+  for (const Entry& need : required) {
+    while (i < have.size() && have[i].label < need.label) ++i;
+    if (i == have.size() || have[i].label != need.label ||
+        have[i].count < need.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NlcIndex::Entry> NlcIndex::Profile(const Graph& g, VertexId v) {
+  std::vector<Label> seen;
+  for (VertexId w : g.neighbors(v)) {
+    for (Label l : g.labels(w)) seen.push_back(l);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<Entry> out;
+  for (std::size_t i = 0; i < seen.size();) {
+    std::size_t j = i;
+    while (j < seen.size() && seen[j] == seen[i]) ++j;
+    out.push_back(Entry{seen[i], static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace ceci

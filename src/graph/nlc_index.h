@@ -1,0 +1,56 @@
+// Neighborhood Label Count index.
+//
+// The NLC filter (paper §3.2) requires, for every candidate data vertex v
+// and query vertex u, that count_v(l) >= count_u(l) for each label l in u's
+// neighborhood. This index precomputes count_v(l) for every data vertex as
+// sorted (label, count) runs so the check is a merge over two tiny sorted
+// lists instead of an adjacency rescans per candidate.
+#ifndef CECI_GRAPH_NLC_INDEX_H_
+#define CECI_GRAPH_NLC_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ceci {
+
+/// Per-vertex neighborhood label counts.
+class NlcIndex {
+ public:
+  struct Entry {
+    Label label;
+    std::uint32_t count;
+  };
+
+  NlcIndex() = default;
+
+  /// Builds the index for `g`. O(sum of degrees * labels per vertex).
+  explicit NlcIndex(const Graph& g);
+
+  /// Sorted-by-label (label, count) entries for vertex v.
+  std::span<const Entry> entries(VertexId v) const {
+    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff for every (l, c) in `required`, v has at least c neighbors
+  /// with label l.
+  bool Covers(VertexId v, std::span<const Entry> required) const;
+
+  std::size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(EdgeId) + entries_.size() * sizeof(Entry);
+  }
+
+  /// Computes the (label, count) profile of a single vertex's neighborhood
+  /// without an index; used for query vertices.
+  static std::vector<Entry> Profile(const Graph& g, VertexId v);
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_GRAPH_NLC_INDEX_H_

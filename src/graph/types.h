@@ -1,0 +1,42 @@
+// Fundamental identifier types shared across the library.
+#ifndef CECI_GRAPH_TYPES_H_
+#define CECI_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ceci {
+
+/// Data-graph and query-graph vertex identifier.
+using VertexId = std::uint32_t;
+/// Vertex label. Graphs may assign one or more labels per vertex (§2.1).
+using Label = std::uint32_t;
+/// Edge counter type; data graphs may exceed 2^32 directed edges.
+using EdgeId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr Label kInvalidLabel = std::numeric_limits<Label>::max();
+
+/// Saturating cardinality arithmetic (paper §3.3). Products of sums of
+/// per-candidate cardinalities overflow 64 bits on dense graphs; we saturate
+/// at kCardinalityCap, which preserves the ordering used for extreme-cluster
+/// detection (§4.3).
+using Cardinality = std::uint64_t;
+inline constexpr Cardinality kCardinalityCap = Cardinality{1} << 62;
+
+inline Cardinality SaturatingAdd(Cardinality a, Cardinality b) {
+  Cardinality s = a + b;
+  if (s < a || s > kCardinalityCap) return kCardinalityCap;
+  return s;
+}
+
+inline Cardinality SaturatingMul(Cardinality a, Cardinality b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kCardinalityCap / b) return kCardinalityCap;
+  return a * b;
+}
+
+}  // namespace ceci
+
+#endif  // CECI_GRAPH_TYPES_H_

@@ -1,0 +1,116 @@
+#include "graphio/binary_csr.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace ceci {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'E', 'C', 'I'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;        // undirected
+  std::uint64_t num_label_entries;
+};
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::size_t count, std::vector<T>* v) {
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteBinaryCsr(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+  // Flatten: label entries as (vertex, label) pairs; edges as (u, v), u < v.
+  std::vector<std::uint64_t> label_entries;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (Label l : g.labels(v)) {
+      label_entries.push_back((static_cast<std::uint64_t>(v) << 32) | l);
+    }
+  }
+  std::vector<std::uint64_t> edges;
+  edges.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (v < w) edges.push_back((static_cast<std::uint64_t>(v) << 32) | w);
+    }
+  }
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.num_vertices = g.num_vertices();
+  h.num_edges = edges.size();
+  h.num_label_entries = label_entries.size();
+  if (!WritePod(out, h) || !WriteVec(out, label_entries) ||
+      !WriteVec(out, edges)) {
+    return Status::IoError("write failure on " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Graph> ReadBinaryCsr(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  Header h{};
+  if (!ReadPod(in, &h)) return Status::Corruption("truncated header");
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (h.version != kVersion) {
+    return Status::Corruption("unsupported version " +
+                              std::to_string(h.version));
+  }
+  std::vector<std::uint64_t> label_entries;
+  std::vector<std::uint64_t> edges;
+  if (!ReadVec(in, h.num_label_entries, &label_entries) ||
+      !ReadVec(in, h.num_edges, &edges)) {
+    return Status::Corruption("truncated payload in " + path);
+  }
+  GraphBuilder builder;
+  builder.ReserveVertices(h.num_vertices);
+  for (std::uint64_t e : label_entries) {
+    builder.AddLabel(static_cast<VertexId>(e >> 32),
+                     static_cast<Label>(e & 0xffffffffu));
+  }
+  for (std::uint64_t e : edges) {
+    builder.AddEdge(static_cast<VertexId>(e >> 32),
+                    static_cast<VertexId>(e & 0xffffffffu));
+  }
+  return builder.Build();
+}
+
+}  // namespace ceci

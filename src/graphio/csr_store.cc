@@ -1,0 +1,118 @@
+#include "graphio/csr_store.h"
+
+#include <cstring>
+#include <memory>
+
+namespace ceci {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'R', '2'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t num_vertices;
+  std::uint64_t num_directed_edges;
+  std::uint64_t num_label_entries;
+};
+
+template <typename T>
+bool WriteRaw(std::ofstream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteCsrStore(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + g.degree(v);
+  }
+  std::vector<std::uint32_t> label_offsets(n + 1, 0);
+  std::vector<Label> labels;
+  for (VertexId v = 0; v < n; ++v) {
+    auto ls = g.labels(v);
+    labels.insert(labels.end(), ls.begin(), ls.end());
+    label_offsets[v + 1] = static_cast<std::uint32_t>(labels.size());
+  }
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.num_vertices = n;
+  h.num_directed_edges = offsets[n];
+  h.num_label_entries = labels.size();
+  if (!WriteRaw(out, &h, 1) || !WriteRaw(out, offsets.data(), n + 1) ||
+      !WriteRaw(out, label_offsets.data(), n + 1) ||
+      !WriteRaw(out, labels.data(), labels.size())) {
+    return Status::IoError("write failure on " + path);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    auto adj = g.neighbors(v);
+    if (!WriteRaw(out, adj.data(), adj.size())) {
+      return Status::IoError("write failure on " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<OnDemandCsr> OnDemandCsr::Open(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) return Status::IoError("cannot open " + path);
+  Header h{};
+  if (!ReadRaw(*file, &h, 1)) return Status::Corruption("truncated header");
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (h.version != kVersion) {
+    return Status::Corruption("unsupported CSR store version");
+  }
+
+  OnDemandCsr store;
+  store.offsets_.resize(h.num_vertices + 1);
+  store.label_offsets_.resize(h.num_vertices + 1);
+  store.labels_.resize(h.num_label_entries);
+  if (!ReadRaw(*file, store.offsets_.data(), store.offsets_.size()) ||
+      !ReadRaw(*file, store.label_offsets_.data(),
+               store.label_offsets_.size()) ||
+      !ReadRaw(*file, store.labels_.data(), store.labels_.size())) {
+    return Status::Corruption("truncated resident sections in " + path);
+  }
+  if (store.offsets_.back() != h.num_directed_edges) {
+    return Status::Corruption("offset array inconsistent in " + path);
+  }
+  store.adjacency_base_ = static_cast<std::uint64_t>(file->tellg());
+  store.file_ = std::move(file);
+  return store;
+}
+
+Status OnDemandCsr::ReadNeighbors(VertexId v, std::vector<VertexId>* out) {
+  const std::uint64_t begin = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+  out->resize(end - begin);
+  ++requests_;
+  if (begin == end) return Status::Ok();
+  file_->seekg(static_cast<std::streamoff>(adjacency_base_ +
+                                           begin * sizeof(VertexId)));
+  if (!ReadRaw(*file_, out->data(), out->size())) {
+    return Status::Corruption("truncated adjacency section");
+  }
+  bytes_read_ += out->size() * sizeof(VertexId);
+  return Status::Ok();
+}
+
+}  // namespace ceci

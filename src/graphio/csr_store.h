@@ -1,0 +1,83 @@
+// On-demand CSR graph store — the physical realization of the paper's
+// shared-storage mode (§5).
+//
+// The paper's second distributed design keeps a single CSR copy of the
+// data graph on a lustre file system; every machine holds only the
+// beginning_position (offset) array in memory and fetches adjacency lists
+// on demand. CsrStoreWriter lays that format out on disk and OnDemandCsr
+// reads it: offsets and labels stay resident, Neighbors(v) seeks and reads
+// just that adjacency list, counting requests and bytes. distsim's cost
+// model mirrors these counters; this module makes the storage path real
+// and testable (round-trip against the in-memory Graph).
+//
+// File layout (little-endian):
+//   header    : magic "CSR2", version u32, |V| u64, directed-edge count u64,
+//               label-entry count u64
+//   offsets   : (|V|+1) x u64        — the beginning_position array
+//   labels    : per-vertex label runs (offsets u32 x (|V|+1), labels u32)
+//   adjacency : directed-edge count x u32, sorted per vertex
+#ifndef CECI_GRAPHIO_CSR_STORE_H_
+#define CECI_GRAPHIO_CSR_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ceci {
+
+/// Serializes `g` into the on-demand CSR layout.
+Status WriteCsrStore(const Graph& g, const std::string& path);
+
+/// Reader over a WriteCsrStore file. Offsets and labels are resident;
+/// adjacency lists are fetched per request. Not thread-safe — simulated
+/// machines own private instances, like independent lustre clients.
+class OnDemandCsr {
+ public:
+  /// Opens `path` and loads the resident sections.
+  static Result<OnDemandCsr> Open(const std::string& path);
+
+  OnDemandCsr(OnDemandCsr&&) = default;
+  OnDemandCsr& operator=(OnDemandCsr&&) = default;
+
+  std::size_t num_vertices() const { return offsets_.size() - 1; }
+  std::size_t num_directed_edges() const { return offsets_.back(); }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Labels of v (resident, no IO).
+  std::span<const Label> labels(VertexId v) const {
+    return {labels_.data() + label_offsets_[v],
+            labels_.data() + label_offsets_[v + 1]};
+  }
+
+  /// Fetches the adjacency list of v from storage into `out` (sorted).
+  /// Counts one request and degree(v)*4 bytes.
+  Status ReadNeighbors(VertexId v, std::vector<VertexId>* out);
+
+  /// Storage traffic so far.
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  OnDemandCsr() = default;
+
+  std::unique_ptr<std::ifstream> file_;
+  std::uint64_t adjacency_base_ = 0;  // file offset of the adjacency section
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> label_offsets_;
+  std::vector<Label> labels_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_GRAPHIO_CSR_STORE_H_

@@ -1,0 +1,189 @@
+#include "graphio/pattern_parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace ceci {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Graph> Run() {
+    SkipSpace();
+    if (AtEnd()) return Status::InvalidArgument("empty pattern");
+    CECI_RETURN_IF_ERROR(ParseChain());
+    while (!AtEnd()) {
+      if (!Consume(';')) {
+        return Error("expected ';' between chains");
+      }
+      SkipSpace();
+      if (AtEnd()) break;  // trailing ';' is allowed
+      CECI_RETURN_IF_ERROR(ParseChain());
+    }
+    GraphBuilder builder;
+    builder.ReserveVertices(order_.size());
+    for (VertexId v = 0; v < order_.size(); ++v) {
+      const auto& labels = labels_by_vertex_[v];
+      if (labels.empty()) {
+        builder.AddLabel(v, 0);
+      } else {
+        for (Label l : labels) builder.AddLabel(v, l);
+      }
+    }
+    for (auto [a, b] : edges_) builder.AddEdge(a, b);
+    if (edges_.empty() && order_.size() > 1) {
+      return Status::InvalidArgument("pattern with several vertices but no edges");
+    }
+    return builder.Build();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status ParseChain() {
+    VertexId prev = kInvalidVertex;
+    for (;;) {
+      VertexId v = kInvalidVertex;
+      Status st = ParseVertex(&v);
+      if (!st.ok()) return st;
+      if (prev != kInvalidVertex) {
+        if (prev == v) return Error("self loop in pattern");
+        edges_.emplace_back(prev, v);
+      }
+      prev = v;
+      SkipSpace();
+      if (AtEnd() || Peek() != '-') return Status::Ok();
+      ++pos_;  // consume '-'
+    }
+  }
+
+  Status ParseVertex(VertexId* out) {
+    if (!Consume('(')) return Error("expected '('");
+    SkipSpace();
+    std::string name;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      name.push_back(Peek());
+      ++pos_;
+    }
+    if (name.empty()) return Error("expected vertex name");
+
+    std::vector<Label> labels;
+    SkipSpace();
+    if (!AtEnd() && Peek() == ':') {
+      ++pos_;
+      for (;;) {
+        SkipSpace();
+        std::string digits;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          digits.push_back(Peek());
+          ++pos_;
+        }
+        if (digits.empty()) return Error("expected label");
+        if (digits.size() > 9) return Error("label out of range");
+        labels.push_back(static_cast<Label>(std::stoul(digits)));
+        SkipSpace();
+        if (AtEnd() || Peek() != ',') break;
+        ++pos_;
+      }
+    }
+    if (!Consume(')')) return Error("expected ')'");
+
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      VertexId id = static_cast<VertexId>(order_.size());
+      by_name_[name] = id;
+      order_.push_back(name);
+      labels_by_vertex_.push_back(labels);
+      *out = id;
+      return Status::Ok();
+    }
+    VertexId id = it->second;
+    if (!labels.empty() && labels_by_vertex_[id] != labels) {
+      if (labels_by_vertex_[id].empty()) {
+        labels_by_vertex_[id] = labels;
+      } else {
+        return Error("vertex '" + name + "' re-declared with other labels");
+      }
+    }
+    *out = id;
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, VertexId> by_name_;
+  std::vector<std::string> order_;
+  std::vector<std::vector<Label>> labels_by_vertex_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace
+
+Result<Graph> ParsePattern(const std::string& pattern) {
+  return Parser(pattern).Run();
+}
+
+std::string FormatPattern(const Graph& query) {
+  std::ostringstream out;
+  auto vertex = [&](VertexId v) {
+    out << "(v" << v;
+    auto labels = query.labels(v);
+    if (!(labels.size() == 1 && labels[0] == 0)) {
+      out << ":";
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i) out << ",";
+        out << labels[i];
+      }
+    }
+    out << ")";
+  };
+  bool first = true;
+  bool any_edge = false;
+  for (VertexId a = 0; a < query.num_vertices(); ++a) {
+    for (VertexId b : query.neighbors(a)) {
+      if (b <= a) continue;
+      any_edge = true;
+      if (!first) out << "; ";
+      first = false;
+      vertex(a);
+      out << "-";
+      vertex(b);
+    }
+  }
+  if (!any_edge) {
+    for (VertexId v = 0; v < query.num_vertices(); ++v) {
+      if (!first) out << "; ";
+      first = false;
+      vertex(v);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ceci

@@ -1,0 +1,37 @@
+// A compact textual DSL for query patterns.
+//
+// Writing query graphs through GraphBuilder is verbose; the pattern DSL
+// lets examples, tools, and tests spell a query in one line:
+//
+//   "(a:0)-(b:1)-(c:2); (a)-(c)"
+//
+// Grammar (whitespace-insensitive):
+//   pattern  := chain (';' chain)*
+//   chain    := vertex ('-' vertex)*
+//   vertex   := '(' name (':' label (',' label)*)? ')'
+//
+// A chain adds an edge between each consecutive vertex pair. The first
+// appearance of a name may declare labels; later appearances reference
+// the same vertex (re-declaring different labels is an error). Unlabeled
+// vertices get label 0. Vertex ids are assigned in order of first
+// appearance, so "(a)" becomes query vertex 0, etc.
+#ifndef CECI_GRAPHIO_PATTERN_PARSER_H_
+#define CECI_GRAPHIO_PATTERN_PARSER_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ceci {
+
+/// Parses a pattern expression into a query graph.
+Result<Graph> ParsePattern(const std::string& pattern);
+
+/// Renders a query graph back into the DSL (stable round-trip form:
+/// vertices named v0..vN in id order, chains expanded edge by edge).
+std::string FormatPattern(const Graph& query);
+
+}  // namespace ceci
+
+#endif  // CECI_GRAPHIO_PATTERN_PARSER_H_

@@ -1,0 +1,154 @@
+#include "util/intersection.h"
+
+#include <algorithm>
+
+namespace ceci {
+namespace {
+
+// One side much smaller: for each element of the small side, gallop in the
+// large side. Threshold chosen empirically; a factor of 32 keeps the merge
+// scan for near-equal sizes.
+constexpr std::size_t kGallopFactor = 32;
+
+// Finds the first index i >= lo with hay[i] >= needle using exponential
+// probing followed by binary search.
+std::size_t GallopLowerBound(std::span<const std::uint32_t> hay,
+                             std::size_t lo, std::uint32_t needle) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < hay.size() && hay[hi] < needle) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  hi = std::min(hi, hay.size());
+  return static_cast<std::size_t>(
+      std::lower_bound(hay.begin() + lo, hay.begin() + hi, needle) -
+      hay.begin());
+}
+
+void IntersectGalloping(std::span<const std::uint32_t> small,
+                        std::span<const std::uint32_t> large,
+                        std::vector<std::uint32_t>* out) {
+  std::size_t pos = 0;
+  for (std::uint32_t x : small) {
+    pos = GallopLowerBound(large, pos, x);
+    if (pos == large.size()) break;
+    if (large[pos] == x) {
+      out->push_back(x);
+      ++pos;
+    }
+  }
+}
+
+void IntersectMerge(std::span<const std::uint32_t> a,
+                    std::span<const std::uint32_t> b,
+                    std::vector<std::uint32_t>* out) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+void IntersectSorted(std::span<const std::uint32_t> a,
+                     std::span<const std::uint32_t> b,
+                     std::vector<std::uint32_t>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size() > b.size()) std::swap(a, b);
+  out->reserve(a.size());
+  if (b.size() / a.size() >= kGallopFactor) {
+    IntersectGalloping(a, b, out);
+  } else {
+    IntersectMerge(a, b, out);
+  }
+}
+
+void IntersectSortedInPlace(std::vector<std::uint32_t>* inout,
+                            std::span<const std::uint32_t> b) {
+  if (inout->empty()) return;
+  if (b.empty()) {
+    inout->clear();
+    return;
+  }
+  std::size_t write = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < inout->size() && j < b.size();) {
+    std::uint32_t x = (*inout)[i];
+    if (x < b[j]) {
+      ++i;
+    } else if (x > b[j]) {
+      ++j;
+    } else {
+      (*inout)[write++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  inout->resize(write);
+}
+
+void IntersectSortedMulti(std::span<const std::span<const std::uint32_t>> lists,
+                          std::vector<std::uint32_t>* out) {
+  out->clear();
+  if (lists.empty()) return;
+  // Start from the smallest list to bound the working set.
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+  out->assign(lists[smallest].begin(), lists[smallest].end());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    if (i == smallest) continue;
+    IntersectSortedInPlace(out, lists[i]);
+    if (out->empty()) return;
+  }
+}
+
+std::size_t IntersectionSize(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  std::size_t count = 0;
+  if (b.size() / a.size() >= kGallopFactor) {
+    std::size_t pos = 0;
+    for (std::uint32_t x : a) {
+      pos = GallopLowerBound(b, pos, x);
+      if (pos == b.size()) break;
+      if (b[pos] == x) {
+        ++count;
+        ++pos;
+      }
+    }
+  } else {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+bool SortedContains(std::span<const std::uint32_t> sorted, std::uint32_t x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+}  // namespace ceci

@@ -1,0 +1,39 @@
+// Sorted-set intersection kernels. Embedding enumeration in CECI replaces
+// per-edge verification with intersections of sorted candidate lists (paper
+// §4, Lemma 2); these kernels are the hot path.
+#ifndef CECI_UTIL_INTERSECTION_H_
+#define CECI_UTIL_INTERSECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ceci {
+
+/// out = a ∩ b. Both inputs must be sorted ascending and duplicate-free;
+/// the output is too. `out` is cleared first. Uses a merge scan when the
+/// sizes are comparable and galloping (exponential search) when one side is
+/// much smaller.
+void IntersectSorted(std::span<const std::uint32_t> a,
+                     std::span<const std::uint32_t> b,
+                     std::vector<std::uint32_t>* out);
+
+/// In-place variant: inout = inout ∩ b.
+void IntersectSortedInPlace(std::vector<std::uint32_t>* inout,
+                            std::span<const std::uint32_t> b);
+
+/// Intersection of k sorted lists (k >= 1), smallest-first ordering applied
+/// internally. `out` is cleared first.
+void IntersectSortedMulti(std::span<const std::span<const std::uint32_t>> lists,
+                          std::vector<std::uint32_t>* out);
+
+/// |a ∩ b| without materializing.
+std::size_t IntersectionSize(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b);
+
+/// Binary search membership test on a sorted list.
+bool SortedContains(std::span<const std::uint32_t> sorted, std::uint32_t x);
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_INTERSECTION_H_

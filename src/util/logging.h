@@ -1,0 +1,59 @@
+// Minimal logging and CHECK macros for internal invariants.
+#ifndef CECI_UTIL_LOGGING_H_
+#define CECI_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ceci {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after streaming the message. Used by CECI_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ceci
+
+#define CECI_LOG(level)                                                     \
+  ::ceci::internal_logging::LogMessage(::ceci::LogLevel::k##level, __FILE__, \
+                                       __LINE__)                             \
+      .stream()
+
+#define CECI_CHECK(condition)                                              \
+  if (!(condition))                                                        \
+  ::ceci::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)   \
+      .stream()
+
+#define CECI_DCHECK(condition) CECI_CHECK(condition)
+
+#endif  // CECI_UTIL_LOGGING_H_

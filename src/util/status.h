@@ -1,0 +1,95 @@
+// Status / Result<T> error handling for fallible operations (I/O, parsing,
+// validation). Follows the RocksDB/Arrow idiom: no exceptions cross the
+// public API; internal invariants use CECI_CHECK from logging.h.
+#ifndef CECI_UTIL_STATUS_H_
+#define CECI_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ceci {
+
+/// Outcome of a fallible operation. Cheap to copy in the OK case.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kCorruption,
+    kUnimplemented,
+  };
+
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value or an error Status. Accessing value() on an error aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace ceci
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CECI_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ceci::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // CECI_UTIL_STATUS_H_

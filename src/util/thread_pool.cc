@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ceci {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  CECI_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t n, std::size_t grain,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::size_t num_tasks = std::min(workers_.size(), (n + grain - 1) / grain);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    Submit([next, n, grain, &fn] {
+      for (;;) {
+        std::size_t begin = next->fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) return;
+        std::size_t end = std::min(begin + grain, n);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+std::size_t ThreadPool::DefaultThreads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ceci

@@ -1,0 +1,59 @@
+// Fixed-size worker pool used by CECI's parallel filtering and enumeration.
+// Work distribution follows the paper's pull-based dynamic model (§3.6,
+// §4.2): workers pull tasks from a shared queue until it drains.
+#ifndef CECI_UTIL_THREAD_POOL_H_
+#define CECI_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ceci {
+
+/// A minimal fixed-size thread pool. Tasks are void() callables; Wait()
+/// blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Iterations are pulled dynamically in chunks of `grain`.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Number of hardware threads, at least 1.
+  static std::size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_THREAD_POOL_H_

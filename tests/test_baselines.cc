@@ -1,0 +1,198 @@
+// Unit tests for baseline-specific behaviour (correctness is covered by
+// test_property_equivalence; these exercise each baseline's signature
+// mechanics: paging, intermediate materialization, regions, matrices).
+#include <gtest/gtest.h>
+
+#include "baselines/bare_enumerator.h"
+#include "baselines/cfl_enumerator.h"
+#include "baselines/dual_sim.h"
+#include "baselines/paged_graph.h"
+#include "baselines/psgl.h"
+#include "baselines/turbo_iso.h"
+#include "baselines/vf2.h"
+#include "ceci/matcher.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeUnlabeled;
+using ::ceci::testing::PaperExample;
+
+TEST(Vf2Test, PaperExample) {
+  Vf2Result r = Vf2Count(PaperExample::Data(), PaperExample::Query(),
+                         Vf2Options{});
+  EXPECT_EQ(r.embeddings, 2u);
+  EXPECT_GT(r.recursive_calls, 0u);
+}
+
+TEST(Vf2Test, LimitStopsEarly) {
+  Graph data = GenerateBarabasiAlbert(200, 4, 1);
+  Vf2Options options;
+  options.limit = 5;
+  Vf2Result r = Vf2Count(data, MakePaperQuery(PaperQuery::kQG1), options);
+  EXPECT_EQ(r.embeddings, 5u);
+}
+
+TEST(BareTest, PaperExample) {
+  BareResult r =
+      BareCount(PaperExample::Data(), PaperExample::Query(), BareOptions{});
+  EXPECT_EQ(r.embeddings, 2u);
+}
+
+TEST(BareTest, LimitAcrossThreads) {
+  Graph data = GenerateBarabasiAlbert(300, 4, 2);
+  BareOptions options;
+  options.threads = 4;
+  options.limit = 12;
+  BareResult r = BareCount(data, MakePaperQuery(PaperQuery::kQG1), options);
+  EXPECT_EQ(r.embeddings, 12u);
+}
+
+TEST(BareTest, MoreRecursiveCallsThanCeci) {
+  // The Fig. 18 claim: CECI's filtered index explores fewer branches.
+  Graph data = GenerateBarabasiAlbert(400, 4, 3);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  BareResult bare = BareCount(data, query, BareOptions{});
+  CeciMatcher matcher(data);
+  auto ceci = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(ceci.ok());
+  EXPECT_EQ(bare.embeddings, ceci->embedding_count);
+  EXPECT_GE(bare.recursive_calls, ceci->stats.enumeration.recursive_calls);
+}
+
+TEST(CflTest, UsesMatrixOnSmallGraphs) {
+  Graph data = PaperExample::Data();
+  NlcIndex nlc(data);
+  CflResult r = CflCount(data, nlc, PaperExample::Query(), CflOptions{});
+  EXPECT_EQ(r.embeddings, 2u);
+  EXPECT_TRUE(r.used_matrix);
+}
+
+TEST(CflTest, FallsBackWithoutMatrix) {
+  Graph data = PaperExample::Data();
+  NlcIndex nlc(data);
+  CflOptions options;
+  options.matrix_max_vertices = 4;  // force fallback
+  CflResult r = CflCount(data, nlc, PaperExample::Query(), options);
+  EXPECT_EQ(r.embeddings, 2u);
+  EXPECT_FALSE(r.used_matrix);
+}
+
+TEST(CflTest, CountsEdgeVerifications) {
+  Graph data = GenerateBarabasiAlbert(200, 4, 9);
+  NlcIndex nlc(data);
+  CflResult r =
+      CflCount(data, nlc, MakePaperQuery(PaperQuery::kQG4), CflOptions{});
+  EXPECT_GT(r.edge_verifications, 0u);
+}
+
+TEST(TurboIsoTest, PaperExample) {
+  Graph data = PaperExample::Data();
+  NlcIndex nlc(data);
+  TurboIsoResult r =
+      TurboIsoCount(data, nlc, PaperExample::Query(), TurboIsoOptions{});
+  EXPECT_EQ(r.embeddings, 2u);
+  EXPECT_GT(r.regions_explored, 0u);
+}
+
+TEST(TurboIsoTest, BoostedSavesFilterEvaluations) {
+  Graph data = GenerateBarabasiAlbert(400, 4, 17);
+  NlcIndex nlc(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  TurboIsoResult plain = TurboIsoCount(data, nlc, query, TurboIsoOptions{});
+  TurboIsoOptions boosted_options;
+  boosted_options.boosted = true;
+  TurboIsoResult boosted = TurboIsoCount(data, nlc, query, boosted_options);
+  EXPECT_EQ(plain.embeddings, boosted.embeddings);
+  EXPECT_LT(boosted.filter_evaluations, plain.filter_evaluations);
+}
+
+TEST(PsglTest, PaperExample) {
+  PsglResult r =
+      PsglCount(PaperExample::Data(), PaperExample::Query(), PsglOptions{});
+  EXPECT_EQ(r.embeddings, 2u);
+  EXPECT_GT(r.expansions, 0u);
+  EXPECT_FALSE(r.overflowed);
+}
+
+TEST(PsglTest, TracksPeakIntermediateSize) {
+  Graph data = GenerateBarabasiAlbert(300, 4, 23);
+  PsglResult r = PsglCount(data, MakePaperQuery(PaperQuery::kQG1),
+                           PsglOptions{});
+  EXPECT_GT(r.peak_intermediate, 0u);
+}
+
+TEST(PsglTest, OverflowGuardTrips) {
+  Graph data = GenerateBarabasiAlbert(300, 5, 23);
+  PsglOptions options;
+  options.max_intermediate = 4;  // absurdly small cap
+  PsglResult r = PsglCount(data, MakePaperQuery(PaperQuery::kQG2), options);
+  EXPECT_TRUE(r.overflowed);
+}
+
+TEST(PagedGraphTest, CountsHitsAndMisses) {
+  Graph g = GenerateErdosRenyi(500, 3000, 3);
+  PagedGraphOptions options;
+  options.page_entries = 64;
+  options.pool_pages = 4;
+  PagedGraph paged(g, options);
+  EXPECT_GT(paged.num_pages(), 4u);
+  for (VertexId v = 0; v < 100; ++v) paged.Neighbors(v);
+  EXPECT_GT(paged.page_misses(), 0u);
+  double io = paged.simulated_io_seconds();
+  EXPECT_GT(io, 0.0);
+  paged.ResetCounters();
+  EXPECT_EQ(paged.page_misses(), 0u);
+}
+
+TEST(PagedGraphTest, RepeatAccessHitsCache) {
+  Graph g = GenerateErdosRenyi(100, 500, 4);
+  PagedGraphOptions options;
+  options.page_entries = 8;
+  options.pool_pages = 1024;  // everything fits
+  PagedGraph paged(g, options);
+  paged.Neighbors(0);
+  std::uint64_t misses_first = paged.page_misses();
+  paged.Neighbors(0);
+  EXPECT_EQ(paged.page_misses(), misses_first);
+  EXPECT_GT(paged.page_hits(), 0u);
+}
+
+TEST(PagedGraphTest, AdjacencyMatchesGraph) {
+  Graph g = GenerateErdosRenyi(200, 1000, 5);
+  PagedGraph paged(g, PagedGraphOptions{});
+  for (VertexId v = 0; v < g.num_vertices(); v += 17) {
+    auto a = g.neighbors(v);
+    auto b = paged.Neighbors(v);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  EXPECT_EQ(paged.HasEdge(0, 1), g.HasEdge(0, 1));
+}
+
+TEST(DualSimTest, PaperExample) {
+  DualSimResult r = DualSimCount(PaperExample::Data(), PaperExample::Query(),
+                                 DualSimOptions{});
+  EXPECT_EQ(r.embeddings, 2u);
+  EXPECT_GT(r.page_misses, 0u);
+  EXPECT_GT(r.seconds, r.compute_seconds);
+}
+
+TEST(DualSimTest, SmallerPoolMeansMoreIo) {
+  Graph data = GenerateBarabasiAlbert(500, 4, 29);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  DualSimOptions big;
+  big.paging.pool_pages = 1 << 16;
+  DualSimOptions small;
+  small.paging.pool_pages = 2;
+  DualSimResult a = DualSimCount(data, query, big);
+  DualSimResult b = DualSimCount(data, query, small);
+  EXPECT_EQ(a.embeddings, b.embeddings);
+  EXPECT_LT(a.page_misses, b.page_misses);
+  EXPECT_LT(a.io_seconds, b.io_seconds);
+}
+
+}  // namespace
+}  // namespace ceci

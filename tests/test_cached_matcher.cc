@@ -1,0 +1,144 @@
+// Tests for the memoizing multi-query session.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/quicksi.h"
+#include "ceci/cached_matcher.h"
+#include "gen/labels.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "graphio/pattern_parser.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+TEST(CachedMatcherTest, SecondMatchHitsCache) {
+  Graph data = GenerateSocialGraph(400, 8, 1);
+  CachedMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  auto a = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(matcher.cache_misses(), 1u);
+  EXPECT_EQ(matcher.cache_hits(), 0u);
+  auto b = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(matcher.cache_hits(), 1u);
+  EXPECT_EQ(b->embedding_count, a->embedding_count);
+}
+
+TEST(CachedMatcherTest, AgreesWithUncachedMatcher) {
+  Graph data =
+      AssignRandomLabels(GenerateSocialGraph(500, 8, 2), 4, 3);
+  auto query = ParsePattern("(a:0)-(b:1)-(c:2); (a)-(c)");
+  ASSERT_TRUE(query.ok());
+  CeciMatcher plain(data);
+  CachedMatcher cached(data);
+  auto expected = plain.Count(*query);
+  ASSERT_TRUE(expected.ok());
+  for (int round = 0; round < 3; ++round) {
+    auto got = cached.Count(*query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *expected);
+  }
+}
+
+TEST(CachedMatcherTest, StructurallyEqualQueriesShareEntries) {
+  Graph data = GenerateSocialGraph(300, 8, 4);
+  CachedMatcher matcher(data);
+  // Two separately-built but identical triangles.
+  Graph q1 = MakePaperQuery(PaperQuery::kQG1);
+  Graph q2 = testing::MakeUnlabeled(3, {{0, 1}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(matcher.Match(q1, MatchOptions{}).ok());
+  ASSERT_TRUE(matcher.Match(q2, MatchOptions{}).ok());
+  EXPECT_EQ(matcher.cache_entries(), 1u);
+  EXPECT_EQ(matcher.cache_hits(), 1u);
+}
+
+TEST(CachedMatcherTest, OptionsThatChangeTheIndexSplitEntries) {
+  Graph data = AssignRandomLabels(GenerateSocialGraph(300, 8, 5), 3, 6);
+  CachedMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  MatchOptions bfs;
+  MatchOptions ranked;
+  ranked.order = OrderStrategy::kEdgeRanked;
+  MatchOptions no_sym;
+  no_sym.break_automorphisms = false;
+  ASSERT_TRUE(matcher.Match(query, bfs).ok());
+  ASSERT_TRUE(matcher.Match(query, ranked).ok());
+  ASSERT_TRUE(matcher.Match(query, no_sym).ok());
+  EXPECT_EQ(matcher.cache_entries(), 3u);
+}
+
+TEST(CachedMatcherTest, RuntimeOnlyOptionsShareEntries) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CachedMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG2);
+  MatchOptions one;
+  MatchOptions other;
+  other.threads = 4;
+  other.limit = 10;
+  other.nte_intersection = false;
+  auto a = matcher.Match(query, one);
+  auto b = matcher.Match(query, other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(matcher.cache_entries(), 1u);
+  EXPECT_EQ(b->embedding_count, 10u);
+}
+
+TEST(CachedMatcherTest, InfeasibleQueryCachedAsZero) {
+  Graph data = testing::MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph query = testing::MakeGraph({7, 7, 7}, {{0, 1}, {1, 2}, {0, 2}});
+  CachedMatcher matcher(data);
+  for (int i = 0; i < 2; ++i) {
+    auto result = matcher.Match(query, MatchOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->embedding_count, 0u);
+  }
+  EXPECT_EQ(matcher.cache_misses(), 1u);
+}
+
+TEST(CachedMatcherTest, ClearCacheForcesRebuild) {
+  Graph data = GenerateSocialGraph(200, 6, 8);
+  CachedMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  ASSERT_TRUE(matcher.Match(query, MatchOptions{}).ok());
+  matcher.ClearCache();
+  EXPECT_EQ(matcher.cache_entries(), 0u);
+  ASSERT_TRUE(matcher.Match(query, MatchOptions{}).ok());
+  EXPECT_EQ(matcher.cache_misses(), 2u);
+}
+
+TEST(CachedMatcherTest, ConcurrentMatchesAreConsistent) {
+  Graph data = GenerateSocialGraph(400, 8, 9);
+  CachedMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  QuickSiResult oracle = QuickSiCount(data, query, QuickSiOptions{});
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> counts(6, 0);
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = matcher.Count(query);
+      counts[t] = c.ok() ? *c : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint64_t c : counts) EXPECT_EQ(c, oracle.embeddings);
+}
+
+TEST(CachedMatcherTest, QueryKeyDistinguishesLabelsAndEdges) {
+  MatchOptions options;
+  Graph a = testing::MakeGraph({0, 1}, {{0, 1}});
+  Graph b = testing::MakeGraph({0, 2}, {{0, 1}});
+  Graph c = testing::MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  Graph d = testing::MakeUnlabeled(3, {{0, 1}, {0, 2}});
+  EXPECT_NE(CachedMatcher::QueryKey(a, options),
+            CachedMatcher::QueryKey(b, options));
+  EXPECT_NE(CachedMatcher::QueryKey(c, options),
+            CachedMatcher::QueryKey(d, options));
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,142 @@
+// Unit tests for the TE/NTE candidate-list structure.
+#include <gtest/gtest.h>
+
+#include "ceci/candidate_list.h"
+
+namespace ceci {
+namespace {
+
+TEST(CandidateListTest, AppendAndFind) {
+  CandidateList list;
+  list.Append(2, {10, 11});
+  list.Append(5, {12});
+  list.Append(9, {10, 13, 14});
+  EXPECT_EQ(list.num_keys(), 3u);
+  auto vals = list.Find(5);
+  EXPECT_EQ(std::vector<VertexId>(vals.begin(), vals.end()),
+            (std::vector<VertexId>{12}));
+  EXPECT_TRUE(list.Find(3).empty());
+  EXPECT_TRUE(list.Find(100).empty());
+}
+
+TEST(CandidateListTest, TotalValuesAndMemory) {
+  CandidateList list;
+  list.Append(1, {2, 3});
+  list.Append(4, {5});
+  EXPECT_EQ(list.TotalValues(), 3u);
+  EXPECT_GT(list.MemoryBytes(), 3 * sizeof(VertexId));
+}
+
+TEST(CandidateListTest, UnionOfValues) {
+  CandidateList list;
+  list.Append(1, {5, 7});
+  list.Append(2, {5, 9});
+  list.Append(3, {7});
+  EXPECT_EQ(list.UnionOfValues(), (std::vector<VertexId>{5, 7, 9}));
+}
+
+TEST(CandidateListTest, PruneDropsKeysAndValues) {
+  CandidateList list;
+  list.Append(1, {10, 11, 12});
+  list.Append(2, {10});
+  list.Append(3, {11, 13});
+  std::size_t removed = list.Prune(
+      [](VertexId key) { return key != 2; },        // drop key 2
+      [](VertexId val) { return val != 11; });      // drop value 11
+  // Removed: key 2's 1 value + value 11 twice = 3.
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(list.num_keys(), 2u);
+  auto v1 = list.Find(1);
+  EXPECT_EQ(std::vector<VertexId>(v1.begin(), v1.end()),
+            (std::vector<VertexId>{10, 12}));
+  EXPECT_TRUE(list.Find(2).empty());
+}
+
+TEST(CandidateListTest, PruneDropsEmptiedKeys) {
+  CandidateList list;
+  list.Append(1, {10});
+  list.Append(2, {11});
+  list.Prune([](VertexId) { return true; },
+             [](VertexId val) { return val != 10; });
+  EXPECT_EQ(list.num_keys(), 1u);
+  EXPECT_TRUE(list.Find(1).empty());
+  EXPECT_FALSE(list.Find(2).empty());
+}
+
+TEST(CandidateListTest, ClearAndEmpty) {
+  CandidateList list;
+  EXPECT_TRUE(list.empty());
+  list.Append(1, {2});
+  EXPECT_FALSE(list.empty());
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.TotalValues(), 0u);
+}
+
+TEST(CandidateListTest, ValuesAtIteration) {
+  CandidateList list;
+  list.Append(3, {1});
+  list.Append(7, {2, 4});
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < list.num_keys(); ++i) {
+    total += list.values_at(i).size();
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(list.keys()[1], 7u);
+}
+
+TEST(CandidateListTest, FreezePreservesLookups) {
+  CandidateList list;
+  list.Append(2, {10, 11});
+  list.Append(5, {12});
+  list.Append(9, {10, 13, 14});
+  list.Freeze();
+  EXPECT_TRUE(list.frozen());
+  auto vals = list.Find(9);
+  EXPECT_EQ(std::vector<VertexId>(vals.begin(), vals.end()),
+            (std::vector<VertexId>{10, 13, 14}));
+  EXPECT_TRUE(list.Find(3).empty());
+  EXPECT_EQ(list.TotalValues(), 6u);
+  EXPECT_EQ(list.UnionOfValues(),
+            (std::vector<VertexId>{10, 11, 12, 13, 14}));
+  EXPECT_GT(list.MemoryBytes(), 0u);
+}
+
+TEST(CandidateListTest, FreezeIsIdempotent) {
+  CandidateList list;
+  list.Append(1, {2});
+  list.Freeze();
+  list.Freeze();
+  EXPECT_EQ(list.Find(1).size(), 1u);
+}
+
+TEST(CandidateListTest, FreezeEmptyList) {
+  CandidateList list;
+  list.Freeze();
+  EXPECT_TRUE(list.frozen());
+  EXPECT_TRUE(list.Find(0).empty());
+  EXPECT_EQ(list.TotalValues(), 0u);
+}
+
+TEST(CandidateListTest, ClearResetsFrozenState) {
+  CandidateList list;
+  list.Append(1, {2});
+  list.Freeze();
+  list.clear();
+  EXPECT_FALSE(list.frozen());
+  list.Append(3, {4});  // mutable again
+  EXPECT_EQ(list.Find(3).size(), 1u);
+}
+
+TEST(CandidateListTest, ValuesAtWorksFrozen) {
+  CandidateList list;
+  list.Append(3, {1});
+  list.Append(7, {2, 4});
+  list.Freeze();
+  EXPECT_EQ(list.values_at(0).size(), 1u);
+  EXPECT_EQ(list.values_at(1).size(), 2u);
+  EXPECT_EQ(list.values_at(1)[1], 4u);
+}
+
+}  // namespace
+}  // namespace ceci

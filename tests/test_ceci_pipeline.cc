@@ -1,0 +1,181 @@
+// Unit tests for CECI construction and refinement internals beyond the
+// paper's running example: cascades, NTE-less builds, completeness.
+#include <gtest/gtest.h>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/refinement.h"
+#include "test_support.h"
+#include "util/thread_pool.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeGraph;
+using ::ceci::testing::MakeUnlabeled;
+using ::ceci::testing::PaperExample;
+
+struct Pipeline {
+  explicit Pipeline(const Graph& data, const Graph& query, VertexId root,
+                    const BuildOptions& options = BuildOptions{})
+      : nlc(data) {
+    auto t = QueryTree::Build(query, root);
+    CECI_CHECK(t.ok());
+    tree = std::move(t).value();
+    CeciBuilder builder(data, nlc);
+    index = builder.Build(query, tree, options, &build_stats);
+    RefineCeci(tree, data.num_vertices(), &index, &refine_stats);
+  }
+
+  NlcIndex nlc;
+  QueryTree tree;
+  CeciIndex index;
+  BuildStats build_stats;
+  RefineStats refine_stats;
+};
+
+TEST(CeciBuilderTest, TriangleOnTriangleKeepsEverything) {
+  Graph data = MakeUnlabeled(3, {{0, 1}, {1, 2}, {0, 2}});
+  Graph query = MakeUnlabeled(3, {{0, 1}, {1, 2}, {0, 2}});
+  Pipeline p(data, query, 0);
+  EXPECT_EQ(p.index.at(0).candidates.size(), 3u);
+  EXPECT_EQ(p.refine_stats.pruned_candidates, 0u);
+  // Per pivot: two children branches of 2 candidates each → 2×2 = 4
+  // (cardinality over-estimates; the true per-pivot count is 2).
+  EXPECT_EQ(p.refine_stats.total_cardinality, 12u);
+}
+
+TEST(CeciBuilderTest, LabelFilterPrunes) {
+  // v3 (label 2) is adjacent to the pivot and must be rejected by LF when
+  // expanding towards u1 (label 1).
+  Graph data = MakeGraph({0, 1, 1, 2}, {{0, 1}, {0, 2}, {0, 3}});
+  Graph query = MakeGraph({0, 1}, {{0, 1}});
+  Pipeline p(data, query, 0);
+  EXPECT_EQ(p.index.at(0).candidates, (std::vector<VertexId>{0}));
+  EXPECT_EQ(p.index.at(1).candidates, (std::vector<VertexId>{1, 2}));
+  EXPECT_GT(p.build_stats.rejected_label, 0u);
+}
+
+TEST(CeciBuilderTest, DegreeFilterPrunes) {
+  // Star data; query triangle needs degree 2 everywhere.
+  Graph data = MakeUnlabeled(4, {{0, 1}, {0, 2}, {0, 3}});
+  Graph query = MakeUnlabeled(3, {{0, 1}, {1, 2}, {0, 2}});
+  Pipeline p(data, query, 0);
+  EXPECT_TRUE(p.index.at(0).candidates.empty());
+}
+
+TEST(CeciBuilderTest, NlcFilterPrunes) {
+  // Query: center with one label-1 and one label-2 neighbor. Data vertex 0
+  // has two label-1 neighbors only → NLC must reject it.
+  Graph data = MakeGraph({0, 1, 1, 0, 1, 2}, {{0, 1}, {0, 2}, {3, 4}, {3, 5}});
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  Pipeline p(data, query, 0);
+  EXPECT_EQ(p.index.at(0).candidates, (std::vector<VertexId>{3}));
+  EXPECT_GT(p.build_stats.rejected_nlc + p.build_stats.rejected_label, 0u);
+}
+
+TEST(CeciBuilderTest, EmptyKeyCascadeRemovesParentCandidate) {
+  // Path query A-B-C-D. Decoy branch v0-v4(B)-v5(C)-v6(label 9): v5 fails
+  // NLCF for u2 (no D neighbor), emptying v4's key in TE of u2, so the
+  // cascade removes v4 from the candidates of u1 (Algorithm 1 lines 9-12).
+  Graph data = MakeGraph({0, 1, 2, 3, 1, 2, 9},
+                         {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 5}, {5, 6}});
+  Graph query = MakeGraph({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  Pipeline p(data, query, 0);
+  EXPECT_EQ(p.index.at(1).candidates, (std::vector<VertexId>{1}));
+  EXPECT_GT(p.build_stats.cascade_removals, 0u);
+}
+
+TEST(CeciBuilderTest, ParallelBuildMatchesSerial) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  Pipeline serial(data, query, 0);
+  ThreadPool pool(4);
+  BuildOptions options;
+  options.pool = &pool;
+  options.parallel_threshold = 1;  // force the parallel path
+  Pipeline parallel(data, query, 0, options);
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    EXPECT_EQ(serial.index.at(u).candidates, parallel.index.at(u).candidates)
+        << "u=" << u;
+    EXPECT_EQ(serial.index.at(u).cardinalities,
+              parallel.index.at(u).cardinalities);
+    EXPECT_EQ(serial.index.at(u).te.TotalValues(),
+              parallel.index.at(u).te.TotalValues());
+  }
+}
+
+TEST(CeciBuilderTest, NteFreeBuildHasNoNteLists) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  NlcIndex nlc(data);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  BuildOptions options;
+  options.build_nte_lists = false;
+  CeciBuilder builder(data, nlc);
+  CeciIndex index = builder.Build(query, *tree, options, nullptr);
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    EXPECT_TRUE(index.at(u).nte.empty());
+  }
+  // Refinement still works (no NTE union checks) and keeps completeness.
+  RefineCeci(*tree, data.num_vertices(), &index, nullptr);
+  EXPECT_FALSE(index.at(0).candidates.empty());
+}
+
+TEST(CeciIndexTest, SizeAccountingAndTheoreticalBound) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  Pipeline p(data, query, 0);
+  EXPECT_GT(p.index.MemoryBytes(), 0u);
+  EXPECT_GT(p.index.TotalCandidateEdges(), 0u);
+  std::size_t theoretical =
+      CeciIndex::TheoreticalBytes(query.num_edges(), data.num_edges());
+  EXPECT_EQ(theoretical, query.num_edges() * data.num_edges() * 8);
+  // The refined index stores far fewer candidate edges than the bound.
+  EXPECT_LT(p.index.TotalCandidateEdges() * 8, theoretical);
+}
+
+TEST(CeciIndexTest, CardinalityOfMissingCandidateIsZero) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  Pipeline p(data, query, 0);
+  EXPECT_EQ(p.index.CardinalityOf(0, 99), 0u);
+  EXPECT_EQ(p.index.CardinalityOf(1, 6), 0u);  // v7 pruned by refinement
+}
+
+// Completeness (Lemma 1): every embedding found by a brute-force scan has
+// all its (parent-candidate, candidate) pairs present in the index lists.
+TEST(CeciPipelineTest, CompletenessOnSmallRandomGraph) {
+  Graph data = MakeUnlabeled(
+      8, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+          {6, 7}, {4, 7}, {2, 5}, {1, 6}});
+  Graph query = MakeUnlabeled(3, {{0, 1}, {1, 2}, {0, 2}});  // triangle
+  Pipeline p(data, query, 0);
+  // Brute force all triangles in data.
+  std::size_t triangles = 0;
+  for (VertexId a = 0; a < data.num_vertices(); ++a) {
+    for (VertexId b : data.neighbors(a)) {
+      if (b <= a) continue;
+      for (VertexId c : data.neighbors(b)) {
+        if (c <= b || !data.HasEdge(a, c)) continue;
+        ++triangles;
+        // Every triangle corner must survive as a candidate of some query
+        // vertex; with one orbit, all corners must be candidates of root.
+        for (VertexId corner : {a, b, c}) {
+          bool found = false;
+          for (VertexId u = 0; u < 3; ++u) {
+            const auto& cands = p.index.at(u).candidates;
+            if (std::binary_search(cands.begin(), cands.end(), corner)) {
+              found = true;
+            }
+          }
+          EXPECT_TRUE(found) << "corner " << corner << " lost";
+        }
+      }
+    }
+  }
+  EXPECT_GT(triangles, 0u);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,149 @@
+// Tests for the on-demand CSR store (§5's shared-storage substrate).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/random_graphs.h"
+#include "graphio/csr_store.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeGraph;
+
+class CsrStoreTest : public ::testing::Test {
+ protected:
+  CsrStoreTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ceci_csr_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~CsrStoreTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string File(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsrStoreTest, RoundTripsAdjacencyAndLabels) {
+  Graph g = MakeGraph({2, 3, 2, 7, 0},
+                      {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {3, 4}});
+  ASSERT_TRUE(WriteCsrStore(g, File("g.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("g.csr2"));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_vertices(), g.num_vertices());
+  EXPECT_EQ(store->num_directed_edges(), g.num_directed_edges());
+  std::vector<VertexId> adj;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(store->degree(v), g.degree(v));
+    auto labels = store->labels(v);
+    auto expected = g.labels(v);
+    EXPECT_TRUE(std::equal(labels.begin(), labels.end(), expected.begin(),
+                           expected.end()));
+    ASSERT_TRUE(store->ReadNeighbors(v, &adj).ok());
+    auto gadj = g.neighbors(v);
+    EXPECT_EQ(adj, std::vector<VertexId>(gadj.begin(), gadj.end()));
+  }
+}
+
+TEST_F(CsrStoreTest, CountsRequestsAndBytes) {
+  Graph g = GenerateErdosRenyi(500, 2500, 7);
+  ASSERT_TRUE(WriteCsrStore(g, File("er.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("er.csr2"));
+  ASSERT_TRUE(store.ok());
+  std::vector<VertexId> adj;
+  std::uint64_t expected_bytes = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    ASSERT_TRUE(store->ReadNeighbors(v, &adj).ok());
+    expected_bytes += g.degree(v) * sizeof(VertexId);
+  }
+  EXPECT_EQ(store->requests(), 100u);
+  EXPECT_EQ(store->bytes_read(), expected_bytes);
+}
+
+TEST_F(CsrStoreTest, IsolatedVertexReadsEmpty) {
+  GraphBuilder b;
+  b.ReserveVertices(3);
+  b.AddEdge(0, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(WriteCsrStore(*g, File("iso.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("iso.csr2"));
+  ASSERT_TRUE(store.ok());
+  std::vector<VertexId> adj = {99};
+  ASSERT_TRUE(store->ReadNeighbors(2, &adj).ok());
+  EXPECT_TRUE(adj.empty());
+}
+
+TEST_F(CsrStoreTest, RejectsMissingFile) {
+  auto store = OnDemandCsr::Open(File("absent.csr2"));
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), Status::Code::kIoError);
+}
+
+TEST_F(CsrStoreTest, RejectsBadMagic) {
+  std::ofstream out(File("bad.csr2"), std::ios::binary);
+  out << "JUNKJUNKJUNKJUNKJUNKJUNKJUNKJUNKJUNKJUNK";
+  out.close();
+  auto store = OnDemandCsr::Open(File("bad.csr2"));
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(CsrStoreTest, RejectsTruncatedResidentSection) {
+  Graph g = GenerateErdosRenyi(200, 600, 9);
+  ASSERT_TRUE(WriteCsrStore(g, File("full.csr2")).ok());
+  // Copy only a prefix of the file.
+  std::ifstream in(File("full.csr2"), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::ofstream out(File("trunc.csr2"), std::ios::binary);
+  out.write(content.data(), static_cast<std::streamsize>(content.size() / 8));
+  out.close();
+  auto store = OnDemandCsr::Open(File("trunc.csr2"));
+  EXPECT_FALSE(store.ok());
+}
+
+TEST_F(CsrStoreTest, TruncatedAdjacencyDetectedOnRead) {
+  Graph g = GenerateErdosRenyi(200, 600, 10);
+  ASSERT_TRUE(WriteCsrStore(g, File("full.csr2")).ok());
+  std::ifstream in(File("full.csr2"), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // Keep the resident sections, drop the adjacency tail.
+  std::ofstream out(File("tail.csr2"), std::ios::binary);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() - 1024));
+  out.close();
+  auto store = OnDemandCsr::Open(File("tail.csr2"));
+  ASSERT_TRUE(store.ok());  // resident sections intact
+  std::vector<VertexId> adj;
+  // Reading the last vertex's adjacency must fail cleanly.
+  Status st = store->ReadNeighbors(
+      static_cast<VertexId>(store->num_vertices() - 1), &adj);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(CsrStoreTest, MatchesInMemoryGraphOnRandomInput) {
+  Graph g = GenerateSocialGraph(1000, 8, 11);
+  ASSERT_TRUE(WriteCsrStore(g, File("s.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("s.csr2"));
+  ASSERT_TRUE(store.ok());
+  std::vector<VertexId> adj;
+  for (VertexId v = 0; v < g.num_vertices(); v += 7) {
+    ASSERT_TRUE(store->ReadNeighbors(v, &adj).ok());
+    auto expect = g.neighbors(v);
+    EXPECT_EQ(adj, std::vector<VertexId>(expect.begin(), expect.end()));
+  }
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,198 @@
+// Tests for the simulated distributed runtime (§5).
+#include <gtest/gtest.h>
+
+#include "baselines/vf2.h"
+#include "distsim/cluster.h"
+#include "distsim/cost_model.h"
+#include "distsim/dist_matcher.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::PaperExample;
+using distsim::AssignOptions;
+using distsim::AssignPivots;
+using distsim::CostModel;
+using distsim::DistOptions;
+using distsim::DistributedMatch;
+using distsim::GraphStorage;
+using distsim::JaccardSimilarity;
+using distsim::PivotWorkload;
+
+TEST(CostModelTest, MessageAndStorageCosts) {
+  CostModel model;
+  EXPECT_GT(model.MessageSeconds(0), 0.0);  // latency floor
+  EXPECT_GT(model.MessageSeconds(1 << 20), model.MessageSeconds(1));
+  EXPECT_GT(model.StorageSeconds(100, 1 << 20),
+            model.StorageSeconds(1, 1 << 10));
+}
+
+TEST(PivotWorkloadTest, NeighborsVisibleAddsNeighborDegrees) {
+  Graph g = testing::MakeUnlabeled(4, {{0, 1}, {0, 2}, {0, 3}});
+  double shallow = PivotWorkload(g, 0, /*neighbors_visible=*/false);
+  double deep = PivotWorkload(g, 0, /*neighbors_visible=*/true);
+  EXPECT_GT(deep, shallow);
+}
+
+TEST(PivotWorkloadTest, VertexIdScalingFavorsSmallIds) {
+  // Two vertices of equal degree: the smaller id gets a larger workload
+  // (id-ordered symmetry breaking loads small ids more).
+  Graph g = testing::MakeUnlabeled(10, {{0, 1}, {8, 9}});
+  EXPECT_GT(PivotWorkload(g, 0, false), PivotWorkload(g, 8, false));
+}
+
+TEST(JaccardTest, IdenticalAndDisjointNeighborhoods) {
+  Graph g = testing::MakeUnlabeled(6, {{0, 2}, {0, 3}, {1, 2}, {1, 3},
+                                       {4, 5}});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 4), 0.0);
+}
+
+TEST(AssignPivotsTest, CoversAllPivotsOnce) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 1);
+  std::vector<VertexId> pivots;
+  for (VertexId v = 0; v < 200; v += 2) pivots.push_back(v);
+  AssignOptions options;
+  options.num_machines = 4;
+  auto assignment = AssignPivots(g, pivots, options);
+  std::size_t total = 0;
+  for (const auto& list : assignment.per_machine) {
+    total += list.size();
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+  }
+  EXPECT_EQ(total, pivots.size());
+}
+
+TEST(AssignPivotsTest, BalancesWorkloadRoughly) {
+  Graph g = GenerateBarabasiAlbert(500, 4, 2);
+  std::vector<VertexId> pivots(500);
+  for (VertexId v = 0; v < 500; ++v) pivots[v] = v;
+  AssignOptions options;
+  options.num_machines = 4;
+  auto assignment = AssignPivots(g, pivots, options);
+  double min_load = 1e300;
+  double max_load = 0;
+  for (double w : assignment.workloads) {
+    min_load = std::min(min_load, w);
+    max_load = std::max(max_load, w);
+  }
+  EXPECT_LT(max_load, 2.0 * min_load);  // LPT keeps spread small
+}
+
+TEST(AssignPivotsTest, JaccardColocatesTwins) {
+  // Vertices 0 and 1 share the identical neighborhood {2,3}; a heavy hub
+  // (vertex 5) carries most of the workload so the co-location cap does
+  // not trip, and the twins must land on the same machine.
+  std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 2}, {0, 3}, {1, 2}, {1, 3}};
+  for (VertexId leaf = 6; leaf < 30; ++leaf) edges.push_back({5, leaf});
+  Graph g = testing::MakeUnlabeled(30, edges);
+  AssignOptions options;
+  options.num_machines = 2;
+  auto assignment = AssignPivots(g, {0, 1, 5}, options);
+  EXPECT_GT(assignment.jaccard_colocations, 0u);
+  for (const auto& list : assignment.per_machine) {
+    bool has0 = std::binary_search(list.begin(), list.end(), 0u);
+    bool has1 = std::binary_search(list.begin(), list.end(), 1u);
+    EXPECT_EQ(has0, has1);
+  }
+}
+
+TEST(DistributedMatchTest, PaperExample) {
+  DistOptions options;
+  options.num_machines = 2;
+  auto result =
+      DistributedMatch(PaperExample::Data(), PaperExample::Query(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embeddings, 2u);
+  EXPECT_EQ(result->machines.size(), 2u);
+}
+
+class DistMachineCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistMachineCountTest, CountsMatchOracleAcrossMachineCounts) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  Vf2Result oracle = Vf2Count(data, query, Vf2Options{});
+  DistOptions options;
+  options.num_machines = static_cast<std::size_t>(GetParam());
+  options.threads_per_machine = 2;
+  auto result = DistributedMatch(data, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embeddings, oracle.embeddings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, DistMachineCountTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(DistributedMatchTest, SharedStorageChargesIo) {
+  Graph data = GenerateBarabasiAlbert(400, 4, 11);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  DistOptions replicated;
+  replicated.num_machines = 4;
+  replicated.storage = GraphStorage::kReplicated;
+  DistOptions shared = replicated;
+  shared.storage = GraphStorage::kShared;
+  auto a = DistributedMatch(data, query, replicated);
+  auto b = DistributedMatch(data, query, shared);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->embeddings, b->embeddings);
+  EXPECT_EQ(a->build_io_seconds, 0.0);
+  // The Fig. 17/20 effect: shared storage charges modeled IO for every
+  // adjacency read during construction. (Makespans are not compared:
+  // measured compute noise at this scale dwarfs the modeled charge.)
+  EXPECT_GT(b->build_io_seconds, 0.0);
+}
+
+TEST(DistributedMatchTest, CommChargedForPivotDistribution) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 13);
+  DistOptions options;
+  options.num_machines = 4;
+  auto result =
+      DistributedMatch(data, MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->build_comm_seconds, 0.0);
+}
+
+TEST(DistributedMatchTest, WorkStealingCanBeDisabled) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 17);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  DistOptions with;
+  with.num_machines = 4;
+  DistOptions without = with;
+  without.work_stealing = false;
+  auto a = DistributedMatch(data, query, with);
+  auto b = DistributedMatch(data, query, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->embeddings, b->embeddings);
+  std::uint64_t stolen_without = 0;
+  for (const auto& m : b->machines) stolen_without += m.stolen_units;
+  EXPECT_EQ(stolen_without, 0u);
+}
+
+TEST(DistributedMatchTest, InvalidOptionsRejected) {
+  Graph data = testing::MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  DistOptions options;
+  options.num_machines = 0;
+  auto result =
+      DistributedMatch(data, MakePaperQuery(PaperQuery::kQG1), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DistributedMatchTest, InfeasibleQueryYieldsZero) {
+  Graph data = testing::MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph query = testing::MakeGraph({5, 5, 5}, {{0, 1}, {1, 2}, {0, 2}});
+  DistOptions options;
+  options.num_machines = 2;
+  auto result = DistributedMatch(data, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embeddings, 0u);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,146 @@
+// Tests for the deterministic work-stealing replay and simulated-time
+// accounting of the distributed runtime.
+#include <gtest/gtest.h>
+
+#include "distsim/dist_matcher.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using distsim::DistOptions;
+using distsim::DistributedMatch;
+using distsim::GraphStorage;
+
+TEST(DistReplayTest, EmbeddingCountsAreStealingInvariant) {
+  // Stealing redistributes *time*, never work: counts must be identical.
+  Graph data = GenerateSocialGraph(500, 8, 3);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  DistOptions with;
+  with.num_machines = 4;
+  DistOptions without = with;
+  without.work_stealing = false;
+  auto a = DistributedMatch(data, query, with);
+  auto b = DistributedMatch(data, query, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->embeddings, b->embeddings);
+}
+
+TEST(DistReplayTest, StealingNeverSlowsTheSlowestMachine) {
+  // The replay moves tail units to idle machines; the resulting max busy
+  // window must be <= the no-stealing one (modulo the tiny comm charge).
+  Graph data = GenerateSocialGraph(800, 10, 5);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  DistOptions with;
+  with.num_machines = 8;
+  DistOptions without = with;
+  without.work_stealing = false;
+
+  auto yes = DistributedMatch(data, query, with);
+  auto no = DistributedMatch(data, query, without);
+  ASSERT_TRUE(yes.ok());
+  ASSERT_TRUE(no.ok());
+  // Enum phases come from the same per-unit estimates, so this comparison
+  // is deterministic up to the measured own-enumeration times; allow a
+  // modest tolerance for measurement jitter between the two runs.
+  double max_with = 0.0;
+  double max_without = 0.0;
+  for (const auto& m : yes->machines) {
+    max_with = std::max(max_with, m.enum_compute_seconds);
+  }
+  for (const auto& m : no->machines) {
+    max_without = std::max(max_without, m.enum_compute_seconds);
+  }
+  EXPECT_LE(max_with, max_without * 1.5 + 1e-3);
+}
+
+TEST(DistReplayTest, StealsHappenOnlyWhenImbalanced) {
+  // A single machine cannot steal from anyone.
+  Graph data = GenerateSocialGraph(300, 6, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  DistOptions options;
+  options.num_machines = 1;
+  auto result = DistributedMatch(data, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->machines[0].stolen_units, 0u);
+}
+
+TEST(DistReplayTest, MoreMachinesNeverIncreaseWork) {
+  // Total own-enumeration CPU is partition-invariant up to small jitter.
+  Graph data = GenerateSocialGraph(600, 8, 9);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  double totals[2] = {0, 0};
+  std::size_t machine_counts[2] = {1, 8};
+  std::uint64_t counts[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    DistOptions options;
+    options.num_machines = machine_counts[i];
+    auto result = DistributedMatch(data, query, options);
+    ASSERT_TRUE(result.ok());
+    counts[i] = result->embeddings;
+    for (const auto& m : result->machines) {
+      totals[i] += m.enum_compute_seconds;
+    }
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(DistReplayTest, ThreadsPerMachineShortenEnumWindow) {
+  Graph data = GenerateSocialGraph(1500, 10, 11);
+  Graph query = MakePaperQuery(PaperQuery::kQG5);
+  double windows[2] = {0, 0};
+  std::size_t lanes[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    DistOptions options;
+    options.num_machines = 2;
+    options.threads_per_machine = lanes[i];
+    auto result = DistributedMatch(data, query, options);
+    ASSERT_TRUE(result.ok());
+    for (const auto& m : result->machines) {
+      windows[i] = std::max(windows[i], m.enum_compute_seconds);
+    }
+  }
+  // Four lanes over the same unit set must not be slower than one.
+  EXPECT_LE(windows[1], windows[0] * 1.25 + 1e-3);
+}
+
+TEST(DistReplayTest, SharedModeBuildIoScalesWithWork) {
+  // Doubling the machine count re-reads overlapping frontiers: the total
+  // modeled IO cannot shrink.
+  Graph data = GenerateSocialGraph(800, 8, 13);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  double io[2] = {0, 0};
+  std::size_t machine_counts[2] = {2, 8};
+  for (int i = 0; i < 2; ++i) {
+    DistOptions options;
+    options.num_machines = machine_counts[i];
+    options.storage = GraphStorage::kShared;
+    auto result = DistributedMatch(data, query, options);
+    ASSERT_TRUE(result.ok());
+    io[i] = result->build_io_seconds;
+  }
+  EXPECT_GE(io[1], io[0] * 0.9);
+}
+
+TEST(DistReplayTest, ReportsConsistentTotals) {
+  Graph data = GenerateSocialGraph(400, 8, 17);
+  Graph query = MakePaperQuery(PaperQuery::kQG2);
+  DistOptions options;
+  options.num_machines = 3;
+  auto result = DistributedMatch(data, query, options);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t sum = 0;
+  for (const auto& m : result->machines) {
+    sum += m.embeddings;
+    EXPECT_GE(m.total_seconds,
+              m.build_compute_seconds + m.enum_compute_seconds - 1e-9);
+  }
+  EXPECT_EQ(sum, result->embeddings);
+  EXPECT_GE(result->makespan_seconds, result->preprocess_seconds);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,188 @@
+// Unit tests for the set-intersection enumerator: limits, visitors,
+// prefixes, symmetry enforcement, ablation equivalence.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/enumerator.h"
+#include "ceci/refinement.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::EmbeddingCollector;
+using ::ceci::testing::MakeUnlabeled;
+
+struct Fixture {
+  Fixture(Graph d, Graph q) : data(std::move(d)), query(std::move(q)),
+                              nlc(data) {
+    auto t = QueryTree::Build(query, 0);
+    CECI_CHECK(t.ok());
+    tree = std::move(t).value();
+    CeciBuilder builder(data, nlc);
+    index = builder.Build(query, tree, BuildOptions{}, nullptr);
+    RefineCeci(tree, data.num_vertices(), &index, nullptr);
+    symmetry = SymmetryConstraints::Compute(query);
+    none = SymmetryConstraints::None(query.num_vertices());
+  }
+
+  EnumOptions Options(bool with_symmetry = true, bool intersect = true) {
+    EnumOptions o;
+    o.symmetry = with_symmetry ? &symmetry : &none;
+    o.nte_intersection = intersect;
+    return o;
+  }
+
+  Graph data;
+  Graph query;
+  NlcIndex nlc;
+  QueryTree tree;
+  CeciIndex index;
+  SymmetryConstraints symmetry;
+  SymmetryConstraints none;
+};
+
+Fixture TriangleInK4() {
+  return Fixture(MakeUnlabeled(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3},
+                                   {2, 3}}),
+                 MakePaperQuery(PaperQuery::kQG1));
+}
+
+TEST(EnumeratorTest, TrianglesInK4WithSymmetryBreaking) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  EXPECT_EQ(e.EnumerateAll(nullptr), 4u);  // C(4,3) distinct triangles
+}
+
+TEST(EnumeratorTest, TrianglesInK4WithoutSymmetryBreaking) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options(/*with_symmetry=*/false);
+  Enumerator e(f.data, f.tree, f.index, opts);
+  EXPECT_EQ(e.EnumerateAll(nullptr), 24u);  // 4 triangles × |Aut| = 6
+}
+
+TEST(EnumeratorTest, EdgeVerificationAblationAgrees) {
+  Fixture f = TriangleInK4();
+  auto intersect_opts = f.Options(true, true);
+  auto verify_opts = f.Options(true, false);
+  Enumerator a(f.data, f.tree, f.index, intersect_opts);
+  Enumerator b(f.data, f.tree, f.index, verify_opts);
+  EXPECT_EQ(a.EnumerateAll(nullptr), b.EnumerateAll(nullptr));
+  EXPECT_GT(a.stats().intersections, 0u);
+  EXPECT_GT(b.stats().edge_verifications, 0u);
+}
+
+TEST(EnumeratorTest, VisitorReceivesValidEmbeddings) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  EmbeddingVisitor visitor = [&](std::span<const VertexId> m) {
+    EXPECT_EQ(m.size(), 3u);
+    // Every query edge must be a data edge.
+    EXPECT_TRUE(f.data.HasEdge(m[0], m[1]));
+    EXPECT_TRUE(f.data.HasEdge(m[1], m[2]));
+    EXPECT_TRUE(f.data.HasEdge(m[0], m[2]));
+    // Symmetry order enforced (triangle: fully chained).
+    EXPECT_LT(m[0], m[1]);
+    EXPECT_LT(m[1], m[2]);
+    return true;
+  };
+  EXPECT_EQ(e.EnumerateAll(&visitor), 4u);
+}
+
+TEST(EnumeratorTest, VisitorCanStopEnumeration) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  int seen = 0;
+  EmbeddingVisitor visitor = [&](std::span<const VertexId>) {
+    return ++seen < 2;  // stop after the second embedding
+  };
+  EXPECT_EQ(e.EnumerateAll(&visitor), 2u);
+}
+
+TEST(EnumeratorTest, SharedLimitStopsGlobally) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  std::atomic<std::uint64_t> counter{0};
+  e.SetSharedLimit(&counter, 3);
+  EXPECT_EQ(e.EnumerateAll(nullptr), 3u);
+}
+
+TEST(EnumeratorTest, SharedLimitAcrossInstances) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  std::atomic<std::uint64_t> counter{0};
+  Enumerator a(f.data, f.tree, f.index, opts);
+  Enumerator b(f.data, f.tree, f.index, opts);
+  a.SetSharedLimit(&counter, 3);
+  b.SetSharedLimit(&counter, 3);
+  std::uint64_t total = a.EnumerateAll(nullptr) + b.EnumerateAll(nullptr);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(EnumeratorTest, ClusterEnumerationPartitionsWork) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  std::uint64_t total = 0;
+  for (VertexId pivot : f.index.pivots(f.tree)) {
+    total += e.EnumerateCluster(pivot, nullptr);
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(EnumeratorTest, PrefixEnumeration) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  // Matching order starts at root 0; cluster pivot 0, second vertex 1.
+  std::vector<VertexId> prefix = {0, 1};
+  std::uint64_t n = e.EnumerateFromPrefix(prefix, nullptr);
+  // Triangles through data edge (0,1) with ordered corners: (0,1,2),(0,1,3).
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(EnumeratorTest, CollectExtensionsMatchesRecursionRule) {
+  Fixture f = TriangleInK4();
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  std::vector<VertexId> mapping(3, kInvalidVertex);
+  mapping[f.tree.matching_order()[0]] = 0;
+  std::vector<VertexId> out;
+  e.CollectExtensions(mapping, f.tree.matching_order()[1], &out);
+  // Candidates of the second query vertex under pivot 0 with symmetry
+  // (must exceed 0): {1, 2, 3}.
+  EXPECT_EQ(out, (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(EnumeratorTest, SquareQueryOnGrid) {
+  // 2x3 grid graph has exactly two unit squares.
+  //  0-1-2
+  //  | | |
+  //  3-4-5
+  Fixture f(MakeUnlabeled(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 3}, {1, 4},
+                              {2, 5}}),
+            MakePaperQuery(PaperQuery::kQG2));
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  EXPECT_EQ(e.EnumerateAll(nullptr), 2u);
+}
+
+TEST(EnumeratorTest, NoEmbeddingsWhenQueryTooDense) {
+  // 4-clique query, triangle-free data (square).
+  Fixture f(MakeUnlabeled(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}}),
+            MakePaperQuery(PaperQuery::kQG4));
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  EXPECT_EQ(e.EnumerateAll(nullptr), 0u);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,176 @@
+// Failure-injection and robustness tests: malformed inputs, hostile
+// visitors, degenerate graphs, and resource-pressure paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "baselines/psgl.h"
+#include "ceci/matcher.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "graphio/edge_list.h"
+#include "graphio/pattern_parser.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeGraph;
+using ::ceci::testing::MakeUnlabeled;
+
+TEST(FailureInjectionTest, MalformedEdgeListsNeverCrash) {
+  const char* inputs[] = {
+      "",                 // empty
+      "\n\n\n",           // blank lines only
+      "# only comments",
+      "1",                // one token
+      "1 2 3",            // three tokens
+      "x y",              // non-numeric
+      "4294967295 0",     // max u32 vertex id
+      "1 2\ngarbage",
+      "1 -2",             // negative
+  };
+  for (const char* text : inputs) {
+    auto g = ParseEdgeList(text);  // must return a Status, never crash
+    (void)g;
+  }
+}
+
+TEST(FailureInjectionTest, HostilePatternsNeverCrash) {
+  const char* patterns[] = {
+      "((((",
+      "(a:99999999999999999999)-(b)",  // overflowing label digits
+      "(a)-(b)-",
+      "(a)-(b);;;(c)-(d)",
+      ")(",
+      "(a:1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16)-(b)",
+      "(verylongname_______________________________x)-(b)",
+  };
+  for (const char* p : patterns) {
+    auto q = ParsePattern(p);  // must return a Status, never crash/throw
+    (void)q;
+  }
+}
+
+TEST(FailureInjectionTest, VisitorThatAlwaysStops) {
+  Graph data = GenerateSocialGraph(300, 8, 1);
+  CeciMatcher matcher(data);
+  EmbeddingVisitor stop_immediately = [](std::span<const VertexId>) {
+    return false;
+  };
+  MatchOptions options;
+  options.threads = 4;
+  auto result =
+      matcher.Match(MakePaperQuery(PaperQuery::kQG1), options,
+                    &stop_immediately);
+  ASSERT_TRUE(result.ok());
+  // Each worker stops after its first emission at most.
+  EXPECT_LE(result->embedding_count, 4u);
+}
+
+TEST(FailureInjectionTest, VisitorStopsAtExactThreshold) {
+  Graph data = GenerateSocialGraph(300, 8, 2);
+  CeciMatcher matcher(data);
+  std::atomic<int> seen{0};
+  EmbeddingVisitor visitor = [&](std::span<const VertexId>) {
+    return seen.fetch_add(1) + 1 < 25;
+  };
+  auto result =
+      matcher.Match(MakePaperQuery(PaperQuery::kQG1), MatchOptions{},
+                    &visitor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 25u);
+}
+
+TEST(FailureInjectionTest, LimitOfOne) {
+  Graph data = GenerateSocialGraph(300, 8, 3);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.limit = 1;
+  options.threads = 8;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 1u);
+}
+
+TEST(FailureInjectionTest, QueryLargerThanData) {
+  Graph data = MakeUnlabeled(3, {{0, 1}, {1, 2}, {0, 2}});
+  Graph query = MakePaperQuery(PaperQuery::kQG4);  // needs 4 vertices
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 0u);
+}
+
+TEST(FailureInjectionTest, QueryEqualsData) {
+  Graph g = MakePaperQuery(PaperQuery::kQG5);
+  CeciMatcher matcher(g);
+  auto result = matcher.Match(g, MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 1u);  // itself, automorphisms broken
+}
+
+TEST(FailureInjectionTest, DataWithIsolatedVertices) {
+  GraphBuilder builder;
+  builder.ReserveVertices(100);  // 90 isolated vertices
+  for (VertexId v = 0; v + 1 < 10; ++v) builder.AddEdge(v, v + 1);
+  builder.AddEdge(0, 2);
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  CeciMatcher matcher(*data);
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1),
+                              MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 1u);  // {0,1,2}
+}
+
+TEST(FailureInjectionTest, StarDataStarQuery) {
+  // Degenerate high-symmetry case: star query on star data. One
+  // embedding once symmetry is broken (leaves interchangeable).
+  Graph data = MakeUnlabeled(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  Graph query = MakeUnlabeled(4, {{0, 1}, {0, 2}, {0, 3}});
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  // Choose 3 of 5 leaves, order fixed: C(5,3) = 10.
+  EXPECT_EQ(result->embedding_count, 10u);
+}
+
+TEST(FailureInjectionTest, PsglOverflowIsCleanAndReported) {
+  Graph data = GenerateSocialGraph(2000, 10, 4);
+  PsglOptions options;
+  options.max_intermediate = 64;  // absurdly small
+  PsglResult result =
+      PsglCount(data, MakePaperQuery(PaperQuery::kQG5), options);
+  EXPECT_TRUE(result.overflowed);
+  EXPECT_EQ(result.embeddings, 0u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(FailureInjectionTest, ManyThreadsOnTinyWorkload) {
+  // More workers than clusters must not deadlock or double-count.
+  Graph data = testing::PaperExample::Data();
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.threads = 32;
+  options.distribution = Distribution::kFineDynamic;
+  auto result = matcher.Match(testing::PaperExample::Query(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 2u);
+}
+
+TEST(FailureInjectionTest, RepeatedMatchesDoNotLeakState) {
+  Graph data = GenerateSocialGraph(200, 6, 5);
+  CeciMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG2);
+  auto first = matcher.Count(query);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto again = matcher.Count(query);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *first);
+  }
+}
+
+}  // namespace
+}  // namespace ceci

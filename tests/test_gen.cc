@@ -1,0 +1,190 @@
+// Unit tests for the graph and query generators.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "gen/kronecker.h"
+#include "gen/labels.h"
+#include "gen/paper_queries.h"
+#include "gen/query_gen.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+bool IsConnected(const Graph& g) {
+  if (g.num_vertices() == 0) return false;
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::deque<VertexId> frontier = {0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId w : g.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return visited == g.num_vertices();
+}
+
+TEST(KroneckerTest, ProducesRequestedScale) {
+  KroneckerOptions options;
+  options.scale = 10;
+  options.edge_factor = 8;
+  Graph g = GenerateKronecker(options);
+  EXPECT_EQ(g.num_vertices(), 1u << 10);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Dedup + self-loop removal keep us under the sampled edge budget.
+  EXPECT_LE(g.num_edges(), (1u << 10) * 8u);
+}
+
+TEST(KroneckerTest, DeterministicForSeed) {
+  KroneckerOptions options;
+  options.scale = 8;
+  options.seed = 42;
+  Graph a = GenerateKronecker(options);
+  Graph b = GenerateKronecker(options);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  options.seed = 43;
+  Graph c = GenerateKronecker(options);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(KroneckerTest, SkewedDegreeDistribution) {
+  KroneckerOptions options;
+  options.scale = 12;
+  options.edge_factor = 16;
+  Graph g = GenerateKronecker(options);
+  // Kronecker graphs are heavy-tailed: the max degree should far exceed
+  // the average degree.
+  double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(g.max_degree(), 10 * avg);
+}
+
+TEST(ErdosRenyiTest, ApproximatesRequestedEdges) {
+  Graph g = GenerateErdosRenyi(1000, 5000, 7);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_GT(g.num_edges(), 4500u);
+  EXPECT_LT(g.num_edges(), 5600u);
+}
+
+TEST(BarabasiAlbertTest, PowerLawSkew) {
+  Graph g = GenerateBarabasiAlbert(2000, 4, 11);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(g.max_degree(), 5 * avg);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(LabelsTest, SingleLabelAssignment) {
+  Graph g = GenerateErdosRenyi(500, 1500, 3);
+  Graph labeled = AssignRandomLabels(g, 10, 5);
+  EXPECT_EQ(labeled.num_vertices(), g.num_vertices());
+  EXPECT_EQ(labeled.num_edges(), g.num_edges());
+  EXPECT_LE(labeled.num_labels(), 10u);
+  for (VertexId v = 0; v < labeled.num_vertices(); ++v) {
+    EXPECT_EQ(labeled.labels(v).size(), 1u);
+    EXPECT_LT(labeled.label(v), 10u);
+  }
+}
+
+TEST(LabelsTest, MultiLabelAssignment) {
+  Graph g = GenerateErdosRenyi(300, 900, 5);
+  Graph labeled = AssignMultiLabels(g, 90, 3, 9);
+  bool saw_multi = false;
+  for (VertexId v = 0; v < labeled.num_vertices(); ++v) {
+    auto ls = labeled.labels(v);
+    EXPECT_GE(ls.size(), 1u);
+    EXPECT_LE(ls.size(), 3u);
+    if (ls.size() > 1) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(QueryGenTest, ProducesConnectedInducedQueries) {
+  Graph data = GenerateBarabasiAlbert(500, 3, 1);
+  for (std::size_t size : {3u, 5u, 8u, 12u}) {
+    QueryGenOptions options;
+    options.num_vertices = size;
+    options.seed = size;
+    options.inherit_labels = false;
+    auto q = GenerateQuery(data, options);
+    ASSERT_TRUE(q.has_value()) << "size " << size;
+    EXPECT_EQ(q->num_vertices(), size);
+    EXPECT_TRUE(IsConnected(*q));
+    // Induced: at least a spanning tree's worth of edges.
+    EXPECT_GE(q->num_edges(), size - 1);
+  }
+}
+
+TEST(QueryGenTest, InheritsLabels) {
+  Graph data =
+      AssignRandomLabels(GenerateErdosRenyi(400, 2000, 2), 17, 4);
+  QueryGenOptions options;
+  options.num_vertices = 6;
+  options.inherit_labels = true;
+  auto q = GenerateQuery(data, options);
+  ASSERT_TRUE(q.has_value());
+  bool nonzero_label = false;
+  for (VertexId u = 0; u < q->num_vertices(); ++u) {
+    if (q->label(u) != 0) nonzero_label = true;
+    EXPECT_LT(q->label(u), 17u);
+  }
+  EXPECT_TRUE(nonzero_label);
+}
+
+TEST(QueryGenTest, TooLargeRequestReturnsNullopt) {
+  Graph data = testing::MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  QueryGenOptions options;
+  options.num_vertices = 10;
+  EXPECT_FALSE(GenerateQuery(data, options).has_value());
+}
+
+TEST(QueryGenTest, BatchGeneration) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 4);
+  QueryGenOptions options;
+  options.num_vertices = 5;
+  auto queries = GenerateQueries(data, 10, options);
+  EXPECT_EQ(queries.size(), 10u);
+}
+
+TEST(PaperQueriesTest, ShapesMatchFigure6) {
+  Graph qg1 = MakePaperQuery(PaperQuery::kQG1);
+  EXPECT_EQ(qg1.num_vertices(), 3u);
+  EXPECT_EQ(qg1.num_edges(), 3u);  // triangle
+
+  Graph qg2 = MakePaperQuery(PaperQuery::kQG2);
+  EXPECT_EQ(qg2.num_vertices(), 4u);
+  EXPECT_EQ(qg2.num_edges(), 4u);  // square
+
+  Graph qg3 = MakePaperQuery(PaperQuery::kQG3);
+  EXPECT_EQ(qg3.num_vertices(), 4u);
+  EXPECT_EQ(qg3.num_edges(), 5u);  // chordal square
+
+  Graph qg4 = MakePaperQuery(PaperQuery::kQG4);
+  EXPECT_EQ(qg4.num_vertices(), 4u);
+  EXPECT_EQ(qg4.num_edges(), 6u);  // 4-clique
+
+  Graph qg5 = MakePaperQuery(PaperQuery::kQG5);
+  EXPECT_EQ(qg5.num_vertices(), 5u);
+  EXPECT_EQ(qg5.num_edges(), 6u);  // house
+}
+
+TEST(PaperQueriesTest, AllUnlabeled) {
+  for (PaperQuery q : kAllPaperQueries) {
+    Graph g = MakePaperQuery(q);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      EXPECT_EQ(g.label(u), 0u);
+    }
+    EXPECT_FALSE(PaperQueryName(q).empty());
+  }
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,150 @@
+// Tests for CECI index persistence (§6.4's non-volatile-storage plan).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/enumerator.h"
+#include "ceci/index_io.h"
+#include "ceci/refinement.h"
+#include "ceci/symmetry.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  IndexIoTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ceci_idx_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~IndexIoTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string File(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+struct Built {
+  Built(const Graph& data, const Graph& query, VertexId root) : nlc(data) {
+    auto t = QueryTree::Build(query, root);
+    CECI_CHECK(t.ok());
+    tree = std::move(t).value();
+    CeciBuilder builder(data, nlc);
+    index = builder.Build(query, tree, BuildOptions{}, nullptr);
+    RefineCeci(tree, data.num_vertices(), &index, nullptr);
+  }
+
+  NlcIndex nlc;
+  QueryTree tree;
+  CeciIndex index;
+};
+
+TEST_F(IndexIoTest, RoundTripPreservesStructure) {
+  Graph data = GenerateSocialGraph(500, 8, 3);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  Built b(data, query, 0);
+  ASSERT_TRUE(WriteCeciIndex(b.index, b.tree, File("q.idx")).ok());
+  auto loaded = ReadCeciIndex(b.tree, File("q.idx"));
+  ASSERT_TRUE(loaded.ok());
+  for (VertexId u = 0; u < 4; ++u) {
+    EXPECT_EQ(loaded->at(u).candidates, b.index.at(u).candidates);
+    EXPECT_EQ(loaded->at(u).cardinalities, b.index.at(u).cardinalities);
+    EXPECT_EQ(loaded->at(u).te.num_keys(), b.index.at(u).te.num_keys());
+    EXPECT_EQ(loaded->at(u).te.TotalValues(),
+              b.index.at(u).te.TotalValues());
+    ASSERT_EQ(loaded->at(u).nte.size(), b.index.at(u).nte.size());
+    for (std::size_t k = 0; k < loaded->at(u).nte.size(); ++k) {
+      EXPECT_EQ(loaded->at(u).nte[k].TotalValues(),
+                b.index.at(u).nte[k].TotalValues());
+    }
+  }
+}
+
+TEST_F(IndexIoTest, LoadedIndexEnumeratesIdentically) {
+  Graph data = GenerateSocialGraph(600, 10, 5);
+  Graph query = MakePaperQuery(PaperQuery::kQG5);
+  Built b(data, query, 0);
+  ASSERT_TRUE(WriteCeciIndex(b.index, b.tree, File("q.idx")).ok());
+  auto loaded = ReadCeciIndex(b.tree, File("q.idx"));
+  ASSERT_TRUE(loaded.ok());
+
+  SymmetryConstraints sym = SymmetryConstraints::Compute(query);
+  EnumOptions eo;
+  eo.symmetry = &sym;
+  Enumerator original(data, b.tree, b.index, eo);
+  Enumerator restored(data, b.tree, *loaded, eo);
+  EXPECT_EQ(restored.EnumerateAll(nullptr), original.EnumerateAll(nullptr));
+}
+
+TEST_F(IndexIoTest, RejectsWrongQuerySize) {
+  Graph data = testing::PaperExample::Data();
+  Built b(data, testing::PaperExample::Query(), 0);
+  ASSERT_TRUE(WriteCeciIndex(b.index, b.tree, File("q.idx")).ok());
+  Graph other = MakePaperQuery(PaperQuery::kQG1);
+  auto tree = QueryTree::Build(other, 0);
+  ASSERT_TRUE(tree.ok());
+  auto loaded = ReadCeciIndex(*tree, File("q.idx"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IndexIoTest, RejectsWrongMatchingOrder) {
+  Graph data = testing::PaperExample::Data();
+  Graph query = testing::PaperExample::Query();
+  Built b(data, query, 0);
+  ASSERT_TRUE(WriteCeciIndex(b.index, b.tree, File("q.idx")).ok());
+  // Same query, different root → different order.
+  auto other_tree = QueryTree::Build(query, 2);
+  ASSERT_TRUE(other_tree.ok());
+  auto loaded = ReadCeciIndex(*other_tree, File("q.idx"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(IndexIoTest, RejectsCorruptFile) {
+  Graph data = testing::PaperExample::Data();
+  Built b(data, testing::PaperExample::Query(), 0);
+  std::ofstream out(File("junk.idx"), std::ios::binary);
+  out << "NOTANINDEXATALL____________________";
+  out.close();
+  auto loaded = ReadCeciIndex(b.tree, File("junk.idx"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, RejectsMissingFile) {
+  Graph data = testing::PaperExample::Data();
+  Built b(data, testing::PaperExample::Query(), 0);
+  auto loaded = ReadCeciIndex(b.tree, File("absent.idx"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIoError);
+}
+
+TEST_F(IndexIoTest, RejectsTruncatedFile) {
+  Graph data = GenerateSocialGraph(300, 6, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG2);
+  Built b(data, query, 0);
+  ASSERT_TRUE(WriteCeciIndex(b.index, b.tree, File("full.idx")).ok());
+  std::ifstream in(File("full.idx"), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::ofstream out(File("half.idx"), std::ios::binary);
+  out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  auto loaded = ReadCeciIndex(b.tree, File("half.idx"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,176 @@
+// Integration tests for the CeciMatcher facade.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "ceci/matcher.h"
+#include "gen/labels.h"
+#include "gen/paper_queries.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeGraph;
+using ::ceci::testing::MakeUnlabeled;
+
+TEST(MatcherTest, CountTrianglesInK5) {
+  Graph data = MakeUnlabeled(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2},
+                                 {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}});
+  CeciMatcher matcher(data);
+  auto count = matcher.Count(MakePaperQuery(PaperQuery::kQG1));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 10u);  // C(5,3)
+}
+
+TEST(MatcherTest, CountFourCliquesInK5) {
+  Graph data = MakeUnlabeled(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2},
+                                 {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}});
+  CeciMatcher matcher(data);
+  auto count = matcher.Count(MakePaperQuery(PaperQuery::kQG4));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 5u);  // C(5,4)
+}
+
+TEST(MatcherTest, LimitReturnsFirstK) {
+  Graph data = GenerateBarabasiAlbert(300, 4, 5);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.limit = 17;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 17u);
+}
+
+TEST(MatcherTest, ZeroEmbeddingsOnInfeasibleLabels) {
+  Graph data = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph query = MakeGraph({0, 0, 9}, {{0, 1}, {1, 2}, {0, 2}});
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 0u);
+}
+
+TEST(MatcherTest, DisconnectedQueryIsError) {
+  Graph data = MakeUnlabeled(4, {{0, 1}, {1, 2}, {2, 3}});
+  Graph query = MakeUnlabeled(4, {{0, 1}, {2, 3}});
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MatcherTest, SingleVertexQueryCountsLabelMatches) {
+  Graph data = MakeGraph({3, 3, 5}, {{0, 1}, {1, 2}});
+  Graph query = MakeGraph({3}, {});
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 2u);
+}
+
+TEST(MatcherTest, StatsArePopulated) {
+  Graph data = GenerateBarabasiAlbert(500, 4, 7);
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG3), MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  const MatchStats& s = result->stats;
+  EXPECT_GT(s.total_seconds, 0.0);
+  EXPECT_GT(s.ceci_bytes, 0u);
+  // Table-2 accounting: stored candidate edges at 8 bytes each stay below
+  // the |E_q| × |E_g| theoretical bound.
+  EXPECT_GE(s.theoretical_bytes, s.candidate_edges * 8);
+  EXPECT_GT(s.embedding_clusters, 0u);
+  EXPECT_GT(s.enumeration.recursive_calls, 0u);
+  EXPECT_GT(s.total_cardinality, 0u);
+  EXPECT_GE(s.automorphisms_broken, 1u);
+}
+
+TEST(MatcherTest, MatchIsRepeatable) {
+  Graph data = GenerateErdosRenyi(400, 2400, 21);
+  CeciMatcher matcher(data);
+  auto a = matcher.Count(MakePaperQuery(PaperQuery::kQG2));
+  auto b = matcher.Count(MakePaperQuery(PaperQuery::kQG2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(MatcherTest, ThreadsDoNotChangeCounts) {
+  Graph data = GenerateBarabasiAlbert(600, 5, 13);
+  CeciMatcher matcher(data);
+  auto serial = matcher.Count(MakePaperQuery(PaperQuery::kQG3), 1);
+  auto parallel = matcher.Count(MakePaperQuery(PaperQuery::kQG3), 8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(*serial, *parallel);
+}
+
+TEST(MatcherTest, OrderStrategiesAgreeOnCounts) {
+  Graph data =
+      AssignRandomLabels(GenerateBarabasiAlbert(400, 4, 3), 4, 17);
+  CeciMatcher matcher(data);
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (OrderStrategy s : {OrderStrategy::kBfs, OrderStrategy::kEdgeRanked,
+                          OrderStrategy::kPathRanked}) {
+    MatchOptions options;
+    options.order = s;
+    auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG5), options);
+    ASSERT_TRUE(result.ok()) << OrderStrategyName(s);
+    if (first) {
+      reference = result->embedding_count;
+      first = false;
+    } else {
+      EXPECT_EQ(result->embedding_count, reference) << OrderStrategyName(s);
+    }
+  }
+}
+
+TEST(MatcherTest, IntersectionAblationAgrees) {
+  Graph data = GenerateBarabasiAlbert(500, 4, 29);
+  CeciMatcher matcher(data);
+  MatchOptions with;
+  MatchOptions without;
+  without.nte_intersection = false;
+  auto a = matcher.Match(MakePaperQuery(PaperQuery::kQG4), with);
+  auto b = matcher.Match(MakePaperQuery(PaperQuery::kQG4), without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->embedding_count, b->embedding_count);
+  EXPECT_GT(b->stats.enumeration.edge_verifications, 0u);
+}
+
+TEST(MatcherTest, AutomorphismTogglesScaleCounts) {
+  Graph data = GenerateErdosRenyi(200, 1200, 31);
+  CeciMatcher matcher(data);
+  MatchOptions broken;
+  MatchOptions unbroken;
+  unbroken.break_automorphisms = false;
+  auto a = matcher.Match(MakePaperQuery(PaperQuery::kQG1), broken);
+  auto b = matcher.Match(MakePaperQuery(PaperQuery::kQG1), unbroken);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->embedding_count, a->embedding_count * 6);  // |Aut(K3)| = 6
+}
+
+TEST(MatcherTest, ConcurrentMatchCallsAreSafe) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 41);
+  CeciMatcher matcher(data);
+  auto expected = matcher.Count(MakePaperQuery(PaperQuery::kQG1));
+  ASSERT_TRUE(expected.ok());
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> counts(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = matcher.Count(MakePaperQuery(PaperQuery::kQG1));
+      counts[t] = c.ok() ? *c : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint64_t c : counts) EXPECT_EQ(c, *expected);
+}
+
+}  // namespace
+}  // namespace ceci

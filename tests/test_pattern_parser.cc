@@ -1,0 +1,121 @@
+// Unit tests for the query pattern DSL.
+#include <gtest/gtest.h>
+
+#include "graphio/pattern_parser.h"
+
+namespace ceci {
+namespace {
+
+TEST(PatternParserTest, SimpleChain) {
+  auto q = ParsePattern("(a)-(b)-(c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vertices(), 3u);
+  EXPECT_EQ(q->num_edges(), 2u);
+  EXPECT_TRUE(q->HasEdge(0, 1));
+  EXPECT_TRUE(q->HasEdge(1, 2));
+  EXPECT_FALSE(q->HasEdge(0, 2));
+}
+
+TEST(PatternParserTest, TriangleWithTwoChains) {
+  auto q = ParsePattern("(a)-(b)-(c); (a)-(c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_edges(), 3u);
+  EXPECT_TRUE(q->HasEdge(0, 2));
+}
+
+TEST(PatternParserTest, Labels) {
+  auto q = ParsePattern("(a:3)-(b:7)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->label(0), 3u);
+  EXPECT_EQ(q->label(1), 7u);
+}
+
+TEST(PatternParserTest, MultiLabels) {
+  auto q = ParsePattern("(a:1,4,2)-(b)");
+  ASSERT_TRUE(q.ok());
+  auto ls = q->labels(0);
+  EXPECT_EQ(std::vector<Label>(ls.begin(), ls.end()),
+            (std::vector<Label>{1, 2, 4}));
+}
+
+TEST(PatternParserTest, UnlabeledDefaultsToZero) {
+  auto q = ParsePattern("(x)-(y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->label(0), 0u);
+  EXPECT_EQ(q->label(1), 0u);
+}
+
+TEST(PatternParserTest, VertexIdsFollowFirstAppearance) {
+  auto q = ParsePattern("(z)-(a); (a)-(m); (z)-(m)");
+  ASSERT_TRUE(q.ok());
+  // z=0, a=1, m=2: a triangle.
+  EXPECT_EQ(q->num_vertices(), 3u);
+  EXPECT_EQ(q->num_edges(), 3u);
+}
+
+TEST(PatternParserTest, LateLabelDeclarationAllowed) {
+  auto q = ParsePattern("(a)-(b:5); (b)-(c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->label(1), 5u);
+}
+
+TEST(PatternParserTest, WhitespaceInsensitive) {
+  auto q = ParsePattern("  ( a : 1 ) - ( b ) ;  ( b ) - ( c )  ");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vertices(), 3u);
+}
+
+TEST(PatternParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParsePattern("(a)-(b);").ok());
+}
+
+TEST(PatternParserTest, SingleVertexPattern) {
+  auto q = ParsePattern("(a:9)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vertices(), 1u);
+  EXPECT_EQ(q->label(0), 9u);
+}
+
+TEST(PatternParserTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("(a)-(a)").ok());          // self loop
+  EXPECT_FALSE(ParsePattern("(a:1)-(b); (a:2)-(b)").ok());  // relabel
+  EXPECT_FALSE(ParsePattern("(a)-").ok());
+  EXPECT_FALSE(ParsePattern("a-b").ok());
+  EXPECT_FALSE(ParsePattern("(a:)-(b)").ok());
+  EXPECT_FALSE(ParsePattern("()-(b)").ok());
+  EXPECT_FALSE(ParsePattern("(a)(b)").ok());
+  // Several vertices but no edges between them.
+  EXPECT_FALSE(ParsePattern("(a); (b)").ok());
+}
+
+TEST(PatternParserTest, DuplicateEdgeDeduped) {
+  auto q = ParsePattern("(a)-(b); (b)-(a)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_edges(), 1u);
+}
+
+TEST(PatternParserTest, RoundTripThroughFormat) {
+  const char* patterns[] = {
+      "(a)-(b)-(c); (a)-(c)",
+      "(a:3)-(b:1); (b:1)-(c:2); (a:3)-(c:2)",
+      "(x:1,2)-(y)",
+  };
+  for (const char* p : patterns) {
+    auto q = ParsePattern(p);
+    ASSERT_TRUE(q.ok()) << p;
+    std::string formatted = FormatPattern(*q);
+    auto q2 = ParsePattern(formatted);
+    ASSERT_TRUE(q2.ok()) << formatted;
+    EXPECT_EQ(q2->num_vertices(), q->num_vertices());
+    EXPECT_EQ(q2->num_edges(), q->num_edges());
+    for (VertexId v = 0; v < q->num_vertices(); ++v) {
+      auto a = q->labels(v);
+      auto b = q2->labels(v);
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,154 @@
+// Property-based cross-validation: every matcher in the repository must
+// report the same embedding count on randomized (data, query) pairs, and
+// the CECI visitor output must equal the VF2 oracle's embedding set.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bare_enumerator.h"
+#include "baselines/cfl_enumerator.h"
+#include "baselines/dual_sim.h"
+#include "baselines/psgl.h"
+#include "baselines/quicksi.h"
+#include "baselines/turbo_iso.h"
+#include "baselines/vf2.h"
+#include "ceci/matcher.h"
+#include "gen/labels.h"
+#include "gen/paper_queries.h"
+#include "gen/query_gen.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::EmbeddingCollector;
+
+struct Scenario {
+  Graph data;
+  Graph query;
+  std::string name;
+};
+
+Scenario MakeScenario(int seed) {
+  // Alternate between unlabeled power-law + paper query, and labeled
+  // Erdős–Rényi + DFS-extracted query.
+  if (seed % 2 == 0) {
+    Graph data = GenerateBarabasiAlbert(120 + 30 * (seed % 5), 3,
+                                        static_cast<std::uint64_t>(seed));
+    PaperQuery pq = kAllPaperQueries[seed / 2 % 5];
+    return {std::move(data), MakePaperQuery(pq),
+            "BA+" + PaperQueryName(pq)};
+  }
+  Graph data = AssignRandomLabels(
+      GenerateErdosRenyi(150, 900 + 40 * (seed % 7),
+                         static_cast<std::uint64_t>(seed)),
+      3 + seed % 4, static_cast<std::uint64_t>(seed) * 7 + 1);
+  QueryGenOptions qopt;
+  qopt.num_vertices = 3 + seed % 4;
+  qopt.seed = static_cast<std::uint64_t>(seed) * 13 + 5;
+  auto query = GenerateQuery(data, qopt);
+  CECI_CHECK(query.has_value());
+  return {std::move(data), std::move(*query), "ER+dfs"};
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceTest, AllMatchersAgreeOnCount) {
+  Scenario s = MakeScenario(GetParam());
+  NlcIndex nlc(s.data);
+
+  Vf2Result oracle = Vf2Count(s.data, s.query, Vf2Options{});
+
+  CeciMatcher matcher(s.data);
+  auto ceci = matcher.Count(s.query, /*threads=*/2);
+  ASSERT_TRUE(ceci.ok());
+  EXPECT_EQ(*ceci, oracle.embeddings) << s.name << " (ceci)";
+
+  BareOptions bare_options;
+  bare_options.threads = 2;
+  EXPECT_EQ(BareCount(s.data, s.query, bare_options).embeddings,
+            oracle.embeddings)
+      << s.name << " (bare)";
+
+  EXPECT_EQ(CflCount(s.data, nlc, s.query, CflOptions{}).embeddings,
+            oracle.embeddings)
+      << s.name << " (cfl)";
+
+  EXPECT_EQ(TurboIsoCount(s.data, nlc, s.query, TurboIsoOptions{}).embeddings,
+            oracle.embeddings)
+      << s.name << " (turboiso)";
+
+  TurboIsoOptions boosted;
+  boosted.boosted = true;
+  EXPECT_EQ(TurboIsoCount(s.data, nlc, s.query, boosted).embeddings,
+            oracle.embeddings)
+      << s.name << " (boosted-turboiso)";
+
+  EXPECT_EQ(QuickSiCount(s.data, s.query, QuickSiOptions{}).embeddings,
+            oracle.embeddings)
+      << s.name << " (quicksi)";
+
+  PsglOptions psgl_options;
+  psgl_options.threads = 2;
+  PsglResult psgl = PsglCount(s.data, s.query, psgl_options);
+  ASSERT_FALSE(psgl.overflowed);
+  EXPECT_EQ(psgl.embeddings, oracle.embeddings) << s.name << " (psgl)";
+
+  DualSimOptions ds_options;
+  ds_options.threads = 2;
+  EXPECT_EQ(DualSimCount(s.data, s.query, ds_options).embeddings,
+            oracle.embeddings)
+      << s.name << " (dualsim)";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, EquivalenceTest,
+                         ::testing::Range(0, 20));
+
+class EmbeddingSetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbeddingSetTest, CeciEmbeddingSetEqualsOracle) {
+  Scenario s = MakeScenario(GetParam());
+  EmbeddingCollector oracle_collector;
+  EmbeddingVisitor oracle_visitor = std::ref(oracle_collector);
+  Vf2Count(s.data, s.query, Vf2Options{}, &oracle_visitor);
+
+  CeciMatcher matcher(s.data);
+  EmbeddingCollector ceci_collector;
+  EmbeddingVisitor ceci_visitor = std::ref(ceci_collector);
+  auto result = matcher.Match(s.query, MatchOptions{}, &ceci_visitor);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(ceci_collector.AsSet(), oracle_collector.AsSet()) << s.name;
+  // No duplicates either.
+  EXPECT_EQ(ceci_collector.raw().size(), ceci_collector.AsSet().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, EmbeddingSetTest,
+                         ::testing::Range(0, 10));
+
+class NoSymmetryEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoSymmetryEquivalenceTest, CountsScaleByAutomorphismGroup) {
+  Scenario s = MakeScenario(GetParam());
+  auto sym = SymmetryConstraints::Compute(s.query);
+  if (sym.automorphism_count() == 0) GTEST_SKIP();
+
+  CeciMatcher matcher(s.data);
+  MatchOptions broken;
+  MatchOptions unbroken;
+  unbroken.break_automorphisms = false;
+  auto a = matcher.Match(s.query, broken);
+  auto b = matcher.Match(s.query, unbroken);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->embedding_count,
+            a->embedding_count * sym.automorphism_count())
+      << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, NoSymmetryEquivalenceTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ceci

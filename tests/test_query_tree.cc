@@ -1,0 +1,141 @@
+// Unit tests for the BFS query tree and matching-order handling.
+#include <gtest/gtest.h>
+
+#include "ceci/matching_order.h"
+#include "ceci/query_tree.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeUnlabeled;
+using ::ceci::testing::PaperExample;
+
+TEST(QueryTreeTest, PaperExampleTreeStructure) {
+  Graph query = PaperExample::Query();
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->root(), 0u);
+  // Tree edges: (u1,u2), (u1,u3), (u2,u4), (u3,u5) — 0-based.
+  EXPECT_EQ(tree->parent(1), 0u);
+  EXPECT_EQ(tree->parent(2), 0u);
+  EXPECT_EQ(tree->parent(3), 1u);
+  EXPECT_EQ(tree->parent(4), 2u);
+  EXPECT_EQ(tree->num_tree_edges(), 4u);
+  // Non-tree edges: (u2,u3) and (u3,u4).
+  ASSERT_EQ(tree->num_non_tree_edges(), 2u);
+}
+
+TEST(QueryTreeTest, NonTreeEdgeOrientationFollowsMatchingOrder) {
+  Graph query = PaperExample::Query();
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  for (const NonTreeEdge& e : tree->non_tree_edges()) {
+    EXPECT_LT(tree->order_position(e.parent), tree->order_position(e.child));
+  }
+  // u3 (vertex 2) is the child of NTE (u2,u3) and parent of NTE (u3,u4).
+  EXPECT_EQ(tree->nte_in(2).size(), 1u);
+  EXPECT_EQ(tree->nte_out(2).size(), 1u);
+  EXPECT_EQ(tree->nte_in(3).size(), 1u);
+}
+
+TEST(QueryTreeTest, BfsOrderIsDefaultMatchingOrder) {
+  Graph query = PaperExample::Query();
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->matching_order(), tree->bfs_order());
+  EXPECT_EQ(tree->bfs_order().front(), 0u);
+}
+
+TEST(QueryTreeTest, DepthsFollowBfsLevels) {
+  Graph query = PaperExample::Query();
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->depth(0), 0u);
+  EXPECT_EQ(tree->depth(1), 1u);
+  EXPECT_EQ(tree->depth(2), 1u);
+  EXPECT_EQ(tree->depth(3), 2u);
+  EXPECT_EQ(tree->depth(4), 2u);
+}
+
+TEST(QueryTreeTest, DisconnectedQueryRejected) {
+  Graph query = MakeUnlabeled(4, {{0, 1}, {2, 3}});
+  auto tree = QueryTree::Build(query, 0);
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(QueryTreeTest, RootOutOfRangeRejected) {
+  Graph query = MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(QueryTree::Build(query, 9).ok());
+}
+
+TEST(QueryTreeTest, SetMatchingOrderValidatesTopology) {
+  Graph query = MakeUnlabeled(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  // Child 2 before its parent 1: invalid.
+  EXPECT_FALSE(tree->SetMatchingOrder({0, 2, 1, 3}).ok());
+  // Not a permutation.
+  EXPECT_FALSE(tree->SetMatchingOrder({0, 1, 1, 3}).ok());
+  EXPECT_FALSE(tree->SetMatchingOrder({0, 1, 2}).ok());
+  // Valid alternative topological order of a path is only the path itself.
+  EXPECT_TRUE(tree->SetMatchingOrder({0, 1, 2, 3}).ok());
+}
+
+TEST(QueryTreeTest, ReorientationAfterOrderChange) {
+  // Star + extra edge: 0-1, 0-2, 1-2 (triangle).
+  Graph query = MakeUnlabeled(3, {{0, 1}, {0, 2}, {1, 2}});
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->num_non_tree_edges(), 1u);
+  EXPECT_EQ(tree->non_tree_edges()[0].parent, 1u);
+  EXPECT_EQ(tree->non_tree_edges()[0].child, 2u);
+  ASSERT_TRUE(tree->SetMatchingOrder({0, 2, 1}).ok());
+  EXPECT_EQ(tree->non_tree_edges()[0].parent, 2u);
+  EXPECT_EQ(tree->non_tree_edges()[0].child, 1u);
+}
+
+TEST(QueryTreeTest, SingleVertexQuery) {
+  Graph query = MakeUnlabeled(1, {});
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_vertices(), 1u);
+  EXPECT_EQ(tree->parent(0), kInvalidVertex);
+  EXPECT_EQ(tree->num_non_tree_edges(), 0u);
+}
+
+TEST(MatchingOrderTest, AllStrategiesAreTopological) {
+  Graph query = PaperExample::Query();
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  std::vector<std::size_t> counts = {2, 4, 4, 3, 2};
+  for (OrderStrategy s : {OrderStrategy::kBfs, OrderStrategy::kEdgeRanked,
+                          OrderStrategy::kPathRanked}) {
+    auto order = ComputeMatchingOrder(query, *tree, counts, s);
+    ASSERT_EQ(order.size(), query.num_vertices()) << OrderStrategyName(s);
+    // Applying the order must succeed (validates topology + permutation).
+    EXPECT_TRUE(tree->SetMatchingOrder(order).ok()) << OrderStrategyName(s);
+    // Restore default for the next strategy.
+    ASSERT_TRUE(tree->SetMatchingOrder(tree->bfs_order()).ok());
+  }
+}
+
+TEST(MatchingOrderTest, EdgeRankedPrefersSelectiveVertices) {
+  // Path 0-1, 0-2: vertex 1 has 10 candidates, vertex 2 has 2.
+  Graph query = MakeUnlabeled(3, {{0, 1}, {0, 2}});
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  std::vector<std::size_t> counts = {1, 10, 2};
+  auto order =
+      ComputeMatchingOrder(query, *tree, counts, OrderStrategy::kEdgeRanked);
+  EXPECT_EQ(order, (std::vector<VertexId>{0, 2, 1}));
+}
+
+TEST(MatchingOrderTest, StrategyNames) {
+  EXPECT_EQ(OrderStrategyName(OrderStrategy::kBfs), "bfs");
+  EXPECT_EQ(OrderStrategyName(OrderStrategy::kEdgeRanked), "edge-ranked");
+  EXPECT_EQ(OrderStrategyName(OrderStrategy::kPathRanked), "path-ranked");
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,200 @@
+// Tests for out-of-core CECI construction: the streaming builder must
+// produce exactly the index the in-memory builder produces, reading only
+// through the on-demand store, and a full match must be able to run with
+// no in-memory data graph at all.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "ceci/ceci_builder.h"
+#include "ceci/enumerator.h"
+#include "ceci/refinement.h"
+#include "ceci/streaming_builder.h"
+#include "ceci/symmetry.h"
+#include "gen/labels.h"
+#include "gen/paper_queries.h"
+#include "gen/query_gen.h"
+#include "gen/random_graphs.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+class StreamingBuilderTest : public ::testing::Test {
+ protected:
+  StreamingBuilderTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ceci_stream_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~StreamingBuilderTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string File(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+void ExpectIndexesEqual(const CeciIndex& a, const CeciIndex& b,
+                        std::size_t nq) {
+  for (VertexId u = 0; u < nq; ++u) {
+    EXPECT_EQ(a.at(u).candidates, b.at(u).candidates) << "u" << u;
+    EXPECT_EQ(a.at(u).cardinalities, b.at(u).cardinalities) << "u" << u;
+    ASSERT_EQ(a.at(u).te.num_keys(), b.at(u).te.num_keys()) << "u" << u;
+    for (std::size_t k = 0; k < a.at(u).te.num_keys(); ++k) {
+      EXPECT_EQ(a.at(u).te.keys()[k], b.at(u).te.keys()[k]);
+      auto va = a.at(u).te.values_at(k);
+      auto vb = b.at(u).te.values_at(k);
+      EXPECT_TRUE(std::equal(va.begin(), va.end(), vb.begin(), vb.end()));
+    }
+    ASSERT_EQ(a.at(u).nte.size(), b.at(u).nte.size());
+    for (std::size_t n = 0; n < a.at(u).nte.size(); ++n) {
+      EXPECT_EQ(a.at(u).nte[n].TotalValues(), b.at(u).nte[n].TotalValues());
+    }
+  }
+}
+
+TEST_F(StreamingBuilderTest, MatchesInMemoryBuilderExactly) {
+  Graph data = AssignRandomLabels(GenerateSocialGraph(800, 8, 3), 4, 4);
+  ASSERT_TRUE(WriteCsrStore(data, File("g.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("g.csr2"));
+  ASSERT_TRUE(store.ok());
+  StreamingCeciBuilder streaming(&store.value());
+  ASSERT_TRUE(streaming.PrepareResidentIndexes().ok());
+
+  for (PaperQuery pq : {PaperQuery::kQG1, PaperQuery::kQG3,
+                        PaperQuery::kQG5}) {
+    Graph query = MakePaperQuery(pq);
+    auto tree = QueryTree::Build(query, 0);
+    ASSERT_TRUE(tree.ok());
+
+    NlcIndex nlc(data);
+    CeciBuilder in_memory(data, nlc);
+    CeciIndex expected =
+        in_memory.Build(query, *tree, BuildOptions{}, nullptr);
+    RefineCeci(*tree, data.num_vertices(), &expected, nullptr);
+
+    auto got = streaming.Build(query, *tree, nullptr, nullptr);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    RefineCeci(*tree, store->num_vertices(), &got.value(), nullptr);
+
+    ExpectIndexesEqual(expected, *got, query.num_vertices());
+  }
+}
+
+TEST_F(StreamingBuilderTest, GraphFreeMatchEndToEnd) {
+  // The data graph never exists in memory: store → streaming build →
+  // refinement → graph-free enumeration. Count checked against the
+  // conventional pipeline.
+  Graph data = AssignRandomLabels(GenerateSocialGraph(600, 10, 7), 3, 8);
+  ASSERT_TRUE(WriteCsrStore(data, File("g.csr2")).ok());
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  SymmetryConstraints sym = SymmetryConstraints::Compute(query);
+
+  // Conventional count.
+  NlcIndex nlc(data);
+  CeciBuilder in_memory(data, nlc);
+  CeciIndex reference = in_memory.Build(query, *tree, BuildOptions{},
+                                        nullptr);
+  RefineCeci(*tree, data.num_vertices(), &reference, nullptr);
+  EnumOptions eo;
+  eo.symmetry = &sym;
+  Enumerator ref_enum(data, *tree, reference, eo);
+  std::uint64_t expected = ref_enum.EnumerateAll(nullptr);
+
+  // Streaming count (graph-free enumerator overload).
+  auto store = OnDemandCsr::Open(File("g.csr2"));
+  ASSERT_TRUE(store.ok());
+  StreamingCeciBuilder streaming(&store.value());
+  ASSERT_TRUE(streaming.PrepareResidentIndexes().ok());
+  auto index = streaming.Build(query, *tree, nullptr, nullptr);
+  ASSERT_TRUE(index.ok());
+  RefineCeci(*tree, store->num_vertices(), &index.value(), nullptr);
+  index->Freeze();
+  Enumerator stream_enum(*tree, *index, eo);
+  EXPECT_EQ(stream_enum.EnumerateAll(nullptr), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST_F(StreamingBuilderTest, CountsStorageTraffic) {
+  Graph data = GenerateSocialGraph(400, 6, 9);
+  ASSERT_TRUE(WriteCsrStore(data, File("g.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("g.csr2"));
+  ASSERT_TRUE(store.ok());
+  StreamingCeciBuilder streaming(&store.value());
+  ASSERT_TRUE(streaming.PrepareResidentIndexes().ok());
+  const std::uint64_t after_prepare = streaming.requests();
+  EXPECT_EQ(after_prepare, data.num_vertices());  // one NLC pass
+
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  BuildStats stats;
+  auto index = streaming.Build(query, *tree, nullptr, &stats);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(streaming.requests(), after_prepare);
+  EXPECT_EQ(streaming.requests() - after_prepare,
+            stats.frontier_expansions);
+  EXPECT_GT(stats.neighbors_scanned, 0u);
+}
+
+TEST_F(StreamingBuilderTest, PivotRestrictionWorks) {
+  Graph data = GenerateSocialGraph(500, 8, 11);
+  ASSERT_TRUE(WriteCsrStore(data, File("g.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("g.csr2"));
+  ASSERT_TRUE(store.ok());
+  StreamingCeciBuilder streaming(&store.value());
+  ASSERT_TRUE(streaming.PrepareResidentIndexes().ok());
+
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  SymmetryConstraints sym = SymmetryConstraints::Compute(query);
+  EnumOptions eo;
+  eo.symmetry = &sym;
+
+  std::vector<VertexId> all =
+      streaming.CollectRootCandidates(query, tree->root());
+  ASSERT_GT(all.size(), 2u);
+  const std::size_t half = all.size() / 2;
+  std::vector<VertexId> first(all.begin(), all.begin() + half);
+  std::vector<VertexId> second(all.begin() + half, all.end());
+
+  std::uint64_t total = 0;
+  for (const auto* pivots : {&first, &second}) {
+    auto index = streaming.Build(query, *tree, pivots, nullptr);
+    ASSERT_TRUE(index.ok());
+    RefineCeci(*tree, store->num_vertices(), &index.value(), nullptr);
+    Enumerator e(*tree, *index, eo);
+    total += e.EnumerateAll(nullptr);
+  }
+
+  auto whole = streaming.Build(query, *tree, nullptr, nullptr);
+  ASSERT_TRUE(whole.ok());
+  RefineCeci(*tree, store->num_vertices(), &whole.value(), nullptr);
+  Enumerator e(*tree, *whole, eo);
+  EXPECT_EQ(total, e.EnumerateAll(nullptr));
+}
+
+TEST_F(StreamingBuilderTest, BuildBeforePrepareIsRejected) {
+  Graph data = testing::MakeUnlabeled(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(WriteCsrStore(data, File("g.csr2")).ok());
+  auto store = OnDemandCsr::Open(File("g.csr2"));
+  ASSERT_TRUE(store.ok());
+  StreamingCeciBuilder streaming(&store.value());
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  auto index = streaming.Build(query, *tree, nullptr, nullptr);
+  EXPECT_FALSE(index.ok());
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,100 @@
+// Unit tests for Grochow–Kellis automorphism breaking.
+#include <gtest/gtest.h>
+
+#include "ceci/symmetry.h"
+#include "gen/paper_queries.h"
+#include "test_support.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::MakeGraph;
+using ::ceci::testing::MakeUnlabeled;
+
+TEST(SymmetryTest, TriangleHasSixAutomorphisms) {
+  Graph triangle = MakePaperQuery(PaperQuery::kQG1);
+  auto sym = SymmetryConstraints::Compute(triangle);
+  EXPECT_EQ(sym.automorphism_count(), 6u);
+  // GK on S3: 0<1, 0<2 (orbit of 0), then 1<2 (stabilizer orbit of 1).
+  EXPECT_EQ(sym.constraints().size(), 3u);
+}
+
+TEST(SymmetryTest, FourCliqueHas24Automorphisms) {
+  Graph clique = MakePaperQuery(PaperQuery::kQG4);
+  auto sym = SymmetryConstraints::Compute(clique);
+  EXPECT_EQ(sym.automorphism_count(), 24u);
+}
+
+TEST(SymmetryTest, SquareHasEightAutomorphisms) {
+  Graph square = MakePaperQuery(PaperQuery::kQG2);
+  auto sym = SymmetryConstraints::Compute(square);
+  EXPECT_EQ(sym.automorphism_count(), 8u);
+  EXPECT_FALSE(sym.empty());
+}
+
+TEST(SymmetryTest, AsymmetricQueryHasNoConstraints) {
+  // Labeled path with distinct labels: trivial automorphism group.
+  Graph q = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  auto sym = SymmetryConstraints::Compute(q);
+  EXPECT_EQ(sym.automorphism_count(), 1u);
+  EXPECT_TRUE(sym.empty());
+}
+
+TEST(SymmetryTest, LabelsBlockSymmetry) {
+  // Unlabeled path 0-1-2 has the 0<->2 reflection...
+  Graph unlabeled = MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(SymmetryConstraints::Compute(unlabeled).automorphism_count(), 2u);
+  // ...which distinct endpoint labels destroy.
+  Graph labeled = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(SymmetryConstraints::Compute(labeled).automorphism_count(), 1u);
+}
+
+TEST(SymmetryTest, ConstraintIndexIsConsistent) {
+  Graph triangle = MakePaperQuery(PaperQuery::kQG1);
+  auto sym = SymmetryConstraints::Compute(triangle);
+  for (const auto& c : sym.constraints()) {
+    bool found = false;
+    for (VertexId w : sym.must_be_less(c.larger)) {
+      if (w == c.smaller) found = true;
+    }
+    EXPECT_TRUE(found);
+    found = false;
+    for (VertexId w : sym.must_be_greater(c.smaller)) {
+      if (w == c.larger) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SymmetryTest, NoneHasNoConstraints) {
+  auto sym = SymmetryConstraints::None(5);
+  EXPECT_TRUE(sym.empty());
+  EXPECT_TRUE(sym.must_be_less(4).empty());
+  EXPECT_TRUE(sym.must_be_greater(0).empty());
+}
+
+TEST(SymmetryTest, PaperExampleQueryIsAsymmetric) {
+  auto sym = SymmetryConstraints::Compute(testing::PaperExample::Query());
+  EXPECT_EQ(sym.automorphism_count(), 1u);
+}
+
+TEST(SymmetryTest, HouseQuerySymmetry) {
+  // QG5 (house): 5-cycle 0-1-2-3-4-0 with chord 1-4. One reflection:
+  // swap (0 fixed? ) — the reflection maps 1<->4, 2<->3 and fixes 0.
+  Graph house = MakePaperQuery(PaperQuery::kQG5);
+  auto sym = SymmetryConstraints::Compute(house);
+  EXPECT_EQ(sym.automorphism_count(), 2u);
+  EXPECT_EQ(sym.constraints().size(), 1u);
+}
+
+TEST(SymmetryTest, StarLeavesFullyOrdered) {
+  // Star center 0, leaves 1..4: Aut = S4 (24), GK chains the leaves.
+  Graph star = MakeUnlabeled(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  auto sym = SymmetryConstraints::Compute(star);
+  EXPECT_EQ(sym.automorphism_count(), 24u);
+  // Orbit of 1 = {1,2,3,4} → 3 constraints, then {2,3,4} → 2, then 1.
+  EXPECT_EQ(sym.constraints().size(), 6u);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,121 @@
+// End-to-end smoke tests for the CLI tools (ceci_generate, ceci_query),
+// exercised exactly as a user would run them.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef CECI_TOOLS_DIR
+#error "CECI_TOOLS_DIR must point at the built tool binaries"
+#endif
+
+namespace {
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  ToolsTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ceci_tools_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~ToolsTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string File(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Runs a tool with arguments; returns the exit code.
+  int Run(const std::string& tool, const std::string& args,
+          const std::string& stdout_file = "") {
+    std::string cmd = std::string(CECI_TOOLS_DIR) + "/" + tool + " " + args;
+    if (!stdout_file.empty()) cmd += " > " + stdout_file;
+    int rc = std::system(cmd.c_str());
+    return WEXITSTATUS(rc);
+  }
+
+  std::string Slurp(const std::string& path) {
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST_F(ToolsTest, GenerateThenQuery) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 2000 --attach 6 --labels 4 --seed 3 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(File("g.txt")));
+
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--threads 2 --stats",
+                File("out.txt")),
+            0);
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_NE(out.find("embeddings:"), std::string::npos);
+  EXPECT_NE(out.find("clusters:"), std::string::npos);
+}
+
+TEST_F(ToolsTest, QueryLimitAndPrint) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family er --n 500 --m 3000 --seed 5 --out " +
+                    File("er.txt") + " --format edgelist"),
+            0);
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("er.txt") +
+                    " --pattern \"(a)-(b)-(c); (a)-(c)\" --limit 5 --print",
+                File("out.txt")),
+            0);
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_NE(out.find("embeddings: 5"), std::string::npos);
+  // Five printed mappings.
+  std::size_t lines = 0;
+  for (std::size_t pos = out.find("{u0->");
+       pos != std::string::npos; pos = out.find("{u0->", pos + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST_F(ToolsTest, BinaryFormatsRoundTrip) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family ba --n 800 --attach 4 --seed 7 --out " +
+                    File("g.bin") + " --format csr"),
+            0);
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.bin") +
+                    " --format csr --pattern \"(a)-(b)-(c); (a)-(c)\"",
+                File("out.txt")),
+            0);
+  EXPECT_NE(Slurp(File("out.txt")).find("embeddings:"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CsrStoreFormatWrites) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family kronecker --scale 10 --edge-factor 6 --seed 9 "
+                "--out " + File("k.csr2") + " --format csrstore"),
+            0);
+  EXPECT_GT(std::filesystem::file_size(File("k.csr2")), 1024u);
+}
+
+TEST_F(ToolsTest, BadFlagsFailCleanly) {
+  EXPECT_NE(Run("ceci_query", "--data /nonexistent --pattern \"(a)-(b)\""),
+            0);
+  EXPECT_NE(Run("ceci_query", ""), 0);
+  EXPECT_NE(Run("ceci_generate", "--family nope --out " + File("x")), 0);
+  EXPECT_NE(Run("ceci_query",
+                "--data /nonexistent --pattern \"(a)-(b)\" --query q"),
+            0);
+}
+
+}  // namespace
