@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intersection.dir/bench_ablation_intersection.cc.o"
+  "CMakeFiles/bench_ablation_intersection.dir/bench_ablation_intersection.cc.o.d"
+  "bench_ablation_intersection"
+  "bench_ablation_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_turboiso.dir/bench_fig10_turboiso.cc.o"
+  "CMakeFiles/bench_fig10_turboiso.dir/bench_fig10_turboiso.cc.o.d"
+  "bench_fig10_turboiso"
+  "bench_fig10_turboiso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_turboiso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

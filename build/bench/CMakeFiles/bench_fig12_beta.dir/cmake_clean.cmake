@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_beta.dir/bench_fig12_beta.cc.o"
+  "CMakeFiles/bench_fig12_beta.dir/bench_fig12_beta.cc.o.d"
+  "bench_fig12_beta"
+  "bench_fig12_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

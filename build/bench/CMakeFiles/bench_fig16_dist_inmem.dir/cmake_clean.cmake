@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_dist_inmem.dir/bench_fig16_dist_inmem.cc.o"
+  "CMakeFiles/bench_fig16_dist_inmem.dir/bench_fig16_dist_inmem.cc.o.d"
+  "bench_fig16_dist_inmem"
+  "bench_fig16_dist_inmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dist_inmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_dist_shared.dir/bench_fig17_dist_shared.cc.o"
+  "CMakeFiles/bench_fig17_dist_shared.dir/bench_fig17_dist_shared.cc.o.d"
+  "bench_fig17_dist_shared"
+  "bench_fig17_dist_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_dist_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

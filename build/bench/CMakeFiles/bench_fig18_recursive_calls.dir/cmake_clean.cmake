@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_recursive_calls.dir/bench_fig18_recursive_calls.cc.o"
+  "CMakeFiles/bench_fig18_recursive_calls.dir/bench_fig18_recursive_calls.cc.o.d"
+  "bench_fig18_recursive_calls"
+  "bench_fig18_recursive_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_recursive_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

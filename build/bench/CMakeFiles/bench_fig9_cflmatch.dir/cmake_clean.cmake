@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cflmatch.dir/bench_fig9_cflmatch.cc.o"
+  "CMakeFiles/bench_fig9_cflmatch.dir/bench_fig9_cflmatch.cc.o.d"
+  "bench_fig9_cflmatch"
+  "bench_fig9_cflmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cflmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_rings.dir/fraud_rings.cc.o"
+  "CMakeFiles/fraud_rings.dir/fraud_rings.cc.o.d"
+  "fraud_rings"
+  "fraud_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

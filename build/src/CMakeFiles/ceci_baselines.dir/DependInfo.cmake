@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bare_enumerator.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/bare_enumerator.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/bare_enumerator.cc.o.d"
+  "/root/repo/src/baselines/cfl_enumerator.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/cfl_enumerator.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/cfl_enumerator.cc.o.d"
+  "/root/repo/src/baselines/dual_sim.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/dual_sim.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/dual_sim.cc.o.d"
+  "/root/repo/src/baselines/paged_graph.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/paged_graph.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/paged_graph.cc.o.d"
+  "/root/repo/src/baselines/psgl.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/psgl.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/psgl.cc.o.d"
+  "/root/repo/src/baselines/quicksi.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/quicksi.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/quicksi.cc.o.d"
+  "/root/repo/src/baselines/turbo_iso.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/turbo_iso.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/turbo_iso.cc.o.d"
+  "/root/repo/src/baselines/vf2.cc" "src/CMakeFiles/ceci_baselines.dir/baselines/vf2.cc.o" "gcc" "src/CMakeFiles/ceci_baselines.dir/baselines/vf2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceci_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_graphio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

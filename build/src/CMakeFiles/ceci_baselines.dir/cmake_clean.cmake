@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_baselines.dir/baselines/bare_enumerator.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/bare_enumerator.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/cfl_enumerator.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/cfl_enumerator.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/dual_sim.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/dual_sim.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/paged_graph.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/paged_graph.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/psgl.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/psgl.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/quicksi.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/quicksi.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/turbo_iso.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/turbo_iso.cc.o.d"
+  "CMakeFiles/ceci_baselines.dir/baselines/vf2.cc.o"
+  "CMakeFiles/ceci_baselines.dir/baselines/vf2.cc.o.d"
+  "libceci_baselines.a"
+  "libceci_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

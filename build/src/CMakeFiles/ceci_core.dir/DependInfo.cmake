@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceci/cached_matcher.cc" "src/CMakeFiles/ceci_core.dir/ceci/cached_matcher.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/cached_matcher.cc.o.d"
+  "/root/repo/src/ceci/candidate_list.cc" "src/CMakeFiles/ceci_core.dir/ceci/candidate_list.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/candidate_list.cc.o.d"
+  "/root/repo/src/ceci/ceci_builder.cc" "src/CMakeFiles/ceci_core.dir/ceci/ceci_builder.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/ceci_builder.cc.o.d"
+  "/root/repo/src/ceci/ceci_index.cc" "src/CMakeFiles/ceci_core.dir/ceci/ceci_index.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/ceci_index.cc.o.d"
+  "/root/repo/src/ceci/enumerator.cc" "src/CMakeFiles/ceci_core.dir/ceci/enumerator.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/enumerator.cc.o.d"
+  "/root/repo/src/ceci/extreme_cluster.cc" "src/CMakeFiles/ceci_core.dir/ceci/extreme_cluster.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/extreme_cluster.cc.o.d"
+  "/root/repo/src/ceci/index_io.cc" "src/CMakeFiles/ceci_core.dir/ceci/index_io.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/index_io.cc.o.d"
+  "/root/repo/src/ceci/matcher.cc" "src/CMakeFiles/ceci_core.dir/ceci/matcher.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/matcher.cc.o.d"
+  "/root/repo/src/ceci/matching_order.cc" "src/CMakeFiles/ceci_core.dir/ceci/matching_order.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/matching_order.cc.o.d"
+  "/root/repo/src/ceci/preprocess.cc" "src/CMakeFiles/ceci_core.dir/ceci/preprocess.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/preprocess.cc.o.d"
+  "/root/repo/src/ceci/query_tree.cc" "src/CMakeFiles/ceci_core.dir/ceci/query_tree.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/query_tree.cc.o.d"
+  "/root/repo/src/ceci/refinement.cc" "src/CMakeFiles/ceci_core.dir/ceci/refinement.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/refinement.cc.o.d"
+  "/root/repo/src/ceci/scheduler.cc" "src/CMakeFiles/ceci_core.dir/ceci/scheduler.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/scheduler.cc.o.d"
+  "/root/repo/src/ceci/streaming_builder.cc" "src/CMakeFiles/ceci_core.dir/ceci/streaming_builder.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/streaming_builder.cc.o.d"
+  "/root/repo/src/ceci/symmetry.cc" "src/CMakeFiles/ceci_core.dir/ceci/symmetry.cc.o" "gcc" "src/CMakeFiles/ceci_core.dir/ceci/symmetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceci_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_graphio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_core.dir/ceci/cached_matcher.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/cached_matcher.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/candidate_list.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/candidate_list.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/ceci_builder.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/ceci_builder.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/ceci_index.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/ceci_index.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/enumerator.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/enumerator.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/extreme_cluster.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/extreme_cluster.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/index_io.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/index_io.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/matcher.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/matcher.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/matching_order.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/matching_order.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/preprocess.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/preprocess.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/query_tree.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/query_tree.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/refinement.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/refinement.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/scheduler.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/scheduler.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/streaming_builder.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/streaming_builder.cc.o.d"
+  "CMakeFiles/ceci_core.dir/ceci/symmetry.cc.o"
+  "CMakeFiles/ceci_core.dir/ceci/symmetry.cc.o.d"
+  "libceci_core.a"
+  "libceci_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_distsim.dir/distsim/cluster.cc.o"
+  "CMakeFiles/ceci_distsim.dir/distsim/cluster.cc.o.d"
+  "CMakeFiles/ceci_distsim.dir/distsim/dist_matcher.cc.o"
+  "CMakeFiles/ceci_distsim.dir/distsim/dist_matcher.cc.o.d"
+  "libceci_distsim.a"
+  "libceci_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ceci_distsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/kronecker.cc" "src/CMakeFiles/ceci_gen.dir/gen/kronecker.cc.o" "gcc" "src/CMakeFiles/ceci_gen.dir/gen/kronecker.cc.o.d"
+  "/root/repo/src/gen/labels.cc" "src/CMakeFiles/ceci_gen.dir/gen/labels.cc.o" "gcc" "src/CMakeFiles/ceci_gen.dir/gen/labels.cc.o.d"
+  "/root/repo/src/gen/paper_queries.cc" "src/CMakeFiles/ceci_gen.dir/gen/paper_queries.cc.o" "gcc" "src/CMakeFiles/ceci_gen.dir/gen/paper_queries.cc.o.d"
+  "/root/repo/src/gen/query_gen.cc" "src/CMakeFiles/ceci_gen.dir/gen/query_gen.cc.o" "gcc" "src/CMakeFiles/ceci_gen.dir/gen/query_gen.cc.o.d"
+  "/root/repo/src/gen/random_graphs.cc" "src/CMakeFiles/ceci_gen.dir/gen/random_graphs.cc.o" "gcc" "src/CMakeFiles/ceci_gen.dir/gen/random_graphs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceci_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_gen.dir/gen/kronecker.cc.o"
+  "CMakeFiles/ceci_gen.dir/gen/kronecker.cc.o.d"
+  "CMakeFiles/ceci_gen.dir/gen/labels.cc.o"
+  "CMakeFiles/ceci_gen.dir/gen/labels.cc.o.d"
+  "CMakeFiles/ceci_gen.dir/gen/paper_queries.cc.o"
+  "CMakeFiles/ceci_gen.dir/gen/paper_queries.cc.o.d"
+  "CMakeFiles/ceci_gen.dir/gen/query_gen.cc.o"
+  "CMakeFiles/ceci_gen.dir/gen/query_gen.cc.o.d"
+  "CMakeFiles/ceci_gen.dir/gen/random_graphs.cc.o"
+  "CMakeFiles/ceci_gen.dir/gen/random_graphs.cc.o.d"
+  "libceci_gen.a"
+  "libceci_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceci_gen.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_generate.dir/tools/ceci_generate.cc.o"
+  "CMakeFiles/ceci_generate.dir/tools/ceci_generate.cc.o.d"
+  "ceci_generate"
+  "ceci_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

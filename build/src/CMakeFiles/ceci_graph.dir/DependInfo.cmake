@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/ceci_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/ceci_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/ceci_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/ceci_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/CMakeFiles/ceci_graph.dir/graph/metrics.cc.o" "gcc" "src/CMakeFiles/ceci_graph.dir/graph/metrics.cc.o.d"
+  "/root/repo/src/graph/nlc_index.cc" "src/CMakeFiles/ceci_graph.dir/graph/nlc_index.cc.o" "gcc" "src/CMakeFiles/ceci_graph.dir/graph/nlc_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/ceci_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/ceci_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/ceci_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/ceci_graph.dir/graph/metrics.cc.o"
+  "CMakeFiles/ceci_graph.dir/graph/metrics.cc.o.d"
+  "CMakeFiles/ceci_graph.dir/graph/nlc_index.cc.o"
+  "CMakeFiles/ceci_graph.dir/graph/nlc_index.cc.o.d"
+  "libceci_graph.a"
+  "libceci_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

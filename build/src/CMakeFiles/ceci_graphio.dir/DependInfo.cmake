@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphio/binary_csr.cc" "src/CMakeFiles/ceci_graphio.dir/graphio/binary_csr.cc.o" "gcc" "src/CMakeFiles/ceci_graphio.dir/graphio/binary_csr.cc.o.d"
+  "/root/repo/src/graphio/csr_store.cc" "src/CMakeFiles/ceci_graphio.dir/graphio/csr_store.cc.o" "gcc" "src/CMakeFiles/ceci_graphio.dir/graphio/csr_store.cc.o.d"
+  "/root/repo/src/graphio/edge_list.cc" "src/CMakeFiles/ceci_graphio.dir/graphio/edge_list.cc.o" "gcc" "src/CMakeFiles/ceci_graphio.dir/graphio/edge_list.cc.o.d"
+  "/root/repo/src/graphio/pattern_parser.cc" "src/CMakeFiles/ceci_graphio.dir/graphio/pattern_parser.cc.o" "gcc" "src/CMakeFiles/ceci_graphio.dir/graphio/pattern_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceci_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_graphio.dir/graphio/binary_csr.cc.o"
+  "CMakeFiles/ceci_graphio.dir/graphio/binary_csr.cc.o.d"
+  "CMakeFiles/ceci_graphio.dir/graphio/csr_store.cc.o"
+  "CMakeFiles/ceci_graphio.dir/graphio/csr_store.cc.o.d"
+  "CMakeFiles/ceci_graphio.dir/graphio/edge_list.cc.o"
+  "CMakeFiles/ceci_graphio.dir/graphio/edge_list.cc.o.d"
+  "CMakeFiles/ceci_graphio.dir/graphio/pattern_parser.cc.o"
+  "CMakeFiles/ceci_graphio.dir/graphio/pattern_parser.cc.o.d"
+  "libceci_graphio.a"
+  "libceci_graphio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_graphio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

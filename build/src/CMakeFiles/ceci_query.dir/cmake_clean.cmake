@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_query.dir/tools/ceci_query.cc.o"
+  "CMakeFiles/ceci_query.dir/tools/ceci_query.cc.o.d"
+  "ceci_query"
+  "ceci_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

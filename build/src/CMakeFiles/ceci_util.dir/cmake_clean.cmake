@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceci_util.dir/util/intersection.cc.o"
+  "CMakeFiles/ceci_util.dir/util/intersection.cc.o.d"
+  "CMakeFiles/ceci_util.dir/util/logging.cc.o"
+  "CMakeFiles/ceci_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ceci_util.dir/util/status.cc.o"
+  "CMakeFiles/ceci_util.dir/util/status.cc.o.d"
+  "CMakeFiles/ceci_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/ceci_util.dir/util/thread_pool.cc.o.d"
+  "libceci_util.a"
+  "libceci_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceci_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builder_properties.dir/test_builder_properties.cc.o"
+  "CMakeFiles/test_builder_properties.dir/test_builder_properties.cc.o.d"
+  "test_builder_properties"
+  "test_builder_properties.pdb"
+  "test_builder_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builder_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate_list.dir/test_candidate_list.cc.o"
+  "CMakeFiles/test_candidate_list.dir/test_candidate_list.cc.o.d"
+  "test_candidate_list"
+  "test_candidate_list.pdb"
+  "test_candidate_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

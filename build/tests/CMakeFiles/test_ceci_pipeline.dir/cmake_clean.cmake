@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ceci_pipeline.dir/test_ceci_pipeline.cc.o"
+  "CMakeFiles/test_ceci_pipeline.dir/test_ceci_pipeline.cc.o.d"
+  "test_ceci_pipeline"
+  "test_ceci_pipeline.pdb"
+  "test_ceci_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ceci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

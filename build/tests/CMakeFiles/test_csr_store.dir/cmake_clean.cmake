@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr_store.dir/test_csr_store.cc.o"
+  "CMakeFiles/test_csr_store.dir/test_csr_store.cc.o.d"
+  "test_csr_store"
+  "test_csr_store.pdb"
+  "test_csr_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distsim_replay.dir/test_distsim_replay.cc.o"
+  "CMakeFiles/test_distsim_replay.dir/test_distsim_replay.cc.o.d"
+  "test_distsim_replay"
+  "test_distsim_replay.pdb"
+  "test_distsim_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distsim_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphio.dir/test_graphio.cc.o"
+  "CMakeFiles/test_graphio.dir/test_graphio.cc.o.d"
+  "test_graphio"
+  "test_graphio.pdb"
+  "test_graphio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_io.dir/test_index_io.cc.o"
+  "CMakeFiles/test_index_io.dir/test_index_io.cc.o.d"
+  "test_index_io"
+  "test_index_io.pdb"
+  "test_index_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_parser.dir/test_pattern_parser.cc.o"
+  "CMakeFiles/test_pattern_parser.dir/test_pattern_parser.cc.o.d"
+  "test_pattern_parser"
+  "test_pattern_parser.pdb"
+  "test_pattern_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_tree.dir/test_query_tree.cc.o"
+  "CMakeFiles/test_query_tree.dir/test_query_tree.cc.o.d"
+  "test_query_tree"
+  "test_query_tree.pdb"
+  "test_query_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_sweep.dir/test_scheduler_sweep.cc.o"
+  "CMakeFiles/test_scheduler_sweep.dir/test_scheduler_sweep.cc.o.d"
+  "test_scheduler_sweep"
+  "test_scheduler_sweep.pdb"
+  "test_scheduler_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

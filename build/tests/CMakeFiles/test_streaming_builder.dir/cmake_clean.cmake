@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_builder.dir/test_streaming_builder.cc.o"
+  "CMakeFiles/test_streaming_builder.dir/test_streaming_builder.cc.o.d"
+  "test_streaming_builder"
+  "test_streaming_builder.pdb"
+  "test_streaming_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetry_extended.dir/test_symmetry_extended.cc.o"
+  "CMakeFiles/test_symmetry_extended.dir/test_symmetry_extended.cc.o.d"
+  "test_symmetry_extended"
+  "test_symmetry_extended.pdb"
+  "test_symmetry_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetry_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
