@@ -10,16 +10,19 @@
 #define CECI_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "ceci/stats_json.h"
 #include "gen/kronecker.h"
 #include "gen/labels.h"
 #include "gen/paper_queries.h"
 #include "gen/random_graphs.h"
 #include "graph/graph_builder.h"
 #include "graph/graph.h"
+#include "util/json_writer.h"
 
 namespace ceci::bench {
 
@@ -137,6 +140,38 @@ inline void Banner(const char* experiment, const char* paper_ref,
   std::printf("%s  (paper: %s)\n", experiment, paper_ref);
   std::printf("%s\n", note);
   std::printf("==============================================================\n");
+}
+
+/// Appends one measurement as a JSON line to `BENCH_<bench>.json` under
+/// $CECI_BENCH_METRICS_DIR (no-op when the variable is unset), making bench
+/// trajectories self-describing: each record carries the same MatchStats
+/// schema as `ceci_query --metrics-json` plus the bench's own labels.
+///
+///   WriteMetricsSidecar("fig19_breakdown", result,
+///                       {{"dataset", "WT"}, {"query", "QG3"}});
+inline void WriteMetricsSidecar(
+    const std::string& bench, const MatchResult& result,
+    const std::vector<std::pair<std::string, std::string>>& labels = {}) {
+  const char* dir = std::getenv("CECI_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema_version", static_cast<std::uint64_t>(kMetricsSchemaVersion));
+  w.KV("bench", bench);
+  for (const auto& [key, value] : labels) w.KV(key, value);
+  w.KV("embeddings", result.embedding_count);
+  w.Key("stats");
+  AppendMatchStatsJson(result.stats, &w);
+  w.EndObject();
+  const std::string path =
+      std::string(dir) + "/BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics sidecar: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", w.str().c_str());
+  std::fclose(f);
 }
 
 }  // namespace ceci::bench

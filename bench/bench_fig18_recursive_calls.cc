@@ -24,6 +24,8 @@ int main() {
     for (PaperQuery pq : kAllPaperQueries) {
       Graph query = MakePaperQuery(pq);
       auto ceci = matcher.Match(query, MatchOptions{});
+      WriteMetricsSidecar("fig18_recursive_calls", *ceci,
+                          {{"dataset", abbr}, {"query", PaperQueryName(pq)}});
       PsglResult psgl = PsglCount(d.graph, query, PsglOptions{});
       if (psgl.overflowed) {
         // The paper reports exactly this: PsgL's exponential intermediate

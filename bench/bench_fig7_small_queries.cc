@@ -33,6 +33,8 @@ int main() {
       Timer t;
       auto ceci = matcher.Match(query, MatchOptions{});
       double ceci_s = t.Seconds();
+      WriteMetricsSidecar("fig7_small_queries", *ceci,
+                          {{"dataset", abbr}, {"query", PaperQueryName(pq)}});
 
       DualSimResult ds = DualSimCount(d.graph, query, DualSimOptions{});
       PsglResult psgl = PsglCount(d.graph, query, PsglOptions{});

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify (see ROADMAP.md): configure, build, and run the full test
+# suite. Run from anywhere; operates on the repo root's build/ tree.
+#
+#   scripts/tier1.sh            # incremental
+#   scripts/tier1.sh --clean    # wipe build/ first
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+if [[ "${1:-}" == "--clean" ]]; then
+  rm -rf build
+fi
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

@@ -6,9 +6,28 @@
 #include "ceci/preprocess.h"
 #include "ceci/refinement.h"
 #include "ceci/symmetry.h"
+#include "util/metrics_registry.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ceci {
+namespace {
+
+Counter& CacheHitCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("ceci.cache.hits");
+  return c;
+}
+Counter& CacheMissCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("ceci.cache.misses");
+  return c;
+}
+Gauge& CacheEntriesGauge() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge("ceci.cache.entries");
+  return g;
+}
+
+}  // namespace
 
 struct CachedMatcher::Entry {
   Preprocessed pre;
@@ -47,11 +66,13 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      CacheHitCounter().Increment();
       entry = it->second;
     }
   }
 
   if (entry == nullptr) {
+    TraceSpan build_span("cache/build_entry");
     auto fresh = std::make_shared<Entry>();
     MatchStats& stats = fresh->build_stats;
     Timer phase;
@@ -88,7 +109,9 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++misses_;
+      CacheMissCounter().Increment();
       entry = cache_.emplace(key, fresh).first->second;  // first writer wins
+      CacheEntriesGauge().Set(static_cast<std::int64_t>(cache_.size()));
     }
   }
 
@@ -106,8 +129,11 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
   schedule.enumeration.leaf_count_shortcut =
       options.leaf_count_shortcut && visitor == nullptr;
   schedule.enumeration.symmetry = &entry->symmetry;
-  ScheduleResult sched = RunParallelEnumeration(
-      data_, entry->pre.tree, entry->index, schedule, visitor);
+  ScheduleResult sched = [&] {
+    TraceSpan span("cache/enumerate");
+    return RunParallelEnumeration(data_, entry->pre.tree, entry->index,
+                                  schedule, visitor);
+  }();
   result.stats.enumerate_seconds = phase.Seconds();
   result.stats.enumeration = sched.stats;
   result.stats.worker_seconds = std::move(sched.worker_seconds);
@@ -137,6 +163,7 @@ std::size_t CachedMatcher::cache_entries() const {
 void CachedMatcher::ClearCache() {
   std::lock_guard<std::mutex> lock(mutex_);
   cache_.clear();
+  CacheEntriesGauge().Set(0);
 }
 
 }  // namespace ceci

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "ceci/preprocess.h"
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ceci {
 namespace {
@@ -110,6 +113,8 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
   // NTE child (the BFS default makes the two coincide, per the paper).
   for (VertexId u : tree.matching_order()) {
     if (u == root) continue;
+    TraceSpan level_span(
+        [&] { return "build/u" + std::to_string(u); });
     const VertexId u_p = tree.parent(u);
     CeciVertexData& ud = index.at(u);
     const std::vector<VertexId>& frontier = index.at(u_p).candidates;

@@ -117,7 +117,11 @@ void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
       span_scratch_.push_back(ud.nte[k].Find(mapping[u_n]));
     }
     ++stats_.intersections;
+    for (const auto& list : span_scratch_) {
+      stats_.intersection_elements_in += list.size();
+    }
     IntersectSortedMulti(span_scratch_, out);
+    stats_.intersection_elements_out += out->size();
   } else {
     out->assign(te.begin(), te.end());
   }

@@ -52,6 +52,10 @@ struct EnumStats {
   std::uint64_t recursive_calls = 0;
   /// Candidate-list intersections performed.
   std::uint64_t intersections = 0;
+  /// Elements fed into those intersections (summed input-list lengths) and
+  /// elements surviving them — the pair exposes hot-path selectivity.
+  std::uint64_t intersection_elements_in = 0;
+  std::uint64_t intersection_elements_out = 0;
   /// HasEdge probes (nonzero only in the edge-verification ablation).
   std::uint64_t edge_verifications = 0;
   /// Embeddings this worker emitted.
@@ -60,6 +64,8 @@ struct EnumStats {
   EnumStats& operator+=(const EnumStats& other) {
     recursive_calls += other.recursive_calls;
     intersections += other.intersections;
+    intersection_elements_in += other.intersection_elements_in;
+    intersection_elements_out += other.intersection_elements_out;
     edge_verifications += other.edge_verifications;
     embeddings += other.embeddings;
     return *this;

@@ -6,9 +6,78 @@
 #include "ceci/preprocess.h"
 #include "ceci/refinement.h"
 #include "ceci/symmetry.h"
+#include "util/metrics_registry.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ceci {
+namespace {
+
+// Mirrors one query's statistics into the process-cumulative registry.
+// Done once per Match() from accumulated locals so the per-candidate hot
+// paths never touch shared metric cells.
+void ExportMatchMetrics(const MatchResult& result) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter& queries = reg.GetCounter("ceci.match.queries");
+  static Counter& embeddings = reg.GetCounter("ceci.match.embeddings");
+  static Counter& rejected_label = reg.GetCounter("ceci.build.rejected_label");
+  static Counter& rejected_degree =
+      reg.GetCounter("ceci.build.rejected_degree");
+  static Counter& rejected_nlc = reg.GetCounter("ceci.build.rejected_nlc");
+  static Counter& cascade_removals =
+      reg.GetCounter("ceci.build.cascade_removals");
+  static Counter& nte_cascade_removals =
+      reg.GetCounter("ceci.build.nte_cascade_removals");
+  static Counter& frontier_expansions =
+      reg.GetCounter("ceci.build.frontier_expansions");
+  static Counter& neighbors_scanned =
+      reg.GetCounter("ceci.build.neighbors_scanned");
+  static Counter& pruned_candidates =
+      reg.GetCounter("ceci.refine.pruned_candidates");
+  static Counter& pruned_edges = reg.GetCounter("ceci.refine.pruned_edges");
+  static Counter& recursive_calls =
+      reg.GetCounter("ceci.enumerate.recursive_calls");
+  static Counter& intersections =
+      reg.GetCounter("ceci.enumerate.intersections");
+  static Counter& elements_in =
+      reg.GetCounter("ceci.enumerate.intersection_elements_in");
+  static Counter& elements_out =
+      reg.GetCounter("ceci.enumerate.intersection_elements_out");
+  static Counter& edge_verifications =
+      reg.GetCounter("ceci.enumerate.edge_verifications");
+  static Counter& extreme_clusters =
+      reg.GetCounter("ceci.cluster.extreme_clusters");
+  static Counter& work_units = reg.GetCounter("ceci.cluster.work_units");
+  static Histogram& query_us = reg.GetHistogram("ceci.match.query_us");
+  static Histogram& worker_busy_us =
+      reg.GetHistogram("ceci.enumerate.worker_busy_us");
+
+  const MatchStats& s = result.stats;
+  queries.Increment();
+  embeddings.Add(result.embedding_count);
+  rejected_label.Add(s.build.rejected_label);
+  rejected_degree.Add(s.build.rejected_degree);
+  rejected_nlc.Add(s.build.rejected_nlc);
+  cascade_removals.Add(s.build.cascade_removals);
+  nte_cascade_removals.Add(s.build.nte_cascade_removals);
+  frontier_expansions.Add(s.build.frontier_expansions);
+  neighbors_scanned.Add(s.build.neighbors_scanned);
+  pruned_candidates.Add(s.refine.pruned_candidates);
+  pruned_edges.Add(s.refine.pruned_edges);
+  recursive_calls.Add(s.enumeration.recursive_calls);
+  intersections.Add(s.enumeration.intersections);
+  elements_in.Add(s.enumeration.intersection_elements_in);
+  elements_out.Add(s.enumeration.intersection_elements_out);
+  edge_verifications.Add(s.enumeration.edge_verifications);
+  extreme_clusters.Add(s.decomposition.extreme_clusters);
+  work_units.Add(s.decomposition.work_units);
+  query_us.Record(static_cast<std::uint64_t>(s.total_seconds * 1e6));
+  for (double w : s.worker_seconds) {
+    worker_busy_us.Record(static_cast<std::uint64_t>(w * 1e6));
+  }
+}
+
+}  // namespace
 
 CeciMatcher::CeciMatcher(const Graph& data) : data_(data), nlc_(data) {}
 
@@ -16,6 +85,7 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
                                        const MatchOptions& options,
                                        const EmbeddingVisitor* visitor) const {
   Timer total_timer;
+  TraceSpan match_span("match");
   MatchResult result;
   MatchStats& stats = result.stats;
 
@@ -23,7 +93,10 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   Timer phase;
   PreprocessOptions pre_options;
   pre_options.order = options.order;
-  auto pre = Preprocess(data_, nlc_, query, pre_options);
+  auto pre = [&] {
+    TraceSpan span("preprocess");
+    return Preprocess(data_, nlc_, query, pre_options);
+  }();
   if (!pre.ok()) return pre.status();
   SymmetryConstraints symmetry =
       options.break_automorphisms ? SymmetryConstraints::Compute(query)
@@ -40,7 +113,11 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
 
   if (pre->infeasible) {
     // Some query vertex has no candidates at all: zero embeddings.
+    static Counter& infeasible =
+        MetricsRegistry::Global().GetCounter("ceci.match.infeasible");
+    infeasible.Increment();
     stats.total_seconds = total_timer.Seconds();
+    ExportMatchMetrics(result);
     return result;
   }
 
@@ -55,16 +132,21 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   BuildOptions build_options;
   build_options.pool = pool;
   CeciBuilder builder(data_, nlc_);
-  CeciIndex index =
-      builder.Build(query, pre->tree, build_options, &stats.build);
+  CeciIndex index = [&] {
+    TraceSpan span("build");
+    return builder.Build(query, pre->tree, build_options, &stats.build);
+  }();
   stats.build_seconds = phase.Seconds();
   stats.ceci_bytes_unrefined = index.MemoryBytes();
   stats.candidate_edges_unrefined = index.TotalCandidateEdges();
 
   // --- Reverse-BFS refinement (§3.3) ---
   phase.Reset();
-  RefineCeci(pre->tree, data_.num_vertices(), &index, &stats.refine);
-  index.Freeze();  // CSR-flat lists for the enumeration hot path
+  {
+    TraceSpan span("refine");
+    RefineCeci(pre->tree, data_.num_vertices(), &index, &stats.refine);
+    index.Freeze();  // CSR-flat lists for the enumeration hot path
+  }
   stats.refine_seconds = phase.Seconds();
   stats.ceci_bytes = index.MemoryBytes();
   stats.candidate_edges = index.TotalCandidateEdges();
@@ -82,8 +164,10 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   schedule.enumeration.leaf_count_shortcut =
       options.leaf_count_shortcut && visitor == nullptr;
   schedule.enumeration.symmetry = &symmetry;
-  ScheduleResult sched =
-      RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);
+  ScheduleResult sched = [&] {
+    TraceSpan span("enumerate");
+    return RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);
+  }();
   stats.enumerate_seconds = phase.Seconds();
   stats.enumeration = sched.stats;
   stats.worker_seconds = std::move(sched.worker_seconds);
@@ -91,6 +175,7 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
 
   result.embedding_count = sched.embeddings;
   stats.total_seconds = total_timer.Seconds();
+  ExportMatchMetrics(result);
   return result;
 }
 

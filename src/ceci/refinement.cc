@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ceci {
 namespace {
@@ -149,20 +150,23 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
   }
 
   // Compaction sweep: drop dead keys and values everywhere.
-  for (VertexId u = 0; u < nq; ++u) {
-    CeciVertexData& ud = index->at(u);
-    if (u != tree.root()) {
-      const VertexId u_p = tree.parent(u);
-      stats->pruned_edges += ud.te.Prune(
-          [&](VertexId key) { return alive[u_p][key] != 0; },
-          [&](VertexId val) { return alive[u][val] != 0; });
-    }
-    auto nte_ids = tree.nte_in(u);
-    for (std::size_t k = 0; k < ud.nte.size(); ++k) {
-      const VertexId u_n = tree.non_tree_edges()[nte_ids[k]].parent;
-      stats->pruned_edges += ud.nte[k].Prune(
-          [&](VertexId key) { return alive[u_n][key] != 0; },
-          [&](VertexId val) { return alive[u][val] != 0; });
+  {
+    TraceSpan compact_span("refine/compact");
+    for (VertexId u = 0; u < nq; ++u) {
+      CeciVertexData& ud = index->at(u);
+      if (u != tree.root()) {
+        const VertexId u_p = tree.parent(u);
+        stats->pruned_edges += ud.te.Prune(
+            [&](VertexId key) { return alive[u_p][key] != 0; },
+            [&](VertexId val) { return alive[u][val] != 0; });
+      }
+      auto nte_ids = tree.nte_in(u);
+      for (std::size_t k = 0; k < ud.nte.size(); ++k) {
+        const VertexId u_n = tree.non_tree_edges()[nte_ids[k]].parent;
+        stats->pruned_edges += ud.nte[k].Prune(
+            [&](VertexId key) { return alive[u_n][key] != 0; },
+            [&](VertexId val) { return alive[u][val] != 0; });
+      }
     }
   }
 

@@ -4,8 +4,11 @@
 #include <limits>
 #include <thread>
 
+#include <string>
+
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ceci {
 
@@ -34,9 +37,12 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
   // with no workload awareness; the dynamic policies process the pool
   // largest-cardinality-first (§4.3).
   const bool sorted = options.distribution != Distribution::kStatic;
-  std::vector<WorkUnit> units =
-      BuildWorkUnits(data, tree, index, options.enumeration, options.threads,
-                     options.beta, fine, sorted, &result.decomposition);
+  std::vector<WorkUnit> units = [&] {
+    TraceSpan span("enumerate/decompose");
+    return BuildWorkUnits(data, tree, index, options.enumeration,
+                          options.threads, options.beta, fine, sorted,
+                          &result.decomposition);
+  }();
 
   const std::size_t workers = std::min(options.threads,
                                        std::max<std::size_t>(units.size(), 1));
@@ -51,6 +57,8 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
   std::atomic<std::size_t> next_unit{0};
 
   auto worker_fn = [&](std::size_t wid) {
+    TraceSpan worker_span(
+        [&] { return "enumerate/worker" + std::to_string(wid); });
     const double cpu_start = ThreadCpuSeconds();
     Enumerator enumerator(data, tree, index, options.enumeration);
     enumerator.SetSharedLimit(&emitted, limit);

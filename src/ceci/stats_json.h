@@ -1,0 +1,42 @@
+// JSON export of per-query match statistics.
+//
+// The emitted document is the machine-readable twin of `--stats` output:
+// every phase timing, filter counter, index size, and worker breakdown in
+// MatchStats, optionally joined with the process-wide metrics registry
+// snapshot and the recorded trace-span tree. Schema documented field by
+// field in docs/observability.md; schema_version bumps on any breaking
+// change.
+#ifndef CECI_CECI_STATS_JSON_H_
+#define CECI_CECI_STATS_JSON_H_
+
+#include <string>
+
+#include "ceci/stats.h"
+
+namespace ceci {
+
+class JsonWriter;
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Appends the MatchStats breakdown as a JSON object value (the caller
+/// positions the writer, e.g. after a Key()).
+void AppendMatchStatsJson(const MatchStats& stats, JsonWriter* writer);
+
+struct MetricsReportOptions {
+  /// Join the process-wide MetricsRegistry snapshot under "registry".
+  bool include_registry = true;
+  /// Join Tracer::Global()'s recorded spans under "trace" (only emitted
+  /// when the tracer holds events).
+  bool include_trace = true;
+};
+
+/// Full metrics report for one query: embedding count, MatchStats
+/// breakdown, registry snapshot, trace spans. This is the document written
+/// by `ceci_query --metrics-json` and the bench sidecars.
+std::string MetricsReportJson(const MatchResult& result,
+                              const MetricsReportOptions& options = {});
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_STATS_JSON_H_

@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 
 #include "ceci/ceci_builder.h"
@@ -13,8 +14,11 @@
 #include "ceci/refinement.h"
 #include "ceci/symmetry.h"
 #include "distsim/shared_store.h"
+#include "util/json_writer.h"
 #include "util/logging.h"
+#include "util/metrics_registry.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ceci::distsim {
 namespace {
@@ -147,6 +151,8 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
   }
   DistResult result;
 
+  TraceSpan dist_span("distsim/match");
+
   // --- Coordinator: preprocessing + pivot distribution (§5) ---
   // The NLC index is a one-time per-data-graph structure (amortized over
   // queries, like the graph load itself); it is excluded from the per-query
@@ -198,6 +204,8 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
   enum_options.symmetry = &symmetry;
 
   auto machine_fn = [&](std::size_t mid) {
+    TraceSpan machine_span(
+        [&] { return "distsim/machine" + std::to_string(mid); });
     MachineState& self = *machines[mid];
     if (self.pivots.empty()) return;
 
@@ -256,6 +264,9 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     report.pivots = m->pivots.size();
     report.embeddings = m->embeddings;
     report.stolen_units = m->stolen_units;
+    report.messages = m->accounting.messages();
+    report.bytes_sent = m->accounting.bytes_sent();
+    report.bytes_read = m->accounting.bytes_read();
     report.build_compute_seconds = m->build_compute;
     report.enum_compute_seconds = m->enum_compute;
     report.io_seconds = m->accounting.io_seconds();
@@ -263,13 +274,83 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     report.total_seconds = m->build_compute + m->enum_compute +
                            report.io_seconds + report.comm_seconds;
     slowest = std::max(slowest, report.total_seconds);
+    result.total_messages += report.messages;
+    result.total_bytes_sent += report.bytes_sent;
+    result.total_bytes_read += report.bytes_read;
+    result.total_stolen_units += report.stolen_units;
     result.build_compute_seconds += m->build_compute;
     result.build_io_seconds += report.io_seconds;
     result.build_comm_seconds += m->build_comm;
     result.machines.push_back(report);
   }
   result.makespan_seconds = result.preprocess_seconds + slowest;
+
+  // Process-cumulative telemetry for the simulated cluster.
+  {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter& queries = reg.GetCounter("distsim.queries");
+    static Counter& embeddings = reg.GetCounter("distsim.embeddings");
+    static Counter& messages = reg.GetCounter("distsim.messages");
+    static Counter& bytes_sent = reg.GetCounter("distsim.bytes_sent");
+    static Counter& bytes_read = reg.GetCounter("distsim.bytes_read");
+    static Counter& stolen_units = reg.GetCounter("distsim.stolen_units");
+    static Histogram& machine_busy_us =
+        reg.GetHistogram("distsim.machine_busy_us");
+    queries.Increment();
+    embeddings.Add(result.embeddings);
+    messages.Add(result.total_messages);
+    bytes_sent.Add(result.total_bytes_sent);
+    bytes_read.Add(result.total_bytes_read);
+    stolen_units.Add(result.total_stolen_units);
+    for (const MachineReport& report : result.machines) {
+      machine_busy_us.Record(
+          static_cast<std::uint64_t>(report.total_seconds * 1e6));
+    }
+  }
   return result;
+}
+
+std::string DistResultJson(const DistResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("embeddings", result.embeddings);
+  w.KV("jaccard_colocations",
+       static_cast<std::uint64_t>(result.jaccard_colocations));
+  w.KV("preprocess_seconds", result.preprocess_seconds);
+  w.KV("makespan_seconds", result.makespan_seconds);
+  w.Key("build");
+  w.BeginObject();
+  w.KV("compute_seconds", result.build_compute_seconds);
+  w.KV("io_seconds", result.build_io_seconds);
+  w.KV("comm_seconds", result.build_comm_seconds);
+  w.EndObject();
+  w.Key("traffic");
+  w.BeginObject();
+  w.KV("messages", result.total_messages);
+  w.KV("bytes_sent", result.total_bytes_sent);
+  w.KV("bytes_read", result.total_bytes_read);
+  w.KV("stolen_units", result.total_stolen_units);
+  w.EndObject();
+  w.Key("machines");
+  w.BeginArray();
+  for (const MachineReport& m : result.machines) {
+    w.BeginObject();
+    w.KV("pivots", static_cast<std::uint64_t>(m.pivots));
+    w.KV("embeddings", m.embeddings);
+    w.KV("stolen_units", m.stolen_units);
+    w.KV("messages", m.messages);
+    w.KV("bytes_sent", m.bytes_sent);
+    w.KV("bytes_read", m.bytes_read);
+    w.KV("build_compute_seconds", m.build_compute_seconds);
+    w.KV("enum_compute_seconds", m.enum_compute_seconds);
+    w.KV("io_seconds", m.io_seconds);
+    w.KV("comm_seconds", m.comm_seconds);
+    w.KV("total_seconds", m.total_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 }  // namespace ceci::distsim

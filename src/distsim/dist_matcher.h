@@ -16,6 +16,7 @@
 #define CECI_DISTSIM_DIST_MATCHER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ceci/matcher.h"
@@ -49,6 +50,11 @@ struct MachineReport {
   std::size_t pivots = 0;
   std::uint64_t embeddings = 0;
   std::uint64_t stolen_units = 0;
+  /// Network traffic this machine charged (pivot distribution, steals).
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Shared-store traffic (nonzero only under GraphStorage::kShared).
+  std::uint64_t bytes_read = 0;
   double build_compute_seconds = 0.0;
   double enum_compute_seconds = 0.0;
   double io_seconds = 0.0;    // modeled (shared-store reads)
@@ -61,6 +67,11 @@ struct DistResult {
   std::uint64_t embeddings = 0;
   std::vector<MachineReport> machines;
   std::size_t jaccard_colocations = 0;
+  /// Cluster-wide traffic totals (sums over machines).
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes_sent = 0;
+  std::uint64_t total_bytes_read = 0;
+  std::uint64_t total_stolen_units = 0;
   /// Serial front end (preprocessing on the coordinator), measured.
   double preprocess_seconds = 0.0;
   /// Modeled parallel completion time: preprocess + slowest machine.
@@ -74,6 +85,10 @@ struct DistResult {
 /// Runs distributed matching of `query` on `data`.
 Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
                                     const DistOptions& options);
+
+/// Serializes a DistResult (per-machine reports + traffic totals) as a
+/// JSON object; schema in docs/observability.md.
+std::string DistResultJson(const DistResult& result);
 
 }  // namespace ceci::distsim
 

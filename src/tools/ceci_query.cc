@@ -21,15 +21,20 @@
 //   --no-symmetry     list automorphic duplicates
 //   --print           print each embedding
 //   --stats           print detailed statistics
+//   --trace           record phase spans; print the span tree afterwards
+//   --metrics-json P  write the full metrics report (JSON) to P, "-" for
+//                     stdout; schema in docs/observability.md
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "ceci/matcher.h"
+#include "ceci/stats_json.h"
 #include "graphio/binary_csr.h"
 #include "graphio/edge_list.h"
 #include "graphio/pattern_parser.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -48,6 +53,8 @@ struct Args {
   bool symmetry = true;
   bool print = false;
   bool stats = false;
+  bool trace = false;
+  std::string metrics_json;
 };
 
 void Usage(const char* argv0) {
@@ -56,7 +63,8 @@ void Usage(const char* argv0) {
                "          (--pattern EXPR | --query PATH)\n"
                "          [--threads N] [--limit N] [--order NAME]\n"
                "          [--distribution st|cgd|fgd] [--beta F]\n"
-               "          [--no-symmetry] [--print] [--stats]\n",
+               "          [--no-symmetry] [--print] [--stats] [--trace]\n"
+               "          [--metrics-json PATH|-]\n",
                argv0);
 }
 
@@ -109,6 +117,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->print = true;
     } else if (flag == "--stats") {
       args->stats = true;
+    } else if (flag == "--trace") {
+      args->trace = true;
+    } else if (flag == "--metrics-json") {
+      const char* v = next();
+      if (!v) return false;
+      args->metrics_json = v;
+    } else if (flag.rfind("--metrics-json=", 0) == 0) {
+      args->metrics_json = flag.substr(std::strlen("--metrics-json="));
+      if (args->metrics_json.empty()) return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -181,6 +198,10 @@ int main(int argc, char** argv) {
   std::printf("query: %s  (%s)\n", query->Summary().c_str(),
               FormatPattern(*query).c_str());
 
+  if (args.trace || !args.metrics_json.empty()) {
+    Tracer::Global().Enable();
+  }
+
   CeciMatcher matcher(*data);
   EmbeddingVisitor print_visitor = [](std::span<const VertexId> m) {
     std::printf("  {");
@@ -217,12 +238,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.enumeration.intersections),
                 static_cast<unsigned long long>(
                     s.enumeration.edge_verifications));
+    std::printf("intersection volume: %llu elements in, %llu out\n",
+                static_cast<unsigned long long>(
+                    s.enumeration.intersection_elements_in),
+                static_cast<unsigned long long>(
+                    s.enumeration.intersection_elements_out));
     std::printf("filters: label %llu, degree %llu, NLC %llu, cascades %llu\n",
                 static_cast<unsigned long long>(s.build.rejected_label),
                 static_cast<unsigned long long>(s.build.rejected_degree),
                 static_cast<unsigned long long>(s.build.rejected_nlc),
                 static_cast<unsigned long long>(s.build.cascade_removals));
     std::printf("automorphisms broken: %zu\n", s.automorphisms_broken);
+  }
+  if (args.trace) {
+    std::printf("trace:\n%s", Tracer::Global().FormatTree().c_str());
+  }
+  if (!args.metrics_json.empty()) {
+    const std::string json = MetricsReportJson(*result);
+    if (args.metrics_json == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(args.metrics_json.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "metrics-json: cannot open %s\n",
+                     args.metrics_json.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
   }
   return 0;
 }

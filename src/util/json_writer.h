@@ -1,0 +1,131 @@
+// Minimal streaming JSON writer used by the observability layer
+// (metrics snapshots, MatchStats export, trace dumps). Emits compact,
+// RFC 8259-valid JSON; commas and nesting are managed by a state stack so
+// callers never hand-place separators.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("embeddings"); w.Uint(42);
+//   w.Key("phases"); w.BeginObject(); ... w.EndObject();
+//   w.EndObject();
+//   std::string json = std::move(w).Take();
+#ifndef CECI_UTIL_JSON_WRITER_H_
+#define CECI_UTIL_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceci {
+
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(std::string_view name) {
+    Separate();
+    Quote(name);
+    out_ += ':';
+    just_keyed_ = true;
+  }
+
+  void String(std::string_view value) {
+    Separate();
+    Quote(value);
+  }
+  void Uint(std::uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Int(std::int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+  void Null() {
+    Separate();
+    out_ += "null";
+  }
+  /// Non-finite doubles have no JSON encoding; emitted as null.
+  void Double(double value) {
+    Separate();
+    if (!std::isfinite(value)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out_ += buf;
+  }
+
+  // Key/value conveniences for flat objects.
+  void KV(std::string_view k, std::string_view v) { Key(k); String(v); }
+  void KV(std::string_view k, std::uint64_t v) { Key(k); Uint(v); }
+  void KV(std::string_view k, std::int64_t v) { Key(k); Int(v); }
+  void KV(std::string_view k, double v) { Key(k); Double(v); }
+  void KV(std::string_view k, bool v) { Key(k); Bool(v); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void Open(char c) {
+    Separate();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void Close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+  }
+  // Inserts the comma before a value/key when a sibling precedes it; a
+  // value directly following its key never takes one.
+  void Separate() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+  void Quote(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool just_keyed_ = false;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_JSON_WRITER_H_

@@ -1,0 +1,191 @@
+#include "util/metrics_registry.h"
+
+#include <bit>
+
+#include "util/json_writer.h"
+
+namespace ceci {
+
+namespace metrics_internal {
+
+std::size_t ThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+namespace {
+
+// Bucket b holds values of bit width b: 0 → bucket 0, [2^(b-1), 2^b) → b.
+std::size_t BucketOf(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t BucketUpperBound(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~0ull;
+  return (1ull << bucket) - 1;
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile observation, 1-based (nearest-rank method).
+  auto rank = static_cast<std::uint64_t>(p / 100.0 *
+                                         static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Tighten the top bucket's bound with the true max.
+      return std::min(BucketUpperBound(b), max);
+    }
+  }
+  return max;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  Shard& shard = shards_[metrics_internal::ThreadShard()];
+  shard.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : snap.buckets) snap.count += c;
+  snap.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : min;
+  // Trim trailing empty buckets so serialized snapshots stay small.
+  while (!snap.buckets.empty() && snap.buckets.back() == 0) {
+    snap.buckets.pop_back();
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name),
+                             std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.counters) w.KV(name, value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.gauges) w.KV(name, value);
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.KV("count", h.count);
+    w.KV("sum", h.sum);
+    w.KV("min", h.min);
+    w.KV("max", h.max);
+    w.KV("mean", h.Mean());
+    w.KV("p50", h.Percentile(50));
+    w.KV("p90", h.Percentile(90));
+    w.KV("p99", h.Percentile(99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace ceci

@@ -1,0 +1,186 @@
+// Process-wide runtime metrics: named counters, gauges, and histograms.
+//
+// The registry is the telemetry backbone for long-running serving
+// deployments: every query that flows through CeciMatcher / CachedMatcher /
+// distsim mirrors its per-call statistics into process-cumulative metrics
+// that an operator can snapshot at any time (`ceci_query --metrics-json`,
+// or MetricsRegistry::Global().SnapshotJson() embedded in a server).
+//
+// Write-side design: counters and histograms shard their cells across
+// cache-line-padded atomic slots indexed by a thread-local ordinal, so
+// concurrent Increment() calls from enumeration workers never contend on
+// one cache line. Reads (Snapshot) sum the shards; a snapshot taken while
+// writers are active is a consistent-enough monotone view (each shard is
+// read atomically; the total may lag increments that race the sweep, never
+// lead them).
+//
+// Handle lookup takes a mutex — hoist it out of hot loops:
+//
+//   static Counter& calls =
+//       MetricsRegistry::Global().GetCounter("ceci.enumerate.recursive_calls");
+//   calls.Add(n);
+#ifndef CECI_UTIL_METRICS_REGISTRY_H_
+#define CECI_UTIL_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceci {
+
+namespace metrics_internal {
+
+/// Number of independent write slots per sharded metric. A power of two;
+/// threads map to slots by a thread-local ordinal, so up to kShards writer
+/// threads proceed with zero cache-line sharing.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread ordinal in [0, kShards).
+std::size_t ThreadShard();
+
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace metrics_internal
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void Add(std::uint64_t n) {
+    cells_[metrics_internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over shards.
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+  metrics_internal::PaddedCell cells_[metrics_internal::kShards];
+};
+
+/// Last-writer-wins instantaneous value (cache sizes, pool occupancy).
+/// Gauges are set at low frequency, so a single atomic suffices.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Read-side summary of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  /// Per-bucket observation counts; bucket b holds values whose bit width
+  /// is b, i.e. the range [2^(b-1), 2^b) (bucket 0 holds the value 0).
+  std::vector<std::uint64_t> buckets;
+
+  /// Upper bound of the bucket containing the p-th percentile (p in
+  /// [0, 100]); exact to within a factor of 2. Returns 0 on empty.
+  std::uint64_t Percentile(double p) const;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Log2-bucketed distribution of non-negative integer samples (latencies in
+/// microseconds, list lengths, payload bytes). Sharded like Counter.
+class Histogram {
+ public:
+  void Record(std::uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+  void Reset();
+
+  // 0 plus one bucket per possible bit width of a uint64.
+  static constexpr std::size_t kBuckets = 65;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[metrics_internal::kShards];
+  // min/max keep a single CAS cell each; updates are rare after warmup.
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Named metric registry. Get* registers on first use and returns a
+/// reference that stays valid for the registry's lifetime (metrics are
+/// never deregistered).
+class MetricsRegistry {
+ public:
+  /// The process-wide instance used by all CECI instrumentation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Serializes Snapshot() as a JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered metric (names stay registered). Tests only;
+  /// racing writers may leave residue from in-flight increments.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_METRICS_REGISTRY_H_

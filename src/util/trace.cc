@@ -1,0 +1,134 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace ceci {
+
+namespace {
+
+std::int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t ThreadOrdinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+// Per-thread nesting level. Tracked even while tracing is disabled so that
+// spans opened before Enable() still close with a consistent depth.
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+double Tracer::Now() const {
+  return static_cast<double>(MonotonicNanos() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+void Tracer::Enable() {
+  Clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.thread != b.thread) return a.thread < b.thread;
+                     if (a.start_seconds != b.start_seconds) {
+                       return a.start_seconds < b.start_seconds;
+                     }
+                     // Equal starts: the outer span opened first.
+                     return a.depth < b.depth;
+                   });
+  return events;
+}
+
+std::string Tracer::FormatTree() const {
+  std::string out;
+  for (const TraceEvent& e : Events()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "[t%u] %*s%-*s %10.3fms\n", e.thread,
+                  static_cast<int>(e.depth * 2), "",
+                  std::max(2, 32 - static_cast<int>(e.depth * 2)),
+                  e.name.c_str(), e.duration_seconds * 1e3);
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::AppendJson(JsonWriter* writer) const {
+  writer->BeginArray();
+  for (const TraceEvent& e : Events()) {
+    writer->BeginObject();
+    writer->KV("name", e.name);
+    writer->KV("thread", static_cast<std::uint64_t>(e.thread));
+    writer->KV("depth", static_cast<std::uint64_t>(e.depth));
+    writer->KV("start_seconds", e.start_seconds);
+    writer->KV("duration_seconds", e.duration_seconds);
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  Begin([&]() -> std::string { return std::string(name); });
+}
+
+void TraceSpan::Begin(const std::function<std::string()>& make_name) {
+  Tracer& tracer = Tracer::Global();
+  active_ = tracer.enabled();
+  if (active_) {
+    name_ = make_name();
+    start_ = tracer.Now();
+  }
+  ++t_depth;
+}
+
+TraceSpan::~TraceSpan() {
+  --t_depth;
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;  // disabled mid-span: drop it
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.thread = ThreadOrdinal();
+  event.depth = t_depth;
+  event.start_seconds = start_;
+  event.duration_seconds = tracer.Now() - start_;
+  tracer.Record(std::move(event));
+}
+
+}  // namespace ceci

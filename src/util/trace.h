@@ -1,0 +1,110 @@
+// Phase tracing: RAII spans recording nested wall-clock timings.
+//
+// Instrumented code opens a span per phase; when the global tracer is
+// enabled, closing the span records (name, thread, depth, start, duration)
+// into the tracer's buffer. Spans nest per thread, so the recorded events
+// reconstruct one tree per thread — the span tree printed by
+// `ceci_query --trace` and embedded in `--metrics-json` output.
+//
+//   {
+//     TraceSpan span("build");
+//     ...                      // nested TraceSpans become children
+//   }                          // recorded here
+//
+// Disabled tracing costs one relaxed atomic load per span; no allocation,
+// no locking. Recording locks a mutex once per span close — spans mark
+// phases (a handful per query), never per-candidate work.
+#ifndef CECI_UTIL_TRACE_H_
+#define CECI_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceci {
+
+class JsonWriter;
+
+/// One closed span. `thread` is a dense ordinal assigned in order of first
+/// span on each thread; `depth` is the nesting level on that thread.
+struct TraceEvent {
+  std::string name;
+  std::uint32_t thread = 0;
+  std::uint32_t depth = 0;
+  double start_seconds = 0.0;     // since Enable()/Clear()
+  double duration_seconds = 0.0;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer used by all CECI instrumentation.
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts collecting; resets the epoch and clears prior events.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+  /// Closed spans, ordered by (thread, start). Spans still open are absent.
+  std::vector<TraceEvent> Events() const;
+
+  /// Renders the span tree, one indented line per span:
+  ///   [t0] match                    3.213ms
+  ///   [t0]   preprocess             0.041ms
+  ///   ...
+  std::string FormatTree() const;
+
+  /// Appends Events() as a JSON array value (caller positions the writer).
+  void AppendJson(JsonWriter* writer) const;
+
+ private:
+  friend class TraceSpan;
+  void Record(TraceEvent event);
+  double Now() const;  // seconds since epoch_
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::int64_t> epoch_ns_{0};
+};
+
+/// RAII phase span against Tracer::Global(). Not copyable or movable; bind
+/// it to a scope. The name is copied only when tracing is enabled, so
+/// dynamic names (e.g. "build/u3") cost nothing in the disabled case —
+/// build them lazily via the callable overload.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  /// `make_name` is invoked only when tracing is enabled.
+  template <typename F,
+            typename = decltype(std::string(std::declval<F>()()))>
+  explicit TraceSpan(F&& make_name) {
+    Begin([&]() -> std::string { return make_name(); });
+  }
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSpan() = default;
+  void Begin(const std::function<std::string()>& make_name);
+
+  std::string name_;
+  double start_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_TRACE_H_

@@ -1,0 +1,177 @@
+// Minimal recursive-descent JSON parser for tests: validates that emitted
+// metrics documents are well-formed and lets assertions read fields back.
+// Test-only — the production code never parses JSON.
+#ifndef CECI_TESTS_JSON_TEST_UTIL_H_
+#define CECI_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceci::testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& At(const std::string& key) const { return object.at(key); }
+  double Num(const std::string& key) const { return At(key).number; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Returns nullopt on any syntax error or trailing garbage.
+  std::optional<JsonValue> Parse() {
+    JsonValue value;
+    if (!ParseValue(&value)) return std::nullopt;
+    SkipSpace();
+    if (pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      }
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return ConsumeWord("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return ConsumeWord("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return ConsumeWord("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            // Tests only emit ASCII escapes; decode the low byte.
+            unsigned code = std::strtoul(
+                std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16);
+            out->push_back(static_cast<char>(code & 0x7f));
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace ceci::testing
+
+#endif  // CECI_TESTS_JSON_TEST_UTIL_H_

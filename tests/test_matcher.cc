@@ -5,10 +5,13 @@
 #include <set>
 
 #include "ceci/matcher.h"
+#include "ceci/stats_json.h"
 #include "gen/labels.h"
 #include "gen/paper_queries.h"
 #include "gen/random_graphs.h"
+#include "json_test_util.h"
 #include "test_support.h"
+#include "util/metrics_registry.h"
 
 namespace ceci {
 namespace {
@@ -170,6 +173,64 @@ TEST(MatcherTest, ConcurrentMatchCallsAreSafe) {
   }
   for (auto& t : threads) t.join();
   for (std::uint64_t c : counts) EXPECT_EQ(c, *expected);
+}
+
+TEST(MatcherObservabilityTest, PhaseSecondsSumToTotal) {
+  Graph data = GenerateBarabasiAlbert(500, 4, 7);
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG3), MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  const MatchStats& s = result->stats;
+  const double phase_sum = s.preprocess_seconds + s.build_seconds +
+                           s.refine_seconds + s.enumerate_seconds;
+  // The phases partition the match: their sum accounts for nearly all of
+  // total_seconds (slack covers stats assembly between phase timers).
+  EXPECT_LE(phase_sum, s.total_seconds);
+  EXPECT_GT(phase_sum, 0.5 * s.total_seconds);
+}
+
+TEST(MatcherObservabilityTest, MetricsReportJsonRoundTrips) {
+  Graph data = GenerateBarabasiAlbert(500, 4, 7);
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG3), MatchOptions{});
+  ASSERT_TRUE(result.ok());
+
+  const std::string json = MetricsReportJson(*result);
+  auto parsed = ceci::testing::ParseJson(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const auto& root = *parsed;
+  EXPECT_EQ(root.Num("schema_version"), kMetricsSchemaVersion);
+  EXPECT_EQ(root.Num("embeddings"),
+            static_cast<double>(result->embedding_count));
+
+  // The per-query stats section mirrors MatchStats exactly.
+  const auto& stats = root.At("stats");
+  const auto& phases = stats.At("phases");
+  EXPECT_DOUBLE_EQ(phases.Num("total_seconds"), result->stats.total_seconds);
+  EXPECT_EQ(stats.At("enumeration").Num("recursive_calls"),
+            static_cast<double>(result->stats.enumeration.recursive_calls));
+  EXPECT_EQ(stats.At("clusters").Num("embedding_clusters"),
+            static_cast<double>(result->stats.embedding_clusters));
+
+  // The registry join carries the process-cumulative counters, which by now
+  // include at least this query's contribution.
+  const auto& counters = root.At("registry").At("counters");
+  EXPECT_GE(counters.Num("ceci.match.queries"), 1.0);
+  EXPECT_GE(counters.Num("ceci.enumerate.recursive_calls"),
+            static_cast<double>(result->stats.enumeration.recursive_calls));
+  EXPECT_GE(counters.Num("ceci.enumerate.intersection_elements_in"),
+            counters.Num("ceci.enumerate.intersection_elements_out"));
+}
+
+TEST(MatcherObservabilityTest, RegistryAccumulatesAcrossQueries) {
+  Graph data = GenerateBarabasiAlbert(400, 4, 9);
+  CeciMatcher matcher(data);
+  Counter& queries =
+      MetricsRegistry::Global().GetCounter("ceci.match.queries");
+  const std::uint64_t before = queries.Value();
+  ASSERT_TRUE(matcher.Count(MakePaperQuery(PaperQuery::kQG1)).ok());
+  ASSERT_TRUE(matcher.Count(MakePaperQuery(PaperQuery::kQG2)).ok());
+  EXPECT_EQ(queries.Value(), before + 2);
 }
 
 }  // namespace

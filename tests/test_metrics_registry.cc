@@ -1,0 +1,254 @@
+// Unit tests for the runtime observability layer: sharded counters,
+// gauges, histograms, registry snapshots/JSON, and trace spans.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "json_test_util.h"
+#include "util/metrics_registry.h"
+#include "util/trace.h"
+
+namespace ceci {
+namespace {
+
+using ::ceci::testing::JsonValue;
+using ::ceci::testing::ParseJson;
+
+TEST(MetricsRegistryTest, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("dup");
+  Counter& b = registry.GetCounter("dup");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.Value(), 7u);
+  EXPECT_NE(&registry.GetCounter("other"), &a);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramRecordsLoseNothing) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("concurrent_histogram");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max,
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 1);
+  // Sum of 0..n-1.
+  const std::uint64_t n = snap.count;
+  EXPECT_EQ(snap.sum, n * (n - 1) / 2);
+}
+
+TEST(MetricsRegistryTest, SnapshotUnderConcurrentWritesIsMonotone) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("racing");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.Increment();
+    });
+  }
+  // A snapshot taken mid-write must never exceed a later one.
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t now = registry.Snapshot().counters.at("racing");
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(registry.Snapshot().counters.at("racing"), c.Value());
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("test.gauge");
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  EXPECT_EQ(registry.Snapshot().gauges.at("test.gauge"), 7);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("latency");
+  // 100 samples: 1..89 small, 10 at 1000, one at 100000.
+  for (int i = 0; i < 89; ++i) h.Record(50);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  h.Record(100000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.min, 50u);
+  EXPECT_EQ(snap.max, 100000u);
+  // Log2 buckets are exact to within 2x: p50 lands in 50's bucket [32,64),
+  // p99 in 1000's bucket [512,1024), p100 in the max's bucket.
+  EXPECT_GE(snap.Percentile(50), 50u);
+  EXPECT_LT(snap.Percentile(50), 64u);
+  EXPECT_GE(snap.Percentile(99), 1000u);
+  EXPECT_LT(snap.Percentile(99), 1024u);
+  EXPECT_EQ(snap.Percentile(100), 100000u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), (89 * 50.0 + 10 * 1000.0 + 100000.0) / 100);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramSnapshot) {
+  MetricsRegistry registry;
+  HistogramSnapshot snap = registry.GetHistogram("empty").Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.Percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count").Add(123);
+  registry.GetGauge("b.gauge").Set(-5);
+  Histogram& h = registry.GetHistogram("c.hist");
+  h.Record(10);
+  h.Record(20);
+
+  auto parsed = ParseJson(registry.SnapshotJson());
+  ASSERT_TRUE(parsed.has_value()) << registry.SnapshotJson();
+  const JsonValue& root = *parsed;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(root.At("counters").Num("a.count"), 123.0);
+  EXPECT_EQ(root.At("gauges").Num("b.gauge"), -5.0);
+  const JsonValue& hist = root.At("histograms").At("c.hist");
+  EXPECT_EQ(hist.Num("count"), 2.0);
+  EXPECT_EQ(hist.Num("sum"), 30.0);
+  EXPECT_EQ(hist.Num("min"), 10.0);
+  EXPECT_EQ(hist.Num("max"), 20.0);
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesKeepingNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("x").Add(9);
+  registry.GetHistogram("y").Record(4);
+  registry.ResetForTest();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("x"), 0u);
+  EXPECT_EQ(snap.histograms.at("y").count, 0u);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsWiredToPipeline) {
+  // The global instance exists and hands out working metrics.
+  Counter& c = MetricsRegistry::Global().GetCounter("test.global.probe");
+  const std::uint64_t before = c.Value();
+  c.Increment();
+  EXPECT_EQ(c.Value(), before + 1);
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Disable();
+  tracer.Clear();
+  { TraceSpan span("ignored"); }
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndDuration) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+  }
+  tracer.Disable();
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start: outer first, inner nested one level deeper.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_GE(events[0].duration_seconds, events[1].duration_seconds);
+  EXPECT_LE(events[0].start_seconds, events[1].start_seconds);
+
+  const std::string tree = tracer.FormatTree();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("inner"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TraceTest, DynamicNameOnlyBuiltWhenEnabled) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Disable();
+  tracer.Clear();
+  bool built = false;
+  {
+    TraceSpan span([&] {
+      built = true;
+      return std::string("dynamic");
+    });
+  }
+  EXPECT_FALSE(built);
+  tracer.Enable();
+  {
+    TraceSpan span([&] {
+      built = true;
+      return std::string("dynamic");
+    });
+  }
+  tracer.Disable();
+  EXPECT_TRUE(built);
+  ASSERT_EQ(tracer.Events().size(), 1u);
+  EXPECT_EQ(tracer.Events()[0].name, "dynamic");
+  tracer.Clear();
+}
+
+TEST(TraceTest, SpansFromMultipleThreadsKeepPerThreadOrdinals) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] { TraceSpan span("worker"); });
+  }
+  for (auto& t : threads) t.join();
+  tracer.Disable();
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Three distinct thread ordinals.
+  EXPECT_NE(events[0].thread, events[1].thread);
+  EXPECT_NE(events[1].thread, events[2].thread);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace ceci

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <string>
 
+#include "json_test_util.h"
+
 #ifndef CECI_TOOLS_DIR
 #error "CECI_TOOLS_DIR must point at the built tool binaries"
 #endif
@@ -106,6 +108,40 @@ TEST_F(ToolsTest, CsrStoreFormatWrites) {
                 "--out " + File("k.csr2") + " --format csrstore"),
             0);
   EXPECT_GT(std::filesystem::file_size(File("k.csr2")), 1024u);
+}
+
+TEST_F(ToolsTest, MetricsJsonAndTrace) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 2000 --attach 6 --labels 4 --seed 3 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--trace --metrics-json " + File("m.json"),
+                File("out.txt")),
+            0);
+
+  // --trace prints the span tree after the query output.
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_NE(out.find("[t0] match"), std::string::npos);
+  EXPECT_NE(out.find("enumerate"), std::string::npos);
+
+  // --metrics-json writes a valid document with the query's vitals.
+  auto parsed = ceci::testing::ParseJson(Slurp(File("m.json")));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& root = *parsed;
+  EXPECT_EQ(root.Num("schema_version"), 1.0);
+  EXPECT_GT(root.Num("embeddings"), 0.0);
+  const auto& stats = root.At("stats");
+  EXPECT_GT(stats.At("phases").Num("total_seconds"), 0.0);
+  EXPECT_GT(stats.At("phases").Num("build_seconds"), 0.0);
+  EXPECT_GT(stats.At("enumeration").Num("recursive_calls"), 0.0);
+  EXPECT_GT(stats.At("clusters").Num("embedding_clusters"), 0.0);
+  EXPECT_GE(root.At("registry").At("counters").Num("ceci.match.queries"),
+            1.0);
+  ASSERT_TRUE(root.Has("trace"));
+  EXPECT_FALSE(root.At("trace").array.empty());
 }
 
 TEST_F(ToolsTest, BadFlagsFailCleanly) {
