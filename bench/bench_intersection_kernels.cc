@@ -1,0 +1,198 @@
+// Microbench for the pairwise intersection kernel tiers (scalar merge,
+// SSE4, AVX2) behind util/intersection.h. Sweeps list length and match
+// density on comparable-length lists — the shape the SIMD tiers target —
+// plus one skewed shape where public dispatch prefers galloping. Each
+// (case, arch) measurement is printed and, when CECI_BENCH_METRICS_DIR is
+// set, appended as a JSON line to $CECI_BENCH_METRICS_DIR/
+// BENCH_intersection.json following the sidecar convention of
+// bench_common.h (schema_version + bench + labels per record).
+//
+// See docs/tuning.md#intersection-kernels for how to read the numbers.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ceci/stats_json.h"
+#include "util/intersection.h"
+#include "util/json_writer.h"
+
+namespace ceci {
+namespace {
+
+using List = std::vector<std::uint32_t>;
+using Clock = std::chrono::steady_clock;
+
+List MakeSorted(std::size_t n, std::uint64_t universe, std::mt19937_64& rng) {
+  std::vector<std::uint32_t> v;
+  v.reserve(n + n / 4);
+  std::uniform_int_distribution<std::uint64_t> pick(0, universe - 1);
+  while (v.size() < n + n / 4) v.push_back(static_cast<std::uint32_t>(pick(rng)));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  if (v.size() > n) v.resize(n);
+  return v;
+}
+
+struct Case {
+  const char* label;
+  std::size_t na;
+  std::size_t nb;
+  double density;  // expected |a ∩ b| / min(na, nb)
+};
+
+struct Measurement {
+  double ns_per_call = 0;
+  double elems_per_sec = 0;
+  std::size_t out_size = 0;
+};
+
+// Times fn (returning an intersection size, to defeat dead-code
+// elimination) adaptively: enough reps to cover ~40ms of wall clock.
+template <typename Fn>
+Measurement TimeKernel(std::size_t elements_in, Fn&& fn) {
+  Measurement m;
+  m.out_size = fn();
+  // Calibrate.
+  auto t0 = Clock::now();
+  std::size_t sink = fn();
+  double est = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::size_t reps = est > 0 ? static_cast<std::size_t>(0.04 / est) : 1000;
+  reps = std::clamp<std::size_t>(reps, 5, 200000);
+  t0 = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) sink += fn();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (sink == 0xdeadbeef) std::printf("-");  // keep `sink` alive
+  m.ns_per_call = secs / reps * 1e9;
+  m.elems_per_sec = elements_in / (secs / reps);
+  return m;
+}
+
+void EmitSidecar(const Case& c, const char* arch, const char* op,
+                 const Measurement& m, double speedup) {
+  const char* dir = std::getenv("CECI_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema_version", static_cast<std::uint64_t>(kMetricsSchemaVersion));
+  // string_view-wrapped: a bare const char* would resolve to the bool
+  // overload of KV.
+  w.KV("bench", std::string_view("intersection"));
+  w.KV("case", std::string_view(c.label));
+  w.KV("arch", std::string_view(arch));
+  w.KV("op", std::string_view(op));
+  w.KV("na", static_cast<std::uint64_t>(c.na));
+  w.KV("nb", static_cast<std::uint64_t>(c.nb));
+  w.KV("density", c.density);
+  w.KV("intersection_size", static_cast<std::uint64_t>(m.out_size));
+  w.KV("ns_per_call", m.ns_per_call);
+  w.KV("elements_per_sec", m.elems_per_sec);
+  w.KV("speedup_vs_scalar", speedup);
+  w.KV("active_dispatch",
+       std::string_view(IntersectionArchName(ActiveIntersectionArch())));
+  w.EndObject();
+  const std::string path =
+      std::string(dir) + "/BENCH_intersection.json";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics sidecar: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", w.str().c_str());
+  std::fclose(f);
+}
+
+int Run() {
+  std::printf("==============================================================\n");
+  std::printf("Intersection kernel tiers  (docs/tuning.md#intersection-kernels)\n");
+  std::printf("active dispatch: %s\n",
+              IntersectionArchName(ActiveIntersectionArch()));
+  std::printf("==============================================================\n");
+
+  const Case cases[] = {
+      {"dense_small", 1 << 12, 1 << 12, 0.5},
+      {"dense_large", 1 << 15, 1 << 15, 0.5},
+      {"mid_large", 1 << 15, 1 << 15, 0.1},
+      {"sparse_large", 1 << 15, 1 << 15, 0.02},
+      {"dense_huge", 1 << 18, 1 << 18, 0.5},
+      {"skew_1_to_64", 1 << 9, 1 << 15, 0.5},
+  };
+  const IntersectionArch arches[] = {IntersectionArch::kScalar,
+                                     IntersectionArch::kSse4,
+                                     IntersectionArch::kAvx2};
+
+  std::printf("%-14s %-8s %-10s %12s %14s %9s\n", "case", "arch", "op",
+              "ns/call", "Melems/s", "vs-scalar");
+  std::mt19937_64 rng(20260807);
+  int failures = 0;
+  for (const Case& c : cases) {
+    // Expected overlap of two n-subsets of [0, U) is na*nb/U; solve U for
+    // the target density relative to the smaller list.
+    const double universe =
+        static_cast<double>(c.na) * static_cast<double>(c.nb) /
+        (c.density * static_cast<double>(std::min(c.na, c.nb)));
+    List a = MakeSorted(c.na, static_cast<std::uint64_t>(universe), rng);
+    List b = MakeSorted(c.nb, static_cast<std::uint64_t>(universe), rng);
+    const std::size_t elements_in = a.size() + b.size();
+
+    double scalar_intersect_ns = 0;
+    double scalar_count_ns = 0;
+    for (IntersectionArch arch : arches) {
+      if (!IntersectionArchAvailable(arch)) continue;
+      List out;
+      Measurement mi = TimeKernel(elements_in, [&] {
+        IntersectSortedWithArch(arch, a, b, &out);
+        return out.size();
+      });
+      Measurement mc = TimeKernel(elements_in, [&] {
+        std::size_t n = 0;
+        IntersectionSizeWithArch(arch, a, b, &n);
+        return n;
+      });
+      if (arch == IntersectionArch::kScalar) {
+        scalar_intersect_ns = mi.ns_per_call;
+        scalar_count_ns = mc.ns_per_call;
+      }
+      const double si = scalar_intersect_ns / mi.ns_per_call;
+      const double sc = scalar_count_ns / mc.ns_per_call;
+      const char* name = IntersectionArchName(arch);
+      std::printf("%-14s %-8s %-10s %12.0f %14.1f %8.2fx\n", c.label, name,
+                  "intersect", mi.ns_per_call, mi.elems_per_sec / 1e6, si);
+      std::printf("%-14s %-8s %-10s %12.0f %14.1f %8.2fx\n", c.label, name,
+                  "count", mc.ns_per_call, mc.elems_per_sec / 1e6, sc);
+      EmitSidecar(c, name, "intersect", mi, si);
+      EmitSidecar(c, name, "count", mc, sc);
+      // Acceptance gate: SIMD tiers must beat scalar by >= 1.5x on
+      // comparable-length dense lists.
+      if (arch != IntersectionArch::kScalar && c.density >= 0.5 &&
+          c.na == c.nb && c.na >= (1 << 15) && si < 1.5) {
+        std::fprintf(stderr, "FAIL: %s %s intersect speedup %.2fx < 1.5x\n",
+                     c.label, name, si);
+        ++failures;
+      }
+    }
+    // Public entry point: whatever dispatch (plus the gallop heuristic)
+    // selected for this shape.
+    List out;
+    Measurement md = TimeKernel(elements_in, [&] {
+      IntersectSorted(a, b, &out);
+      return out.size();
+    });
+    std::printf("%-14s %-8s %-10s %12.0f %14.1f %8.2fx\n", c.label,
+                "dispatch", "intersect", md.ns_per_call,
+                md.elems_per_sec / 1e6, scalar_intersect_ns / md.ns_per_call);
+    EmitSidecar(c, "dispatch", "intersect", md,
+                scalar_intersect_ns / md.ns_per_call);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ceci
+
+int main() { return ceci::Run(); }

@@ -4,16 +4,33 @@
 #
 #   scripts/tier1.sh            # incremental
 #   scripts/tier1.sh --clean    # wipe build/ first
+#   scripts/tier1.sh --scalar   # additionally re-run the intersection and
+#                               # enumerator suites with CECI_FORCE_SCALAR=1
+#                               # (exercises the portable kernel tier; see
+#                               # docs/tuning.md#intersection-kernels)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-if [[ "${1:-}" == "--clean" ]]; then
-  rm -rf build
-fi
+scalar_pass=0
+for arg in "$@"; do
+  case "$arg" in
+    --clean) rm -rf build ;;
+    --scalar) scalar_pass=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j
+
+if [[ "$scalar_pass" == 1 ]]; then
+  echo "=== scalar-dispatch pass (CECI_FORCE_SCALAR=1) ==="
+  # -R matches gtest suite names, not binary names: this re-runs the
+  # kernel differential tests plus every intersection consumer.
+  CECI_FORCE_SCALAR=1 ctest --output-on-failure \
+    -R '(Intersection|Enumerator|Counting)' -j
+fi

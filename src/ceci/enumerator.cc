@@ -6,6 +6,21 @@
 #include "util/logging.h"
 
 namespace ceci {
+namespace {
+
+// Restricts a sorted span to the symmetry window [lo, hi). Candidate lists
+// are sorted, so the restriction is two binary searches on the input rather
+// than a filter over the intersection output.
+std::span<const VertexId> ClampToRange(std::span<const VertexId> s,
+                                       VertexId lo, VertexId hi) {
+  if (lo == 0 && hi == kInvalidVertex) return s;
+  auto begin = std::lower_bound(s.begin(), s.end(), lo);
+  auto end = std::lower_bound(begin, s.end(), hi);
+  return s.subspan(static_cast<std::size_t>(begin - s.begin()),
+                   static_cast<std::size_t>(end - begin));
+}
+
+}  // namespace
 
 Enumerator::Enumerator(const Graph& data, const QueryTree& tree,
                        const CeciIndex& index, const EnumOptions& options)
@@ -17,6 +32,7 @@ Enumerator::Enumerator(const Graph& data, const QueryTree& tree,
   mapping_.assign(nq, kInvalidVertex);
   scratch_.resize(nq);
   span_scratch_.reserve(nq);
+  InitUsedBitmap();
 }
 
 Enumerator::Enumerator(const QueryTree& tree, const CeciIndex& index,
@@ -31,6 +47,24 @@ Enumerator::Enumerator(const QueryTree& tree, const CeciIndex& index,
   mapping_.assign(nq, kInvalidVertex);
   scratch_.resize(nq);
   span_scratch_.reserve(nq);
+  InitUsedBitmap();
+}
+
+void Enumerator::InitUsedBitmap() {
+  // Sized for every data vertex that can appear in a mapping; MarkUsed
+  // still grows on demand as a safety net (e.g. unrefined test indexes).
+  std::size_t num_data = 0;
+  if (data_ != nullptr) {
+    num_data = data_->num_vertices();
+  } else {
+    for (VertexId u = 0; u < tree_.num_vertices(); ++u) {
+      const auto& cands = index_.at(u).candidates;
+      if (!cands.empty()) {
+        num_data = std::max<std::size_t>(num_data, cands.back() + 1);
+      }
+    }
+  }
+  used_.assign((num_data + 63) / 64, 0);
 }
 
 void Enumerator::SetSharedLimit(std::atomic<std::uint64_t>* counter,
@@ -72,11 +106,13 @@ std::uint64_t Enumerator::EnumerateFromPrefix(
   const auto& order = tree_.matching_order();
   for (std::size_t i = 0; i < prefix.size(); ++i) {
     mapping_[order[i]] = prefix[i];
+    MarkUsed(prefix[i]);
   }
   const std::uint64_t before = stats_.embeddings;
   Recurse(prefix.size());
   for (std::size_t i = 0; i < prefix.size(); ++i) {
     mapping_[order[i]] = kInvalidVertex;
+    UnmarkUsed(prefix[i]);
   }
   visitor_ = nullptr;
   return stats_.embeddings - before;
@@ -102,11 +138,32 @@ bool Enumerator::Emit() {
   return true;
 }
 
+void Enumerator::SymmetryRange(std::span<const VertexId> mapping, VertexId u,
+                               VertexId* lo, VertexId* hi) const {
+  // The candidate must exceed every already-matched "must be less" partner
+  // and stay below every matched "must be greater" partner.
+  VertexId l = 0;
+  VertexId h = kInvalidVertex;
+  for (VertexId w : symmetry_->must_be_less(u)) {
+    if (mapping[w] != kInvalidVertex) l = std::max(l, mapping[w] + 1);
+  }
+  for (VertexId w : symmetry_->must_be_greater(u)) {
+    if (mapping[w] != kInvalidVertex) h = std::min(h, mapping[w]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
 void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
                             std::vector<VertexId>* out) {
   const CeciVertexData& ud = index_.at(u);
   const VertexId parent_match = mapping[tree_.parent(u)];
-  std::span<const VertexId> te = ud.te.Find(parent_match);
+  // Symmetry first: narrowing the TE input bounds the intersection's output
+  // (and usually its work) before any element is materialized.
+  VertexId lo, hi;
+  SymmetryRange(mapping, u, &lo, &hi);
+  std::span<const VertexId> te =
+      ClampToRange(ud.te.Find(parent_match), lo, hi);
 
   const auto nte_ids = tree_.nte_in(u);
   if (options_.nte_intersection && !nte_ids.empty()) {
@@ -126,32 +183,11 @@ void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
     out->assign(te.begin(), te.end());
   }
 
-  // Symmetry bounds: the candidate must exceed every already-matched
-  // "must be less" partner and stay below every matched "must be greater"
-  // partner. Candidates are sorted, so this is a range restriction.
-  VertexId lo = 0;
-  VertexId hi = kInvalidVertex;
-  for (VertexId w : symmetry_->must_be_less(u)) {
-    if (mapping[w] != kInvalidVertex) lo = std::max(lo, mapping[w] + 1);
-  }
-  for (VertexId w : symmetry_->must_be_greater(u)) {
-    if (mapping[w] != kInvalidVertex) hi = std::min(hi, mapping[w]);
-  }
-  if (lo > 0 || hi != kInvalidVertex) {
-    auto begin = std::lower_bound(out->begin(), out->end(), lo);
-    auto end = std::lower_bound(begin, out->end(), hi);
-    out->erase(end, out->end());
-    out->erase(out->begin(), begin);
-  }
-
-  // Injectivity: drop vertices already used by the partial embedding.
+  // Injectivity: drop vertices already used by the partial embedding. The
+  // bitmap mirrors `mapping`, turning the old per-candidate scan over the
+  // mapping into one bit probe.
   out->erase(std::remove_if(out->begin(), out->end(),
-                            [&](VertexId v) {
-                              for (VertexId m : mapping) {
-                                if (m == v) return true;
-                              }
-                              return false;
-                            }),
+                            [&](VertexId v) { return IsUsed(v); }),
              out->end());
 
   // Edge-verification ablation: each surviving candidate must close every
@@ -173,9 +209,63 @@ void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
   }
 }
 
+std::uint64_t Enumerator::CountLeafCandidates(VertexId u) {
+  const CeciVertexData& ud = index_.at(u);
+  VertexId lo, hi;
+  SymmetryRange(mapping_, u, &lo, &hi);
+  std::span<const VertexId> te =
+      ClampToRange(ud.te.Find(mapping_[tree_.parent(u)]), lo, hi);
+
+  const auto nte_ids = tree_.nte_in(u);
+  span_scratch_.clear();
+  span_scratch_.push_back(te);
+  for (std::size_t k = 0; k < nte_ids.size(); ++k) {
+    const VertexId u_n = tree_.non_tree_edges()[nte_ids[k]].parent;
+    span_scratch_.push_back(ud.nte[k].Find(mapping_[u_n]));
+  }
+  if (!nte_ids.empty()) {
+    ++stats_.intersections;
+    for (const auto& list : span_scratch_) {
+      stats_.intersection_elements_in += list.size();
+    }
+  }
+  std::size_t count = IntersectionSizeMulti(span_scratch_);
+  if (!nte_ids.empty()) stats_.intersection_elements_out += count;
+  if (count > 0) {
+    // Injectivity: mapped data vertices inside the window were counted by
+    // the kernel but cannot extend the embedding. The TE span is already
+    // clamped, so membership in every list implies membership in [lo, hi).
+    for (VertexId m : mapping_) {
+      if (m == kInvalidVertex) continue;
+      bool in_all = true;
+      for (const auto& list : span_scratch_) {
+        if (!SortedContains(list, m)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) --count;
+    }
+  }
+  return count;
+}
+
 void Enumerator::CollectExtensions(std::span<const VertexId> mapping,
                                    VertexId u, std::vector<VertexId>* out) {
+  // The recursion keeps used_ synced with mapping_; external callers hand
+  // an arbitrary mapping, so mirror it into the bitmap for this call.
+  // Only bits this call actually flips are cleared afterwards, which keeps
+  // a concurrent invariant (used_ == contents of mapping_) intact when the
+  // two mappings coincide.
+  flipped_scratch_.clear();
+  for (VertexId m : mapping) {
+    if (m != kInvalidVertex && !IsUsed(m)) {
+      MarkUsed(m);
+      flipped_scratch_.push_back(m);
+    }
+  }
   Candidates(mapping, u, out);
+  for (VertexId m : flipped_scratch_) UnmarkUsed(m);
 }
 
 bool Enumerator::Recurse(std::size_t pos) {
@@ -189,13 +279,21 @@ bool Enumerator::Recurse(std::size_t pos) {
     return false;
   }
   const VertexId u = order[pos];
-  std::vector<VertexId>& cands = scratch_[pos];
-  Candidates(mapping_, u, &cands);
   if (options_.leaf_count_shortcut && visitor_ == nullptr &&
       pos + 1 == order.size()) {
-    // Counting fast path: every candidate completes exactly one embedding.
-    std::uint64_t admit = cands.size();
+    // Counting fast path: every candidate completes exactly one embedding,
+    // so count through the kernel without materializing the final level.
+    std::uint64_t admit;
+    if (options_.nte_intersection) {
+      admit = CountLeafCandidates(u);
+    } else {
+      // The edge-verification ablation must probe each candidate.
+      std::vector<VertexId>& cands = scratch_[pos];
+      Candidates(mapping_, u, &cands);
+      admit = cands.size();
+    }
     if (shared_counter_ != nullptr && admit > 0) {
+      const std::uint64_t requested = admit;
       const std::uint64_t ticket =
           shared_counter_->fetch_add(admit, std::memory_order_relaxed);
       if (ticket >= shared_limit_) {
@@ -203,14 +301,18 @@ bool Enumerator::Recurse(std::size_t pos) {
       } else {
         admit = std::min<std::uint64_t>(admit, shared_limit_ - ticket);
       }
-      if (admit < cands.size()) stopped_ = true;
+      if (admit < requested) stopped_ = true;
     }
     stats_.embeddings += admit;
     return !stopped_;
   }
+  std::vector<VertexId>& cands = scratch_[pos];
+  Candidates(mapping_, u, &cands);
   for (VertexId v : cands) {
     mapping_[u] = v;
+    MarkUsed(v);
     bool keep_going = Recurse(pos + 1);
+    UnmarkUsed(v);
     mapping_[u] = kInvalidVertex;
     if (!keep_going && stopped_) return false;
   }

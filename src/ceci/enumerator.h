@@ -126,8 +126,36 @@ class Enumerator {
   bool Emit();
   bool LimitReached() const;
   // Shared candidate-generation core; scratch is the per-depth buffer.
+  // Requires used_ to mirror the data vertices present in `mapping`.
   void Candidates(std::span<const VertexId> mapping, VertexId u,
                   std::vector<VertexId>* out);
+  // Counting twin of Candidates for the last matching-order position:
+  // computes |candidates| through the counting intersection kernel without
+  // materializing the final level's list. Requires options_.nte_intersection
+  // (the edge-verification ablation must probe each candidate).
+  std::uint64_t CountLeafCandidates(VertexId u);
+  // The symmetry-breaking [lo, hi) admissible window for u under `mapping`
+  // (hi == kInvalidVertex when unbounded above).
+  void SymmetryRange(std::span<const VertexId> mapping, VertexId u,
+                     VertexId* lo, VertexId* hi) const;
+  void InitUsedBitmap();
+
+  // Injectivity bitmap over data vertex ids, kept in sync with mapping_ by
+  // Recurse / EnumerateFromPrefix (and mirrored temporarily by
+  // CollectExtensions). Replaces an O(|mapping|) scan per candidate.
+  void MarkUsed(VertexId v) {
+    const std::size_t w = v >> 6;
+    if (w >= used_.size()) used_.resize(w + 1, 0);
+    used_[w] |= std::uint64_t{1} << (v & 63);
+  }
+  void UnmarkUsed(VertexId v) {
+    const std::size_t w = v >> 6;
+    if (w < used_.size()) used_[w] &= ~(std::uint64_t{1} << (v & 63));
+  }
+  bool IsUsed(VertexId v) const {
+    const std::size_t w = v >> 6;
+    return w < used_.size() && ((used_[w] >> (v & 63)) & 1) != 0;
+  }
 
   const Graph* data_;  // null only in the graph-free intersection mode
   const QueryTree& tree_;
@@ -136,6 +164,8 @@ class Enumerator {
   const SymmetryConstraints* symmetry_;
 
   std::vector<VertexId> mapping_;             // by query vertex id
+  std::vector<std::uint64_t> used_;           // injectivity bitmap, by data id
+  std::vector<VertexId> flipped_scratch_;     // CollectExtensions bookkeeping
   std::vector<std::vector<VertexId>> scratch_;  // per matching-order depth
   std::vector<std::span<const VertexId>> span_scratch_;
   EnumStats stats_;

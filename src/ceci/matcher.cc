@@ -6,6 +6,7 @@
 #include "ceci/preprocess.h"
 #include "ceci/refinement.h"
 #include "ceci/symmetry.h"
+#include "util/intersection.h"
 #include "util/metrics_registry.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -51,6 +52,10 @@ void ExportMatchMetrics(const MatchResult& result) {
   static Histogram& query_us = reg.GetHistogram("ceci.match.query_us");
   static Histogram& worker_busy_us =
       reg.GetHistogram("ceci.enumerate.worker_busy_us");
+
+  // The intersection kernels batch their own counters thread-locally;
+  // worker threads flushed at exit, this covers the calling thread.
+  FlushIntersectionThreadStats();
 
   const MatchStats& s = result.stats;
   queries.Increment();

@@ -1,77 +1,311 @@
 #include "util/intersection.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/intersection_kernels.h"
+#include "util/metrics_registry.h"
 
 namespace ceci {
 namespace {
 
+using intersection_internal::CountMergeScalar;
+using intersection_internal::CountScalarTail;
+using intersection_internal::GetAvx2Kernels;
+using intersection_internal::GetSse4Kernels;
+using intersection_internal::IntersectMergeScalar;
+using intersection_internal::kKernelPad;
+using intersection_internal::KernelTable;
+using intersection_internal::MergeScalarTail;
+
 // One side much smaller: for each element of the small side, gallop in the
-// large side. Threshold chosen empirically; a factor of 32 keeps the merge
-// scan for near-equal sizes.
+// large side. Threshold chosen empirically; a factor of 32 keeps the
+// linear-scan kernels for near-equal sizes.
 constexpr std::size_t kGallopFactor = 32;
 
 // Finds the first index i >= lo with hay[i] >= needle using exponential
 // probing followed by binary search.
-std::size_t GallopLowerBound(std::span<const std::uint32_t> hay,
+std::size_t GallopLowerBound(const std::uint32_t* hay, std::size_t size,
                              std::size_t lo, std::uint32_t needle) {
   std::size_t step = 1;
   std::size_t hi = lo;
-  while (hi < hay.size() && hay[hi] < needle) {
+  while (hi < size && hay[hi] < needle) {
     lo = hi + 1;
     hi += step;
     step <<= 1;
   }
-  hi = std::min(hi, hay.size());
+  hi = std::min(hi, size);
   return static_cast<std::size_t>(
-      std::lower_bound(hay.begin() + lo, hay.begin() + hi, needle) -
-      hay.begin());
+      std::lower_bound(hay + lo, hay + hi, needle) - hay);
 }
 
-void IntersectGalloping(std::span<const std::uint32_t> small,
-                        std::span<const std::uint32_t> large,
-                        std::vector<std::uint32_t>* out) {
+// Galloping intersect; `out` may alias either input (writes trail reads of
+// both sides: the output index never exceeds the small side's cursor nor
+// the large side's search floor).
+std::size_t IntersectGallopRaw(const std::uint32_t* small, std::size_t ns,
+                               const std::uint32_t* large, std::size_t nl,
+                               std::uint32_t* out) {
   std::size_t pos = 0;
-  for (std::uint32_t x : small) {
-    pos = GallopLowerBound(large, pos, x);
-    if (pos == large.size()) break;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    const std::uint32_t x = small[i];
+    pos = GallopLowerBound(large, nl, pos, x);
+    if (pos == nl) break;
     if (large[pos] == x) {
-      out->push_back(x);
+      out[n++] = x;
       ++pos;
     }
   }
+  return n;
 }
 
-void IntersectMerge(std::span<const std::uint32_t> a,
-                    std::span<const std::uint32_t> b,
-                    std::vector<std::uint32_t>* out) {
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out->push_back(a[i]);
-      ++i;
-      ++j;
+std::size_t CountGallopRaw(const std::uint32_t* small, std::size_t ns,
+                           const std::uint32_t* large, std::size_t nl) {
+  std::size_t pos = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    pos = GallopLowerBound(large, nl, pos, small[i]);
+    if (pos == nl) break;
+    if (large[pos] == small[i]) {
+      ++count;
+      ++pos;
     }
   }
+  return count;
+}
+
+constexpr KernelTable kScalarTable = {&IntersectMergeScalar,
+                                      &CountMergeScalar};
+
+bool CpuSupports(IntersectionArch arch) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (arch) {
+    case IntersectionArch::kScalar:
+      return true;
+    case IntersectionArch::kSse4:
+      return __builtin_cpu_supports("sse4.2") != 0;
+    case IntersectionArch::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return arch == IntersectionArch::kScalar;
+#endif
+}
+
+const KernelTable* CompiledTable(IntersectionArch arch) {
+  switch (arch) {
+    case IntersectionArch::kScalar:
+      return &kScalarTable;
+    case IntersectionArch::kSse4:
+      return GetSse4Kernels();
+    case IntersectionArch::kAvx2:
+      return GetAvx2Kernels();
+  }
+  return nullptr;
+}
+
+struct Dispatch {
+  IntersectionArch arch = IntersectionArch::kScalar;
+  // Null when the scalar tier was selected: the merge kernels are then
+  // called directly and attributed to the scalar_merge path counter.
+  const KernelTable* simd = nullptr;
+};
+
+Dispatch SelectDispatch() {
+  Dispatch d;
+  const char* force = std::getenv("CECI_FORCE_SCALAR");
+  if (force == nullptr || std::strcmp(force, "1") != 0) {
+    for (IntersectionArch arch :
+         {IntersectionArch::kAvx2, IntersectionArch::kSse4}) {
+      const KernelTable* table = CompiledTable(arch);
+      if (table != nullptr && CpuSupports(arch)) {
+        d.arch = arch;
+        d.simd = table;
+        break;
+      }
+    }
+  }
+  MetricsRegistry::Global()
+      .GetCounter(std::string("ceci.intersect.dispatch.") +
+                  IntersectionArchName(d.arch))
+      .Increment();
+  return d;
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = SelectDispatch();
+  return dispatch;
+}
+
+// Kernel-level counters, batched thread-locally so the hot path never
+// touches the (sharded but still atomic) registry cells per call. Flushed
+// every kFlushEvery kernel invocations and at thread exit; the registry
+// singleton is leaky, so the thread-exit flush is always safe.
+struct TlsKernelStats {
+  std::uint64_t calls = 0;
+  std::uint64_t elements_in = 0;
+  std::uint64_t elements_out = 0;
+  std::uint64_t path_gallop = 0;
+  std::uint64_t path_vector = 0;
+  std::uint64_t path_scalar_merge = 0;
+
+  static constexpr std::uint64_t kFlushEvery = 4096;
+
+  ~TlsKernelStats() { Flush(); }
+
+  void Flush() {
+    if (calls == 0) return;
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter& c_calls = reg.GetCounter("ceci.intersect.calls");
+    static Counter& c_in = reg.GetCounter("ceci.intersect.elements_in");
+    static Counter& c_out = reg.GetCounter("ceci.intersect.elements_out");
+    static Counter& c_gallop = reg.GetCounter("ceci.intersect.path.gallop");
+    static Counter& c_vector = reg.GetCounter("ceci.intersect.path.vector");
+    static Counter& c_merge =
+        reg.GetCounter("ceci.intersect.path.scalar_merge");
+    c_calls.Add(calls);
+    c_in.Add(elements_in);
+    c_out.Add(elements_out);
+    c_gallop.Add(path_gallop);
+    c_vector.Add(path_vector);
+    c_merge.Add(path_scalar_merge);
+    *this = TlsKernelStats{};
+  }
+
+  void Account(std::size_t in, std::size_t out, std::uint64_t* path) {
+    ++calls;
+    elements_in += in;
+    elements_out += out;
+    ++*path;
+    if (calls >= kFlushEvery) Flush();
+  }
+};
+
+thread_local TlsKernelStats tls_kernel_stats;
+
+// Pairwise core: picks gallop vs the dispatched kernel and records path
+// counters. `out` may alias `a` or provide min(na, nb) + kKernelPad slots.
+std::size_t IntersectCore(const std::uint32_t* a, std::size_t na,
+                          const std::uint32_t* b, std::size_t nb,
+                          std::uint32_t* out) {
+  TlsKernelStats& stats = tls_kernel_stats;
+  const std::size_t ns = std::min(na, nb);
+  const std::size_t nl = std::max(na, nb);
+  std::size_t n;
+  if (ns == 0) {
+    n = 0;
+    stats.Account(na + nb, 0, &stats.path_scalar_merge);
+  } else if (nl / ns >= kGallopFactor) {
+    n = na <= nb ? IntersectGallopRaw(a, na, b, nb, out)
+                 : IntersectGallopRaw(b, nb, a, na, out);
+    stats.Account(na + nb, n, &stats.path_gallop);
+  } else if (const Dispatch& d = GetDispatch(); d.simd != nullptr) {
+    n = d.simd->intersect(a, na, b, nb, out);
+    stats.Account(na + nb, n, &stats.path_vector);
+  } else {
+    n = IntersectMergeScalar(a, na, b, nb, out);
+    stats.Account(na + nb, n, &stats.path_scalar_merge);
+  }
+  return n;
+}
+
+std::size_t CountCore(const std::uint32_t* a, std::size_t na,
+                      const std::uint32_t* b, std::size_t nb) {
+  TlsKernelStats& stats = tls_kernel_stats;
+  const std::size_t ns = std::min(na, nb);
+  const std::size_t nl = std::max(na, nb);
+  std::size_t n;
+  if (ns == 0) {
+    n = 0;
+    stats.Account(na + nb, 0, &stats.path_scalar_merge);
+  } else if (nl / ns >= kGallopFactor) {
+    n = na <= nb ? CountGallopRaw(a, na, b, nb)
+                 : CountGallopRaw(b, nb, a, na);
+    stats.Account(na + nb, n, &stats.path_gallop);
+  } else if (const Dispatch& d = GetDispatch(); d.simd != nullptr) {
+    n = d.simd->count(a, na, b, nb);
+    stats.Account(na + nb, n, &stats.path_vector);
+  } else {
+    n = CountMergeScalar(a, na, b, nb);
+    stats.Account(na + nb, n, &stats.path_scalar_merge);
+  }
+  return n;
 }
 
 }  // namespace
+
+namespace intersection_internal {
+
+std::size_t IntersectMergeScalar(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  return MergeScalarTail(a, na, i, b, nb, j, out, 0);
+}
+
+std::size_t CountMergeScalar(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb) {
+  return CountScalarTail(a, na, 0, b, nb, 0);
+}
+
+}  // namespace intersection_internal
+
+const char* IntersectionArchName(IntersectionArch arch) {
+  switch (arch) {
+    case IntersectionArch::kScalar:
+      return "scalar";
+    case IntersectionArch::kSse4:
+      return "sse4";
+    case IntersectionArch::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+IntersectionArch ActiveIntersectionArch() { return GetDispatch().arch; }
+
+void FlushIntersectionThreadStats() { tls_kernel_stats.Flush(); }
+
+bool IntersectionArchAvailable(IntersectionArch arch) {
+  return CompiledTable(arch) != nullptr && CpuSupports(arch);
+}
+
+bool IntersectSortedWithArch(IntersectionArch arch,
+                             std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b,
+                             std::vector<std::uint32_t>* out) {
+  out->clear();
+  if (!IntersectionArchAvailable(arch)) return false;
+  const KernelTable* table = CompiledTable(arch);
+  out->resize(std::min(a.size(), b.size()) + kKernelPad);
+  const std::size_t n =
+      table->intersect(a.data(), a.size(), b.data(), b.size(), out->data());
+  out->resize(n);
+  return true;
+}
+
+bool IntersectionSizeWithArch(IntersectionArch arch,
+                              std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b,
+                              std::size_t* size) {
+  if (!IntersectionArchAvailable(arch)) return false;
+  *size = CompiledTable(arch)->count(a.data(), a.size(), b.data(), b.size());
+  return true;
+}
 
 void IntersectSorted(std::span<const std::uint32_t> a,
                      std::span<const std::uint32_t> b,
                      std::vector<std::uint32_t>* out) {
   out->clear();
   if (a.empty() || b.empty()) return;
-  if (a.size() > b.size()) std::swap(a, b);
-  out->reserve(a.size());
-  if (b.size() / a.size() >= kGallopFactor) {
-    IntersectGalloping(a, b, out);
-  } else {
-    IntersectMerge(a, b, out);
-  }
+  out->resize(std::min(a.size(), b.size()) + kKernelPad);
+  const std::size_t n =
+      IntersectCore(a.data(), a.size(), b.data(), b.size(), out->data());
+  out->resize(n);
 }
 
 void IntersectSortedInPlace(std::vector<std::uint32_t>* inout,
@@ -81,70 +315,82 @@ void IntersectSortedInPlace(std::vector<std::uint32_t>* inout,
     inout->clear();
     return;
   }
-  std::size_t write = 0;
-  std::size_t j = 0;
-  for (std::size_t i = 0; i < inout->size() && j < b.size();) {
-    std::uint32_t x = (*inout)[i];
-    if (x < b[j]) {
-      ++i;
-    } else if (x > b[j]) {
-      ++j;
-    } else {
-      (*inout)[write++] = x;
-      ++i;
-      ++j;
-    }
-  }
-  inout->resize(write);
+  const std::size_t n = IntersectCore(inout->data(), inout->size(), b.data(),
+                                      b.size(), inout->data());
+  inout->resize(n);
 }
 
 void IntersectSortedMulti(std::span<const std::span<const std::uint32_t>> lists,
                           std::vector<std::uint32_t>* out) {
   out->clear();
   if (lists.empty()) return;
-  // Start from the smallest list to bound the working set.
-  std::size_t smallest = 0;
-  for (std::size_t i = 1; i < lists.size(); ++i) {
-    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  if (lists.size() == 1) {
+    out->assign(lists[0].begin(), lists[0].end());
+    return;
   }
-  out->assign(lists[smallest].begin(), lists[smallest].end());
+  // Seed with the two smallest lists (one out-of-place kernel call), then
+  // refine in place against the rest.
+  std::size_t s0 = 0;
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[s0].size()) s0 = i;
+  }
+  std::size_t s1 = s0 == 0 ? 1 : 0;
   for (std::size_t i = 0; i < lists.size(); ++i) {
-    if (i == smallest) continue;
+    if (i != s0 && lists[i].size() < lists[s1].size()) s1 = i;
+  }
+  out->resize(lists[s0].size() + kKernelPad);
+  std::size_t n = IntersectCore(lists[s0].data(), lists[s0].size(),
+                                lists[s1].data(), lists[s1].size(),
+                                out->data());
+  out->resize(n);
+  for (std::size_t i = 0; i < lists.size() && !out->empty(); ++i) {
+    if (i == s0 || i == s1) continue;
     IntersectSortedInPlace(out, lists[i]);
-    if (out->empty()) return;
   }
 }
 
 std::size_t IntersectionSize(std::span<const std::uint32_t> a,
                              std::span<const std::uint32_t> b) {
-  if (a.size() > b.size()) std::swap(a, b);
-  if (a.empty()) return 0;
-  std::size_t count = 0;
-  if (b.size() / a.size() >= kGallopFactor) {
-    std::size_t pos = 0;
-    for (std::uint32_t x : a) {
-      pos = GallopLowerBound(b, pos, x);
-      if (pos == b.size()) break;
-      if (b[pos] == x) {
-        ++count;
-        ++pos;
-      }
-    }
-  } else {
-    std::size_t i = 0, j = 0;
-    while (i < a.size() && j < b.size()) {
-      if (a[i] < b[j]) {
-        ++i;
-      } else if (a[i] > b[j]) {
-        ++j;
-      } else {
-        ++count;
-        ++i;
-        ++j;
-      }
-    }
+  if (a.empty() || b.empty()) return 0;
+  return CountCore(a.data(), a.size(), b.data(), b.size());
+}
+
+std::size_t IntersectionSizeMulti(
+    std::span<const std::span<const std::uint32_t>> lists) {
+  if (lists.empty()) return 0;
+  if (lists.size() == 1) return lists[0].size();
+  // Leave the largest list for the final counting pass so the materialized
+  // intermediate stays as small as possible.
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() > lists[largest].size()) largest = i;
   }
-  return count;
+  if (lists.size() == 2) {
+    const std::size_t other = 1 - largest;
+    return IntersectionSize(lists[other], lists[largest]);
+  }
+  std::size_t s0 = largest == 0 ? 1 : 0;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    if (i != largest && lists[i].size() < lists[s0].size()) s0 = i;
+  }
+  thread_local std::vector<std::uint32_t> scratch;
+  scratch.resize(lists[s0].size() + kKernelPad);
+  std::size_t n = 0;
+  bool seeded = false;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    if (i == largest || i == s0) continue;
+    if (!seeded) {
+      n = IntersectCore(lists[s0].data(), lists[s0].size(), lists[i].data(),
+                        lists[i].size(), scratch.data());
+      seeded = true;
+    } else {
+      n = IntersectCore(scratch.data(), n, lists[i].data(), lists[i].size(),
+                        scratch.data());
+    }
+    if (n == 0) return 0;
+  }
+  return CountCore(scratch.data(), n, lists[largest].data(),
+                   lists[largest].size());
 }
 
 bool SortedContains(std::span<const std::uint32_t> sorted, std::uint32_t x) {

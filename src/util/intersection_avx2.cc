@@ -1,0 +1,172 @@
+// AVX2 pairwise intersection kernels: 8-lane block compares via
+// all-rotations of the b block (seven independent lane permutes), match
+// compaction through a 256-entry permute-index LUT. Compiled with -mavx2
+// when the toolchain supports it; otherwise degrades to a null registration
+// and dispatch falls back to SSE4 or scalar.
+#include "util/intersection_kernels.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace ceci {
+namespace intersection_internal {
+namespace {
+
+// For each 8-bit lane mask, permute indices that compact the selected
+// 32-bit lanes to the front (for _mm256_permutevar8x32_epi32).
+struct PermLut {
+  alignas(32) std::int32_t idx[256][8];
+};
+
+constexpr PermLut MakePermLut() {
+  PermLut lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask & (1 << lane)) != 0) lut.idx[mask][out++] = lane;
+    }
+    for (; out < 8; ++out) lut.idx[mask][out] = 0;
+  }
+  return lut;
+}
+
+constexpr PermLut kPerm = MakePermLut();
+
+// All-pairs equality of two 8-lane blocks: compare va against vb and its
+// seven rotations (independent permutes, so they pipeline rather than
+// chain). The movemask reports which lanes of `va` matched.
+inline unsigned BlockMatchMask(__m256i va, __m256i vb) {
+  const __m256i r1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  const __m256i r2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+  const __m256i r3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+  const __m256i r4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+  const __m256i r5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+  const __m256i r6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+  const __m256i r7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  __m256i eq = _mm256_cmpeq_epi32(va, vb);
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r1)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r2)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r3)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r4)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r5)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r6)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r7)));
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+inline std::size_t EmitMatches(__m256i va, unsigned mask, std::uint32_t* out,
+                               std::size_t n) {
+  const __m256i perm =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kPerm.idx[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + n),
+                      _mm256_permutevar8x32_epi32(va, perm));
+  return n + static_cast<std::size_t>(__builtin_popcount(mask));
+}
+
+// `out` may alias `a`: the current a-block is held in a register between
+// reloads, matches accumulate into `amask` and are compacted out only when
+// the block advances, so writes never outrun reads (see the contract in
+// intersection_kernels.h).
+std::size_t IntersectAvx2(const std::uint32_t* a, std::size_t na,
+                          const std::uint32_t* b, std::size_t nb,
+                          std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  if (na >= 8 && nb >= 8) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    unsigned amask = 0;
+    for (;;) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      amask |= BlockMatchMask(va, vb);
+      const std::uint32_t a_max = a[i + 7];
+      const std::uint32_t b_max = b[j + 7];
+      if (a_max <= b_max) {
+        n = EmitMatches(va, amask, out, n);
+        amask = 0;
+        i += 8;
+        if (i + 8 > na) break;
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      }
+      if (b_max <= a_max) {
+        j += 8;
+        if (j + 8 > nb) break;
+      }
+    }
+    if (amask != 0) {
+      // b ran out with matches pending for the in-register block. Flush
+      // them, then finish the block's unmatched lanes from a stack copy:
+      // out may alias a, so a[i..i+7] can now hold compacted output.
+      // Already-flushed lanes are < b[j] and are skipped by the merge.
+      alignas(32) std::uint32_t tmp[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), va);
+      n = EmitMatches(va, amask, out, n);
+      std::size_t ti = 0;
+      n = MergeScalarTail(tmp, 8, ti, b, nb, j, out, n);
+      i += 8;
+    }
+  }
+  return MergeScalarTail(a, na, i, b, nb, j, out, n);
+}
+
+std::size_t CountAvx2(const std::uint32_t* a, std::size_t na,
+                      const std::uint32_t* b, std::size_t nb) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t count = 0;
+  if (na >= 8 && nb >= 8) {
+    for (;;) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      // Per-iteration counting never double-counts: a lane that matched an
+      // earlier block cannot match the current one (inputs are strictly
+      // increasing).
+      count += static_cast<std::size_t>(
+          __builtin_popcount(BlockMatchMask(va, vb)));
+      const std::uint32_t a_max = a[i + 7];
+      const std::uint32_t b_max = b[j + 7];
+      if (a_max <= b_max) {
+        i += 8;
+        if (i + 8 > na) break;
+      }
+      if (b_max <= a_max) {
+        j += 8;
+        if (j + 8 > nb) break;
+      }
+    }
+  }
+  // Lanes already counted are strictly below the unconsumed region of the
+  // other side, so the scalar tail skips them.
+  return count + CountScalarTail(a, na, i, b, nb, j);
+}
+
+}  // namespace
+
+const KernelTable* GetAvx2Kernels() {
+  static constexpr KernelTable kTable = {&IntersectAvx2, &CountAvx2};
+  return &kTable;
+}
+
+}  // namespace intersection_internal
+}  // namespace ceci
+
+#else  // !__AVX2__
+
+namespace ceci {
+namespace intersection_internal {
+const KernelTable* GetAvx2Kernels() { return nullptr; }
+}  // namespace intersection_internal
+}  // namespace ceci
+
+#endif

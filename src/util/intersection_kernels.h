@@ -1,0 +1,99 @@
+// Internal contract between the intersection dispatch layer
+// (intersection.cc) and the per-ISA kernel translation units
+// (intersection_sse4.cc, intersection_avx2.cc). Not part of the public API;
+// include util/intersection.h instead.
+//
+// Kernel contract: inputs are sorted ascending and duplicate-free. `out`
+// must either (a) provide room for min(na, nb) + kKernelPad elements — the
+// vectorized kernels store whole 4/8-lane compacted blocks, so the final
+// store may touch up to kKernelPad - 1 slots past the returned length — or
+// (b) alias `a` exactly (in-place refinement): every kernel guarantees its
+// writes trail its reads of `a`, so `a`'s own storage is always large
+// enough.
+#ifndef CECI_UTIL_INTERSECTION_KERNELS_H_
+#define CECI_UTIL_INTERSECTION_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ceci {
+namespace intersection_internal {
+
+inline constexpr std::size_t kKernelPad = 8;
+
+using IntersectFn = std::size_t (*)(const std::uint32_t* a, std::size_t na,
+                                    const std::uint32_t* b, std::size_t nb,
+                                    std::uint32_t* out);
+using CountFn = std::size_t (*)(const std::uint32_t* a, std::size_t na,
+                                const std::uint32_t* b, std::size_t nb);
+
+struct KernelTable {
+  IntersectFn intersect;
+  CountFn count;
+};
+
+/// Defined in intersection_sse4.cc / intersection_avx2.cc. Returns null
+/// when the TU was built without the ISA (non-x86 target, or the compiler
+/// rejected the arch flag); the caller must additionally verify runtime CPU
+/// support before installing a table.
+const KernelTable* GetSse4Kernels();
+const KernelTable* GetAvx2Kernels();
+
+/// Portable merge kernels (the dispatch fallback and the oracle in
+/// differential tests). Defined in intersection.cc.
+std::size_t IntersectMergeScalar(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint32_t* out);
+std::size_t CountMergeScalar(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb);
+
+/// Scalar merge continuation used by the vectorized kernels for their
+/// tails: resumes at (i, j), appends matches at out[n..], returns the new
+/// output length and leaves i/j at the stopping positions. Skips (without
+/// re-emitting) any a[i'] that already matched some b element before
+/// position j, because such values are strictly below b[j].
+inline std::size_t MergeScalarTail(const std::uint32_t* a, std::size_t na,
+                                   std::size_t& i, const std::uint32_t* b,
+                                   std::size_t nb, std::size_t& j,
+                                   std::uint32_t* out, std::size_t n) {
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (x > y) {
+      ++j;
+    } else {
+      out[n++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// Counting twin of MergeScalarTail.
+inline std::size_t CountScalarTail(const std::uint32_t* a, std::size_t na,
+                                   std::size_t i, const std::uint32_t* b,
+                                   std::size_t nb, std::size_t j) {
+  std::size_t count = 0;
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (x > y) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace intersection_internal
+}  // namespace ceci
+
+#endif  // CECI_UTIL_INTERSECTION_KERNELS_H_

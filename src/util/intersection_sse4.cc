@@ -1,0 +1,165 @@
+// SSE4 pairwise intersection kernels: 4-lane block compares with cyclic
+// shuffles, compaction through a 16-entry byte-shuffle LUT. Compiled with
+// -msse4.2 when the toolchain supports it; otherwise this TU degrades to a
+// null registration and dispatch falls back to SSE-less tiers.
+#include "util/intersection_kernels.h"
+
+#if defined(__SSE4_2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace ceci {
+namespace intersection_internal {
+namespace {
+
+// For each 4-bit lane mask, byte indices that compact the selected 32-bit
+// lanes to the front of the vector (unused lanes zero-filled via 0x80).
+struct ShuffleLut {
+  alignas(16) std::uint8_t bytes[16][16];
+};
+
+constexpr ShuffleLut MakeShuffleLut() {
+  ShuffleLut lut{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask & (1 << lane)) != 0) {
+        for (int byte = 0; byte < 4; ++byte) {
+          lut.bytes[mask][out * 4 + byte] =
+              static_cast<std::uint8_t>(lane * 4 + byte);
+        }
+        ++out;
+      }
+    }
+    for (; out < 4; ++out) {
+      for (int byte = 0; byte < 4; ++byte) {
+        lut.bytes[mask][out * 4 + byte] = 0x80;
+      }
+    }
+  }
+  return lut;
+}
+
+constexpr ShuffleLut kShuffle = MakeShuffleLut();
+
+// All-pairs equality of one 4-lane block against another via three cyclic
+// rotations; the movemask reports which lanes of `va` matched.
+inline unsigned BlockMatchMask(__m128i va, __m128i vb) {
+  __m128i eq = _mm_cmpeq_epi32(va, vb);
+  eq = _mm_or_si128(
+      eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+  eq = _mm_or_si128(
+      eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+  eq = _mm_or_si128(
+      eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+  return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+}
+
+inline std::size_t EmitMatches(__m128i va, unsigned mask, std::uint32_t* out,
+                               std::size_t n) {
+  const __m128i shuf =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kShuffle.bytes[mask]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n),
+                   _mm_shuffle_epi8(va, shuf));
+  return n + static_cast<std::size_t>(__builtin_popcount(mask));
+}
+
+// `out` may alias `a`: the current a-block is held in a register between
+// reloads, matches accumulate into `amask` and are compacted out only when
+// the block advances, so writes never outrun reads (see the contract in
+// intersection_kernels.h).
+std::size_t IntersectSse4(const std::uint32_t* a, std::size_t na,
+                          const std::uint32_t* b, std::size_t nb,
+                          std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  if (na >= 4 && nb >= 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    unsigned amask = 0;
+    for (;;) {
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      amask |= BlockMatchMask(va, vb);
+      const std::uint32_t a_max = a[i + 3];
+      const std::uint32_t b_max = b[j + 3];
+      if (a_max <= b_max) {
+        n = EmitMatches(va, amask, out, n);
+        amask = 0;
+        i += 4;
+        if (i + 4 > na) break;
+        va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      }
+      if (b_max <= a_max) {
+        j += 4;
+        if (j + 4 > nb) break;
+      }
+    }
+    if (amask != 0) {
+      // b ran out with matches pending for the in-register block. Flush
+      // them, then finish the block's unmatched lanes from a stack copy:
+      // out may alias a, so a[i..i+3] can now hold compacted output.
+      // Already-flushed lanes are < b[j] and are skipped by the merge.
+      alignas(16) std::uint32_t tmp[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(tmp), va);
+      n = EmitMatches(va, amask, out, n);
+      std::size_t ti = 0;
+      n = MergeScalarTail(tmp, 4, ti, b, nb, j, out, n);
+      i += 4;
+    }
+  }
+  return MergeScalarTail(a, na, i, b, nb, j, out, n);
+}
+
+std::size_t CountSse4(const std::uint32_t* a, std::size_t na,
+                      const std::uint32_t* b, std::size_t nb) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t count = 0;
+  if (na >= 4 && nb >= 4) {
+    for (;;) {
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      // Per-iteration counting never double-counts: a lane that matched an
+      // earlier block cannot match the current one (inputs are strictly
+      // increasing).
+      count += static_cast<std::size_t>(
+          __builtin_popcount(BlockMatchMask(va, vb)));
+      const std::uint32_t a_max = a[i + 3];
+      const std::uint32_t b_max = b[j + 3];
+      if (a_max <= b_max) {
+        i += 4;
+        if (i + 4 > na) break;
+      }
+      if (b_max <= a_max) {
+        j += 4;
+        if (j + 4 > nb) break;
+      }
+    }
+  }
+  // Lanes already counted are strictly below the unconsumed region of the
+  // other side, so the scalar tail skips them.
+  return count + CountScalarTail(a, na, i, b, nb, j);
+}
+
+}  // namespace
+
+const KernelTable* GetSse4Kernels() {
+  static constexpr KernelTable kTable = {&IntersectSse4, &CountSse4};
+  return &kTable;
+}
+
+}  // namespace intersection_internal
+}  // namespace ceci
+
+#else  // !__SSE4_2__
+
+namespace ceci {
+namespace intersection_internal {
+const KernelTable* GetSse4Kernels() { return nullptr; }
+}  // namespace intersection_internal
+}  // namespace ceci
+
+#endif

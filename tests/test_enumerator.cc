@@ -2,6 +2,8 @@
 // prefixes, symmetry enforcement, ablation equivalence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <mutex>
 
 #include "ceci/ceci_builder.h"
@@ -182,6 +184,131 @@ TEST(EnumeratorTest, NoEmbeddingsWhenQueryTooDense) {
   auto opts = f.Options();
   Enumerator e(f.data, f.tree, f.index, opts);
   EXPECT_EQ(e.EnumerateAll(nullptr), 0u);
+}
+
+// Replicates the pre-PR candidate rule with independent primitives:
+// chained std::set_intersection over the full TE/NTE lists, then a symmetry
+// post-filter over the output, then the O(|mapping|) linear injectivity
+// scan that the bitmap replaced.
+std::vector<VertexId> OldPathCandidates(const Fixture& f,
+                                        std::span<const VertexId> mapping,
+                                        VertexId u) {
+  const CeciVertexData& ud = f.index.at(u);
+  auto te = ud.te.Find(mapping[f.tree.parent(u)]);
+  std::vector<VertexId> out(te.begin(), te.end());
+  const auto nte_ids = f.tree.nte_in(u);
+  for (std::size_t k = 0; k < nte_ids.size(); ++k) {
+    const VertexId u_n = f.tree.non_tree_edges()[nte_ids[k]].parent;
+    auto list = ud.nte[k].Find(mapping[u_n]);
+    std::vector<VertexId> next;
+    std::set_intersection(out.begin(), out.end(), list.begin(), list.end(),
+                          std::back_inserter(next));
+    out = std::move(next);
+  }
+  VertexId lo = 0;
+  VertexId hi = kInvalidVertex;
+  for (VertexId w : f.symmetry.must_be_less(u)) {
+    if (mapping[w] != kInvalidVertex) lo = std::max(lo, mapping[w] + 1);
+  }
+  for (VertexId w : f.symmetry.must_be_greater(u)) {
+    if (mapping[w] != kInvalidVertex) hi = std::min(hi, mapping[w]);
+  }
+  std::erase_if(out, [&](VertexId v) { return v < lo || v >= hi; });
+  std::erase_if(out, [&](VertexId v) {
+    return std::find(mapping.begin(), mapping.end(), v) != mapping.end();
+  });
+  return out;
+}
+
+// Walks partial embeddings depth-first and checks CollectExtensions (the
+// clamped-span + bitmap path) against OldPathCandidates at every node, up
+// to `budget` comparisons.
+void CheckCandidatesAgainstOldPath(Fixture& f, std::size_t budget) {
+  auto opts = f.Options();
+  Enumerator e(f.data, f.tree, f.index, opts);
+  const auto& order = f.tree.matching_order();
+  std::vector<VertexId> mapping(f.tree.num_vertices(), kInvalidVertex);
+  std::size_t checked = 0;
+  std::vector<VertexId> got;
+  std::function<void(std::size_t)> dfs = [&](std::size_t pos) {
+    if (pos == order.size() || checked >= budget) return;
+    const VertexId u = order[pos];
+    e.CollectExtensions(mapping, u, &got);
+    ASSERT_EQ(got, OldPathCandidates(f, mapping, u))
+        << "pos=" << pos << " u=" << u;
+    ++checked;
+    const std::vector<VertexId> cands = got;
+    for (VertexId v : cands) {
+      if (checked >= budget) break;
+      mapping[u] = v;
+      dfs(pos + 1);
+      mapping[u] = kInvalidVertex;
+    }
+  };
+  for (VertexId pivot : f.index.pivots(f.tree)) {
+    if (checked >= budget) break;
+    mapping[order[0]] = pivot;
+    dfs(1);
+    mapping[order[0]] = kInvalidVertex;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(EnumeratorRegressionTest, CandidatesMatchOldPathOnRandomGraphs) {
+  for (std::uint64_t seed : {11, 12, 13}) {
+    for (PaperQuery q : kAllPaperQueries) {
+      SCOPED_TRACE(PaperQueryName(q) + " seed " + std::to_string(seed));
+      Fixture f(GenerateSocialGraph(150, 4, seed), MakePaperQuery(q));
+      CheckCandidatesAgainstOldPath(f, 1500);
+    }
+  }
+}
+
+TEST(EnumeratorRegressionTest, CandidatesMatchOldPathOnErdosRenyi) {
+  for (std::uint64_t seed : {21, 22}) {
+    for (PaperQuery q : kAllPaperQueries) {
+      SCOPED_TRACE(PaperQueryName(q) + " seed " + std::to_string(seed));
+      Fixture f(GenerateErdosRenyi(120, 600, seed), MakePaperQuery(q));
+      CheckCandidatesAgainstOldPath(f, 1500);
+    }
+  }
+}
+
+TEST(EnumeratorRegressionTest, LeafCountShortcutMatchesMaterializedCount) {
+  // The shortcut routes the last level through CountLeafCandidates — the
+  // counting kernel plus clamped symmetry window plus injectivity
+  // subtraction — and must agree with full materialization everywhere.
+  for (std::uint64_t seed : {31, 32}) {
+    for (bool with_symmetry : {true, false}) {
+      for (PaperQuery q : kAllPaperQueries) {
+        SCOPED_TRACE(PaperQueryName(q) + " seed " + std::to_string(seed) +
+                     (with_symmetry ? " sym" : " nosym"));
+        Fixture f(GenerateSocialGraph(150, 4, seed), MakePaperQuery(q));
+        auto slow_opts = f.Options(with_symmetry);
+        auto fast_opts = slow_opts;
+        fast_opts.leaf_count_shortcut = true;
+        Enumerator slow(f.data, f.tree, f.index, slow_opts);
+        Enumerator fast(f.data, f.tree, f.index, fast_opts);
+        const std::uint64_t expected = slow.EnumerateAll(nullptr);
+        EXPECT_EQ(fast.EnumerateAll(nullptr), expected);
+        EXPECT_LE(fast.stats().recursive_calls, slow.stats().recursive_calls);
+      }
+    }
+  }
+}
+
+TEST(EnumeratorRegressionTest, LeafCountShortcutHonorsSharedLimit) {
+  Fixture f(GenerateSocialGraph(150, 4, 41), MakePaperQuery(PaperQuery::kQG1));
+  auto opts = f.Options();
+  Enumerator full(f.data, f.tree, f.index, opts);
+  const std::uint64_t total = full.EnumerateAll(nullptr);
+  ASSERT_GT(total, 4u);
+  auto fast_opts = opts;
+  fast_opts.leaf_count_shortcut = true;
+  Enumerator fast(f.data, f.tree, f.index, fast_opts);
+  std::atomic<std::uint64_t> counter{0};
+  fast.SetSharedLimit(&counter, total - 2);
+  EXPECT_EQ(fast.EnumerateAll(nullptr), total - 2);
 }
 
 }  // namespace
