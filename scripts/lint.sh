@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Project lint pass (docs/static_analysis.md#lint-workflow).
+#
+# Two layers:
+#   1. Grep rules — project-specific invariants that run everywhere, with
+#      no toolchain requirements. Violations fail the script.
+#   2. clang-tidy / clang-format — run only when the binaries exist (the
+#      minimal CI container ships gcc only); otherwise each is reported as
+#      skipped.
+#
+#   scripts/lint.sh            # lint src/ and tests/
+#   scripts/lint.sh --fix      # let clang-format rewrite files in place
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+fix=0
+for arg in "$@"; do
+  case "$arg" in
+    --fix) fix=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+sources=$(find src tests -name '*.cc' -o -name '*.h' | sort)
+failures=0
+
+fail() {
+  echo "lint: $1" >&2
+  echo "$2" | sed 's/^/  /' >&2
+  failures=$((failures + 1))
+}
+
+# --- Rule: no naked `new`. Ownership goes through make_unique/make_shared;
+# the exceptions are an intentionally leaked process-lifetime singleton
+# (`// lint: leaky-singleton`) and a friend factory wrapping a private
+# constructor make_unique cannot reach (`// lint: private-ctor`).
+hits=$(grep -nE '(=|return|\()\s*new\s+[A-Za-z_]' $sources \
+  | grep -vE 'lint: (leaky-singleton|private-ctor)' || true)
+if [[ -n "$hits" ]]; then
+  fail "naked new (use std::make_unique, or annotate a leaky singleton)" \
+    "$hits"
+fi
+
+# --- Rule: no unchecked Status. A Result<T>/Status return must be consumed;
+# calling .status() or .value() without .ok() first shows up as a bare
+# `.value()` on a fresh call expression.
+hits=$(grep -nE '^\s*[A-Za-z_:<>]+\([^;]*\)\.value\(\)' $sources || true)
+if [[ -n "$hits" ]]; then
+  fail "Result<T>.value() on an unchecked call (test .ok() first)" "$hits"
+fi
+
+# --- Rule: atomics spell their memory order (library code only; tests may
+# take the seq_cst default). Implicit seq_cst hides the intended ordering
+# contract and costs fences on weak architectures. Calls that break before
+# their arguments (trailing `(`) carry the order on the next line.
+hits=$(echo "$sources" | grep -E '^src/' \
+  | xargs grep -nE '\.(load|store|fetch_add|fetch_sub|fetch_and|fetch_or|exchange|compare_exchange_(weak|strong))\(' 2>/dev/null \
+  | grep -vE 'memory_order|std::atomic|\($|// lint: seq-cst' || true)
+if [[ -n "$hits" ]]; then
+  fail "atomic operation without an explicit std::memory_order" "$hits"
+fi
+
+# --- Rule: no stray printf-debugging in the library (tools/ prints by
+# design; util/logging owns stderr).
+hits=$(echo "$sources" | grep -E '^src/(ceci|graph|analysis|util)/' \
+  | xargs grep -nE '\b(std::cout|std::cerr|printf)\b' 2>/dev/null \
+  | grep -vE 'logging|// lint: allow-print|:[0-9]+: *//' || true)
+if [[ -n "$hits" ]]; then
+  fail "direct stdout/stderr output in library code (use CECI_LOG)" "$hits"
+fi
+
+# --- clang-format (gated on availability) ---
+if command -v clang-format >/dev/null 2>&1; then
+  if [[ "$fix" == 1 ]]; then
+    clang-format -i $sources
+    echo "lint: clang-format applied"
+  else
+    unformatted=$(clang-format --dry-run -Werror $sources 2>&1 || true)
+    if [[ -n "$unformatted" ]]; then
+      fail "clang-format differences (run scripts/lint.sh --fix)" \
+        "$(echo "$unformatted" | head -20)"
+    fi
+  fi
+else
+  echo "lint: clang-format not installed; skipping format check"
+fi
+
+# --- clang-tidy (gated on availability; needs compile_commands.json) ---
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f build/compile_commands.json ]]; then
+    tidy_out=$(clang-tidy -p build --quiet $(echo "$sources" | grep '\.cc$') \
+      2>/dev/null || true)
+    if echo "$tidy_out" | grep -q "warning:"; then
+      fail "clang-tidy warnings" "$(echo "$tidy_out" | grep 'warning:' | head -20)"
+    fi
+  else
+    echo "lint: build/compile_commands.json missing; configure with" \
+      "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON to enable clang-tidy"
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping static analysis"
+fi
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "lint: FAILED ($failures rule(s) violated)" >&2
+  exit 1
+fi
+echo "lint: OK"

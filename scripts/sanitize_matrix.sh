@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Sanitizer matrix (docs/static_analysis.md): runs the full tier-1 suite
+# under every supported sanitizer configuration and fails on the first
+# unsuppressed finding.
+#
+#   1. asan         — AddressSanitizer + UBSan, DCHECKs on
+#   2. asan-scalar  — same binaries, CECI_FORCE_SCALAR=1 pins the portable
+#                     intersection kernels (covers the scalar tier without
+#                     a third build)
+#   3. tsan         — ThreadSanitizer, DCHECKs on
+#
+# Each configuration reuses scripts/tier1.sh with a CMakePresets.json
+# preset; suppressions live in scripts/sanitizers/. Pass --clean to wipe
+# the sanitizer build trees first.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+clean_arg=""
+for arg in "$@"; do
+  case "$arg" in
+    --clean) clean_arg="--clean" ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== [1/3] asan (address,undefined) ==="
+scripts/tier1.sh --preset asan --audit $clean_arg
+
+echo "=== [2/3] asan-scalar (CECI_FORCE_SCALAR=1) ==="
+ctest --preset asan-scalar -j
+
+echo "=== [3/3] tsan (thread) ==="
+scripts/tier1.sh --preset tsan --audit $clean_arg
+
+echo "sanitize matrix: all configurations clean"

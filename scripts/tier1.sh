@@ -1,36 +1,87 @@
 #!/usr/bin/env bash
 # Tier-1 verify (see ROADMAP.md): configure, build, and run the full test
-# suite. Run from anywhere; operates on the repo root's build/ tree.
+# suite. Run from anywhere; operates on the repo root's build trees.
 #
-#   scripts/tier1.sh            # incremental
-#   scripts/tier1.sh --clean    # wipe build/ first
-#   scripts/tier1.sh --scalar   # additionally re-run the intersection and
-#                               # enumerator suites with CECI_FORCE_SCALAR=1
-#                               # (exercises the portable kernel tier; see
-#                               # docs/tuning.md#intersection-kernels)
+#   scripts/tier1.sh                 # incremental, build/
+#   scripts/tier1.sh --clean         # wipe the build tree first
+#   scripts/tier1.sh --preset asan   # use a CMakePresets.json preset
+#                                    # (build dir build-<preset>)
+#   scripts/tier1.sh --scalar        # additionally re-run the intersection
+#                                    # and enumerator suites with
+#                                    # CECI_FORCE_SCALAR=1 (portable kernel
+#                                    # tier; docs/tuning.md)
+#   scripts/tier1.sh --audit         # additionally run the invariant
+#                                    # auditor end to end (ceci_query
+#                                    # --audit; docs/static_analysis.md)
+#   scripts/tier1.sh --lint          # additionally run scripts/lint.sh
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
+preset=""
+clean=0
 scalar_pass=0
-for arg in "$@"; do
-  case "$arg" in
-    --clean) rm -rf build ;;
+audit_pass=0
+lint_pass=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --clean) clean=1 ;;
     --scalar) scalar_pass=1 ;;
-    *) echo "unknown option: $arg" >&2; exit 2 ;;
+    --audit) audit_pass=1 ;;
+    --lint) lint_pass=1 ;;
+    --preset) preset="${2:?--preset needs a name}"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
+  shift
 done
 
-cmake -B build -S .
-cmake --build build -j
-cd build
-ctest --output-on-failure -j
+if [[ -n "$preset" && "$preset" != "default" ]]; then
+  build_dir="build-$preset"
+else
+  build_dir="build"
+fi
+[[ "$clean" == 1 ]] && rm -rf "$build_dir"
+
+# Sanitizer runtime defaults; the test presets carry the same settings so a
+# bare `ctest --preset asan` behaves identically.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1:strict_string_checks=1}"
+export LSAN_OPTIONS="${LSAN_OPTIONS:-suppressions=$repo_root/scripts/sanitizers/lsan.supp}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:suppressions=$repo_root/scripts/sanitizers/ubsan.supp}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-suppressions=$repo_root/scripts/sanitizers/tsan.supp}"
+
+if [[ -n "$preset" ]]; then
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j
+  ctest --preset "$preset" -j
+else
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j
+fi
 
 if [[ "$scalar_pass" == 1 ]]; then
   echo "=== scalar-dispatch pass (CECI_FORCE_SCALAR=1) ==="
   # -R matches gtest suite names, not binary names: this re-runs the
   # kernel differential tests plus every intersection consumer.
-  CECI_FORCE_SCALAR=1 ctest --output-on-failure \
+  CECI_FORCE_SCALAR=1 ctest --test-dir "$build_dir" --output-on-failure \
     -R '(Intersection|Enumerator|Counting)' -j
+fi
+
+if [[ "$audit_pass" == 1 ]]; then
+  echo "=== invariant-auditor pass (ceci_query --audit) ==="
+  audit_tmp="$(mktemp -d)"
+  trap 'rm -rf "$audit_tmp"' EXIT
+  "$build_dir/src/ceci_generate" --family social --n 1500 --attach 5 \
+    --labels 4 --seed 11 --out "$audit_tmp/g.txt" --format labeled
+  for dist in st cgd fgd; do
+    "$build_dir/src/ceci_query" --data "$audit_tmp/g.txt" --format labeled \
+      --pattern "(a:0)-(b:1)-(c:2); (a)-(c)" --distribution "$dist" \
+      --beta 0.05 --threads 3 --audit | grep "^audit:"
+  done
+fi
+
+if [[ "$lint_pass" == 1 ]]; then
+  echo "=== lint pass (scripts/lint.sh) ==="
+  scripts/lint.sh
 fi

@@ -1,0 +1,654 @@
+#include "analysis/invariant_auditor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "graph/nlc_index.h"
+#include "util/check.h"
+
+namespace ceci {
+
+const char* InvariantClassName(InvariantClass c) {
+  switch (c) {
+    case InvariantClass::kGraphAdjacencyUnsorted:
+      return "graph_adjacency_unsorted";
+    case InvariantClass::kGraphAdjacencyOutOfRange:
+      return "graph_adjacency_out_of_range";
+    case InvariantClass::kGraphAsymmetricEdge:
+      return "graph_asymmetric_edge";
+    case InvariantClass::kGraphLabelTable:
+      return "graph_label_table";
+    case InvariantClass::kGraphLabelIndex:
+      return "graph_label_index";
+    case InvariantClass::kGraphDegreeSummary:
+      return "graph_degree_summary";
+    case InvariantClass::kIndexShape:
+      return "index_shape";
+    case InvariantClass::kCandidatesUnsorted:
+      return "candidates_unsorted";
+    case InvariantClass::kCandidateOutOfRange:
+      return "candidate_out_of_range";
+    case InvariantClass::kCandidateFilterViolation:
+      return "candidate_filter_violation";
+    case InvariantClass::kNlcfViolation:
+      return "nlcf_violation";
+    case InvariantClass::kListUnsorted:
+      return "list_unsorted";
+    case InvariantClass::kTeKeyNotParentCandidate:
+      return "te_key_not_parent_candidate";
+    case InvariantClass::kNteKeyNotParentCandidate:
+      return "nte_key_not_parent_candidate";
+    case InvariantClass::kValueNotCandidate:
+      return "value_not_candidate";
+    case InvariantClass::kDanglingCandidateEdge:
+      return "dangling_candidate_edge";
+    case InvariantClass::kEmptyKeyCascade:
+      return "empty_key_cascade";
+    case InvariantClass::kCardinalityShape:
+      return "cardinality_shape";
+    case InvariantClass::kInjectivityBitset:
+      return "injectivity_bitset";
+    case InvariantClass::kWorkUnitInvalid:
+      return "work_unit_invalid";
+    case InvariantClass::kClusterOverlap:
+      return "cluster_overlap";
+    case InvariantClass::kClusterGap:
+      return "cluster_gap";
+  }
+  return "unknown";
+}
+
+void AuditReport::Add(InvariantClass cls, std::string detail) {
+  ++total_violations;
+  if (violations.size() < max_recorded) {
+    violations.push_back(Violation{cls, std::move(detail)});
+  }
+}
+
+std::size_t AuditReport::CountOf(InvariantClass cls) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.cls == cls) ++n;
+  }
+  return n;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "audit OK (" << checks_run << " checks)";
+    return out.str();
+  }
+  out << "audit FAILED: " << total_violations << " violation(s) in "
+      << checks_run << " checks";
+  for (const Violation& v : violations) {
+    out << "\n  [" << InvariantClassName(v.cls) << "] " << v.detail;
+  }
+  if (total_violations > violations.size()) {
+    out << "\n  ... " << (total_violations - violations.size())
+        << " further violation(s) not recorded";
+  }
+  return out.str();
+}
+
+void AuditReport::Merge(const AuditReport& other) {
+  for (const Violation& v : other.violations) {
+    if (violations.size() < max_recorded) violations.push_back(v);
+  }
+  total_violations += other.total_violations;
+  checks_run += other.checks_run;
+}
+
+namespace {
+
+bool StrictlySorted(std::span<const VertexId> s) {
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1] >= s[i]) return false;
+  }
+  return true;
+}
+
+bool SortedMember(std::span<const VertexId> sorted, VertexId x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+std::string Where(const char* what, VertexId u) {
+  std::ostringstream out;
+  out << what << " u" << u;
+  return out.str();
+}
+
+// Audits one TE/NTE candidate list of child `u` keyed by candidates of
+// `parent` (its tree parent or NTE parent). `require_value_membership`
+// holds only for refined indexes: the builder's empty-key cascade erases a
+// dead vertex from candidates(u) without scrubbing it from the value sets
+// of u's own lists (refinement compaction does that), so values may
+// legitimately reference ex-candidates until then.
+void AuditList(const Graph& data, const CandidateList& list, VertexId u,
+               VertexId parent, std::span<const VertexId> parent_cands,
+               std::span<const VertexId> child_cands, bool is_te,
+               bool require_value_membership, AuditReport* report) {
+  std::ostringstream tag;
+  tag << (is_te ? "TE" : "NTE") << "[u" << u << " keyed by u" << parent
+      << "]";
+  const std::string prefix = tag.str();
+
+  ++report->checks_run;
+  if (!StrictlySorted(list.keys())) {
+    report->Add(InvariantClass::kListUnsorted,
+                prefix + ": keys not strictly ascending");
+  }
+  for (std::size_t i = 0; i < list.num_keys(); ++i) {
+    const VertexId key = list.keys()[i];
+    const auto values = list.values_at(i);
+    ++report->checks_run;
+    if (!SortedMember(parent_cands, key)) {
+      std::ostringstream d;
+      d << prefix << ": key v" << key
+        << " is not a candidate of the parent";
+      report->Add(is_te ? InvariantClass::kTeKeyNotParentCandidate
+                        : InvariantClass::kNteKeyNotParentCandidate,
+                  d.str());
+    }
+    ++report->checks_run;
+    if (values.empty()) {
+      std::ostringstream d;
+      d << prefix << ": key v" << key << " stores an empty value set";
+      report->Add(InvariantClass::kEmptyKeyCascade, d.str());
+    }
+    ++report->checks_run;
+    if (!StrictlySorted(values)) {
+      std::ostringstream d;
+      d << prefix << ": values of key v" << key
+        << " not strictly ascending";
+      report->Add(InvariantClass::kListUnsorted, d.str());
+    }
+    for (VertexId v : values) {
+      if (require_value_membership) {
+        ++report->checks_run;
+        if (!SortedMember(child_cands, v)) {
+          std::ostringstream d;
+          d << prefix << ": value v" << v << " under key v" << key
+            << " is not a candidate of u" << u;
+          report->Add(InvariantClass::kValueNotCandidate, d.str());
+        }
+      }
+      ++report->checks_run;
+      if (v >= data.num_vertices() || key >= data.num_vertices() ||
+          !data.HasEdge(key, v)) {
+        std::ostringstream d;
+        d << prefix << ": candidate edge (v" << key << ", v" << v
+          << ") does not exist in the data graph";
+        report->Add(InvariantClass::kDanglingCandidateEdge, d.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport AuditGraph(const Graph& g) {
+  AuditReport report;
+  const std::size_t n = g.num_vertices();
+  std::size_t directed = 0;
+  std::size_t max_degree = 0;
+
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nb = g.neighbors(u);
+    directed += nb.size();
+    max_degree = std::max(max_degree, nb.size());
+
+    ++report.checks_run;
+    if (!StrictlySorted(nb)) {
+      report.Add(InvariantClass::kGraphAdjacencyUnsorted,
+                 Where("neighbors of", u) +
+                     " are not strictly ascending (unsorted or duplicated)");
+    }
+    for (VertexId v : nb) {
+      ++report.checks_run;
+      if (v >= n || v == u) {
+        std::ostringstream d;
+        d << "neighbors of v" << u << " contain "
+          << (v == u ? "a self-loop" : "an out-of-range id") << " (v" << v
+          << ")";
+        report.Add(InvariantClass::kGraphAdjacencyOutOfRange, d.str());
+        continue;
+      }
+      ++report.checks_run;
+      const auto back = g.neighbors(v);
+      if (!std::binary_search(back.begin(), back.end(), u)) {
+        std::ostringstream d;
+        d << "edge (v" << u << ", v" << v << ") stored without its reverse";
+        report.Add(InvariantClass::kGraphAsymmetricEdge, d.str());
+      }
+    }
+
+    const auto labels = g.labels(u);
+    ++report.checks_run;
+    bool labels_ok = !labels.empty();
+    for (std::size_t i = 0; labels_ok && i < labels.size(); ++i) {
+      if (labels[i] >= g.num_labels()) labels_ok = false;
+      if (i > 0 && labels[i - 1] >= labels[i]) labels_ok = false;
+    }
+    if (!labels_ok) {
+      report.Add(InvariantClass::kGraphLabelTable,
+                 Where("label list of", u) +
+                     " is empty, unsorted, or out of range");
+    } else {
+      for (Label l : labels) {
+        ++report.checks_run;
+        const auto with = g.VerticesWithLabel(l);
+        if (!std::binary_search(with.begin(), with.end(), u)) {
+          std::ostringstream d;
+          d << "v" << u << " carries label " << l
+            << " but is missing from its inverted index";
+          report.Add(InvariantClass::kGraphLabelIndex, d.str());
+        }
+      }
+    }
+  }
+
+  for (Label l = 0; l < g.num_labels(); ++l) {
+    const auto with = g.VerticesWithLabel(l);
+    ++report.checks_run;
+    if (!StrictlySorted(with)) {
+      std::ostringstream d;
+      d << "inverted index of label " << l << " is not strictly ascending";
+      report.Add(InvariantClass::kGraphLabelIndex, d.str());
+    }
+    for (VertexId v : with) {
+      ++report.checks_run;
+      if (v >= n || !g.HasLabel(v, l)) {
+        std::ostringstream d;
+        d << "inverted index of label " << l << " lists v" << v
+          << " which does not carry it";
+        report.Add(InvariantClass::kGraphLabelIndex, d.str());
+      }
+    }
+  }
+
+  ++report.checks_run;
+  if (max_degree != g.max_degree()) {
+    std::ostringstream d;
+    d << "max_degree() reports " << g.max_degree() << " but the CSR holds "
+      << max_degree;
+    report.Add(InvariantClass::kGraphDegreeSummary, d.str());
+  }
+  ++report.checks_run;
+  if (directed != g.num_directed_edges()) {
+    std::ostringstream d;
+    d << "num_directed_edges() reports " << g.num_directed_edges()
+      << " but adjacency lists sum to " << directed;
+    report.Add(InvariantClass::kGraphDegreeSummary, d.str());
+  }
+  return report;
+}
+
+AuditReport AuditCeciIndex(const Graph& data, const Graph& query,
+                           const QueryTree& tree, const CeciIndex& index,
+                           const AuditOptions& options) {
+  AuditReport report;
+  report.max_recorded = options.max_recorded;
+  const std::size_t nq = tree.num_vertices();
+
+  ++report.checks_run;
+  if (index.num_query_vertices() != nq || query.num_vertices() != nq) {
+    std::ostringstream d;
+    d << "index covers " << index.num_query_vertices()
+      << " query vertices, tree has " << nq << ", query graph has "
+      << query.num_vertices();
+    report.Add(InvariantClass::kIndexShape, d.str());
+    return report;  // per-vertex loops below would be meaningless
+  }
+
+  for (VertexId u = 0; u < nq; ++u) {
+    const CeciVertexData& ud = index.at(u);
+    const auto cands = std::span<const VertexId>(ud.candidates);
+
+    ++report.checks_run;
+    if (!StrictlySorted(cands)) {
+      report.Add(InvariantClass::kCandidatesUnsorted,
+                 Where("candidates of", u) +
+                     " are not strictly ascending (unsorted or duplicated)");
+    }
+    for (VertexId v : cands) {
+      ++report.checks_run;
+      if (v >= data.num_vertices()) {
+        std::ostringstream d;
+        d << "candidate v" << v << " of u" << u << " exceeds |V_data|";
+        report.Add(InvariantClass::kCandidateOutOfRange, d.str());
+      }
+    }
+
+    if (options.check_filters) {
+      const auto profile = NlcIndex::Profile(query, u);
+      for (VertexId v : cands) {
+        if (v >= data.num_vertices()) continue;  // reported above
+        ++report.checks_run;
+        if (!data.HasAllLabels(v, query.labels(u)) ||
+            data.degree(v) < query.degree(u)) {
+          std::ostringstream d;
+          d << "candidate v" << v << " of u" << u
+            << " fails the label/degree filter";
+          report.Add(InvariantClass::kCandidateFilterViolation, d.str());
+          continue;
+        }
+        ++report.checks_run;
+        // NLCF (§3.2): v's neighborhood label counts must cover u's.
+        const auto have = NlcIndex::Profile(data, v);
+        std::size_t i = 0;
+        bool covers = true;
+        for (const NlcIndex::Entry& need : profile) {
+          while (i < have.size() && have[i].label < need.label) ++i;
+          if (i == have.size() || have[i].label != need.label ||
+              have[i].count < need.count) {
+            covers = false;
+            break;
+          }
+        }
+        if (!covers) {
+          std::ostringstream d;
+          d << "candidate v" << v << " of u" << u
+            << " fails the neighborhood-label-count filter";
+          report.Add(InvariantClass::kNlcfViolation, d.str());
+        }
+      }
+    }
+
+    if (options.refined) {
+      ++report.checks_run;
+      if (ud.cardinalities.size() != ud.candidates.size()) {
+        std::ostringstream d;
+        d << "u" << u << " stores " << ud.cardinalities.size()
+          << " cardinalities for " << ud.candidates.size() << " candidates";
+        report.Add(InvariantClass::kCardinalityShape, d.str());
+      } else {
+        for (std::size_t i = 0; i < ud.cardinalities.size(); ++i) {
+          ++report.checks_run;
+          if (ud.cardinalities[i] == 0) {
+            std::ostringstream d;
+            d << "refined candidate v" << ud.candidates[i] << " of u" << u
+              << " has zero cardinality (should have been pruned)";
+            report.Add(InvariantClass::kCardinalityShape, d.str());
+          }
+        }
+      }
+    }
+
+    if (u == tree.root()) {
+      ++report.checks_run;
+      if (!ud.te.empty() || !ud.nte.empty()) {
+        report.Add(InvariantClass::kIndexShape,
+                   "root stores TE/NTE lists (it must not)");
+      }
+      continue;
+    }
+
+    // --- TE list ---
+    const VertexId u_p = tree.parent(u);
+    const auto parent_cands =
+        std::span<const VertexId>(index.at(u_p).candidates);
+    AuditList(data, ud.te, u, u_p, parent_cands, cands, /*is_te=*/true,
+              /*require_value_membership=*/options.refined, &report);
+    // Empty-key cascade (Alg. 1 lines 9-12): every surviving parent
+    // candidate must key a non-empty TE entry — a parent candidate whose
+    // entry emptied must itself have been cascaded away.
+    for (VertexId v_p : parent_cands) {
+      ++report.checks_run;
+      if (ud.te.Find(v_p).empty()) {
+        std::ostringstream d;
+        d << "TE[u" << u << "]: parent candidate v" << v_p << " of u" << u_p
+          << " has no TE entry (empty-key cascade not applied)";
+        report.Add(InvariantClass::kEmptyKeyCascade, d.str());
+      }
+    }
+
+    // --- NTE lists ---
+    const auto nte_ids = tree.nte_in(u);
+    ++report.checks_run;
+    if (!ud.nte.empty() && ud.nte.size() != nte_ids.size()) {
+      std::ostringstream d;
+      d << "u" << u << " stores " << ud.nte.size() << " NTE lists for "
+        << nte_ids.size() << " incoming non-tree edges";
+      report.Add(InvariantClass::kIndexShape, d.str());
+    } else {
+      for (std::size_t k = 0; k < ud.nte.size(); ++k) {
+        const VertexId u_n = tree.non_tree_edges()[nte_ids[k]].parent;
+        AuditList(data, ud.nte[k], u, u_n,
+                  std::span<const VertexId>(index.at(u_n).candidates), cands,
+                  /*is_te=*/false,
+                  /*require_value_membership=*/options.refined, &report);
+      }
+    }
+  }
+  return report;
+}
+
+void AuditInjectivity(std::span<const VertexId> mapping,
+                      std::span<const std::uint64_t> used_bits,
+                      AuditReport* report) {
+  auto bit_set = [&](VertexId v) {
+    const std::size_t w = v >> 6;
+    return w < used_bits.size() && ((used_bits[w] >> (v & 63)) & 1) != 0;
+  };
+
+  // Every mapped data vertex must be marked, and no two query vertices may
+  // map to the same data vertex.
+  std::map<VertexId, VertexId> first_owner;
+  for (std::size_t u = 0; u < mapping.size(); ++u) {
+    const VertexId v = mapping[u];
+    if (v == kInvalidVertex) continue;
+    ++report->checks_run;
+    if (!bit_set(v)) {
+      std::ostringstream d;
+      d << "mapping has u" << u << " -> v" << v
+        << " but the used-bitset bit is clear (stale bitset)";
+      report->Add(InvariantClass::kInjectivityBitset, d.str());
+    }
+    auto [it, inserted] =
+        first_owner.emplace(v, static_cast<VertexId>(u));
+    ++report->checks_run;
+    if (!inserted) {
+      std::ostringstream d;
+      d << "injectivity broken: u" << it->second << " and u" << u
+        << " both map to v" << v;
+      report->Add(InvariantClass::kInjectivityBitset, d.str());
+    }
+  }
+  // Every set bit must correspond to a mapped vertex.
+  for (std::size_t w = 0; w < used_bits.size(); ++w) {
+    std::uint64_t bits = used_bits[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const VertexId v = static_cast<VertexId>(w * 64 + b);
+      ++report->checks_run;
+      if (first_owner.find(v) == first_owner.end()) {
+        std::ostringstream d;
+        d << "used-bitset marks v" << v
+          << " which no query vertex maps to (stale bitset)";
+        report->Add(InvariantClass::kInjectivityBitset, d.str());
+      }
+    }
+  }
+}
+
+void AuditEnumeratorState(const Enumerator& enumerator, AuditReport* report) {
+  AuditInjectivity(enumerator.mapping_snapshot(), enumerator.used_bitmap(),
+                   report);
+}
+
+namespace {
+
+// Prefix trie over the work units of one pivot.
+struct TrieNode {
+  std::map<VertexId, std::unique_ptr<TrieNode>> children;
+  bool is_unit = false;
+  std::size_t unit_index = 0;
+};
+
+// True when the partial embedding `prefix` (matching-order positions
+// 0..len-1) extends to at least one full embedding.
+bool PrefixHasEmbedding(const Graph& data, const QueryTree& tree,
+                        const CeciIndex& index,
+                        const EnumOptions& enum_options,
+                        std::span<const VertexId> prefix) {
+  std::atomic<std::uint64_t> budget{0};
+  Enumerator probe(data, tree, index, enum_options);
+  probe.SetSharedLimit(&budget, 1);
+  return probe.EnumerateFromPrefix(prefix, nullptr) > 0;
+}
+
+// Recursively checks one pivot's trie against the extension sets the
+// enumeration would actually produce. `mapping` and `prefix` both carry
+// the partial embedding of the path to `node` (by query vertex and by
+// matching-order position respectively).
+void CheckTrie(const TrieNode& node, const Graph& data, const QueryTree& tree,
+               const CeciIndex& index, const EnumOptions& enum_options,
+               Enumerator* helper, std::vector<VertexId>* mapping,
+               std::vector<VertexId>* prefix, AuditReport* report) {
+  const auto& order = tree.matching_order();
+  if (node.is_unit) {
+    ++report->checks_run;
+    if (!node.children.empty()) {
+      std::ostringstream d;
+      d << "work unit #" << node.unit_index
+        << " is a proper prefix of another unit (overlapping subtrees)";
+      report->Add(InvariantClass::kClusterOverlap, d.str());
+    }
+    return;  // the unit's enumerator owns this whole subtree
+  }
+  const std::size_t depth = prefix->size();
+  if (depth == order.size()) return;
+
+  const VertexId u_next = order[depth];
+  std::vector<VertexId> extensions;
+  helper->CollectExtensions(*mapping, u_next, &extensions);
+
+  // Decomposition only descends into extensions with positive cardinality
+  // (dead ones cannot reach an embedding; BuildWorkUnits drops them).
+  std::vector<VertexId> live;
+  for (VertexId v : extensions) {
+    if (index.CardinalityOf(u_next, v) > 0) live.push_back(v);
+  }
+
+  for (const auto& [v, child] : node.children) {
+    ++report->checks_run;
+    if (!SortedMember(live, v)) {
+      std::ostringstream d;
+      d << "work-unit prefix extends u" << u_next << " with v" << v
+        << " which is not a live extension of its parent prefix";
+      report->Add(InvariantClass::kWorkUnitInvalid, d.str());
+    }
+  }
+  for (VertexId v : live) {
+    (*mapping)[u_next] = v;
+    prefix->push_back(v);
+    auto it = node.children.find(v);
+    if (it == node.children.end()) {
+      // Cardinality is only an upper bound: decomposition drops subtrees
+      // that turn out to hold no embedding. Only a subtree with a real
+      // embedding and no covering unit is a gap.
+      ++report->checks_run;
+      if (PrefixHasEmbedding(data, tree, index, enum_options, *prefix)) {
+        std::ostringstream d;
+        d << "no work unit covers extension u" << u_next << " -> v" << v
+          << " of a decomposed prefix (cluster gap)";
+        report->Add(InvariantClass::kClusterGap, d.str());
+      }
+    } else {
+      CheckTrie(*it->second, data, tree, index, enum_options, helper,
+                mapping, prefix, report);
+    }
+    prefix->pop_back();
+    (*mapping)[u_next] = kInvalidVertex;
+  }
+}
+
+}  // namespace
+
+void AuditWorkUnits(const Graph& data, const QueryTree& tree,
+                    const CeciIndex& index, const EnumOptions& enum_options,
+                    std::span<const WorkUnit> units, AuditReport* report) {
+  const auto& order = tree.matching_order();
+  const auto pivots = std::span<const VertexId>(index.pivots(tree));
+
+  std::map<VertexId, TrieNode> roots;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const WorkUnit& unit = units[i];
+    ++report->checks_run;
+    if (unit.prefix.empty() || unit.prefix.size() > order.size()) {
+      std::ostringstream d;
+      d << "work unit #" << i << " has prefix length " << unit.prefix.size()
+        << " (expected 1.." << order.size() << ")";
+      report->Add(InvariantClass::kWorkUnitInvalid, d.str());
+      continue;
+    }
+    ++report->checks_run;
+    if (!SortedMember(pivots, unit.prefix[0])) {
+      std::ostringstream d;
+      d << "work unit #" << i << " starts at v" << unit.prefix[0]
+        << " which is not a cluster pivot";
+      report->Add(InvariantClass::kWorkUnitInvalid, d.str());
+      continue;
+    }
+    TrieNode* node = &roots[unit.prefix[0]];
+    bool overlapped = false;
+    for (std::size_t d = 1; d < unit.prefix.size(); ++d) {
+      if (node->is_unit) {
+        overlapped = true;  // descending through a complete unit
+        break;
+      }
+      auto& child = node->children[unit.prefix[d]];
+      if (child == nullptr) child = std::make_unique<TrieNode>();
+      node = child.get();
+    }
+    ++report->checks_run;
+    if (overlapped || node->is_unit) {
+      std::ostringstream d;
+      d << "work unit #" << i
+        << (node->is_unit && !overlapped
+                ? " duplicates another unit's prefix"
+                : " lies inside another unit's subtree");
+      report->Add(InvariantClass::kClusterOverlap, d.str());
+      continue;
+    }
+    node->is_unit = true;
+    node->unit_index = i;
+  }
+
+  Enumerator helper(data, tree, index, enum_options);
+  std::vector<VertexId> mapping(tree.num_vertices(), kInvalidVertex);
+  std::vector<VertexId> prefix;
+
+  for (VertexId pivot : pivots) {
+    if (index.CardinalityOf(tree.root(), pivot) == 0) continue;
+    auto it = roots.find(pivot);
+    ++report->checks_run;
+    if (it == roots.end()) {
+      // Legitimate only when the cluster holds no embedding at all (its
+      // decomposition died out); verify by probing for a single one.
+      std::atomic<std::uint64_t> budget{0};
+      Enumerator probe(data, tree, index, enum_options);
+      probe.SetSharedLimit(&budget, 1);
+      if (probe.EnumerateCluster(pivot, nullptr) > 0) {
+        std::ostringstream d;
+        d << "pivot v" << pivot
+          << " has embeddings but no work unit covers it (cluster gap)";
+        report->Add(InvariantClass::kClusterGap, d.str());
+      }
+      continue;
+    }
+    mapping[tree.root()] = pivot;
+    prefix.assign(1, pivot);
+    CheckTrie(it->second, data, tree, index, enum_options, &helper, &mapping,
+              &prefix, report);
+    mapping[tree.root()] = kInvalidVertex;
+  }
+}
+
+}  // namespace ceci

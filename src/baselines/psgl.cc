@@ -168,11 +168,11 @@ PsglResult PsglCount(const Graph& data, const Graph& query,
       }
       for (auto& t : threads) t.join();
     }
-    result.expansions += expansions.load();
+    result.expansions += expansions.load(std::memory_order_relaxed);
 
     std::size_t total = 0;
     for (const auto& bin : bins) total += bin.size();
-    if (overflow.load() || total / (pos + 1) > options.max_intermediate) {
+    if (overflow.load(std::memory_order_relaxed) || total / (pos + 1) > options.max_intermediate) {
       result.overflowed = true;
       result.seconds = timer.Seconds();
       return result;

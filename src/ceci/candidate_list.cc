@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace ceci {
@@ -10,6 +11,10 @@ void CandidateList::Append(VertexId key, std::vector<VertexId> values) {
   CECI_DCHECK(!frozen_) << "cannot mutate a frozen candidate list";
   CECI_DCHECK(keys_.empty() || keys_.back() < key)
       << "keys must be appended in ascending order";
+  CECI_DCHECK(std::adjacent_find(values.begin(), values.end(),
+                                 std::greater_equal<VertexId>()) ==
+              values.end())
+      << "value sets must be strictly sorted";
   keys_.push_back(key);
   values_.push_back(std::move(values));
 }

@@ -69,6 +69,10 @@ class CandidateList {
   void clear();
 
  private:
+  // Test-only backdoor for planting list corruption (invariant-auditor
+  // negative tests); never referenced by library code.
+  friend class CandidateListTestPeer;
+
   std::vector<VertexId> keys_;
   std::vector<std::vector<VertexId>> values_;   // mutable mode
   bool frozen_ = false;

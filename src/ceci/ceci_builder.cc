@@ -5,6 +5,7 @@
 #include <string>
 
 #include "ceci/preprocess.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -177,6 +178,13 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
       }
     }
     std::sort(ud.candidates.begin(), ud.candidates.end());
+    // Candidates were deduped through the alive flags, so sorting makes
+    // them strictly ascending — the property every binary search and
+    // intersection downstream depends on.
+    CECI_DCHECK(std::adjacent_find(ud.candidates.begin(),
+                                   ud.candidates.end()) ==
+                ud.candidates.end())
+        << "duplicate candidate for u" << u;
 
     stats->cascade_removals += dead_frontier.size();
     cascade_remove(u_p, dead_frontier);

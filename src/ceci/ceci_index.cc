@@ -6,6 +6,9 @@ namespace ceci {
 
 Cardinality CeciIndex::CardinalityOf(VertexId u, VertexId v) const {
   const CeciVertexData& data = per_vertex_[u];
+  // Before refinement no cardinalities exist; the documented value is 0
+  // (indexing the empty vector here would read out of bounds).
+  if (data.cardinalities.size() != data.candidates.size()) return 0;
   auto it =
       std::lower_bound(data.candidates.begin(), data.candidates.end(), v);
   if (it == data.candidates.end() || *it != v) return 0;

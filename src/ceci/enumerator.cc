@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/intersection.h"
 #include "util/logging.h"
 
@@ -105,6 +106,8 @@ std::uint64_t Enumerator::EnumerateFromPrefix(
   std::fill(mapping_.begin(), mapping_.end(), kInvalidVertex);
   const auto& order = tree_.matching_order();
   for (std::size_t i = 0; i < prefix.size(); ++i) {
+    CECI_DCHECK(!IsUsed(prefix[i]))
+        << "prefix repeats data vertex v" << prefix[i];
     mapping_[order[i]] = prefix[i];
     MarkUsed(prefix[i]);
   }
@@ -158,6 +161,11 @@ void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
                             std::vector<VertexId>* out) {
   const CeciVertexData& ud = index_.at(u);
   const VertexId parent_match = mapping[tree_.parent(u)];
+  // The matching order is a topological order of the query tree: by the
+  // time u extends, its tree parent (and every NTE parent, checked below)
+  // must already be matched.
+  CECI_DCHECK_NE(parent_match, kInvalidVertex)
+      << "tree parent of u" << u << " unmatched";
   // Symmetry first: narrowing the TE input bounds the intersection's output
   // (and usually its work) before any element is materialized.
   VertexId lo, hi;
@@ -171,6 +179,8 @@ void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
     span_scratch_.push_back(te);
     for (std::size_t k = 0; k < nte_ids.size(); ++k) {
       const VertexId u_n = tree_.non_tree_edges()[nte_ids[k]].parent;
+      CECI_DCHECK_NE(mapping[u_n], kInvalidVertex)
+          << "NTE parent u" << u_n << " of u" << u << " unmatched";
       span_scratch_.push_back(ud.nte[k].Find(mapping[u_n]));
     }
     ++stats_.intersections;
@@ -309,6 +319,9 @@ bool Enumerator::Recurse(std::size_t pos) {
   std::vector<VertexId>& cands = scratch_[pos];
   Candidates(mapping_, u, &cands);
   for (VertexId v : cands) {
+    // Candidates() already dropped used vertices; a hit here means the
+    // injectivity bitmap went stale.
+    CECI_DCHECK(!IsUsed(v)) << "candidate v" << v << " already used";
     mapping_[u] = v;
     MarkUsed(v);
     bool keep_going = Recurse(pos + 1);

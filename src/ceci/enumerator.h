@@ -121,6 +121,14 @@ class Enumerator {
 
   const EnumStats& stats() const { return stats_; }
 
+  /// Read-only views of the enumeration state for invariant auditing (see
+  /// analysis/invariant_auditor.h): the partial mapping indexed by query
+  /// vertex and the injectivity bitset (64-bit blocks by data vertex id).
+  /// Only meaningful while the enumerator is quiescent — between calls, or
+  /// from inside an embedding visitor.
+  std::span<const VertexId> mapping_snapshot() const { return mapping_; }
+  std::span<const std::uint64_t> used_bitmap() const { return used_; }
+
  private:
   bool Recurse(std::size_t pos);
   bool Emit();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -92,6 +93,10 @@ std::vector<WorkUnit> BuildWorkUnits(const Graph& data, const QueryTree& tree,
   *stats = DecomposeStats{};
 
   const CeciVertexData& root_data = index.at(tree.root());
+  // Cardinalities drive the split decisions; an unrefined index (empty or
+  // mis-sized vector) would silently produce zero work units.
+  CECI_DCHECK_EQ(root_data.cardinalities.size(), root_data.candidates.size())
+      << "BuildWorkUnits needs a refined index";
   Cardinality total = 0;
   for (Cardinality c : root_data.cardinalities) {
     total = SaturatingAdd(total, c);

@@ -144,6 +144,9 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   stats.build_seconds = phase.Seconds();
   stats.ceci_bytes_unrefined = index.MemoryBytes();
   stats.candidate_edges_unrefined = index.TotalCandidateEdges();
+  if (options.index_inspector) {
+    options.index_inspector(pre->tree, index, /*refined=*/false);
+  }
 
   // --- Reverse-BFS refinement (§3.3) ---
   phase.Reset();
@@ -153,6 +156,9 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
     index.Freeze();  // CSR-flat lists for the enumeration hot path
   }
   stats.refine_seconds = phase.Seconds();
+  if (options.index_inspector) {
+    options.index_inspector(pre->tree, index, /*refined=*/true);
+  }
   stats.ceci_bytes = index.MemoryBytes();
   stats.candidate_edges = index.TotalCandidateEdges();
   stats.embedding_clusters = index.pivots(pre->tree).size();

@@ -15,6 +15,7 @@
 #define CECI_CECI_MATCHER_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "ceci/matching_order.h"
 #include "ceci/scheduler.h"
@@ -47,6 +48,14 @@ struct MatchOptions {
   /// position contributes |candidates| without recursing per candidate.
   /// Exact; off by default to keep search statistics paper-comparable.
   bool leaf_count_shortcut = false;
+  /// Invoked with the CECI right after construction (refined == false) and
+  /// again after refinement + freeze (refined == true). Hook for the
+  /// invariant auditor (analysis/invariant_auditor.h, `ceci_query --audit`)
+  /// and debug-run validation; must not mutate the index. Not called when
+  /// preprocessing proves the query infeasible (no index is built).
+  std::function<void(const QueryTree& tree, const CeciIndex& index,
+                     bool refined)>
+      index_inspector;
 };
 
 /// Reusable matcher over one data graph. Thread-compatible: concurrent

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -120,6 +121,10 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
     }
     for (VertexId u_c : kids) {
       const CeciVertexData& cd = index->at(u_c);
+      // Reverse-BFS order guarantees every child was already refined, so
+      // its cardinalities are present and parallel to its candidates.
+      CECI_DCHECK_EQ(cd.cardinalities.size(), cd.candidates.size())
+          << "child u" << u_c << " visited before refinement";
       child_cards.NextGeneration();
       for (std::size_t i = 0; i < cd.candidates.size(); ++i) {
         child_cards.SetCard(cd.candidates[i], cd.cardinalities[i]);

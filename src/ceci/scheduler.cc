@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -43,6 +44,13 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
                           options.threads, options.beta, fine, sorted,
                           &result.decomposition);
   }();
+
+  // Every work unit must carry a non-empty prefix rooted at a pivot; an
+  // empty prefix would make EnumerateFromPrefix re-enumerate everything.
+  for (const WorkUnit& unit : units) {
+    CECI_DCHECK(!unit.prefix.empty());
+    CECI_DCHECK_LE(unit.prefix.size(), tree.num_vertices());
+  }
 
   const std::size_t workers = std::min(options.threads,
                                        std::max<std::size_t>(units.size(), 1));

@@ -257,7 +257,7 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
   ReplayWorkStealing(options, &machines);
 
   // --- Reports ---
-  result.embeddings = total_embeddings.load();
+  result.embeddings = total_embeddings.load(std::memory_order_relaxed);
   double slowest = 0.0;
   for (auto& m : machines) {
     MachineReport report;

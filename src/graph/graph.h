@@ -82,6 +82,9 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  // Test-only backdoor for planting CSR corruption (invariant-auditor
+  // negative tests); never referenced by library code.
+  friend class GraphTestPeer;
 
   std::vector<EdgeId> offsets_;        // size |V|+1
   std::vector<VertexId> neighbors_;    // size 2|E|, sorted per vertex

@@ -24,13 +24,19 @@
 //   --trace           record phase spans; print the span tree afterwards
 //   --metrics-json P  write the full metrics report (JSON) to P, "-" for
 //                     stdout; schema in docs/observability.md
+//   --audit           run the invariant auditor over the data graph, the
+//                     query graph, the CECI after build and after refine,
+//                     and the work-unit partition; exit 3 on violations
+//                     (catalog in docs/static_analysis.md)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "analysis/invariant_auditor.h"
 #include "ceci/matcher.h"
 #include "ceci/stats_json.h"
+#include "ceci/symmetry.h"
 #include "graphio/binary_csr.h"
 #include "graphio/edge_list.h"
 #include "graphio/pattern_parser.h"
@@ -54,6 +60,7 @@ struct Args {
   bool print = false;
   bool stats = false;
   bool trace = false;
+  bool audit = false;
   std::string metrics_json;
 };
 
@@ -64,7 +71,7 @@ void Usage(const char* argv0) {
                "          [--threads N] [--limit N] [--order NAME]\n"
                "          [--distribution st|cgd|fgd] [--beta F]\n"
                "          [--no-symmetry] [--print] [--stats] [--trace]\n"
-               "          [--metrics-json PATH|-]\n",
+               "          [--metrics-json PATH|-] [--audit]\n",
                argv0);
 }
 
@@ -119,6 +126,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->stats = true;
     } else if (flag == "--trace") {
       args->trace = true;
+    } else if (flag == "--audit") {
+      args->audit = true;
     } else if (flag == "--metrics-json") {
       const char* v = next();
       if (!v) return false;
@@ -202,6 +211,39 @@ int main(int argc, char** argv) {
     Tracer::Global().Enable();
   }
 
+  // --audit: validate both input graphs up front, then hook the matcher
+  // pipeline to audit the index after build and after refinement, plus the
+  // work-unit partition the scheduler would enumerate from.
+  AuditReport audit_report;
+  SymmetryConstraints audit_symmetry;
+  if (args.audit) {
+    audit_report.Merge(AuditGraph(*data));
+    audit_report.Merge(AuditGraph(*query));
+    audit_symmetry = args.symmetry
+                         ? SymmetryConstraints::Compute(*query)
+                         : SymmetryConstraints::None(query->num_vertices());
+    options.index_inspector = [&](const QueryTree& tree,
+                                  const CeciIndex& index, bool refined) {
+      AuditOptions audit_options;
+      audit_options.refined = refined;
+      audit_report.Merge(
+          AuditCeciIndex(*data, *query, tree, index, audit_options));
+      if (refined) {
+        EnumOptions enum_options;
+        enum_options.nte_intersection = options.nte_intersection;
+        enum_options.symmetry = &audit_symmetry;
+        const bool fine = options.distribution == Distribution::kFineDynamic;
+        const bool sorted =
+            options.distribution != Distribution::kStatic;
+        std::vector<WorkUnit> units = BuildWorkUnits(
+            *data, tree, index, enum_options, options.threads, options.beta,
+            fine, sorted, nullptr);
+        AuditWorkUnits(*data, tree, index, enum_options, units,
+                       &audit_report);
+      }
+    };
+  }
+
   CeciMatcher matcher(*data);
   EmbeddingVisitor print_visitor = [](std::span<const VertexId> m) {
     std::printf("  {");
@@ -250,6 +292,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.build.cascade_removals));
     std::printf("automorphisms broken: %zu\n", s.automorphisms_broken);
   }
+  if (args.audit) {
+    std::printf("audit: %s\n", audit_report.ToString().c_str());
+  }
   if (args.trace) {
     std::printf("trace:\n%s", Tracer::Global().FormatTree().c_str());
   }
@@ -268,5 +313,6 @@ int main(int argc, char** argv) {
       std::fclose(f);
     }
   }
+  if (args.audit && !audit_report.ok()) return 3;
   return 0;
 }

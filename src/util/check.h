@@ -1,0 +1,53 @@
+// Debug-assertion tier: CECI_DCHECK and friends.
+//
+// CECI_CHECK (util/logging.h) is always on and guards conditions whose
+// violation corrupts results or memory no matter the build type. The
+// CECI_DCHECK tier below documents and enforces the *structural* invariants
+// of the hot paths — sorted candidate lists, parent-before-child matching
+// order, injectivity-bitset consistency — whose per-element verification is
+// too expensive for release binaries.
+//
+// DCHECKs compile to nothing unless CECI_ENABLE_DCHECKS is defined
+// (CMake: -DCECI_ENABLE_DCHECKS=ON, implied by Debug builds and by every
+// sanitizer preset in CMakePresets.json). When enabled, a failing DCHECK is
+// fatal and prints file:line plus the stringified condition, exactly like
+// CECI_CHECK. When disabled, the condition is parsed but never evaluated,
+// so it cannot hide side effects and costs zero cycles.
+//
+// See docs/static_analysis.md for the policy on choosing CHECK vs DCHECK.
+#ifndef CECI_UTIL_CHECK_H_
+#define CECI_UTIL_CHECK_H_
+
+#include "util/logging.h"
+
+#ifdef CECI_ENABLE_DCHECKS
+#define CECI_DCHECK(condition) CECI_CHECK(condition)
+#else
+// `while (false)` keeps the condition and any streamed message
+// type-checked (no -Wunused warnings, no bit-rot) without evaluating them.
+#define CECI_DCHECK(condition) \
+  while (false) CECI_CHECK(condition)
+#endif
+
+#define CECI_DCHECK_EQ(a, b) CECI_DCHECK((a) == (b))
+#define CECI_DCHECK_NE(a, b) CECI_DCHECK((a) != (b))
+#define CECI_DCHECK_LT(a, b) CECI_DCHECK((a) < (b))
+#define CECI_DCHECK_LE(a, b) CECI_DCHECK((a) <= (b))
+#define CECI_DCHECK_GT(a, b) CECI_DCHECK((a) > (b))
+#define CECI_DCHECK_GE(a, b) CECI_DCHECK((a) >= (b))
+
+namespace ceci {
+
+/// True when CECI_DCHECK assertions are compiled into this binary; lets
+/// tests and tools report which tier they actually exercised.
+constexpr bool DchecksEnabled() {
+#ifdef CECI_ENABLE_DCHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_CHECK_H_

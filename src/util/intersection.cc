@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "util/check.h"
 #include "util/intersection_kernels.h"
 #include "util/metrics_registry.h"
 
@@ -300,6 +301,10 @@ bool IntersectionSizeWithArch(IntersectionArch arch,
 void IntersectSorted(std::span<const std::uint32_t> a,
                      std::span<const std::uint32_t> b,
                      std::vector<std::uint32_t>* out) {
+  // Every kernel (merge, galloping, SIMD) assumes sorted duplicate-free
+  // input; violating that returns garbage, not an error.
+  CECI_DCHECK(std::is_sorted(a.begin(), a.end()));
+  CECI_DCHECK(std::is_sorted(b.begin(), b.end()));
   out->clear();
   if (a.empty() || b.empty()) return;
   out->resize(std::min(a.size(), b.size()) + kKernelPad);
@@ -322,6 +327,9 @@ void IntersectSortedInPlace(std::vector<std::uint32_t>* inout,
 
 void IntersectSortedMulti(std::span<const std::span<const std::uint32_t>> lists,
                           std::vector<std::uint32_t>* out) {
+  for (const auto& list : lists) {
+    CECI_DCHECK(std::is_sorted(list.begin(), list.end()));
+  }
   out->clear();
   if (lists.empty()) return;
   if (lists.size() == 1) {
@@ -351,6 +359,8 @@ void IntersectSortedMulti(std::span<const std::span<const std::uint32_t>> lists,
 
 std::size_t IntersectionSize(std::span<const std::uint32_t> a,
                              std::span<const std::uint32_t> b) {
+  CECI_DCHECK(std::is_sorted(a.begin(), a.end()));
+  CECI_DCHECK(std::is_sorted(b.begin(), b.end()));
   if (a.empty() || b.empty()) return 0;
   return CountCore(a.data(), a.size(), b.data(), b.size());
 }

@@ -54,6 +54,6 @@ class FatalMessage {
   ::ceci::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)   \
       .stream()
 
-#define CECI_DCHECK(condition) CECI_CHECK(condition)
+// The debug-only CECI_DCHECK tier lives in util/check.h.
 
 #endif  // CECI_UTIL_LOGGING_H_

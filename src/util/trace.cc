@@ -30,7 +30,8 @@ thread_local std::uint32_t t_depth = 0;
 }  // namespace
 
 Tracer& Tracer::Global() {
-  static Tracer* instance = new Tracer();
+  // Leaked on purpose: spans may finish during static teardown.
+  static Tracer* instance = new Tracer();  // lint: leaky-singleton
   return *instance;
 }
 

@@ -2,6 +2,7 @@
 // paper's running example: cascades, NTE-less builds, completeness.
 #include <gtest/gtest.h>
 
+#include "analysis/invariant_auditor.h"
 #include "ceci/ceci_builder.h"
 #include "ceci/refinement.h"
 #include "test_support.h"
@@ -23,7 +24,17 @@ struct Pipeline {
     tree = std::move(t).value();
     CeciBuilder builder(data, nlc);
     index = builder.Build(query, tree, options, &build_stats);
+    // Every pipeline test doubles as an auditor fixture: the invariant
+    // auditor must accept the index both right after construction and
+    // after refinement (NTE-less builds skip the NTE shape checks).
+    AuditOptions audit_options;
+    audit_options.refined = false;
+    build_audit = AuditCeciIndex(data, query, tree, index, audit_options);
+    EXPECT_TRUE(build_audit.ok()) << build_audit.ToString();
     RefineCeci(tree, data.num_vertices(), &index, &refine_stats);
+    audit_options.refined = true;
+    refine_audit = AuditCeciIndex(data, query, tree, index, audit_options);
+    EXPECT_TRUE(refine_audit.ok()) << refine_audit.ToString();
   }
 
   NlcIndex nlc;
@@ -31,6 +42,8 @@ struct Pipeline {
   CeciIndex index;
   BuildStats build_stats;
   RefineStats refine_stats;
+  AuditReport build_audit;
+  AuditReport refine_audit;
 };
 
 TEST(CeciBuilderTest, TriangleOnTriangleKeepsEverything) {
@@ -141,6 +154,20 @@ TEST(CeciIndexTest, CardinalityOfMissingCandidateIsZero) {
   Pipeline p(data, query, 0);
   EXPECT_EQ(p.index.CardinalityOf(0, 99), 0u);
   EXPECT_EQ(p.index.CardinalityOf(1, 6), 0u);  // v7 pruned by refinement
+}
+
+// The invariant auditor accepts the paper's Fig. 2 running example at both
+// pipeline stages and actually exercises the candidate structure.
+TEST(CeciPipelineTest, AuditorAcceptsPaperExample) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  EXPECT_TRUE(AuditGraph(data).ok());
+  EXPECT_TRUE(AuditGraph(query).ok());
+  Pipeline p(data, query, 0);  // audits after build and after refine
+  EXPECT_TRUE(p.build_audit.ok()) << p.build_audit.ToString();
+  EXPECT_TRUE(p.refine_audit.ok()) << p.refine_audit.ToString();
+  EXPECT_GT(p.refine_audit.checks_run, p.build_audit.checks_run / 2);
+  EXPECT_GT(p.build_audit.checks_run, 50u);
 }
 
 // Completeness (Lemma 1): every embedding found by a brute-force scan has

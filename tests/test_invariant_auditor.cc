@@ -1,0 +1,342 @@
+// Negative tests for the invariant auditor: plant one specific corruption
+// in a Graph, a CeciIndex, an injectivity bitmap, or a work-unit partition
+// and assert the auditor reports exactly the expected violation class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/invariant_auditor.h"
+#include "ceci/ceci_builder.h"
+#include "ceci/extreme_cluster.h"
+#include "ceci/refinement.h"
+#include "ceci/symmetry.h"
+#include "test_support.h"
+
+namespace ceci {
+
+// Friended backdoors (declared in the respective headers) used to plant
+// corruption that the public API refuses to create.
+class GraphTestPeer {
+ public:
+  static std::vector<VertexId>& neighbors(Graph* g) { return g->neighbors_; }
+};
+
+class CandidateListTestPeer {
+ public:
+  static std::vector<VertexId>& keys(CandidateList* l) { return l->keys_; }
+  static std::vector<std::vector<VertexId>>& values(CandidateList* l) {
+    return l->values_;
+  }
+};
+
+namespace {
+
+using ::ceci::testing::MakeUnlabeled;
+using ::ceci::testing::PaperExample;
+
+// Builds the full build+refine pipeline for the paper's Fig. 2 example.
+struct Fixture {
+  Fixture() : data(PaperExample::Data()), query(PaperExample::Query()),
+              nlc(data) {
+    auto t = QueryTree::Build(query, 0);
+    CECI_CHECK(t.ok());
+    tree = std::move(t).value();
+    CeciBuilder builder(data, nlc);
+    index = builder.Build(query, tree, BuildOptions{}, nullptr);
+    RefineCeci(tree, data.num_vertices(), &index, nullptr);
+  }
+
+  AuditReport Audit(bool refined = true) const {
+    AuditOptions options;
+    options.refined = refined;
+    return AuditCeciIndex(data, query, tree, index, options);
+  }
+
+  Graph data;
+  Graph query;
+  NlcIndex nlc;
+  QueryTree tree;
+  CeciIndex index;
+};
+
+// Index of `span`'s first element within the graph's backing CSR array.
+std::size_t CsrOffset(const Graph& g, std::span<const VertexId> span,
+                      const std::vector<VertexId>& backing) {
+  (void)g;
+  return static_cast<std::size_t>(span.data() - backing.data());
+}
+
+TEST(AuditGraphTest, AcceptsHealthyGraphs) {
+  EXPECT_TRUE(AuditGraph(PaperExample::Data()).ok());
+  EXPECT_TRUE(AuditGraph(PaperExample::Query()).ok());
+}
+
+TEST(AuditGraphTest, DetectsUnsortedAdjacency) {
+  Graph g = MakeUnlabeled(4, {{0, 1}, {0, 2}, {0, 3}});
+  auto& csr = GraphTestPeer::neighbors(&g);
+  const std::size_t at = CsrOffset(g, g.neighbors(0), csr);
+  std::swap(csr[at], csr[at + 1]);  // neighbors of v0 become {2, 1, 3}
+
+  AuditReport report = AuditGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kGraphAdjacencyUnsorted), 1u);
+}
+
+TEST(AuditGraphTest, DetectsAsymmetricEdge) {
+  Graph g = MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  auto& csr = GraphTestPeer::neighbors(&g);
+  const std::size_t at = CsrOffset(g, g.neighbors(0), csr);
+  csr[at] = 2;  // v0 now claims edge (0,2); v2 stores no reverse
+
+  AuditReport report = AuditGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kGraphAsymmetricEdge), 1u);
+}
+
+TEST(AuditGraphTest, DetectsOutOfRangeNeighbor) {
+  Graph g = MakeUnlabeled(3, {{0, 1}, {1, 2}});
+  auto& csr = GraphTestPeer::neighbors(&g);
+  const std::size_t at = CsrOffset(g, g.neighbors(0), csr);
+  csr[at] = 99;  // dangling vertex id
+
+  AuditReport report = AuditGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kGraphAdjacencyOutOfRange), 1u);
+}
+
+TEST(AuditIndexTest, AcceptsHealthyIndex) {
+  Fixture f;
+  AuditReport report = f.Audit();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 50u);
+}
+
+TEST(AuditIndexTest, DetectsUnsortedCandidates) {
+  Fixture f;
+  // Find a query vertex with at least two candidates and swap the first
+  // pair out of order.
+  for (VertexId u = 0; u < f.query.num_vertices(); ++u) {
+    auto& cands = f.index.at(u).candidates;
+    if (cands.size() >= 2) {
+      std::swap(cands[0], cands[1]);
+      break;
+    }
+  }
+  AuditReport report = f.Audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kCandidatesUnsorted), 1u);
+}
+
+TEST(AuditIndexTest, DetectsUnsortedListValues) {
+  Fixture f;
+  bool planted = false;
+  for (VertexId u = 0; u < f.query.num_vertices() && !planted; ++u) {
+    if (u == f.tree.root()) continue;
+    auto& values = CandidateListTestPeer::values(&f.index.at(u).te);
+    for (auto& vals : values) {
+      if (vals.size() >= 2) {
+        std::reverse(vals.begin(), vals.end());
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted) << "paper example lost its multi-value TE entries";
+
+  AuditReport report = f.Audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kListUnsorted), 1u);
+}
+
+TEST(AuditIndexTest, DetectsDanglingCandidateEdge) {
+  Fixture f;
+  // Replace one TE value set with {key}: graphs have no self-loops, so the
+  // candidate edge (key, key) cannot exist in the data graph. The audit
+  // runs unrefined so the planted corruption trips exactly one check.
+  bool planted = false;
+  for (VertexId u = 0; u < f.query.num_vertices() && !planted; ++u) {
+    if (u == f.tree.root()) continue;
+    auto& te = f.index.at(u).te;
+    if (te.num_keys() == 0) continue;
+    const VertexId key = CandidateListTestPeer::keys(&te)[0];
+    CandidateListTestPeer::values(&te)[0] = {key};
+    planted = true;
+  }
+  ASSERT_TRUE(planted);
+
+  AuditReport report = f.Audit(/*refined=*/false);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.CountOf(InvariantClass::kDanglingCandidateEdge), 1u);
+  EXPECT_EQ(report.total_violations, 1u);
+}
+
+TEST(AuditIndexTest, DetectsStaleValueAfterRefinement) {
+  Fixture f;
+  // A value that is no longer a candidate of its query vertex must be
+  // flagged in refined indexes (refinement compaction scrubs these).
+  bool planted = false;
+  for (VertexId u = 0; u < f.query.num_vertices() && !planted; ++u) {
+    if (u == f.tree.root()) continue;
+    auto& te = f.index.at(u).te;
+    if (te.num_keys() == 0) continue;
+    const VertexId key = CandidateListTestPeer::keys(&te)[0];
+    // Any data neighbor of `key` that is NOT a candidate of u keeps the
+    // candidate edge real while breaking membership.
+    const auto& cands = f.index.at(u).candidates;
+    for (VertexId v : f.data.neighbors(key)) {
+      if (!std::binary_search(cands.begin(), cands.end(), v)) {
+        CandidateListTestPeer::values(&te)[0] = {v};
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted) << "no non-candidate neighbor available to plant";
+
+  AuditReport report = f.Audit(/*refined=*/true);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kValueNotCandidate), 1u);
+}
+
+TEST(AuditIndexTest, DetectsBrokenEmptyKeyCascade) {
+  Fixture f;
+  // Drop the first TE key of some non-root vertex while keeping its parent
+  // candidate alive: the empty-key cascade invariant breaks.
+  bool planted = false;
+  for (VertexId u = 0; u < f.query.num_vertices() && !planted; ++u) {
+    if (u == f.tree.root()) continue;
+    auto& te = f.index.at(u).te;
+    if (te.num_keys() == 0) continue;
+    CandidateListTestPeer::keys(&te).erase(
+        CandidateListTestPeer::keys(&te).begin());
+    CandidateListTestPeer::values(&te).erase(
+        CandidateListTestPeer::values(&te).begin());
+    planted = true;
+  }
+  ASSERT_TRUE(planted);
+
+  AuditReport report = f.Audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kEmptyKeyCascade), 1u);
+}
+
+TEST(AuditInjectivityTest, AcceptsConsistentState) {
+  const std::vector<VertexId> mapping = {4, 1, 66};
+  std::vector<std::uint64_t> bits(2, 0);
+  for (VertexId v : mapping) bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+
+  AuditReport report;
+  AuditInjectivity(mapping, bits, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditInjectivityTest, DetectsStaleBitmap) {
+  // u1 -> v1 is mapped but its bit is clear; v9's bit is set with no
+  // query vertex mapping to it. Both directions must be flagged.
+  const std::vector<VertexId> mapping = {4, 1, kInvalidVertex};
+  std::vector<std::uint64_t> bits(1, 0);
+  bits[0] |= std::uint64_t{1} << 4;
+  bits[0] |= std::uint64_t{1} << 9;  // stale mark
+
+  AuditReport report;
+  AuditInjectivity(mapping, bits, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.CountOf(InvariantClass::kInjectivityBitset), 2u);
+}
+
+TEST(AuditInjectivityTest, DetectsDuplicateMapping) {
+  const std::vector<VertexId> mapping = {4, 4};
+  std::vector<std::uint64_t> bits(1, std::uint64_t{1} << 4);
+
+  AuditReport report;
+  AuditInjectivity(mapping, bits, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kInjectivityBitset), 1u);
+}
+
+class AuditWorkUnitsTest : public ::testing::Test {
+ protected:
+  AuditWorkUnitsTest() : symmetry_(SymmetryConstraints::None(
+                             fixture_.query.num_vertices())) {
+    fixture_.index.Freeze();
+    enum_options_.symmetry = &symmetry_;
+  }
+
+  std::vector<WorkUnit> Build(bool decompose, double beta = 0.2) {
+    return BuildWorkUnits(fixture_.data, fixture_.tree, fixture_.index,
+                          enum_options_, /*workers=*/2, beta, decompose,
+                          /*sort_by_cardinality=*/false, nullptr);
+  }
+
+  AuditReport Audit(const std::vector<WorkUnit>& units) {
+    AuditReport report;
+    AuditWorkUnits(fixture_.data, fixture_.tree, fixture_.index,
+                   enum_options_, units, &report);
+    return report;
+  }
+
+  Fixture fixture_;
+  SymmetryConstraints symmetry_;
+  EnumOptions enum_options_;
+};
+
+TEST_F(AuditWorkUnitsTest, AcceptsHealthyPartitions) {
+  AuditReport coarse = Audit(Build(/*decompose=*/false));
+  EXPECT_TRUE(coarse.ok()) << coarse.ToString();
+  // A tiny beta forces extreme-cluster decomposition into longer prefixes.
+  AuditReport fine = Audit(Build(/*decompose=*/true, /*beta=*/1e-6));
+  EXPECT_TRUE(fine.ok()) << fine.ToString();
+}
+
+TEST_F(AuditWorkUnitsTest, DetectsClusterGap) {
+  std::vector<WorkUnit> units = Build(/*decompose=*/false);
+  ASSERT_FALSE(units.empty());
+  // Dropping every unit uncovers each pivot that holds an embedding; the
+  // paper example has at least one.
+  AuditReport report = Audit({});
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kClusterGap), 1u);
+}
+
+TEST_F(AuditWorkUnitsTest, DetectsDuplicateUnit) {
+  std::vector<WorkUnit> units = Build(/*decompose=*/false);
+  ASSERT_FALSE(units.empty());
+  units.push_back(units.front());
+
+  AuditReport report = Audit(units);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kClusterOverlap), 1u);
+}
+
+TEST(AuditReportTest, ToStringAndMergeBehave) {
+  AuditReport a;
+  a.checks_run = 3;
+  EXPECT_EQ(a.ToString(), "audit OK (3 checks)");
+
+  AuditReport b;
+  b.Add(InvariantClass::kIndexShape, "planted");
+  b.checks_run = 2;
+  a.Merge(b);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.total_violations, 1u);
+  EXPECT_EQ(a.checks_run, 5u);
+  EXPECT_NE(a.ToString().find("audit FAILED"), std::string::npos);
+  EXPECT_NE(a.ToString().find("[index_shape] planted"), std::string::npos);
+}
+
+TEST(AuditReportTest, RecordingIsCappedButTotalKeepsCounting) {
+  AuditReport r;
+  r.max_recorded = 4;
+  for (int i = 0; i < 10; ++i) {
+    r.Add(InvariantClass::kIndexShape, "planted");
+  }
+  EXPECT_EQ(r.total_violations, 10u);
+  EXPECT_EQ(r.violations.size(), 4u);
+  EXPECT_EQ(r.CountOf(InvariantClass::kIndexShape), 4u);  // recorded only
+  EXPECT_NE(r.ToString().find("6 further violation(s) not recorded"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -40,7 +40,7 @@ struct Fixture {
 };
 
 Fixture& SharedFixture() {
-  static Fixture* fixture = new Fixture();
+  static Fixture* fixture = new Fixture();  // lint: leaky-singleton
   return *fixture;
 }
 

@@ -144,6 +144,25 @@ TEST_F(ToolsTest, MetricsJsonAndTrace) {
   EXPECT_FALSE(root.At("trace").array.empty());
 }
 
+TEST_F(ToolsTest, AuditFlagPassesOnHealthyPipeline) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 1200 --attach 5 --labels 3 --seed 11 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  // Audit the full pipeline, including the fine-grained work-unit
+  // decomposition (--distribution fgd with a tiny beta forces splitting).
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled "
+                    "--pattern \"(a:0)-(b:1)-(c:2); (a)-(c)\" "
+                    "--distribution fgd --beta 0.05 --threads 3 --audit",
+                File("out.txt")),
+            0);
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_NE(out.find("audit: audit OK"), std::string::npos);
+  EXPECT_EQ(out.find("audit FAILED"), std::string::npos);
+}
+
 TEST_F(ToolsTest, BadFlagsFailCleanly) {
   EXPECT_NE(Run("ceci_query", "--data /nonexistent --pattern \"(a)-(b)\""),
             0);
