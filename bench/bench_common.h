@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ceci/profiler.h"
 #include "ceci/stats_json.h"
 #include "gen/kronecker.h"
 #include "gen/labels.h"
@@ -162,6 +163,10 @@ inline void WriteMetricsSidecar(
   w.KV("embeddings", result.embedding_count);
   w.Key("stats");
   AppendMatchStatsJson(result.stats, &w);
+  if (result.profile.has_value()) {
+    w.Key("profile");
+    AppendQueryProfileJson(*result.profile, &w);
+  }
   w.EndObject();
   const std::string path =
       std::string(dir) + "/BENCH_" + bench + ".json";

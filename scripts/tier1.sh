@@ -13,6 +13,12 @@
 #   scripts/tier1.sh --audit         # additionally run the invariant
 #                                    # auditor end to end (ceci_query
 #                                    # --audit; docs/static_analysis.md)
+#   scripts/tier1.sh --profile       # additionally run the query profiler
+#                                    # end to end on the paper's Fig. 1
+#                                    # example (--explain, --metrics-json,
+#                                    # --trace-chrome; docs/observability.md).
+#                                    # Artifacts land in $CECI_PROFILE_OUT
+#                                    # (default: a temp dir)
 #   scripts/tier1.sh --lint          # additionally run scripts/lint.sh
 set -euo pipefail
 
@@ -23,12 +29,14 @@ preset=""
 clean=0
 scalar_pass=0
 audit_pass=0
+profile_pass=0
 lint_pass=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --clean) clean=1 ;;
     --scalar) scalar_pass=1 ;;
     --audit) audit_pass=1 ;;
+    --profile) profile_pass=1 ;;
     --lint) lint_pass=1 ;;
     --preset) preset="${2:?--preset needs a name}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -79,6 +87,76 @@ if [[ "$audit_pass" == 1 ]]; then
       --pattern "(a:0)-(b:1)-(c:2); (a)-(c)" --distribution "$dist" \
       --beta 0.05 --threads 3 --audit | grep "^audit:"
   done
+fi
+
+if [[ "$profile_pass" == 1 ]]; then
+  echo "=== query-profiler pass (ceci_query --explain / --trace-chrome) ==="
+  profile_out="${CECI_PROFILE_OUT:-$(mktemp -d)}"
+  mkdir -p "$profile_out"
+  # The paper's Fig. 1 running example (tests/test_support.h, 0-based ids;
+  # labels A-E are 0-4). The canonical fixture: 2 embeddings expected.
+  cat > "$profile_out/paper_example.lg" <<'EOF'
+v 0 0
+v 1 0
+v 2 1
+v 3 2
+v 4 1
+v 5 2
+v 6 1
+v 7 2
+v 8 1
+v 9 2
+v 10 3
+v 11 4
+v 12 3
+v 13 4
+v 14 3
+e 0 2
+e 0 4
+e 0 6
+e 1 6
+e 1 8
+e 0 3
+e 0 5
+e 1 7
+e 2 3
+e 4 3
+e 4 5
+e 6 5
+e 6 7
+e 2 10
+e 4 12
+e 6 14
+e 8 14
+e 8 9
+e 3 10
+e 5 12
+e 7 14
+e 7 9
+e 3 11
+e 5 13
+EOF
+  "$build_dir/src/ceci_query" --data "$profile_out/paper_example.lg" \
+    --format labeled \
+    --pattern "(u1:0)-(u2:1)-(u3:2)-(u4:3); (u1)-(u3); (u2)-(u4); (u3)-(u5:4)" \
+    --threads 2 --stats --explain --audit \
+    --metrics-json "$profile_out/metrics.json" \
+    --trace-chrome "$profile_out/trace.json" \
+    | tee "$profile_out/explain.txt"
+  grep -q "^embeddings: 2$" "$profile_out/explain.txt"
+  grep -q "^EXPLAIN" "$profile_out/explain.txt"
+  grep -q "^audit: audit OK" "$profile_out/explain.txt"
+  # Both JSON artifacts must parse; the trace must carry events.
+  python3 - "$profile_out" <<'EOF'
+import json, sys
+out = sys.argv[1]
+metrics = json.load(open(out + "/metrics.json"))
+assert "profile" in metrics, "metrics.json missing profile block"
+assert len(metrics["profile"]["vertices"]) == 5
+trace = json.load(open(out + "/trace.json"))
+assert trace["traceEvents"], "empty Chrome trace"
+print("profiler artifacts OK:", out)
+EOF
 fi
 
 if [[ "$lint_pass" == 1 ]]; then

@@ -25,6 +25,7 @@
 #include "ceci/ceci_index.h"
 #include "ceci/enumerator.h"
 #include "ceci/extreme_cluster.h"
+#include "ceci/profiler.h"
 #include "ceci/query_tree.h"
 #include "graph/graph.h"
 
@@ -63,6 +64,11 @@ enum class InvariantClass {
   kWorkUnitInvalid,  // prefix is not a valid partial embedding
   kClusterOverlap,   // two work units enumerate a common embedding
   kClusterGap,       // embeddings no work unit covers
+
+  // -- Query profiler --
+  kProfileMismatch,  // QueryProfile disagrees with the refined index it
+                     // claims to describe (candidate counts, TE sizes,
+                     // measured bytes)
 };
 
 /// Stable lower_snake name of a violation class (for reports and tests).
@@ -130,6 +136,14 @@ void AuditEnumeratorState(const Enumerator& enumerator, AuditReport* report);
 void AuditWorkUnits(const Graph& data, const QueryTree& tree,
                     const CeciIndex& index, const EnumOptions& enum_options,
                     std::span<const WorkUnit> units, AuditReport* report);
+
+/// Cross-checks a QueryProfile against the refined index it was collected
+/// from: per-vertex refined candidate counts must equal the actual
+/// candidate-set sizes, TE key/edge counts must equal the TE list sizes,
+/// and the profile's measured byte totals must equal MemoryBytes(). Every
+/// mismatch reports kProfileMismatch. Appends to `report`.
+void AuditQueryProfile(const QueryTree& tree, const CeciIndex& index,
+                       const QueryProfile& profile, AuditReport* report);
 
 }  // namespace ceci
 

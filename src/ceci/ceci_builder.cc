@@ -51,6 +51,14 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
   }
   for (VertexId v : index.at(root).candidates) alive[root][v] = 1;
 
+  if (options.vertex_stats != nullptr) {
+    options.vertex_stats->clear();
+    BuildVertexStats root_stats;
+    root_stats.u = root;
+    root_stats.candidates_filtered = index.at(root).candidates.size();
+    options.vertex_stats->push_back(root_stats);
+  }
+
   // Expands one frontier vertex of u through LF / DF / NLCF.
   auto expand_te = [&](VertexId u, VertexId v_f, std::vector<VertexId>* vals,
                        BuildStats* s) {
@@ -119,6 +127,11 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
     const VertexId u_p = tree.parent(u);
     CeciVertexData& ud = index.at(u);
     const std::vector<VertexId>& frontier = index.at(u_p).candidates;
+    // Filter rejections attributable to this vertex are deltas of the
+    // aggregate counters around its TE expansion (the parallel path merges
+    // its bins into `stats` before the union loop, so deltas hold there
+    // too). Zero cost when vertex_stats is unset.
+    const BuildStats before_expand = *stats;
 
     // --- TE expansion (Algorithm 1) ---
     std::vector<VertexId> dead_frontier;
@@ -185,6 +198,17 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
                                    ud.candidates.end()) ==
                 ud.candidates.end())
         << "duplicate candidate for u" << u;
+
+    if (options.vertex_stats != nullptr) {
+      BuildVertexStats vs;
+      vs.u = u;
+      vs.candidates_filtered = ud.candidates.size();
+      vs.rejected_label = stats->rejected_label - before_expand.rejected_label;
+      vs.rejected_degree =
+          stats->rejected_degree - before_expand.rejected_degree;
+      vs.rejected_nlc = stats->rejected_nlc - before_expand.rejected_nlc;
+      options.vertex_stats->push_back(vs);
+    }
 
     stats->cascade_removals += dead_frontier.size();
     cascade_remove(u_p, dead_frontier);

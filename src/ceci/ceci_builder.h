@@ -39,6 +39,25 @@ struct BuildOptions {
   /// distributed runtime (§5) builds a per-machine CECI over the pivots
   /// assigned to that machine.
   const std::vector<VertexId>* root_candidates = nullptr;
+  /// When set, one record per matching-order vertex (root first) is
+  /// appended: the candidate count right after that vertex's TE expansion
+  /// and union, and the per-filter rejection deltas that produced it. The
+  /// records are deltas of counters Build() maintains anyway, so the hot
+  /// loops are untouched (profiler support; see src/ceci/profiler.h).
+  std::vector<struct BuildVertexStats>* vertex_stats = nullptr;
+};
+
+/// One matching-order vertex's filtering record (BuildOptions::vertex_stats).
+struct BuildVertexStats {
+  VertexId u = 0;
+  /// |C(u)| immediately after LF/DF/NLCF expansion and value union —
+  /// before later vertices' empty-key cascades shrink it. For the root:
+  /// the initial pivot scan (its rejection counts stay 0; the scan is not
+  /// per-filter instrumented).
+  std::size_t candidates_filtered = 0;
+  std::uint64_t rejected_label = 0;
+  std::uint64_t rejected_degree = 0;
+  std::uint64_t rejected_nlc = 0;
 };
 
 struct BuildStats {

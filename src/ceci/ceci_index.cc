@@ -43,4 +43,20 @@ std::size_t CeciIndex::MemoryBytes() const {
   return bytes;
 }
 
+CeciIndex::VertexFootprint CeciIndex::MemoryFootprint(VertexId u) const {
+  const CeciVertexData& pv = per_vertex_[u];
+  VertexFootprint f;
+  f.te_keys = pv.te.num_keys();
+  f.te_edges = pv.te.TotalValues();
+  f.te_bytes = pv.te.MemoryBytes();
+  f.nte_lists = pv.nte.size();
+  for (const auto& list : pv.nte) {
+    f.nte_edges += list.TotalValues();
+    f.nte_bytes += list.MemoryBytes();
+  }
+  f.candidate_bytes = pv.candidates.size() * sizeof(VertexId) +
+                      pv.cardinalities.size() * sizeof(Cardinality);
+  return f;
+}
+
 }  // namespace ceci

@@ -59,6 +59,21 @@ class CeciIndex {
   /// Approximate heap bytes of the index (Table 2 accounting).
   std::size_t MemoryBytes() const;
 
+  /// Measured footprint of one query vertex's slice, split by structure.
+  /// MemoryBytes() equals the sum of `te_bytes + nte_bytes +
+  /// candidate_bytes` over all vertices; the profiler reports this
+  /// breakdown per vertex (Table 2 from measurement, not estimate).
+  struct VertexFootprint {
+    std::size_t te_keys = 0;
+    std::size_t te_edges = 0;
+    std::size_t te_bytes = 0;
+    std::size_t nte_lists = 0;
+    std::size_t nte_edges = 0;
+    std::size_t nte_bytes = 0;
+    std::size_t candidate_bytes = 0;  // candidates + cardinalities arrays
+  };
+  VertexFootprint MemoryFootprint(VertexId u) const;
+
   /// The paper's theoretical bound: |E_q| × |E_g| candidate edges at
   /// 8 bytes each (§6.4).
   static std::size_t TheoreticalBytes(std::size_t query_edges,

@@ -33,6 +33,7 @@ Enumerator::Enumerator(const Graph& data, const QueryTree& tree,
   mapping_.assign(nq, kInvalidVertex);
   scratch_.resize(nq);
   span_scratch_.reserve(nq);
+  if (options.per_position_stats) stats_.calls_per_position.assign(nq, 0);
   InitUsedBitmap();
 }
 
@@ -48,6 +49,7 @@ Enumerator::Enumerator(const QueryTree& tree, const CeciIndex& index,
   mapping_.assign(nq, kInvalidVertex);
   scratch_.resize(nq);
   span_scratch_.reserve(nq);
+  if (options.per_position_stats) stats_.calls_per_position.assign(nq, 0);
   InitUsedBitmap();
 }
 
@@ -280,6 +282,10 @@ void Enumerator::CollectExtensions(std::span<const VertexId> mapping,
 
 bool Enumerator::Recurse(std::size_t pos) {
   ++stats_.recursive_calls;
+  // Empty vector unless per_position_stats; the check is one size compare.
+  if (pos < stats_.calls_per_position.size()) {
+    ++stats_.calls_per_position[pos];
+  }
   const auto& order = tree_.matching_order();
   if (pos == order.size()) {
     return Emit();

@@ -45,6 +45,10 @@ struct EnumOptions {
   bool leaf_count_shortcut = false;
   /// Symmetry constraints; pass SymmetryConstraints::None(n) to disable.
   const SymmetryConstraints* symmetry = nullptr;
+  /// Track recursive calls per matching-order position (EnumStats::
+  /// calls_per_position, profiler support). Off: the per-position vector
+  /// stays empty and the recursion pays one size check.
+  bool per_position_stats = false;
 };
 
 struct EnumStats {
@@ -60,6 +64,11 @@ struct EnumStats {
   std::uint64_t edge_verifications = 0;
   /// Embeddings this worker emitted.
   std::uint64_t embeddings = 0;
+  /// Recursive calls per matching-order position (Fig. 18 per-level
+  /// accounting). Empty unless EnumOptions::per_position_stats; the
+  /// leaf-count shortcut never recurses into the last position, so that
+  /// entry reads 0 under the fast path.
+  std::vector<std::uint64_t> calls_per_position;
 
   EnumStats& operator+=(const EnumStats& other) {
     recursive_calls += other.recursive_calls;
@@ -68,6 +77,12 @@ struct EnumStats {
     intersection_elements_out += other.intersection_elements_out;
     edge_verifications += other.edge_verifications;
     embeddings += other.embeddings;
+    if (calls_per_position.size() < other.calls_per_position.size()) {
+      calls_per_position.resize(other.calls_per_position.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.calls_per_position.size(); ++i) {
+      calls_per_position[i] += other.calls_per_position[i];
+    }
     return *this;
   }
 };

@@ -122,6 +122,8 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
         MetricsRegistry::Global().GetCounter("ceci.match.infeasible");
     infeasible.Increment();
     stats.total_seconds = total_timer.Seconds();
+    // Empty-but-present profile: no index exists to walk.
+    if (options.profile) result.profile.emplace();
     ExportMatchMetrics(result);
     return result;
   }
@@ -136,6 +138,8 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   }
   BuildOptions build_options;
   build_options.pool = pool;
+  std::vector<BuildVertexStats> vertex_stats;
+  if (options.profile) build_options.vertex_stats = &vertex_stats;
   CeciBuilder builder(data_, nlc_);
   CeciIndex index = [&] {
     TraceSpan span("build");
@@ -148,11 +152,23 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
     options.index_inspector(pre->tree, index, /*refined=*/false);
   }
 
+  // Candidate-set sizes after build (post-cascade, pre-refinement); a
+  // read-only walk taken only under profiling.
+  std::vector<std::size_t> built_sizes;
+  if (options.profile) {
+    built_sizes.resize(query.num_vertices());
+    for (VertexId u = 0; u < query.num_vertices(); ++u) {
+      built_sizes[u] = index.at(u).candidates.size();
+    }
+  }
+
   // --- Reverse-BFS refinement (§3.3) ---
   phase.Reset();
+  std::vector<std::uint64_t> pruned_per_vertex;
   {
     TraceSpan span("refine");
-    RefineCeci(pre->tree, data_.num_vertices(), &index, &stats.refine);
+    RefineCeci(pre->tree, data_.num_vertices(), &index, &stats.refine,
+               options.profile ? &pruned_per_vertex : nullptr);
     index.Freeze();  // CSR-flat lists for the enumeration hot path
   }
   stats.refine_seconds = phase.Seconds();
@@ -175,6 +191,8 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   schedule.enumeration.leaf_count_shortcut =
       options.leaf_count_shortcut && visitor == nullptr;
   schedule.enumeration.symmetry = &symmetry;
+  schedule.enumeration.per_position_stats = options.profile;
+  schedule.collect_profile = options.profile;
   ScheduleResult sched = [&] {
     TraceSpan span("enumerate");
     return RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);
@@ -185,6 +203,58 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   stats.decomposition = sched.decomposition;
 
   result.embedding_count = sched.embeddings;
+
+  if (options.profile) {
+    QueryProfile& profile = result.profile.emplace();
+    const auto& order = pre->tree.matching_order();
+    profile.vertices.resize(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      VertexProfile& vp = profile.vertices[i];
+      const VertexId u = order[i];
+      vp.u = u;
+      vp.order_position = i;
+      if (i < vertex_stats.size()) {
+        // Build records arrive in matching order, root first.
+        vp.candidates_filtered = vertex_stats[i].candidates_filtered;
+        vp.rejected_label = vertex_stats[i].rejected_label;
+        vp.rejected_degree = vertex_stats[i].rejected_degree;
+        vp.rejected_nlc = vertex_stats[i].rejected_nlc;
+      }
+      vp.candidates_built = built_sizes[u];
+      vp.candidates_refined = index.at(u).candidates.size();
+      if (u < pruned_per_vertex.size()) {
+        vp.refine_pruned = pruned_per_vertex[u];
+      }
+      const CeciIndex::VertexFootprint f = index.MemoryFootprint(u);
+      vp.te_keys = f.te_keys;
+      vp.te_edges = f.te_edges;
+      vp.te_bytes = f.te_bytes;
+      vp.nte_lists = f.nte_lists;
+      vp.nte_edges = f.nte_edges;
+      vp.nte_bytes = f.nte_bytes;
+      vp.candidate_bytes = f.candidate_bytes;
+      if (i < stats.enumeration.calls_per_position.size()) {
+        vp.recursive_calls = stats.enumeration.calls_per_position[i];
+      }
+      profile.te_bytes += f.te_bytes;
+      profile.nte_bytes += f.nte_bytes;
+      profile.candidate_bytes += f.candidate_bytes;
+    }
+    profile.index_bytes =
+        profile.te_bytes + profile.nte_bytes + profile.candidate_bytes;
+    profile.clusters = sched.cluster_skew;
+    profile.work_units = sched.unit_skew;
+    profile.enumerate_wall_seconds = stats.enumerate_seconds;
+    profile.workers.resize(stats.worker_seconds.size());
+    for (std::size_t w = 0; w < profile.workers.size(); ++w) {
+      profile.workers[w].worker = w;
+      profile.workers[w].busy_seconds = stats.worker_seconds[w];
+      if (w < sched.worker_units.size()) {
+        profile.workers[w].units = sched.worker_units[w];
+      }
+    }
+  }
+
   stats.total_seconds = total_timer.Seconds();
   ExportMatchMetrics(result);
   return result;

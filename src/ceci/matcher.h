@@ -48,6 +48,12 @@ struct MatchOptions {
   /// position contributes |candidates| without recursing per candidate.
   /// Exact; off by default to keep search statistics paper-comparable.
   bool leaf_count_shortcut = false;
+  /// Collect a QueryProfile (MatchResult::profile): per-vertex pipeline
+  /// candidate counts, measured index bytes, cluster/work-unit skew, and
+  /// worker occupancy. Opt-in; when off no per-candidate instrumentation
+  /// runs (every profiled quantity is a counter delta or a post-hoc walk,
+  /// same discipline as TraceSpan). See src/ceci/profiler.h.
+  bool profile = false;
   /// Invoked with the CECI right after construction (refined == false) and
   /// again after refinement + freeze (refined == true). Hook for the
   /// invariant auditor (analysis/invariant_auditor.h, `ceci_query --audit`)

@@ -1,0 +1,145 @@
+// QueryProfile: per-query EXPLAIN data collected during a profiled Match().
+//
+// The paper's central claims are per-query structural facts — filter
+// pruning power (§3.2), CECI compactness (§3.4, Table 2), and cluster
+// workload balance under ST/CGD/FGD and β-decomposition (§4.2–4.3). The
+// process-cumulative metrics registry cannot expose any of them for a
+// single query; a QueryProfile can. It records, for one Match() call:
+//
+//  * per-query-vertex candidate counts after each pipeline stage
+//    (LF/DF/NLCF filtering → empty-key cascade → reverse-BFS refinement)
+//    with the filter rejection counts that produced them,
+//  * measured index bytes per query vertex, broken down by TE candidate
+//    list, NTE candidate lists, and the candidate/cardinality arrays
+//    (a MemoryFootprint() walk — Table 2 from measurement, not estimate),
+//  * embedding-cluster and work-unit cardinality distributions with skew
+//    statistics (max/mean, Gini) before and after extreme-cluster
+//    decomposition,
+//  * per-worker busy time, work-unit pull counts, and occupancy against
+//    the enumeration wall clock.
+//
+// Profiling is opt-in via MatchOptions::profile and costs nothing when
+// off: no per-candidate instrumentation exists; every profiled quantity
+// is either a delta of counters the pipeline already maintains or a
+// read-only walk over structures it already built (same discipline as
+// TraceSpan). Surfaced by `ceci_query --explain`, the `profile` block of
+// `--metrics-json`, and bench sidecars.
+#ifndef CECI_CECI_PROFILER_H_
+#define CECI_CECI_PROFILER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ceci {
+
+class JsonWriter;
+struct MatchStats;
+
+/// Skew statistics of a workload distribution (cluster or work-unit
+/// cardinalities). `max_over_mean` is the paper's imbalance signal for
+/// Figs. 11–12 (1.0 = perfectly balanced); `gini` summarizes the whole
+/// distribution (0 = equal shares, → 1 = one unit carries everything).
+struct SkewSummary {
+  std::size_t count = 0;
+  Cardinality total = 0;
+  Cardinality max = 0;
+  double mean = 0.0;
+  double max_over_mean = 0.0;
+  double gini = 0.0;
+
+  static SkewSummary Of(std::span<const Cardinality> values);
+};
+
+/// One query vertex's pipeline trajectory and index footprint.
+struct VertexProfile {
+  VertexId u = 0;
+  std::size_t order_position = 0;
+
+  // Candidate counts after each pipeline stage (§3.2 → §3.3). For the
+  // root, `candidates_filtered` is the initial pivot scan.
+  std::size_t candidates_filtered = 0;  // after LF/DF/NLCF TE expansion
+  std::size_t candidates_built = 0;     // after the empty-key cascades
+  std::size_t candidates_refined = 0;   // after reverse-BFS refinement
+
+  // Filter rejections while expanding this vertex's TE frontier.
+  std::uint64_t rejected_label = 0;
+  std::uint64_t rejected_degree = 0;
+  std::uint64_t rejected_nlc = 0;
+  // Candidates of this vertex pruned by refinement (cardinality hit 0).
+  std::uint64_t refine_pruned = 0;
+
+  // Measured index footprint of this vertex's slice (Table 2 evidence).
+  std::size_t te_keys = 0;
+  std::size_t te_edges = 0;
+  std::size_t te_bytes = 0;
+  std::size_t nte_lists = 0;
+  std::size_t nte_edges = 0;
+  std::size_t nte_bytes = 0;
+  std::size_t candidate_bytes = 0;  // candidates + cardinalities arrays
+
+  // Backtracking calls that expanded this matching-order position
+  // (Fig. 18 per-level; the leaf-count shortcut does not recurse, so the
+  // final position reads 0 under that fast path).
+  std::uint64_t recursive_calls = 0;
+
+  /// Fraction of filtered candidates that refinement kept (1.0 = none
+  /// pruned after build); 0 when the vertex never had candidates.
+  double RefineSurvival() const {
+    return candidates_built == 0
+               ? 0.0
+               : static_cast<double>(candidates_refined) /
+                     static_cast<double>(candidates_built);
+  }
+};
+
+/// One enumeration worker's occupancy record.
+struct WorkerProfile {
+  std::size_t worker = 0;
+  double busy_seconds = 0.0;   // thread CPU time inside the worker loop
+  std::uint64_t units = 0;     // work units pulled/executed
+};
+
+/// The complete per-query profile. Plain data, owned by MatchResult.
+struct QueryProfile {
+  /// Per-vertex records in matching order.
+  std::vector<VertexProfile> vertices;
+
+  // Index totals from the MemoryFootprint() walk (sum over vertices).
+  std::size_t index_bytes = 0;
+  std::size_t te_bytes = 0;
+  std::size_t nte_bytes = 0;
+  std::size_t candidate_bytes = 0;
+
+  /// Embedding-cluster cardinalities (pivot workloads, §4.2) before
+  /// decomposition, and work-unit cardinalities after (§4.3). Under
+  /// ST/CGD no decomposition runs and the two coincide per cluster.
+  SkewSummary clusters;
+  SkewSummary work_units;
+
+  /// Per-worker occupancy; `enumerate_wall_seconds` is the phase wall
+  /// clock the busy times are measured against.
+  std::vector<WorkerProfile> workers;
+  double enumerate_wall_seconds = 0.0;
+
+  /// Mean busy/wall fraction across workers (0 when nothing ran).
+  double Occupancy() const;
+};
+
+/// Appends the profile as a JSON object value (the caller positions the
+/// writer). Schema documented in docs/observability.md.
+void AppendQueryProfileJson(const QueryProfile& profile, JsonWriter* writer);
+
+/// Renders the human-readable EXPLAIN report printed by
+/// `ceci_query --explain`: one row per query vertex plus index, cluster,
+/// and worker summaries. `stats` supplies the phase timings and the
+/// theoretical index bound for context.
+std::string FormatExplain(const QueryProfile& profile,
+                          const MatchStats& stats);
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_PROFILER_H_

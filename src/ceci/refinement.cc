@@ -54,13 +54,15 @@ class DenseScratch {
 }  // namespace
 
 void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
-                CeciIndex* index, RefineStats* stats) {
+                CeciIndex* index, RefineStats* stats,
+                std::vector<std::uint64_t>* pruned_per_vertex) {
   Timer timer;
   RefineStats local;
   if (stats == nullptr) stats = &local;
   *stats = RefineStats{};
 
   const std::size_t nq = tree.num_vertices();
+  if (pruned_per_vertex != nullptr) pruned_per_vertex->assign(nq, 0);
   // Aliveness per query vertex over data vertices; drives the pruning.
   std::vector<std::vector<char>> alive(nq,
                                        std::vector<char>(data_num_vertices, 0));
@@ -144,6 +146,7 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
       if (partial[i] == 0) {
         alive[u][v] = 0;
         ++stats->pruned_candidates;
+        if (pruned_per_vertex != nullptr) ++(*pruned_per_vertex)[u];
       } else {
         ud.candidates[write] = v;
         ud.cardinalities[write] = partial[i];

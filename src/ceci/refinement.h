@@ -35,9 +35,13 @@ struct RefineStats {
 
 /// Refines `index` in place (reverse matching order) and fills per-candidate
 /// cardinalities. `data_num_vertices` sizes the internal scratch maps.
-/// `stats` may be null.
+/// `stats` may be null. When `pruned_per_vertex` is non-null it is resized
+/// to the query vertex count and receives, per query vertex u, the number
+/// of u's candidates whose cardinality fell to zero (profiler support;
+/// the totals already counted in `stats` are unaffected).
 void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
-                CeciIndex* index, RefineStats* stats);
+                CeciIndex* index, RefineStats* stats,
+                std::vector<std::uint64_t>* pruned_per_vertex = nullptr);
 
 }  // namespace ceci
 

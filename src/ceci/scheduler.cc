@@ -62,9 +62,26 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
 
   std::vector<EnumStats> worker_stats(workers);
   result.worker_seconds.assign(workers, 0.0);
+  result.worker_units.assign(workers, 0);
   std::atomic<std::size_t> next_unit{0};
 
+  if (options.collect_profile) {
+    // Cluster skew over pivot cardinalities (before decomposition), unit
+    // skew over the work units actually scheduled (after). Read-only walks
+    // over structures already built — nothing here touches the hot path.
+    result.cluster_skew =
+        SkewSummary::Of(index.at(tree.root()).cardinalities);
+    std::vector<Cardinality> unit_cards;
+    unit_cards.reserve(units.size());
+    for (const WorkUnit& unit : units) unit_cards.push_back(unit.cardinality);
+    result.unit_skew = SkewSummary::Of(unit_cards);
+  }
+
   auto worker_fn = [&](std::size_t wid) {
+    // The lane outlives the span: spans close while the lane is pinned, so
+    // worker timelines group by logical worker id in Chrome-trace export
+    // (lane 0 is the main thread; workers start at 1).
+    TraceLane lane(static_cast<std::uint32_t>(wid) + 1);
     TraceSpan worker_span(
         [&] { return "enumerate/worker" + std::to_string(wid); });
     const double cpu_start = ThreadCpuSeconds();
@@ -78,6 +95,7 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
     if (options.distribution == Distribution::kStatic) {
       // Round-robin static assignment; no re-adjustment (§4.2).
       for (std::size_t i = wid; i < units.size(); i += workers) {
+        ++result.worker_units[wid];
         enumerator.EnumerateFromPrefix(units[i].prefix, visitor);
         if (should_stop()) break;
       }
@@ -87,6 +105,7 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
         const std::size_t i =
             next_unit.fetch_add(1, std::memory_order_relaxed);
         if (i >= units.size()) break;
+        ++result.worker_units[wid];
         enumerator.EnumerateFromPrefix(units[i].prefix, visitor);
         if (should_stop()) break;
       }

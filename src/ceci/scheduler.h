@@ -15,6 +15,7 @@
 #include "ceci/ceci_index.h"
 #include "ceci/enumerator.h"
 #include "ceci/extreme_cluster.h"
+#include "ceci/profiler.h"
 #include "ceci/query_tree.h"
 
 namespace ceci {
@@ -31,6 +32,10 @@ struct ScheduleOptions {
   /// Stop after this many embeddings across all workers; 0 = unlimited.
   std::uint64_t limit = 0;
   EnumOptions enumeration;
+  /// Compute the cluster/work-unit skew summaries (profiler support).
+  /// Off by default: the summaries sort a copy of the cardinalities, which
+  /// a counter-only run should not pay for.
+  bool collect_profile = false;
 };
 
 struct ScheduleResult {
@@ -41,7 +46,16 @@ struct ScheduleResult {
   /// the simulated per-core busy time, so max(worker_seconds) is the
   /// simulated parallel makespan and their sum the serial-equivalent work.
   std::vector<double> worker_seconds;
+  /// Work units each worker pulled/executed (one increment per unit; kept
+  /// even without collect_profile — it is as cheap as the existing
+  /// next_unit fetch).
+  std::vector<std::uint64_t> worker_units;
   DecomposeStats decomposition;
+  /// Skew over embedding-cluster cardinalities (pivot workloads, before
+  /// decomposition) and over work-unit cardinalities (after). Filled only
+  /// when ScheduleOptions::collect_profile.
+  SkewSummary cluster_skew;
+  SkewSummary unit_skew;
   double seconds = 0.0;          // wall time of the enumeration phase
 
   /// Simulated parallel completion time: max over workers.

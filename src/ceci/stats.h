@@ -5,11 +5,13 @@
 #define CECI_CECI_STATS_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "ceci/ceci_builder.h"
 #include "ceci/enumerator.h"
 #include "ceci/extreme_cluster.h"
+#include "ceci/profiler.h"
 #include "ceci/refinement.h"
 #include "graph/types.h"
 
@@ -48,6 +50,10 @@ struct MatchStats {
 struct MatchResult {
   std::uint64_t embedding_count = 0;
   MatchStats stats;
+  /// Per-query EXPLAIN data; present only when MatchOptions::profile.
+  /// Empty-but-present (no vertices) for infeasible queries, where no
+  /// index is ever built.
+  std::optional<QueryProfile> profile;
 };
 
 }  // namespace ceci

@@ -1,5 +1,6 @@
 #include "ceci/stats_json.h"
 
+#include "ceci/profiler.h"
 #include "util/json_writer.h"
 #include "util/metrics_registry.h"
 #include "util/trace.h"
@@ -106,6 +107,11 @@ std::string MetricsReportJson(const MatchResult& result,
   w.KV("embeddings", result.embedding_count);
   w.Key("stats");
   AppendMatchStatsJson(result.stats, &w);
+
+  if (result.profile.has_value()) {
+    w.Key("profile");
+    AppendQueryProfileJson(*result.profile, &w);
+  }
 
   if (options.include_registry) {
     const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();

@@ -120,11 +120,14 @@ void ReplayWorkStealing(const DistOptions& options,
         queues[victim].pop_back();
         remaining[victim] -= unit_time;
         MachineState& machine = *(*machines)[self];
-        const double comm = options.cost_model.MessageSeconds(
-            static_cast<std::uint64_t>((*machines)[victim]->steal_unit_bytes));
+        const std::uint64_t steal_bytes =
+            static_cast<std::uint64_t>((*machines)[victim]->steal_unit_bytes);
+        const double comm = options.cost_model.MessageSeconds(steal_bytes);
         steal_comm[self] += comm;
         lane.time += comm;  // the MPI_Get delays this lane
         ++machine.stolen_units;
+        // Inbound payload of the MPI_Get; time is in `comm` above.
+        machine.accounting.RecordReceive(steal_bytes);
       }
     }
     if (unit_time < 0.0) continue;  // nothing left anywhere for this lane
@@ -196,6 +199,7 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     const std::uint64_t bytes = machines[m]->pivots.size() * sizeof(VertexId);
     machines[0]->accounting.ChargeMessage(bytes);
     machines[m]->accounting.ChargeMessage(bytes);
+    machines[m]->accounting.RecordReceive(bytes);
   }
 
   // --- Per-machine CECI construction + own-pool enumeration ---
@@ -204,6 +208,9 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
   enum_options.symmetry = &symmetry;
 
   auto machine_fn = [&](std::size_t mid) {
+    // Lane outlives the span so simulated machines get stable Chrome-trace
+    // rows (lane 0 is the coordinator thread; machines start at 1).
+    TraceLane lane(static_cast<std::uint32_t>(mid) + 1);
     TraceSpan machine_span(
         [&] { return "distsim/machine" + std::to_string(mid); });
     MachineState& self = *machines[mid];
@@ -266,6 +273,8 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     report.stolen_units = m->stolen_units;
     report.messages = m->accounting.messages();
     report.bytes_sent = m->accounting.bytes_sent();
+    report.messages_received = m->accounting.messages_received();
+    report.bytes_received = m->accounting.bytes_received();
     report.bytes_read = m->accounting.bytes_read();
     report.build_compute_seconds = m->build_compute;
     report.enum_compute_seconds = m->enum_compute;
@@ -276,6 +285,8 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     slowest = std::max(slowest, report.total_seconds);
     result.total_messages += report.messages;
     result.total_bytes_sent += report.bytes_sent;
+    result.total_messages_received += report.messages_received;
+    result.total_bytes_received += report.bytes_received;
     result.total_bytes_read += report.bytes_read;
     result.total_stolen_units += report.stolen_units;
     result.build_compute_seconds += m->build_compute;
@@ -292,6 +303,7 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     static Counter& embeddings = reg.GetCounter("distsim.embeddings");
     static Counter& messages = reg.GetCounter("distsim.messages");
     static Counter& bytes_sent = reg.GetCounter("distsim.bytes_sent");
+    static Counter& bytes_received = reg.GetCounter("distsim.bytes_received");
     static Counter& bytes_read = reg.GetCounter("distsim.bytes_read");
     static Counter& stolen_units = reg.GetCounter("distsim.stolen_units");
     static Histogram& machine_busy_us =
@@ -300,6 +312,7 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
     embeddings.Add(result.embeddings);
     messages.Add(result.total_messages);
     bytes_sent.Add(result.total_bytes_sent);
+    bytes_received.Add(result.total_bytes_received);
     bytes_read.Add(result.total_bytes_read);
     stolen_units.Add(result.total_stolen_units);
     for (const MachineReport& report : result.machines) {
@@ -328,6 +341,8 @@ std::string DistResultJson(const DistResult& result) {
   w.BeginObject();
   w.KV("messages", result.total_messages);
   w.KV("bytes_sent", result.total_bytes_sent);
+  w.KV("messages_received", result.total_messages_received);
+  w.KV("bytes_received", result.total_bytes_received);
   w.KV("bytes_read", result.total_bytes_read);
   w.KV("stolen_units", result.total_stolen_units);
   w.EndObject();
@@ -340,6 +355,8 @@ std::string DistResultJson(const DistResult& result) {
     w.KV("stolen_units", m.stolen_units);
     w.KV("messages", m.messages);
     w.KV("bytes_sent", m.bytes_sent);
+    w.KV("messages_received", m.messages_received);
+    w.KV("bytes_received", m.bytes_received);
     w.KV("bytes_read", m.bytes_read);
     w.KV("build_compute_seconds", m.build_compute_seconds);
     w.KV("enum_compute_seconds", m.enum_compute_seconds);

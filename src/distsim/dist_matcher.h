@@ -53,6 +53,10 @@ struct MachineReport {
   /// Network traffic this machine charged (pivot distribution, steals).
   std::uint64_t messages = 0;
   std::uint64_t bytes_sent = 0;
+  /// Inbound volume (pivot lists received, stolen-unit MPI_Get payloads).
+  /// Counter-only accounting: transfer time lives in comm_seconds already.
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
   /// Shared-store traffic (nonzero only under GraphStorage::kShared).
   std::uint64_t bytes_read = 0;
   double build_compute_seconds = 0.0;
@@ -70,6 +74,8 @@ struct DistResult {
   /// Cluster-wide traffic totals (sums over machines).
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes_sent = 0;
+  std::uint64_t total_messages_received = 0;
+  std::uint64_t total_bytes_received = 0;
   std::uint64_t total_bytes_read = 0;
   std::uint64_t total_stolen_units = 0;
   /// Serial front end (preprocessing on the coordinator), measured.

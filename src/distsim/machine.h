@@ -24,6 +24,15 @@ class Machine {
     ++messages_;
   }
 
+  /// Records an inbound message. Counters only: the modeled transfer time
+  /// is already charged on whichever end ChargeMessage bills (the paper's
+  /// model bills both ends of a pivot send and the stealing side of an
+  /// MPI_Get), so receive tracking must not move any makespan.
+  void RecordReceive(std::uint64_t bytes) {
+    bytes_received_ += bytes;
+    ++messages_received_;
+  }
+
   /// Charges shared-store reads (requests totalling `bytes`).
   void ChargeStorage(std::uint64_t requests, std::uint64_t bytes) {
     io_seconds_ += model_->StorageSeconds(requests, bytes);
@@ -41,8 +50,10 @@ class Machine {
   }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t messages() const { return messages_; }
+  std::uint64_t messages_received() const { return messages_received_; }
 
  private:
   std::uint32_t id_ = 0;
@@ -51,8 +62,10 @@ class Machine {
   double comm_seconds_ = 0.0;
   double io_seconds_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t messages_ = 0;
+  std::uint64_t messages_received_ = 0;
 };
 
 }  // namespace ceci::distsim

@@ -22,8 +22,15 @@
 //   --print           print each embedding
 //   --stats           print detailed statistics
 //   --trace           record phase spans; print the span tree afterwards
+//   --explain         print the per-query EXPLAIN report: per-vertex
+//                     candidate counts through each pipeline stage,
+//                     measured index bytes, cluster/work-unit skew, and
+//                     worker occupancy (implies profiling)
+//   --trace-chrome P  record phase spans and write them to P as Chrome
+//                     trace-event JSON (load in Perfetto / about:tracing)
 //   --metrics-json P  write the full metrics report (JSON) to P, "-" for
-//                     stdout; schema in docs/observability.md
+//                     stdout; schema in docs/observability.md. Includes
+//                     the "profile" block (profiling is enabled)
 //   --audit           run the invariant auditor over the data graph, the
 //                     query graph, the CECI after build and after refine,
 //                     and the work-unit partition; exit 3 on violations
@@ -60,8 +67,10 @@ struct Args {
   bool print = false;
   bool stats = false;
   bool trace = false;
+  bool explain = false;
   bool audit = false;
   std::string metrics_json;
+  std::string trace_chrome;
 };
 
 void Usage(const char* argv0) {
@@ -71,6 +80,7 @@ void Usage(const char* argv0) {
                "          [--threads N] [--limit N] [--order NAME]\n"
                "          [--distribution st|cgd|fgd] [--beta F]\n"
                "          [--no-symmetry] [--print] [--stats] [--trace]\n"
+               "          [--explain] [--trace-chrome PATH]\n"
                "          [--metrics-json PATH|-] [--audit]\n",
                argv0);
 }
@@ -126,6 +136,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->stats = true;
     } else if (flag == "--trace") {
       args->trace = true;
+    } else if (flag == "--explain") {
+      args->explain = true;
+    } else if (flag == "--trace-chrome") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_chrome = v;
+    } else if (flag.rfind("--trace-chrome=", 0) == 0) {
+      args->trace_chrome = flag.substr(std::strlen("--trace-chrome="));
+      if (args->trace_chrome.empty()) return false;
     } else if (flag == "--audit") {
       args->audit = true;
     } else if (flag == "--metrics-json") {
@@ -207,8 +226,14 @@ int main(int argc, char** argv) {
   std::printf("query: %s  (%s)\n", query->Summary().c_str(),
               FormatPattern(*query).c_str());
 
-  if (args.trace || !args.metrics_json.empty()) {
+  if (args.trace || !args.metrics_json.empty() ||
+      !args.trace_chrome.empty()) {
     Tracer::Global().Enable();
+  }
+  // --explain needs the profile; --metrics-json gains its "profile" block
+  // the same way.
+  if (args.explain || !args.metrics_json.empty()) {
+    options.profile = true;
   }
 
   // --audit: validate both input graphs up front, then hook the matcher
@@ -216,6 +241,12 @@ int main(int argc, char** argv) {
   // work-unit partition the scheduler would enumerate from.
   AuditReport audit_report;
   SymmetryConstraints audit_symmetry;
+  // For the profile cross-check (--audit with profiling on) the refined
+  // tree/index must outlive Match(); both are plain copyable data, and
+  // copying is acceptable at audit cost.
+  QueryTree audited_tree;
+  CeciIndex audited_index;
+  bool audited_refined_captured = false;
   if (args.audit) {
     audit_report.Merge(AuditGraph(*data));
     audit_report.Merge(AuditGraph(*query));
@@ -240,6 +271,11 @@ int main(int argc, char** argv) {
             fine, sorted, nullptr);
         AuditWorkUnits(*data, tree, index, enum_options, units,
                        &audit_report);
+        if (options.profile) {
+          audited_tree = tree;
+          audited_index = index;
+          audited_refined_captured = true;
+        }
       }
     };
   }
@@ -258,6 +294,12 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "match: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+
+  if (args.audit && audited_refined_captured &&
+      result->profile.has_value()) {
+    AuditQueryProfile(audited_tree, audited_index, *result->profile,
+                      &audit_report);
   }
 
   std::printf("embeddings: %llu\n",
@@ -292,6 +334,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.build.cascade_removals));
     std::printf("automorphisms broken: %zu\n", s.automorphisms_broken);
   }
+  if (args.explain && result->profile.has_value()) {
+    std::printf("%s", FormatExplain(*result->profile, s).c_str());
+  }
   if (args.audit) {
     std::printf("audit: %s\n", audit_report.ToString().c_str());
   }
@@ -312,6 +357,17 @@ int main(int argc, char** argv) {
       std::fprintf(f, "%s\n", json.c_str());
       std::fclose(f);
     }
+  }
+  if (!args.trace_chrome.empty()) {
+    const std::string json = Tracer::Global().ChromeTraceJson();
+    std::FILE* f = std::fopen(args.trace_chrome.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace-chrome: cannot open %s\n",
+                   args.trace_chrome.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
   }
   if (args.audit && !audit_report.ok()) return 3;
   return 0;

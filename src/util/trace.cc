@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <set>
 
 #include "util/json_writer.h"
 
@@ -16,16 +17,20 @@ std::int64_t MonotonicNanos() {
       .count();
 }
 
-std::uint32_t ThreadOrdinal() {
-  static std::atomic<std::uint32_t> next{0};
-  thread_local const std::uint32_t ordinal =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return ordinal;
-}
-
 // Per-thread nesting level. Tracked even while tracing is disabled so that
 // spans opened before Enable() still close with a consistent depth.
 thread_local std::uint32_t t_depth = 0;
+
+// Per-thread cached (generation, ordinal) pair; re-registered against the
+// tracer whenever Clear() bumps the generation. Generation 0 never
+// matches, so a fresh thread always registers on first use.
+thread_local std::uint32_t t_ordinal_generation = 0;
+thread_local std::uint32_t t_ordinal = 0;
+
+// Logical lane pinned by TraceLane; when unset, events fall back to the
+// physical thread ordinal.
+thread_local std::uint32_t t_lane = 0;
+thread_local bool t_lane_set = false;
 
 }  // namespace
 
@@ -41,6 +46,16 @@ double Tracer::Now() const {
          1e-9;
 }
 
+std::uint32_t Tracer::ThreadOrdinal() {
+  const std::uint32_t generation =
+      ordinal_generation_.load(std::memory_order_acquire);
+  if (t_ordinal_generation != generation) {
+    t_ordinal = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    t_ordinal_generation = generation;
+  }
+  return t_ordinal;
+}
+
 void Tracer::Enable() {
   Clear();
   enabled_.store(true, std::memory_order_relaxed);
@@ -52,6 +67,10 @@ void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   epoch_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+  // Restart dense ordinal assignment: zero the counter first so a thread
+  // observing the new generation always draws from the reset counter.
+  next_ordinal_.store(0, std::memory_order_relaxed);
+  ordinal_generation_.fetch_add(1, std::memory_order_release);
 }
 
 void Tracer::Record(TraceEvent event) {
@@ -96,12 +115,63 @@ void Tracer::AppendJson(JsonWriter* writer) const {
     writer->BeginObject();
     writer->KV("name", e.name);
     writer->KV("thread", static_cast<std::uint64_t>(e.thread));
+    writer->KV("lane", static_cast<std::uint64_t>(e.lane));
     writer->KV("depth", static_cast<std::uint64_t>(e.depth));
     writer->KV("start_seconds", e.start_seconds);
     writer->KV("duration_seconds", e.duration_seconds);
     writer->EndObject();
   }
   writer->EndArray();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("displayTimeUnit", std::string_view("ms"));
+  w.Key("traceEvents");
+  w.BeginArray();
+  // thread_name metadata first, one per distinct lane, so viewers label
+  // rows before any complete event references them.
+  std::set<std::uint32_t> lanes;
+  for (const TraceEvent& e : events) lanes.insert(e.lane);
+  for (std::uint32_t lane : lanes) {
+    w.BeginObject();
+    w.KV("name", std::string_view("thread_name"));
+    w.KV("ph", std::string_view("M"));
+    w.KV("pid", std::uint64_t{0});
+    w.KV("tid", static_cast<std::uint64_t>(lane));
+    w.Key("args");
+    w.BeginObject();
+    if (lane == 0) {
+      w.KV("name", std::string_view("main"));
+    } else {
+      char label[32];
+      std::snprintf(label, sizeof(label), "lane%u", lane);
+      w.KV("name", std::string_view(label));
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.KV("name", e.name);
+    w.KV("cat", std::string_view("ceci"));
+    w.KV("ph", std::string_view("X"));
+    w.KV("pid", std::uint64_t{0});
+    w.KV("tid", static_cast<std::uint64_t>(e.lane));
+    w.KV("ts", e.start_seconds * 1e6);        // microseconds
+    w.KV("dur", e.duration_seconds * 1e6);
+    w.Key("args");
+    w.BeginObject();
+    w.KV("thread", static_cast<std::uint64_t>(e.thread));
+    w.KV("depth", static_cast<std::uint64_t>(e.depth));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 TraceSpan::TraceSpan(std::string_view name) {
@@ -125,11 +195,23 @@ TraceSpan::~TraceSpan() {
   if (!tracer.enabled()) return;  // disabled mid-span: drop it
   TraceEvent event;
   event.name = std::move(name_);
-  event.thread = ThreadOrdinal();
+  event.thread = tracer.ThreadOrdinal();
+  event.lane = t_lane_set ? t_lane : event.thread;
   event.depth = t_depth;
   event.start_seconds = start_;
   event.duration_seconds = tracer.Now() - start_;
   tracer.Record(std::move(event));
+}
+
+TraceLane::TraceLane(std::uint32_t lane)
+    : saved_lane_(t_lane), saved_set_(t_lane_set) {
+  t_lane = lane;
+  t_lane_set = true;
+}
+
+TraceLane::~TraceLane() {
+  t_lane = saved_lane_;
+  t_lane_set = saved_set_;
 }
 
 }  // namespace ceci

@@ -1,10 +1,10 @@
 // Phase tracing: RAII spans recording nested wall-clock timings.
 //
 // Instrumented code opens a span per phase; when the global tracer is
-// enabled, closing the span records (name, thread, depth, start, duration)
-// into the tracer's buffer. Spans nest per thread, so the recorded events
-// reconstruct one tree per thread — the span tree printed by
-// `ceci_query --trace` and embedded in `--metrics-json` output.
+// enabled, closing the span records (name, thread, lane, depth, start,
+// duration) into the tracer's buffer. Spans nest per thread, so the
+// recorded events reconstruct one tree per thread — the span tree printed
+// by `ceci_query --trace` and embedded in `--metrics-json` output.
 //
 //   {
 //     TraceSpan span("build");
@@ -14,6 +14,13 @@
 // Disabled tracing costs one relaxed atomic load per span; no allocation,
 // no locking. Recording locks a mutex once per span close — spans mark
 // phases (a handful per query), never per-candidate work.
+//
+// Lanes: `thread` is a dense physical-thread ordinal, reset each epoch,
+// but pool workers are recreated per query, so physical ordinals do not
+// identify *logical* workers across queries. A TraceLane pins the current
+// thread's spans to a stable logical lane (worker id, simulated machine
+// id) for the duration of a scope; Chrome-trace export groups rows by
+// lane, so worker timelines line up across repeated queries.
 #ifndef CECI_UTIL_TRACE_H_
 #define CECI_UTIL_TRACE_H_
 
@@ -30,10 +37,13 @@ namespace ceci {
 class JsonWriter;
 
 /// One closed span. `thread` is a dense ordinal assigned in order of first
-/// span on each thread; `depth` is the nesting level on that thread.
+/// span on each thread within the current epoch; `lane` is the logical
+/// timeline (defaults to `thread`, overridden by TraceLane); `depth` is
+/// the nesting level on that thread.
 struct TraceEvent {
   std::string name;
   std::uint32_t thread = 0;
+  std::uint32_t lane = 0;
   std::uint32_t depth = 0;
   double start_seconds = 0.0;     // since Enable()/Clear()
   double duration_seconds = 0.0;
@@ -53,6 +63,9 @@ class Tracer {
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Drops recorded events, restarts the clock epoch, and restarts dense
+  /// thread-ordinal assignment, so back-to-back traced queries in one
+  /// process each see ordinals from t0 and times from 0.
   void Clear();
 
   /// Closed spans, ordered by (thread, start). Spans still open are absent.
@@ -67,15 +80,27 @@ class Tracer {
   /// Appends Events() as a JSON array value (caller positions the writer).
   void AppendJson(JsonWriter* writer) const;
 
+  /// Renders Events() as a complete Chrome trace-event JSON document
+  /// (load in Perfetto / chrome://tracing). Each span becomes a complete
+  /// event (ph:"X") on pid 0 with tid = lane; lanes get thread_name
+  /// metadata ("main" for lane 0, "lane<k>" otherwise).
+  std::string ChromeTraceJson() const;
+
  private:
   friend class TraceSpan;
   void Record(TraceEvent event);
   double Now() const;  // seconds since epoch_
+  /// Dense per-epoch ordinal of the calling thread.
+  std::uint32_t ThreadOrdinal();
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::atomic<std::int64_t> epoch_ns_{0};
+  // Thread ordinals are cached per thread, keyed by generation; Clear()
+  // bumps the generation so every thread re-registers densely from 0.
+  std::atomic<std::uint32_t> ordinal_generation_{1};
+  std::atomic<std::uint32_t> next_ordinal_{0};
 };
 
 /// RAII phase span against Tracer::Global(). Not copyable or movable; bind
@@ -103,6 +128,25 @@ class TraceSpan {
   std::string name_;
   double start_ = 0.0;
   bool active_ = false;
+};
+
+/// Pins the calling thread's spans to logical lane `lane` for the
+/// lifetime of the object (restores the previous lane on destruction).
+/// Construct it BEFORE any TraceSpan whose close should carry the lane —
+/// destruction order closes the span while the lane is still pinned.
+/// Costs two thread_local writes; safe to use whether or not tracing is
+/// enabled.
+class TraceLane {
+ public:
+  explicit TraceLane(std::uint32_t lane);
+  ~TraceLane();
+
+  TraceLane(const TraceLane&) = delete;
+  TraceLane& operator=(const TraceLane&) = delete;
+
+ private:
+  std::uint32_t saved_lane_ = 0;
+  bool saved_set_ = false;
 };
 
 }  // namespace ceci

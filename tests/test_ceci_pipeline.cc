@@ -1,10 +1,18 @@
 // Unit tests for CECI construction and refinement internals beyond the
 // paper's running example: cascades, NTE-less builds, completeness.
+#include <cstdint>
+#include <set>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "analysis/invariant_auditor.h"
 #include "ceci/ceci_builder.h"
+#include "ceci/matcher.h"
+#include "ceci/profiler.h"
 #include "ceci/refinement.h"
+#include "ceci/stats_json.h"
+#include "json_test_util.h"
 #include "test_support.h"
 #include "util/thread_pool.h"
 
@@ -202,6 +210,122 @@ TEST(CeciPipelineTest, CompletenessOnSmallRandomGraph) {
     }
   }
   EXPECT_GT(triangles, 0u);
+}
+
+TEST(SkewSummaryTest, UniformValuesHaveZeroGini) {
+  const std::vector<Cardinality> values = {4, 4, 4, 4};
+  SkewSummary s = SkewSummary::Of(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.total, 16u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.max_over_mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+}
+
+TEST(SkewSummaryTest, ConcentratedMassApproachesGiniOne) {
+  const std::vector<Cardinality> values = {0, 0, 0, 100};
+  SkewSummary s = SkewSummary::Of(values);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.max_over_mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.75);  // (n-1)/n for all mass on one item
+}
+
+TEST(CeciPipelineTest, ProfileJsonSchemaOnPaperExample) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.profile = true;
+  options.threads = 2;
+  auto result = matcher.Match(query, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->profile.has_value());
+
+  auto doc = testing::ParseJson(MetricsReportJson(*result));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->Has("profile"));
+  const auto& profile = doc->At("profile");
+
+  const auto& vertices = profile.At("vertices").array;
+  ASSERT_EQ(vertices.size(), query.num_vertices());
+  std::uint64_t byte_sum = 0;
+  std::set<double> seen_u;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const auto& v = vertices[i];
+    for (const char* key :
+         {"u", "position", "candidates_filtered", "candidates_built",
+          "candidates_refined", "rejected_label", "rejected_degree",
+          "rejected_nlc", "refine_pruned", "refine_survival", "te_keys",
+          "te_edges", "te_bytes", "nte_lists", "nte_edges", "nte_bytes",
+          "candidate_bytes", "recursive_calls"}) {
+      EXPECT_TRUE(v.Has(key)) << "vertex record missing " << key;
+    }
+    EXPECT_EQ(v.Num("position"), static_cast<double>(i));
+    EXPECT_GT(v.Num("candidates_refined"), 0.0);
+    EXPECT_LE(v.Num("candidates_refined"), v.Num("candidates_built"));
+    seen_u.insert(v.Num("u"));
+    byte_sum += static_cast<std::uint64_t>(
+        v.Num("te_bytes") + v.Num("nte_bytes") + v.Num("candidate_bytes"));
+  }
+  EXPECT_EQ(seen_u.size(), query.num_vertices());  // each vertex once
+
+  const auto& index = profile.At("index");
+  EXPECT_EQ(index.Num("bytes"), index.Num("te_bytes") +
+                                    index.Num("nte_bytes") +
+                                    index.Num("candidate_bytes"));
+  EXPECT_EQ(static_cast<std::uint64_t>(index.Num("bytes")), byte_sum);
+  // The profiler's MemoryFootprint walk and MatchStats::ceci_bytes must
+  // account identically.
+  EXPECT_EQ(index.Num("bytes"), doc->At("stats").At("index").Num("ceci_bytes"));
+
+  for (const char* block : {"clusters", "work_units"}) {
+    const auto& skew = profile.At(block);
+    for (const char* key :
+         {"count", "total", "max", "mean", "max_over_mean", "gini"}) {
+      EXPECT_TRUE(skew.Has(key)) << block << " missing " << key;
+    }
+    EXPECT_GE(skew.Num("gini"), 0.0);
+    EXPECT_LE(skew.Num("gini"), 1.0);
+  }
+  EXPECT_GT(profile.At("clusters").Num("count"), 0.0);
+
+  const auto& workers = profile.At("workers");
+  EXPECT_EQ(workers.Num("count"), 2.0);
+  EXPECT_GE(workers.Num("occupancy"), 0.0);
+  EXPECT_LE(workers.Num("occupancy"), 1.0);
+  ASSERT_EQ(workers.At("per_worker").array.size(), 2u);
+  double units = 0.0;
+  for (const auto& w : workers.At("per_worker").array) {
+    EXPECT_TRUE(w.Has("busy_seconds"));
+    units += w.Num("units");
+  }
+  EXPECT_GT(units, 0.0);  // the two embeddings came from some work unit
+}
+
+TEST(CeciPipelineTest, ProfileAbsentByDefault) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->profile.has_value());
+  auto doc = testing::ParseJson(MetricsReportJson(*result));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(doc->Has("profile"));
+}
+
+TEST(CeciPipelineTest, ProfilePresentButEmptyForInfeasibleQuery) {
+  Graph data = PaperExample::Data();
+  Graph query = MakeGraph({99, 99}, {{0, 1}});
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.profile = true;
+  auto result = matcher.Match(query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 0u);
+  ASSERT_TRUE(result->profile.has_value());
+  EXPECT_TRUE(result->profile->vertices.empty());
 }
 
 }  // namespace

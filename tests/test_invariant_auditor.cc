@@ -9,6 +9,7 @@
 #include "analysis/invariant_auditor.h"
 #include "ceci/ceci_builder.h"
 #include "ceci/extreme_cluster.h"
+#include "ceci/matcher.h"
 #include "ceci/refinement.h"
 #include "ceci/symmetry.h"
 #include "test_support.h"
@@ -307,6 +308,75 @@ TEST_F(AuditWorkUnitsTest, DetectsDuplicateUnit) {
   AuditReport report = Audit(units);
   EXPECT_FALSE(report.ok());
   EXPECT_GE(report.CountOf(InvariantClass::kClusterOverlap), 1u);
+}
+
+// Fixture running a full profiled Match() and capturing the refined
+// tree/index through the inspector hook — exactly what `ceci_query
+// --explain --audit` does.
+struct ProfiledMatch {
+  ProfiledMatch() : data(PaperExample::Data()), query(PaperExample::Query()) {
+    CeciMatcher matcher(data);
+    MatchOptions options;
+    options.profile = true;
+    options.index_inspector = [this](const QueryTree& t, const CeciIndex& i,
+                                     bool refined) {
+      if (refined) {
+        tree = t;
+        index = i;
+      }
+    };
+    auto result = matcher.Match(query, options);
+    CECI_CHECK(result.ok());
+    CECI_CHECK(result->profile.has_value());
+    profile = *result->profile;
+  }
+
+  Graph data;
+  Graph query;
+  QueryTree tree;
+  CeciIndex index;
+  QueryProfile profile;
+};
+
+TEST(AuditQueryProfileTest, AcceptsProfileFromRealMatch) {
+  ProfiledMatch m;
+  AuditReport report;
+  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+TEST(AuditQueryProfileTest, DetectsTamperedCandidateCount) {
+  ProfiledMatch m;
+  m.profile.vertices[2].candidates_refined += 1;
+  AuditReport report;
+  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
+}
+
+TEST(AuditQueryProfileTest, DetectsTamperedTeEdgeCount) {
+  ProfiledMatch m;
+  m.profile.vertices[1].te_edges += 5;
+  AuditReport report;
+  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
+}
+
+TEST(AuditQueryProfileTest, DetectsTamperedByteTotal) {
+  ProfiledMatch m;
+  m.profile.index_bytes += 64;
+  AuditReport report;
+  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
+}
+
+TEST(AuditQueryProfileTest, DetectsVertexCountMismatch) {
+  ProfiledMatch m;
+  m.profile.vertices.pop_back();
+  AuditReport report;
+  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
 }
 
 TEST(AuditReportTest, ToStringAndMergeBehave) {

@@ -163,6 +163,82 @@ TEST_F(ToolsTest, AuditFlagPassesOnHealthyPipeline) {
   EXPECT_EQ(out.find("audit FAILED"), std::string::npos);
 }
 
+TEST_F(ToolsTest, ExplainPrintsPerVertexReport) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 2000 --attach 6 --labels 4 --seed 3 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  // --explain combined with --audit: the auditor cross-checks the
+  // profiler's numbers against the refined index it describes.
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--threads 2 --explain --audit",
+                File("out.txt")),
+            0);
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_NE(out.find("EXPLAIN"), std::string::npos);
+  // One row per query vertex, keyed by position and vertex name.
+  for (const char* u : {"u0", "u1", "u2"}) {
+    EXPECT_NE(out.find(u), std::string::npos) << "missing row for " << u;
+  }
+  EXPECT_NE(out.find("measured"), std::string::npos);   // index bytes line
+  EXPECT_NE(out.find("gini"), std::string::npos);       // skew summary
+  EXPECT_NE(out.find("occupancy"), std::string::npos);  // worker timeline
+  EXPECT_NE(out.find("audit: audit OK"), std::string::npos);
+}
+
+TEST_F(ToolsTest, TraceChromeWritesLoadableTraceDocument) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 2000 --attach 6 --labels 4 --seed 3 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--threads 2 --trace-chrome " + File("trace.json"),
+                File("out.txt")),
+            0);
+
+  auto parsed = ceci::testing::ParseJson(Slurp(File("trace.json")));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->At("displayTimeUnit").str, "ms");
+  const auto& events = parsed->At("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+  std::size_t complete = 0;
+  for (const auto& e : events) {
+    const std::string& ph = e.At("ph").str;
+    ASSERT_TRUE(ph == "M" || ph == "X") << "unexpected phase " << ph;
+    if (ph == "X") {
+      ++complete;
+      EXPECT_TRUE(e.Has("ts"));
+      EXPECT_TRUE(e.Has("dur"));
+    }
+  }
+  EXPECT_GT(complete, 0u);
+}
+
+TEST_F(ToolsTest, MetricsJsonCarriesProfileBlock) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 2000 --attach 6 --labels 4 --seed 3 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--metrics-json " + File("m.json"),
+                File("out.txt")),
+            0);
+  auto parsed = ceci::testing::ParseJson(Slurp(File("m.json")));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->Has("profile"));
+  const auto& profile = parsed->At("profile");
+  EXPECT_EQ(profile.At("vertices").array.size(), 3u);
+  EXPECT_GT(profile.At("index").Num("bytes"), 0.0);
+  EXPECT_EQ(profile.At("index").Num("bytes"),
+            parsed->At("stats").At("index").Num("ceci_bytes"));
+}
+
 TEST_F(ToolsTest, BadFlagsFailCleanly) {
   EXPECT_NE(Run("ceci_query", "--data /nonexistent --pattern \"(a)-(b)\""),
             0);

@@ -1,0 +1,211 @@
+// Tracer lifecycle tests: epoch + thread-ordinal reset across repeated
+// queries, lane pinning, Chrome-trace export, and the flush of batched
+// intersection counters on early-terminating queries.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ceci/matcher.h"
+#include "json_test_util.h"
+#include "test_support.h"
+#include "util/intersection.h"
+#include "util/metrics_registry.h"
+#include "util/trace.h"
+
+namespace ceci {
+namespace {
+
+using testing::JsonValue;
+using testing::PaperExample;
+using testing::ParseJson;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+// Returns the distinct thread ordinals of `events`.
+std::set<std::uint32_t> ThreadOrdinals(const std::vector<TraceEvent>& events) {
+  std::set<std::uint32_t> ordinals;
+  for (const TraceEvent& e : events) ordinals.insert(e.thread);
+  return ordinals;
+}
+
+void ExpectDenseFromZero(const std::set<std::uint32_t>& ordinals) {
+  ASSERT_FALSE(ordinals.empty());
+  EXPECT_EQ(*ordinals.begin(), 0u);
+  EXPECT_EQ(*ordinals.rbegin() + 1, ordinals.size())
+      << "thread ordinals not dense from 0";
+}
+
+// Regression: the worker pool is recreated per query, so without an
+// ordinal reset the second traced query would see ordinals continuing
+// where the first left off (t3, t4, ... instead of t1, t2).
+TEST_F(TraceTest, BackToBackTracedQueriesRestartOrdinalsAndEpoch) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.threads = 3;
+
+  for (int run = 0; run < 2; ++run) {
+    Tracer::Global().Enable();  // resets epoch, events, and ordinals
+    auto result = matcher.Match(query, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->embedding_count, 2u);
+
+    const std::vector<TraceEvent> events = Tracer::Global().Events();
+    ASSERT_FALSE(events.empty()) << "run " << run;
+    ExpectDenseFromZero(ThreadOrdinals(events));
+    // Pool threads are fresh each run; dense assignment caps the ordinal
+    // space at 1 (main) + workers even on the second run.
+    EXPECT_LE(ThreadOrdinals(events).size(), 1u + options.threads);
+
+    // Epoch restarted: the outermost span starts at (essentially) zero,
+    // not at an offset accumulated across runs.
+    double min_start = events.front().start_seconds;
+    for (const TraceEvent& e : events) {
+      min_start = std::min(min_start, e.start_seconds);
+      EXPECT_GE(e.start_seconds, 0.0);
+    }
+    EXPECT_LT(min_start, 1.0) << "epoch not reset on run " << run;
+  }
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndRestartsOrdinals) {
+  Tracer::Global().Enable();
+  { TraceSpan span("alpha"); }
+  ASSERT_EQ(Tracer::Global().Events().size(), 1u);
+
+  Tracer::Global().Clear();
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+  EXPECT_TRUE(Tracer::Global().enabled());
+
+  { TraceSpan span("beta"); }
+  const auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "beta");
+  EXPECT_EQ(events[0].thread, 0u);  // re-registered densely from 0
+}
+
+TEST_F(TraceTest, TraceLanePinsSpansAndRestoresOnExit) {
+  Tracer::Global().Enable();
+  {
+    TraceLane lane(7);
+    TraceSpan span("pinned");
+  }
+  { TraceSpan span("unpinned"); }
+
+  const auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "pinned") {
+      EXPECT_EQ(e.lane, 7u);
+    } else {
+      EXPECT_EQ(e.name, "unpinned");
+      EXPECT_EQ(e.lane, e.thread);  // default lane is the thread ordinal
+    }
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndCarriesWorkerLanes) {
+  Graph data = PaperExample::Data();
+  Graph query = PaperExample::Query();
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.threads = 2;
+
+  Tracer::Global().Enable();
+  auto result = matcher.Match(query, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const std::string json = Tracer::Global().ChromeTraceJson();
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  EXPECT_EQ(doc->At("displayTimeUnit").str, "ms");
+
+  const auto& events = doc->At("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+  std::set<double> metadata_lanes;
+  std::size_t complete_events = 0;
+  for (const JsonValue& e : events) {
+    const std::string& ph = e.At("ph").str;
+    if (ph == "M") {
+      EXPECT_EQ(e.At("name").str, "thread_name");
+      metadata_lanes.insert(e.Num("tid"));
+    } else {
+      ASSERT_EQ(ph, "X");
+      ++complete_events;
+      EXPECT_TRUE(e.Has("ts"));
+      EXPECT_TRUE(e.Has("dur"));
+      EXPECT_GE(e.Num("dur"), 0.0);
+      EXPECT_EQ(e.Num("pid"), 0.0);
+      // Every complete event sits on a lane announced by metadata.
+      EXPECT_TRUE(metadata_lanes.count(e.Num("tid")) > 0 ||
+                  e.Num("tid") == 0.0);
+    }
+  }
+  EXPECT_GT(complete_events, 0u);
+  // Scheduler workers pin lanes 1..threads; at least one worker lane must
+  // appear beyond the main lane 0.
+  EXPECT_GE(metadata_lanes.size(), 2u);
+}
+
+// The intersection kernels batch their counters thread-locally (flush
+// every 4096 calls). A query that stops early — embedding limit hit or
+// infeasible — must still drain the batch via ExportMatchMetrics, or the
+// registry undercounts small queries forever.
+TEST(IntersectCounterFlushTest, LimitTerminatedQueryFlushesCounters) {
+  Graph data = testing::PaperExample::Data();
+  Graph query = testing::PaperExample::Query();
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.threads = 1;  // keep all kernel calls on this thread
+  options.limit = 1;
+
+  Counter& calls =
+      MetricsRegistry::Global().GetCounter("ceci.intersect.calls");
+  const std::uint64_t before = calls.Value();
+  auto result = matcher.Match(query, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->embedding_count, 1u);
+  EXPECT_GT(calls.Value(), before)
+      << "limit-terminated query left intersect counters buffered";
+}
+
+TEST(IntersectCounterFlushTest, InfeasibleQueryFlushesBufferedCounters) {
+  Counter& calls =
+      MetricsRegistry::Global().GetCounter("ceci.intersect.calls");
+  FlushIntersectionThreadStats();  // start from a drained buffer
+  const std::uint64_t before = calls.Value();
+
+  // Buffer a handful of kernel calls — far below the 4096-call batch
+  // threshold, so the registry must not move yet.
+  const std::vector<std::uint32_t> a = {1, 2, 3, 5, 8};
+  const std::vector<std::uint32_t> b = {2, 3, 5, 7};
+  std::vector<std::uint32_t> out;
+  constexpr std::uint64_t kBuffered = 10;
+  for (std::uint64_t i = 0; i < kBuffered; ++i) IntersectSorted(a, b, &out);
+  EXPECT_EQ(calls.Value(), before) << "batching is gone; test needs rework";
+
+  // An infeasible query (label 99 absent from the data graph) returns on
+  // the early path — which must still flush this thread's batch.
+  Graph data = testing::PaperExample::Data();
+  Graph query = testing::MakeGraph({99, 99}, {{0, 1}});
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(query, MatchOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->embedding_count, 0u);
+  EXPECT_GE(calls.Value(), before + kBuffered)
+      << "infeasible query left intersect counters buffered";
+}
+
+}  // namespace
+}  // namespace ceci
