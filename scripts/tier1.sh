@@ -20,6 +20,12 @@
 #                                    # Artifacts land in $CECI_PROFILE_OUT
 #                                    # (default: a temp dir)
 #   scripts/tier1.sh --lint          # additionally run scripts/lint.sh
+#   scripts/tier1.sh --resilience    # additionally run the resilience
+#                                    # suites (execution budgets, failure
+#                                    # injection, distsim recovery) plus
+#                                    # ceci_query deadline/budget smokes
+#                                    # asserting the exit-code contract
+#                                    # (docs/robustness.md)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -31,6 +37,7 @@ scalar_pass=0
 audit_pass=0
 profile_pass=0
 lint_pass=0
+resilience_pass=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --clean) clean=1 ;;
@@ -38,6 +45,7 @@ while [[ $# -gt 0 ]]; do
     --audit) audit_pass=1 ;;
     --profile) profile_pass=1 ;;
     --lint) lint_pass=1 ;;
+    --resilience) resilience_pass=1 ;;
     --preset) preset="${2:?--preset needs a name}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -157,6 +165,35 @@ trace = json.load(open(out + "/trace.json"))
 assert trace["traceEvents"], "empty Chrome trace"
 print("profiler artifacts OK:", out)
 EOF
+fi
+
+if [[ "$resilience_pass" == 1 ]]; then
+  echo "=== resilience pass (budgets, failure injection, recovery) ==="
+  # -R matches gtest suite names: budget/cancellation tests, the distsim
+  # failure plans, and the termination-accounting audits.
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R '(ExecutionBudget|FailureInjection|FailurePlan|DistRecovery|AuditMatchResult)' -j
+
+  resilience_tmp="$(mktemp -d)"
+  trap 'rm -rf "$resilience_tmp"' EXIT
+  "$build_dir/src/ceci_generate" --family social --n 3000 --attach 8 \
+    --labels 4 --seed 13 --out "$resilience_tmp/g.txt" --format labeled
+  # Exit-code contract (docs/robustness.md): an exhausted deadline or
+  # memory budget exits 4 with a truthful termination label; generous
+  # budgets change nothing and exit 0.
+  set +e
+  "$build_dir/src/ceci_query" --data "$resilience_tmp/g.txt" \
+    --format labeled --pattern "(a:0)-(b:1)-(c:2)" --deadline-ms 0.001 \
+    > "$resilience_tmp/deadline.txt"
+  rc=$?
+  set -e
+  [[ "$rc" == 4 ]] || { echo "expected exit 4 on deadline, got $rc" >&2; exit 1; }
+  grep -q "^termination: deadline$" "$resilience_tmp/deadline.txt"
+  "$build_dir/src/ceci_query" --data "$resilience_tmp/g.txt" \
+    --format labeled --pattern "(a:0)-(b:1)-(c:2)" --deadline-ms 60000 \
+    --memory-budget-mb 1024 --audit > "$resilience_tmp/ok.txt"
+  grep -q "^termination: completed$" "$resilience_tmp/ok.txt"
+  echo "resilience smokes OK"
 fi
 
 if [[ "$lint_pass" == 1 ]]; then

@@ -60,6 +60,8 @@ const char* InvariantClassName(InvariantClass c) {
       return "cluster_gap";
     case InvariantClass::kProfileMismatch:
       return "profile_mismatch";
+    case InvariantClass::kTerminationAccounting:
+      return "termination_accounting";
   }
   return "unknown";
 }
@@ -726,6 +728,75 @@ void AuditQueryProfile(const QueryTree& tree, const CeciIndex& index,
     d << "profile measures " << profile.index_bytes
       << " index bytes, MemoryBytes() reports " << index.MemoryBytes();
     report->Add(InvariantClass::kProfileMismatch, d.str());
+  }
+}
+
+void AuditMatchResult(const MatchResult& result, AuditReport* report) {
+  const BudgetStats& b = result.stats.budget;
+
+  // Reason ↔ flag consistency. kLimit is flagless (the emission limit is
+  // a feature, not a budget trip), so it only requires the three budget
+  // flags to be clear, same as kCompleted.
+  bool flags_ok = true;
+  switch (result.termination) {
+    case TerminationReason::kCompleted:
+    case TerminationReason::kLimit:
+      flags_ok =
+          !b.deadline_exceeded && !b.memory_exceeded && !b.cancelled;
+      break;
+    case TerminationReason::kDeadline:
+      flags_ok = b.deadline_exceeded;
+      break;
+    case TerminationReason::kMemoryBudget:
+      flags_ok = b.memory_exceeded;
+      break;
+    case TerminationReason::kCancelled:
+      flags_ok = b.cancelled;
+      break;
+  }
+  ++report->checks_run;
+  if (!flags_ok) {
+    std::ostringstream d;
+    d << "termination '" << TerminationReasonName(result.termination)
+      << "' disagrees with budget flags (deadline=" << b.deadline_exceeded
+      << " memory=" << b.memory_exceeded << " cancelled=" << b.cancelled
+      << ")";
+    report->Add(InvariantClass::kTerminationAccounting, d.str());
+  }
+
+  // A flag implies the matching (or a more specific) non-completed reason.
+  ++report->checks_run;
+  if ((b.deadline_exceeded || b.memory_exceeded || b.cancelled) &&
+      (result.termination == TerminationReason::kCompleted ||
+       result.termination == TerminationReason::kLimit)) {
+    std::ostringstream d;
+    d << "budget flag set but termination is '"
+      << TerminationReasonName(result.termination) << "'";
+    report->Add(InvariantClass::kTerminationAccounting, d.str());
+  }
+
+  ++report->checks_run;
+  if (result.embedding_count != result.stats.enumeration.embeddings) {
+    std::ostringstream d;
+    d << "result reports " << result.embedding_count
+      << " embeddings, enumeration stats hold "
+      << result.stats.enumeration.embeddings;
+    report->Add(InvariantClass::kTerminationAccounting, d.str());
+  }
+
+  // Per-worker counts, when collected, must partition the total. A run
+  // that trips mid-build/mid-refine never schedules workers and leaves
+  // the vector empty — that is consistent with a zero total only.
+  if (!result.stats.worker_embeddings.empty()) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t e : result.stats.worker_embeddings) sum += e;
+    ++report->checks_run;
+    if (sum != result.embedding_count) {
+      std::ostringstream d;
+      d << "per-worker embeddings sum to " << sum << ", result reports "
+        << result.embedding_count;
+      report->Add(InvariantClass::kTerminationAccounting, d.str());
+    }
   }
 }
 

@@ -27,6 +27,7 @@
 #include "ceci/extreme_cluster.h"
 #include "ceci/profiler.h"
 #include "ceci/query_tree.h"
+#include "ceci/stats.h"
 #include "graph/graph.h"
 
 namespace ceci {
@@ -69,6 +70,11 @@ enum class InvariantClass {
   kProfileMismatch,  // QueryProfile disagrees with the refined index it
                      // claims to describe (candidate counts, TE sizes,
                      // measured bytes)
+
+  // -- Termination accounting (resilient execution layer) --
+  kTerminationAccounting,  // MatchResult::termination inconsistent with
+                           // the budget flags, or per-worker embedding
+                           // counts don't sum to the reported total
 };
 
 /// Stable lower_snake name of a violation class (for reports and tests).
@@ -144,6 +150,15 @@ void AuditWorkUnits(const Graph& data, const QueryTree& tree,
 /// mismatch reports kProfileMismatch. Appends to `report`.
 void AuditQueryProfile(const QueryTree& tree, const CeciIndex& index,
                        const QueryProfile& profile, AuditReport* report);
+
+/// Checks the termination accounting of a finished Match(): the labelled
+/// TerminationReason must agree with the budget flags (kCompleted implies
+/// none set; kDeadline/kMemoryBudget/kCancelled imply exactly the matching
+/// flag), the top-level embedding count must equal the enumeration stats,
+/// and — when per-worker counts were collected — the per-worker embedding
+/// counts must sum to it. Every mismatch reports kTerminationAccounting.
+/// Appends to `report`.
+void AuditMatchResult(const MatchResult& result, AuditReport* report);
 
 }  // namespace ceci
 

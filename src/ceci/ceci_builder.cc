@@ -22,6 +22,11 @@ struct ExpansionBin {
   BuildStats stats;
 };
 
+// Frontier vertices expanded between deadline/token polls. Each expansion
+// scans a full adjacency list, so one stride bounds the reaction time to
+// ~1k adjacency scans per worker.
+constexpr std::uint64_t kBuildPollStride = 1024;
+
 }  // namespace
 
 CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
@@ -50,6 +55,16 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
     index.at(root).candidates = CollectCandidates(data_, nlc_, query, root);
   }
   for (VertexId v : index.at(root).candidates) alive[root][v] = 1;
+
+  BudgetTracker* budget = options.budget;
+  if (budget != nullptr) {
+    const CeciIndex::VertexFootprint f = index.MemoryFootprint(root);
+    budget->ChargeBytes(f.te_bytes + f.nte_bytes + f.candidate_bytes);
+    if (budget->Poll()) {
+      stats->seconds = timer.Seconds();
+      return index;  // partial: root candidates only
+    }
+  }
 
   if (options.vertex_stats != nullptr) {
     options.vertex_stats->clear();
@@ -122,6 +137,11 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
   // NTE child (the BFS default makes the two coincide, per the paper).
   for (VertexId u : tree.matching_order()) {
     if (u == root) continue;
+    // Cooperative budget check: one poll per matching-order vertex plus
+    // stride polls inside the frontier loops below. A break leaves the
+    // index partial; the matcher reports kDeadline/kMemoryBudget/
+    // kCancelled instead of refining or enumerating it.
+    if (budget != nullptr && budget->Poll()) break;
     TraceSpan level_span(
         [&] { return "build/u" + std::to_string(u); });
     const VertexId u_p = tree.parent(u);
@@ -138,6 +158,7 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
     const bool parallel = options.pool != nullptr &&
                           frontier.size() >= options.parallel_threshold;
     if (!parallel) {
+      std::uint64_t since_poll = 0;
       for (VertexId v_f : frontier) {
         std::vector<VertexId> vals;
         expand_te(u, v_f, &vals, stats);
@@ -145,6 +166,10 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
           dead_frontier.push_back(v_f);
         } else {
           ud.te.Append(v_f, std::move(vals));
+        }
+        if (budget != nullptr && ++since_poll == kBuildPollStride) {
+          since_poll = 0;
+          if (budget->Poll()) break;
         }
       }
     } else {
@@ -156,6 +181,7 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
         ExpansionBin& bin = bins[c];
         std::size_t begin = c * per;
         std::size_t end = std::min(begin + per, frontier.size());
+        std::uint64_t since_poll = 0;
         for (std::size_t i = begin; i < end; ++i) {
           VertexId v_f = frontier[i];
           std::vector<VertexId> vals;
@@ -165,6 +191,13 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
           } else {
             bin.entries.emplace_back(v_f, std::move(vals));
           }
+          // Each chunk polls on its own stride; an exhausted budget stops
+          // every sibling chunk at its next relaxed-flag read.
+          if (budget != nullptr && ++since_poll == kBuildPollStride) {
+            since_poll = 0;
+            if (budget->Poll()) break;
+          }
+          if (budget != nullptr && budget->Exhausted()) break;
         }
       });
       for (ExpansionBin& bin : bins) {
@@ -213,10 +246,13 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
     stats->cascade_removals += dead_frontier.size();
     cascade_remove(u_p, dead_frontier);
 
+    if (budget != nullptr && budget->Exhausted()) break;
+
     // --- NTE expansion (§3.2, last paragraph) ---
     auto nte_ids = tree.nte_in(u);
     if (!options.build_nte_lists) nte_ids = {};
     ud.nte.resize(nte_ids.size());
+    std::uint64_t nte_since_poll = 0;
     for (std::size_t k = 0; k < nte_ids.size(); ++k) {
       const VertexId u_n = tree.non_tree_edges()[nte_ids[k]].parent;
       std::vector<VertexId> dead_nte;
@@ -232,9 +268,25 @@ CeciIndex CeciBuilder::Build(const Graph& query, const QueryTree& tree,
         } else {
           ud.nte[k].Append(v_n, std::move(vals));
         }
+        if (budget != nullptr && ++nte_since_poll == kBuildPollStride) {
+          nte_since_poll = 0;
+          if (budget->Poll()) break;
+        }
       }
       stats->nte_cascade_removals += dead_nte.size();
       cascade_remove(u_n, dead_nte);
+      if (budget != nullptr && budget->Exhausted()) break;
+    }
+
+    // Incremental byte accounting: the vertex's lists are final now
+    // (later cascades only shrink them), so its measured footprint is an
+    // upper bound on what it will occupy.
+    if (budget != nullptr) {
+      const CeciIndex::VertexFootprint f = index.MemoryFootprint(u);
+      if (budget->ChargeBytes(f.te_bytes + f.nte_bytes + f.candidate_bytes)) {
+        processed[u] = 1;
+        break;
+      }
     }
 
     processed[u] = 1;

@@ -18,6 +18,7 @@
 #include "ceci/query_tree.h"
 #include "graph/graph.h"
 #include "graph/nlc_index.h"
+#include "util/budget.h"
 #include "util/thread_pool.h"
 
 namespace ceci {
@@ -45,6 +46,13 @@ struct BuildOptions {
   /// records are deltas of counters Build() maintains anyway, so the hot
   /// loops are untouched (profiler support; see src/ceci/profiler.h).
   std::vector<struct BuildVertexStats>* vertex_stats = nullptr;
+  /// Cooperative execution budget (util/budget.h); null = unbounded.
+  /// Build() polls the deadline/token between frontier chunks and per
+  /// matching-order vertex, and charges each vertex's measured index
+  /// footprint (CeciIndex::MemoryFootprint) as soon as it is built. On
+  /// exhaustion the loop exits early and the returned index is partial —
+  /// callers must check the tracker before refining or enumerating it.
+  BudgetTracker* budget = nullptr;
 };
 
 /// One matching-order vertex's filtering record (BuildOptions::vertex_stats).

@@ -81,8 +81,21 @@ bool Enumerator::LimitReached() const {
       abort_flag_->load(std::memory_order_relaxed)) {
     return true;
   }
+  if (budget_ != nullptr && budget_->Exhausted()) return true;
   return shared_counter_ != nullptr &&
          shared_counter_->load(std::memory_order_relaxed) >= shared_limit_;
+}
+
+std::size_t Enumerator::StateBytes() const {
+  std::size_t bytes = mapping_.capacity() * sizeof(VertexId) +
+                      used_.capacity() * sizeof(std::uint64_t) +
+                      flipped_scratch_.capacity() * sizeof(VertexId) +
+                      span_scratch_.capacity() *
+                          sizeof(std::span<const VertexId>);
+  for (const auto& s : scratch_) {
+    bytes += sizeof(s) + s.capacity() * sizeof(VertexId);
+  }
+  return bytes;
 }
 
 std::uint64_t Enumerator::EnumerateAll(const EmbeddingVisitor* visitor) {
@@ -285,6 +298,15 @@ bool Enumerator::Recurse(std::size_t pos) {
   // Empty vector unless per_position_stats; the check is one size compare.
   if (pos < stats_.calls_per_position.size()) {
     ++stats_.calls_per_position[pos];
+  }
+  // Cooperative budget poll: the countdown keeps the hot path at one
+  // decrement; the clock/token are touched once per stride.
+  if (budget_ != nullptr && --budget_countdown_ == 0) {
+    budget_countdown_ = budget_->stride();
+    if (budget_->Poll()) {
+      stopped_ = true;
+      return false;
+    }
   }
   const auto& order = tree_.matching_order();
   if (pos == order.size()) {

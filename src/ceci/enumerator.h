@@ -22,6 +22,7 @@
 #include "ceci/query_tree.h"
 #include "ceci/symmetry.h"
 #include "graph/graph.h"
+#include "util/budget.h"
 
 namespace ceci {
 
@@ -108,6 +109,22 @@ class Enumerator {
   /// Installs a cross-worker abort flag: set when any worker's visitor
   /// returns false, checked by every worker like the shared limit.
   void SetAbortFlag(std::atomic<bool>* flag) { abort_flag_ = flag; }
+
+  /// Installs a cooperative execution budget (deadline / memory /
+  /// cancellation; see util/budget.h). An exhausted budget stops the
+  /// recursion like the abort flag (one relaxed load per level); the
+  /// deadline and token are additionally polled every
+  /// `tracker->stride()` recursive calls.
+  void SetBudget(BudgetTracker* tracker) {
+    budget_ = tracker;
+    budget_countdown_ = tracker != nullptr ? tracker->stride() : 0;
+  }
+
+  /// Bytes of per-worker enumeration state (mapping, injectivity bitmap,
+  /// per-depth scratch); charged against the memory budget by the
+  /// scheduler. Scratch growth during the search is not re-charged — the
+  /// bound is the initial allocation, documented in docs/robustness.md.
+  std::size_t StateBytes() const;
 
   /// True once this worker observed a stop condition (visitor false,
   /// shared limit, or the abort flag).
@@ -196,6 +213,8 @@ class Enumerator {
   std::atomic<std::uint64_t>* shared_counter_ = nullptr;
   std::uint64_t shared_limit_ = 0;
   std::atomic<bool>* abort_flag_ = nullptr;
+  BudgetTracker* budget_ = nullptr;
+  std::uint64_t budget_countdown_ = 0;
   bool stopped_ = false;
 };
 

@@ -52,6 +52,12 @@ void ExportMatchMetrics(const MatchResult& result) {
   static Histogram& query_us = reg.GetHistogram("ceci.match.query_us");
   static Histogram& worker_busy_us =
       reg.GetHistogram("ceci.enumerate.worker_busy_us");
+  static Counter& budget_deadline =
+      reg.GetCounter("ceci.budget.deadline_exceeded");
+  static Counter& budget_memory =
+      reg.GetCounter("ceci.budget.memory_exceeded");
+  static Counter& budget_cancelled = reg.GetCounter("ceci.budget.cancelled");
+  static Counter& budget_polls = reg.GetCounter("ceci.budget.polls");
 
   // The intersection kernels batch their own counters thread-locally;
   // worker threads flushed at exit, this covers the calling thread.
@@ -80,6 +86,10 @@ void ExportMatchMetrics(const MatchResult& result) {
   for (double w : s.worker_seconds) {
     worker_busy_us.Record(static_cast<std::uint64_t>(w * 1e6));
   }
+  if (s.budget.deadline_exceeded) budget_deadline.Increment();
+  if (s.budget.memory_exceeded) budget_memory.Increment();
+  if (s.budget.cancelled) budget_cancelled.Increment();
+  budget_polls.Add(s.budget.polls);
 }
 
 }  // namespace
@@ -93,6 +103,22 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   TraceSpan match_span("match");
   MatchResult result;
   MatchStats& stats = result.stats;
+
+  // Resilient execution layer: one tracker per call, shared by every
+  // phase and worker. Inactive (null below) when options.budget is
+  // default — the pipeline then pays nothing.
+  BudgetTracker tracker(options.budget);
+  BudgetTracker* budget = tracker.active() ? &tracker : nullptr;
+  bool visitor_abort = false;
+  // Stamps the outcome on the result; every exit path funnels through
+  // here so partial results are always labelled.
+  auto finalize = [&](TerminationReason reason) {
+    result.termination = reason;
+    stats.budget = tracker.ToStats();
+    if (visitor_abort) stats.budget.cancelled = true;
+    stats.total_seconds = total_timer.Seconds();
+    ExportMatchMetrics(result);
+  };
 
   // --- Preprocessing (§2.2) ---
   Timer phase;
@@ -110,6 +136,13 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   stats.automorphisms_broken = symmetry.automorphism_count();
   stats.preprocess_seconds = phase.Seconds();
 
+  // Initial poll: an already-cancelled token or pre-expired deadline
+  // stops the query before any index work starts.
+  if (budget != nullptr && budget->Poll()) {
+    finalize(tracker.reason());
+    return result;
+  }
+
   // Directed adjacency entries: every undirected data edge can serve a
   // query edge in either orientation, so the §3.4 bound counts 2|E_g|
   // candidate entries per query edge.
@@ -117,14 +150,14 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
       query.num_edges(), data_.num_directed_edges());
 
   if (pre->infeasible) {
-    // Some query vertex has no candidates at all: zero embeddings.
+    // Some query vertex has no candidates at all: zero embeddings. This
+    // is a *complete* answer, so the termination reason stays kCompleted.
     static Counter& infeasible =
         MetricsRegistry::Global().GetCounter("ceci.match.infeasible");
     infeasible.Increment();
-    stats.total_seconds = total_timer.Seconds();
     // Empty-but-present profile: no index exists to walk.
     if (options.profile) result.profile.emplace();
-    ExportMatchMetrics(result);
+    finalize(TerminationReason::kCompleted);
     return result;
   }
 
@@ -138,6 +171,7 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   }
   BuildOptions build_options;
   build_options.pool = pool;
+  build_options.budget = budget;
   std::vector<BuildVertexStats> vertex_stats;
   if (options.profile) build_options.vertex_stats = &vertex_stats;
   CeciBuilder builder(data_, nlc_);
@@ -148,6 +182,12 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   stats.build_seconds = phase.Seconds();
   stats.ceci_bytes_unrefined = index.MemoryBytes();
   stats.candidate_edges_unrefined = index.TotalCandidateEdges();
+  if (budget != nullptr && budget->Exhausted()) {
+    // Partial index: skip the inspector (its invariants assume a complete
+    // build) and everything downstream.
+    finalize(tracker.reason());
+    return result;
+  }
   if (options.index_inspector) {
     options.index_inspector(pre->tree, index, /*refined=*/false);
   }
@@ -168,10 +208,18 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   {
     TraceSpan span("refine");
     RefineCeci(pre->tree, data_.num_vertices(), &index, &stats.refine,
-               options.profile ? &pruned_per_vertex : nullptr);
-    index.Freeze();  // CSR-flat lists for the enumeration hot path
+               options.profile ? &pruned_per_vertex : nullptr, budget);
+    if (budget == nullptr || !budget->Exhausted()) {
+      index.Freeze();  // CSR-flat lists for the enumeration hot path
+    }
   }
   stats.refine_seconds = phase.Seconds();
+  if (budget != nullptr && budget->Exhausted()) {
+    // Semi-refined index: cardinalities are incomplete, so neither the
+    // inspector nor the enumerator may consume it.
+    finalize(tracker.reason());
+    return result;
+  }
   if (options.index_inspector) {
     options.index_inspector(pre->tree, index, /*refined=*/true);
   }
@@ -193,6 +241,7 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   schedule.enumeration.symmetry = &symmetry;
   schedule.enumeration.per_position_stats = options.profile;
   schedule.collect_profile = options.profile;
+  schedule.budget = budget;
   ScheduleResult sched = [&] {
     TraceSpan span("enumerate");
     return RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);
@@ -200,9 +249,23 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   stats.enumerate_seconds = phase.Seconds();
   stats.enumeration = sched.stats;
   stats.worker_seconds = std::move(sched.worker_seconds);
+  stats.worker_embeddings = std::move(sched.worker_embeddings);
   stats.decomposition = sched.decomposition;
+  visitor_abort = sched.visitor_abort;
 
   result.embedding_count = sched.embeddings;
+
+  // Termination resolution, most-specific first: a tripped budget names
+  // its cap; a visitor that returned false is an external cancellation;
+  // reaching the emission limit is the paper's first-k mode.
+  TerminationReason reason = TerminationReason::kCompleted;
+  if (budget != nullptr && budget->Exhausted()) {
+    reason = tracker.reason();
+  } else if (sched.visitor_abort) {
+    reason = TerminationReason::kCancelled;
+  } else if (sched.limit_hit) {
+    reason = TerminationReason::kLimit;
+  }
 
   if (options.profile) {
     QueryProfile& profile = result.profile.emplace();
@@ -255,8 +318,7 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
     }
   }
 
-  stats.total_seconds = total_timer.Seconds();
-  ExportMatchMetrics(result);
+  finalize(reason);
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "ceci/stats.h"
 #include "graph/graph.h"
 #include "graph/nlc_index.h"
+#include "util/budget.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -58,10 +59,18 @@ struct MatchOptions {
   /// again after refinement + freeze (refined == true). Hook for the
   /// invariant auditor (analysis/invariant_auditor.h, `ceci_query --audit`)
   /// and debug-run validation; must not mutate the index. Not called when
-  /// preprocessing proves the query infeasible (no index is built).
+  /// preprocessing proves the query infeasible (no index is built), nor
+  /// with a partial index after the execution budget trips mid-pipeline.
   std::function<void(const QueryTree& tree, const CeciIndex& index,
                      bool refined)>
       index_inspector;
+  /// Per-query resource caps: wall-clock deadline, index + enumeration
+  /// byte budget, external cancellation token (util/budget.h). Default =
+  /// unbounded, zero overhead. When a cap trips, Match() returns a
+  /// partial MatchResult whose `termination` names the cap; a tripped
+  /// budget mid-build/mid-refine skips the remaining phases (including
+  /// the profile — a partial index has no meaningful EXPLAIN).
+  ExecutionBudget budget;
 };
 
 /// Reusable matcher over one data graph. Thread-compatible: concurrent

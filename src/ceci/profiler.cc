@@ -226,6 +226,18 @@ std::string FormatExplain(const QueryProfile& p, const MatchStats& stats) {
          FmtSeconds(wp.busy_seconds).c_str(), occ * 100.0,
          static_cast<unsigned long long>(wp.units));
   }
+  if (stats.budget.active) {
+    emit("budget: %llu polls, %s charged",
+         static_cast<unsigned long long>(stats.budget.polls),
+         FmtBytes(stats.budget.charged_bytes).c_str());
+    if (stats.budget.memory_budget_bytes > 0) {
+      emit(" of %s cap", FmtBytes(stats.budget.memory_budget_bytes).c_str());
+    }
+    if (stats.budget.deadline_seconds > 0.0) {
+      emit(", deadline %s", FmtSeconds(stats.budget.deadline_seconds).c_str());
+    }
+    out += "\n";
+  }
   return out;
 }
 

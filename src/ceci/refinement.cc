@@ -55,7 +55,8 @@ class DenseScratch {
 
 void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
                 CeciIndex* index, RefineStats* stats,
-                std::vector<std::uint64_t>* pruned_per_vertex) {
+                std::vector<std::uint64_t>* pruned_per_vertex,
+                BudgetTracker* budget) {
   Timer timer;
   RefineStats local;
   if (stats == nullptr) stats = &local;
@@ -74,8 +75,16 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
   DenseScratch child_cards(data_num_vertices);
   std::vector<std::uint32_t> seen_in_list(data_num_vertices, 0);
 
+  bool budget_tripped = false;
   const auto& order = tree.matching_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    // Cooperative budget check, once per reverse-BFS vertex (plus per
+    // child below). A trip leaves the index semi-refined; the caller
+    // must not enumerate it.
+    if (budget != nullptr && budget->Poll()) {
+      budget_tripped = true;
+      break;
+    }
     const VertexId u = *it;
     CeciVertexData& ud = index->at(u);
     const std::uint32_t num_nte = static_cast<std::uint32_t>(ud.nte.size());
@@ -122,6 +131,10 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
       }
     }
     for (VertexId u_c : kids) {
+      if (budget != nullptr && budget->Poll()) {
+        budget_tripped = true;
+        break;
+      }
       const CeciVertexData& cd = index->at(u_c);
       // Reverse-BFS order guarantees every child was already refined, so
       // its cardinalities are present and parallel to its candidates.
@@ -141,6 +154,7 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
         partial[i] = SaturatingMul(partial[i], sum);
       }
     }
+    if (budget_tripped) break;  // skip the prune for this half-done vertex
     for (std::size_t i = 0; i < ud.candidates.size(); ++i) {
       const VertexId v = ud.candidates[i];
       if (partial[i] == 0) {
@@ -157,8 +171,9 @@ void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
     ud.cardinalities.resize(write);
   }
 
-  // Compaction sweep: drop dead keys and values everywhere.
-  {
+  // Compaction sweep: drop dead keys and values everywhere. Skipped on a
+  // budget trip: the matcher discards the semi-refined index anyway.
+  if (!budget_tripped) {
     TraceSpan compact_span("refine/compact");
     for (VertexId u = 0; u < nq; ++u) {
       CeciVertexData& ud = index->at(u);

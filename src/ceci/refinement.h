@@ -20,6 +20,7 @@
 
 #include "ceci/ceci_index.h"
 #include "ceci/query_tree.h"
+#include "util/budget.h"
 
 namespace ceci {
 
@@ -38,10 +39,15 @@ struct RefineStats {
 /// `stats` may be null. When `pruned_per_vertex` is non-null it is resized
 /// to the query vertex count and receives, per query vertex u, the number
 /// of u's candidates whose cardinality fell to zero (profiler support;
-/// the totals already counted in `stats` are unaffected).
+/// the totals already counted in `stats` are unaffected). `budget`, when
+/// non-null, is polled once per reverse-BFS vertex and per tree child
+/// scanned; on exhaustion refinement stops early, skipping the compaction
+/// sweep — the index is then semi-refined and must not be enumerated
+/// (the matcher reports the budget's TerminationReason instead).
 void RefineCeci(const QueryTree& tree, std::size_t data_num_vertices,
                 CeciIndex* index, RefineStats* stats,
-                std::vector<std::uint64_t>* pruned_per_vertex = nullptr);
+                std::vector<std::uint64_t>* pruned_per_vertex = nullptr,
+                BudgetTracker* budget = nullptr);
 
 }  // namespace ceci
 

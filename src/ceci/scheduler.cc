@@ -60,6 +60,22 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
                                   ? std::numeric_limits<std::uint64_t>::max()
                                   : options.limit;
 
+  // The decomposed unit pool is enumeration state too: a hub-heavy FGD
+  // decomposition can dwarf the index, so charge it before spawning
+  // workers and bail out with an honest zero if that already trips.
+  if (options.budget != nullptr) {
+    std::size_t unit_bytes = units.capacity() * sizeof(WorkUnit);
+    for (const WorkUnit& unit : units) {
+      unit_bytes += unit.prefix.capacity() * sizeof(VertexId);
+    }
+    options.budget->ChargeBytes(unit_bytes);
+    options.budget->Poll();
+    if (options.budget->Exhausted()) {
+      result.seconds = wall.Seconds();
+      return result;
+    }
+  }
+
   std::vector<EnumStats> worker_stats(workers);
   result.worker_seconds.assign(workers, 0.0);
   result.worker_units.assign(workers, 0);
@@ -88,9 +104,14 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
     Enumerator enumerator(data, tree, index, options.enumeration);
     enumerator.SetSharedLimit(&emitted, limit);
     enumerator.SetAbortFlag(&aborted);
+    if (options.budget != nullptr) {
+      enumerator.SetBudget(options.budget);
+      options.budget->ChargeBytes(enumerator.StateBytes());
+    }
     auto should_stop = [&] {
       return aborted.load(std::memory_order_relaxed) ||
-             emitted.load(std::memory_order_relaxed) >= limit;
+             emitted.load(std::memory_order_relaxed) >= limit ||
+             (options.budget != nullptr && options.budget->Exhausted());
     };
     if (options.distribution == Distribution::kStatic) {
       // Round-robin static assignment; no re-adjustment (§4.2).
@@ -125,10 +146,15 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
     for (auto& t : threads) t.join();
   }
 
+  result.worker_embeddings.reserve(workers);
   for (const EnumStats& s : worker_stats) {
     result.stats += s;
+    result.worker_embeddings.push_back(s.embeddings);
   }
   result.embeddings = result.stats.embeddings;
+  result.visitor_abort = aborted.load(std::memory_order_relaxed);
+  result.limit_hit = options.limit > 0 &&
+                     emitted.load(std::memory_order_relaxed) >= options.limit;
   result.seconds = wall.Seconds();
   return result;
 }

@@ -36,6 +36,11 @@ struct ScheduleOptions {
   /// Off by default: the summaries sort a copy of the cardinalities, which
   /// a counter-only run should not pay for.
   bool collect_profile = false;
+  /// Cooperative execution budget shared by all workers (util/budget.h);
+  /// null = unbounded. The scheduler charges the work-unit pool and each
+  /// worker's enumeration state against it and stops pulling units once
+  /// it is exhausted.
+  BudgetTracker* budget = nullptr;
 };
 
 struct ScheduleResult {
@@ -50,6 +55,13 @@ struct ScheduleResult {
   /// even without collect_profile — it is as cheap as the existing
   /// next_unit fetch).
   std::vector<std::uint64_t> worker_units;
+  /// Embeddings each worker emitted; sums to `embeddings` (termination-
+  /// accounting invariant, checked by AuditMatchResult).
+  std::vector<std::uint64_t> worker_embeddings;
+  /// A visitor returned false (the cross-worker abort flag fired).
+  bool visitor_abort = false;
+  /// The shared emission limit was reached.
+  bool limit_hit = false;
   DecomposeStats decomposition;
   /// Skew over embedding-cluster cardinalities (pivot workloads, before
   /// decomposition) and over work-unit cardinalities (after). Filled only

@@ -14,6 +14,7 @@
 #include "ceci/profiler.h"
 #include "ceci/refinement.h"
 #include "graph/types.h"
+#include "util/budget.h"
 
 namespace ceci {
 
@@ -42,13 +43,25 @@ struct MatchStats {
   RefineStats refine;
   EnumStats enumeration;
   std::vector<double> worker_seconds;
+  /// Embeddings emitted per enumeration worker; their sum equals
+  /// MatchResult::embedding_count (the invariant auditor checks this —
+  /// see AuditMatchResult). Empty when enumeration never ran (infeasible
+  /// query or a budget tripped earlier in the pipeline).
+  std::vector<std::uint64_t> worker_embeddings;
 
   // Symmetry.
   std::size_t automorphisms_broken = 0;
+
+  /// Execution-budget outcome (resilient execution layer); budget.active
+  /// is false when MatchOptions::budget was default (unbounded).
+  BudgetStats budget;
 };
 
 struct MatchResult {
   std::uint64_t embedding_count = 0;
+  /// Why the match stopped. Anything but kCompleted means
+  /// embedding_count is a partial (lower-bound) count.
+  TerminationReason termination = TerminationReason::kCompleted;
   MatchStats stats;
   /// Per-query EXPLAIN data; present only when MatchOptions::profile.
   /// Empty-but-present (no vertices) for infeasible queries, where no

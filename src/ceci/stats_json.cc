@@ -94,6 +94,23 @@ void AppendMatchStatsJson(const MatchStats& stats, JsonWriter* w) {
   w->BeginArray();
   for (double s : stats.worker_seconds) w->Double(s);
   w->EndArray();
+  w->Key("embeddings");
+  w->BeginArray();
+  for (std::uint64_t e : stats.worker_embeddings) w->Uint(e);
+  w->EndArray();
+  w->EndObject();
+
+  w->Key("budget");
+  w->BeginObject();
+  w->KV("active", stats.budget.active);
+  w->KV("deadline_seconds", stats.budget.deadline_seconds);
+  w->KV("memory_budget_bytes",
+        static_cast<std::uint64_t>(stats.budget.memory_budget_bytes));
+  w->KV("charged_bytes", static_cast<std::uint64_t>(stats.budget.charged_bytes));
+  w->KV("polls", stats.budget.polls);
+  w->KV("deadline_exceeded", stats.budget.deadline_exceeded);
+  w->KV("memory_exceeded", stats.budget.memory_exceeded);
+  w->KV("cancelled", stats.budget.cancelled);
   w->EndObject();
 
   w->EndObject();
@@ -105,6 +122,7 @@ std::string MetricsReportJson(const MatchResult& result,
   w.BeginObject();
   w.KV("schema_version", static_cast<std::uint64_t>(kMetricsSchemaVersion));
   w.KV("embeddings", result.embedding_count);
+  w.KV("termination", TerminationReasonName(result.termination));
   w.Key("stats");
   AppendMatchStatsJson(result.stats, &w);
 

@@ -25,6 +25,14 @@ struct CostModel {
   /// Requests coalesced per storage round trip: machines read adjacency
   /// lists in batches, so not every vertex pays the full latency.
   std::uint64_t storage_batch = 256;
+  /// Deterministic compute rates used only when a FailurePlan is active:
+  /// the work-stealing replay then runs on fully modeled times instead of
+  /// measured thread CPU, so same plan + same seed reproduces the exact
+  /// same crash/recovery schedule (distsim/failure.h). Units: seconds per
+  /// adjacency entry scanned during CECI build, and seconds per unit of
+  /// refined cardinality enumerated.
+  double build_seconds_per_scanned_entry = 2e-9;
+  double enum_seconds_per_cardinality = 5e-9;
 
   /// Simulated seconds to move one message of `bytes` over the network.
   double MessageSeconds(std::uint64_t bytes) const {

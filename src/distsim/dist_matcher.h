@@ -22,6 +22,7 @@
 #include "ceci/matcher.h"
 #include "distsim/cluster.h"
 #include "distsim/cost_model.h"
+#include "distsim/failure.h"
 #include "distsim/machine.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -44,6 +45,13 @@ struct DistOptions {
   /// default here is smaller because the O(k²) coordinator pass is serial
   /// and this container exposes one core. Raise it on real clusters.
   std::size_t jaccard_top_k = 256;
+  /// Scripted failures (crashes, stragglers, storage flakes). When
+  /// enabled, the work-stealing replay runs on the CostModel's modeled
+  /// compute rates so same plan + same seed reproduces identical totals
+  /// and recovery counters; embedding totals stay exactly equal to the
+  /// failure-free run (recovery is at-most-once per cluster). Validated
+  /// by DistributedMatch; an invalid plan fails the query up front.
+  FailurePlan failure_plan;
 };
 
 struct MachineReport {
@@ -65,6 +73,18 @@ struct MachineReport {
   double comm_seconds = 0.0;  // modeled (pivot distribution, stealing)
   /// Modeled end-to-end busy time: compute + io + comm.
   double total_seconds = 0.0;
+  /// --- Failure-plan recovery accounting (zero without a plan) ---
+  /// This machine crashed at its scripted time; embeddings below count
+  /// only the units it durably finished before dying.
+  bool crashed = false;
+  /// Orphaned clusters this machine adopted from crashed peers
+  /// (at-most-once per cluster per crash).
+  std::uint64_t reassigned_clusters = 0;
+  /// Shared-store read round trips that failed and were retried here.
+  std::uint64_t storage_retries = 0;
+  /// Modeled seconds spent on recovery work: transferring + re-running
+  /// adopted units (inside enum_compute_seconds, not in addition to it).
+  double recovery_seconds = 0.0;
 };
 
 struct DistResult {
@@ -86,6 +106,11 @@ struct DistResult {
   double build_compute_seconds = 0.0;
   double build_io_seconds = 0.0;
   double build_comm_seconds = 0.0;
+  /// --- Failure-plan recovery totals (zero without a plan) ---
+  std::size_t crashed_machines = 0;
+  std::uint64_t total_reassigned_clusters = 0;
+  std::uint64_t total_storage_retries = 0;
+  double total_recovery_seconds = 0.0;
 };
 
 /// Runs distributed matching of `query` on `data`.

@@ -39,6 +39,14 @@ class Machine {
     bytes_read_ += bytes;
   }
 
+  /// Charges `retries` failed-then-retried shared-store round trips whose
+  /// modeled latency + backoff totals `seconds` (distsim/failure.h). Time
+  /// lands in the io budget; the counter feeds recovery reporting.
+  void ChargeStorageRetries(std::uint64_t retries, double seconds) {
+    storage_retries_ += retries;
+    io_seconds_ += seconds;
+  }
+
   void AddCompute(double seconds) { compute_seconds_ += seconds; }
 
   double compute_seconds() const { return compute_seconds_; }
@@ -54,6 +62,7 @@ class Machine {
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t messages() const { return messages_; }
   std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t storage_retries() const { return storage_retries_; }
 
  private:
   std::uint32_t id_ = 0;
@@ -66,6 +75,7 @@ class Machine {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t messages_received_ = 0;
+  std::uint64_t storage_retries_ = 0;
 };
 
 }  // namespace ceci::distsim

@@ -33,8 +33,26 @@
 //                     the "profile" block (profiling is enabled)
 //   --audit           run the invariant auditor over the data graph, the
 //                     query graph, the CECI after build and after refine,
-//                     and the work-unit partition; exit 3 on violations
+//                     the work-unit partition, and the final result's
+//                     termination accounting; exit 3 on violations
 //                     (catalog in docs/static_analysis.md)
+//   --deadline-ms N   wall-clock deadline; the query stops cooperatively
+//                     and reports "termination: deadline" (exit 4)
+//   --memory-budget-mb F
+//                     cap on CECI index + enumeration state bytes; on
+//                     exhaustion reports "termination: memory_budget"
+//                     (exit 4)
+//   --cancel-after N  request cancellation after N embeddings have been
+//                     seen (exercises the cooperative cancellation token;
+//                     reports "termination: cancelled", exit 0)
+//
+// Exit codes:
+//   0  query ran to completion (or was cancelled / hit --limit)
+//   1  I/O or match error
+//   2  usage error
+//   3  --audit found invariant violations
+//   4  deadline or memory budget exhausted
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +87,9 @@ struct Args {
   bool trace = false;
   bool explain = false;
   bool audit = false;
+  double deadline_ms = 0.0;
+  double memory_budget_mb = 0.0;
+  std::uint64_t cancel_after = 0;
   std::string metrics_json;
   std::string trace_chrome;
 };
@@ -81,7 +102,14 @@ void Usage(const char* argv0) {
                "          [--distribution st|cgd|fgd] [--beta F]\n"
                "          [--no-symmetry] [--print] [--stats] [--trace]\n"
                "          [--explain] [--trace-chrome PATH]\n"
-               "          [--metrics-json PATH|-] [--audit]\n",
+               "          [--metrics-json PATH|-] [--audit]\n"
+               "          [--deadline-ms N] [--memory-budget-mb F]\n"
+               "          [--cancel-after N]\n"
+               "exit codes: 0 ok (completed/cancelled/limit), 1 I/O or "
+               "match error,\n"
+               "            2 usage, 3 audit violations, 4 deadline or "
+               "memory budget\n"
+               "            exhausted\n",
                argv0);
 }
 
@@ -147,6 +175,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (args->trace_chrome.empty()) return false;
     } else if (flag == "--audit") {
       args->audit = true;
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->deadline_ms = std::strtod(v, nullptr);
+      if (args->deadline_ms <= 0.0) return false;
+    } else if (flag == "--memory-budget-mb") {
+      const char* v = next();
+      if (!v) return false;
+      args->memory_budget_mb = std::strtod(v, nullptr);
+      if (args->memory_budget_mb <= 0.0) return false;
+    } else if (flag == "--cancel-after") {
+      const char* v = next();
+      if (!v) return false;
+      args->cancel_after = std::strtoull(v, nullptr, 10);
+      if (args->cancel_after == 0) return false;
     } else if (flag == "--metrics-json") {
       const char* v = next();
       if (!v) return false;
@@ -280,17 +323,45 @@ int main(int argc, char** argv) {
     };
   }
 
+  // Resilience caps: deadline / byte budget / cancellation token, all
+  // carried through MatchOptions (util/budget.h).
+  CancellationToken cancel_token;
+  if (args.deadline_ms > 0.0) {
+    options.budget.deadline_seconds = args.deadline_ms / 1000.0;
+  }
+  if (args.memory_budget_mb > 0.0) {
+    options.budget.memory_budget_bytes =
+        static_cast<std::size_t>(args.memory_budget_mb * 1024.0 * 1024.0);
+  }
+  if (args.cancel_after > 0) {
+    options.budget.token = &cancel_token;
+    // Tighter poll stride: a visitor-driven cancel should land within a
+    // few recursive calls, not the default 4096. Tiny queries can still
+    // finish before the first poll — then the honest answer is
+    // "completed", and both outcomes exit 0.
+    options.budget.check_stride = 64;
+  }
+
   CeciMatcher matcher(*data);
-  EmbeddingVisitor print_visitor = [](std::span<const VertexId> m) {
-    std::printf("  {");
-    for (std::size_t u = 0; u < m.size(); ++u) {
-      std::printf("%su%zu->%u", u == 0 ? "" : ", ", u, m[u]);
+  std::atomic<std::uint64_t> seen{0};
+  EmbeddingVisitor visitor = [&](std::span<const VertexId> m) {
+    if (args.print) {
+      std::printf("  {");
+      for (std::size_t u = 0; u < m.size(); ++u) {
+        std::printf("%su%zu->%u", u == 0 ? "" : ", ", u, m[u]);
+      }
+      std::printf("}\n");
     }
-    std::printf("}\n");
+    if (args.cancel_after > 0 &&
+        seen.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            args.cancel_after) {
+      cancel_token.RequestCancel();
+    }
     return true;
   };
+  const bool need_visitor = args.print || args.cancel_after > 0;
   auto result = matcher.Match(*query, options,
-                              args.print ? &print_visitor : nullptr);
+                              need_visitor ? &visitor : nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "match: %s\n", result.status().ToString().c_str());
     return 1;
@@ -301,9 +372,14 @@ int main(int argc, char** argv) {
     AuditQueryProfile(audited_tree, audited_index, *result->profile,
                       &audit_report);
   }
+  if (args.audit) {
+    AuditMatchResult(*result, &audit_report);
+  }
 
   std::printf("embeddings: %llu\n",
               static_cast<unsigned long long>(result->embedding_count));
+  std::printf("termination: %s\n",
+              TerminationReasonName(result->termination).c_str());
   const MatchStats& s = result->stats;
   std::printf("time: %.3fs (preprocess %.3f, build %.3f, refine %.3f, "
               "enumerate %.3f)\n",
@@ -370,5 +446,9 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
   if (args.audit && !audit_report.ok()) return 3;
+  if (result->termination == TerminationReason::kDeadline ||
+      result->termination == TerminationReason::kMemoryBudget) {
+    return 4;
+  }
   return 0;
 }

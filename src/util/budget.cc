@@ -1,0 +1,89 @@
+#include "util/budget.h"
+
+namespace ceci {
+
+std::string TerminationReasonName(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kLimit:
+      return "limit";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kMemoryBudget:
+      return "memory_budget";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+BudgetTracker::BudgetTracker(const ExecutionBudget& budget)
+    : budget_(budget),
+      active_(budget.active()),
+      stride_(budget.check_stride > 0 ? budget.check_stride : 1),
+      start_(std::chrono::steady_clock::now()) {}
+
+double BudgetTracker::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void BudgetTracker::SetReason(TerminationReason reason) {
+  int expected = 0;
+  // First exhaustion wins; losers keep the original reason.
+  reason_.compare_exchange_strong(
+      expected, static_cast<int>(reason), std::memory_order_relaxed,
+      std::memory_order_relaxed);
+  exhausted_.store(true, std::memory_order_relaxed);
+}
+
+bool BudgetTracker::Poll() {
+  if (!active_) return false;
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
+  if (budget_.token != nullptr && budget_.token->cancelled()) {
+    SetReason(TerminationReason::kCancelled);
+    return true;
+  }
+  if (budget_.deadline_seconds > 0.0 &&
+      ElapsedSeconds() >= budget_.deadline_seconds) {
+    SetReason(TerminationReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+bool BudgetTracker::ChargeBytes(std::size_t bytes) {
+  if (!active_) return false;
+  const std::size_t total =
+      bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_.memory_budget_bytes > 0 &&
+      total > budget_.memory_budget_bytes) {
+    SetReason(TerminationReason::kMemoryBudget);
+  }
+  return Exhausted();
+}
+
+TerminationReason BudgetTracker::reason() const {
+  const int r = reason_.load(std::memory_order_relaxed);
+  return r == 0 ? TerminationReason::kCompleted
+                : static_cast<TerminationReason>(r);
+}
+
+BudgetStats BudgetTracker::ToStats() const {
+  BudgetStats stats;
+  stats.active = active_;
+  stats.deadline_seconds = budget_.deadline_seconds;
+  stats.memory_budget_bytes = budget_.memory_budget_bytes;
+  stats.charged_bytes = charged_bytes();
+  stats.polls = polls();
+  const TerminationReason r = reason();
+  stats.deadline_exceeded = r == TerminationReason::kDeadline;
+  stats.memory_exceeded = r == TerminationReason::kMemoryBudget;
+  stats.cancelled = r == TerminationReason::kCancelled;
+  return stats;
+}
+
+}  // namespace ceci

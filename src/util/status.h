@@ -8,6 +8,8 @@
 #include <utility>
 #include <variant>
 
+#include "util/logging.h"
+
 namespace ceci {
 
 /// Outcome of a fallible operation. Cheap to copy in the OK case.
@@ -55,7 +57,9 @@ class Status {
   std::string message_;
 };
 
-/// A value or an error Status. Accessing value() on an error aborts.
+/// A value or an error Status. Accessing value() on an error aborts with
+/// the contained status printed (CECI_CHECK discipline, not a bare
+/// std::get throw) — callers must test ok() first.
 template <typename T>
 class Result {
  public:
@@ -70,9 +74,18 @@ class Result {
     return std::get<Status>(payload_);
   }
 
-  T& value() & { return std::get<T>(payload_); }
-  const T& value() const& { return std::get<T>(payload_); }
-  T&& value() && { return std::get<T>(std::move(payload_)); }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(payload_));
+  }
 
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }
@@ -80,6 +93,11 @@ class Result {
   const T* operator->() const { return &value(); }
 
  private:
+  void EnsureOk() const {
+    CECI_CHECK(ok()) << "Result::value() on error status: "
+                     << std::get<Status>(payload_).ToString();
+  }
+
   std::variant<T, Status> payload_;
 };
 

@@ -1,6 +1,9 @@
 // Tests for the simulated distributed runtime (§5).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "baselines/vf2.h"
 #include "distsim/cluster.h"
 #include "distsim/cost_model.h"
@@ -17,9 +20,13 @@ using distsim::AssignOptions;
 using distsim::AssignPivots;
 using distsim::CostModel;
 using distsim::DistOptions;
+using distsim::DistResultJson;
 using distsim::DistributedMatch;
+using distsim::FailurePlan;
 using distsim::GraphStorage;
 using distsim::JaccardSimilarity;
+using distsim::MachineCrash;
+using distsim::MachineStraggler;
 using distsim::PivotWorkload;
 
 TEST(CostModelTest, MessageAndStorageCosts) {
@@ -192,6 +199,220 @@ TEST(DistributedMatchTest, InfeasibleQueryYieldsZero) {
   auto result = DistributedMatch(data, query, options);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->embeddings, 0u);
+}
+
+// --- Failure injection and recovery ---
+
+TEST(FailurePlanTest, ValidationRejectsBadPlans) {
+  FailurePlan plan;
+  plan.enabled = true;
+  EXPECT_TRUE(plan.Validate(4).ok());  // empty plan = deterministic mode
+
+  plan.crashes = {{5, 1.0}};  // machine out of range
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan.crashes = {{0, 1.0}, {0, 2.0}};  // duplicate crash
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan.crashes = {{0, 1.0}, {1, 1.0}};  // every machine dies
+  EXPECT_FALSE(plan.Validate(2).ok());
+
+  plan.crashes = {{0, -1.0}};  // negative time
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan.crashes.clear();
+  plan.stragglers = {{1, 0.5}};  // a "slowdown" that speeds up
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan.stragglers.clear();
+  plan.storage_error_rate = 1.0;  // every read fails forever
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan.storage_error_rate = 0.1;
+  plan.max_storage_retries = 0;
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  // Scripted failures behind a disabled switch would be a silent no-op.
+  FailurePlan off;
+  off.crashes = {{0, 1.0}};
+  EXPECT_FALSE(off.Validate(4).ok());
+  auto result = DistributedMatch(
+      PaperExample::Data(), PaperExample::Query(), [] {
+        DistOptions o;
+        o.num_machines = 2;
+        o.failure_plan.crashes = {{0, 1.0}};  // enabled left false
+        return o;
+      }());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DistRecoveryTest, CrashMidEnumerationPreservesEmbeddingTotals) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+
+  DistOptions base;
+  base.num_machines = 3;
+  base.failure_plan.enabled = true;  // deterministic replay, no failures
+  base.failure_plan.seed = 42;
+  auto clean = DistributedMatch(data, query, base);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_GT(clean->embeddings, 0u);
+  ASSERT_EQ(clean->crashed_machines, 0u);
+  ASSERT_EQ(clean->total_reassigned_clusters, 0u);
+
+  // Crash machine 0 halfway through its modeled enumeration window. The
+  // modeled timeline is identical to `clean`'s because both runs share
+  // the plan's deterministic compute rates.
+  const auto& m0 = clean->machines[0];
+  const double enum_start =
+      m0.build_compute_seconds + m0.io_seconds + m0.comm_seconds;
+  DistOptions crashed = base;
+  crashed.failure_plan.crashes = {
+      {0, enum_start + m0.enum_compute_seconds / 2.0}};
+  auto recovered = DistributedMatch(data, query, crashed);
+  ASSERT_TRUE(recovered.ok());
+
+  // The acceptance invariant: exact same total as the failure-free run.
+  EXPECT_EQ(recovered->embeddings, clean->embeddings);
+  std::uint64_t per_machine_sum = 0;
+  for (const auto& m : recovered->machines) per_machine_sum += m.embeddings;
+  EXPECT_EQ(per_machine_sum, recovered->embeddings);
+
+  EXPECT_EQ(recovered->crashed_machines, 1u);
+  EXPECT_TRUE(recovered->machines[0].crashed);
+  if (m0.enum_compute_seconds > 0.0 && m0.pivots > 0) {
+    // Some of machine 0's clusters were orphaned and adopted elsewhere.
+    EXPECT_GT(recovered->total_reassigned_clusters, 0u);
+    EXPECT_GT(recovered->total_recovery_seconds, 0.0);
+    EXPECT_EQ(recovered->machines[0].reassigned_clusters, 0u);
+    EXPECT_LT(recovered->machines[0].embeddings, clean->machines[0].embeddings +
+                                                     1);
+  }
+}
+
+TEST(DistRecoveryTest, CrashAtTimeZeroRedistributesEverything) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  DistOptions clean_options;
+  clean_options.num_machines = 3;
+  auto clean = DistributedMatch(data, query, clean_options);
+  ASSERT_TRUE(clean.ok());
+
+  DistOptions options = clean_options;
+  options.failure_plan.enabled = true;
+  options.failure_plan.crashes = {{1, 0.0}};  // dies before doing anything
+  auto result = DistributedMatch(data, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embeddings, clean->embeddings);
+  EXPECT_TRUE(result->machines[1].crashed);
+  EXPECT_EQ(result->machines[1].embeddings, 0u);
+  EXPECT_EQ(result->machines[1].recovery_seconds, 0.0);
+}
+
+TEST(DistRecoveryTest, SameSeedReproducesCountersExactly) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  DistOptions options;
+  options.num_machines = 4;
+  options.threads_per_machine = 2;
+  options.storage = GraphStorage::kShared;
+  options.failure_plan.enabled = true;
+  options.failure_plan.seed = 7;
+  options.failure_plan.crashes = {{2, 0.001}};
+  options.failure_plan.stragglers = {{1, 3.0}};
+  options.failure_plan.storage_error_rate = 0.2;
+
+  auto a = DistributedMatch(data, query, options);
+  auto b = DistributedMatch(data, query, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->embeddings, b->embeddings);
+  EXPECT_EQ(a->crashed_machines, b->crashed_machines);
+  EXPECT_EQ(a->total_reassigned_clusters, b->total_reassigned_clusters);
+  EXPECT_EQ(a->total_storage_retries, b->total_storage_retries);
+  EXPECT_DOUBLE_EQ(a->total_recovery_seconds, b->total_recovery_seconds);
+  ASSERT_EQ(a->machines.size(), b->machines.size());
+  for (std::size_t i = 0; i < a->machines.size(); ++i) {
+    EXPECT_EQ(a->machines[i].embeddings, b->machines[i].embeddings) << i;
+    EXPECT_EQ(a->machines[i].stolen_units, b->machines[i].stolen_units) << i;
+    EXPECT_EQ(a->machines[i].reassigned_clusters,
+              b->machines[i].reassigned_clusters)
+        << i;
+    EXPECT_EQ(a->machines[i].storage_retries, b->machines[i].storage_retries)
+        << i;
+    EXPECT_DOUBLE_EQ(a->machines[i].recovery_seconds,
+                     b->machines[i].recovery_seconds)
+        << i;
+    EXPECT_DOUBLE_EQ(a->machines[i].enum_compute_seconds,
+                     b->machines[i].enum_compute_seconds)
+        << i;
+    EXPECT_DOUBLE_EQ(a->machines[i].build_compute_seconds,
+                     b->machines[i].build_compute_seconds)
+        << i;
+  }
+}
+
+TEST(DistRecoveryTest, StragglerSlowsItsMachineOnly) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  DistOptions nominal;
+  nominal.num_machines = 3;
+  nominal.work_stealing = false;  // isolate the slowdown from rebalancing
+  nominal.failure_plan.enabled = true;
+  auto fast = DistributedMatch(data, query, nominal);
+  ASSERT_TRUE(fast.ok());
+
+  DistOptions dragged = nominal;
+  dragged.failure_plan.stragglers = {{0, 4.0}};
+  auto slow = DistributedMatch(data, query, dragged);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->embeddings, fast->embeddings);
+  EXPECT_GT(slow->machines[0].build_compute_seconds,
+            fast->machines[0].build_compute_seconds);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(slow->machines[i].build_compute_seconds,
+                     fast->machines[i].build_compute_seconds)
+        << i;
+  }
+}
+
+TEST(DistRecoveryTest, StorageFlakesRetryWithoutChangingResults) {
+  Graph data = GenerateBarabasiAlbert(400, 4, 11);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  DistOptions stable;
+  stable.num_machines = 4;
+  stable.storage = GraphStorage::kShared;
+  stable.failure_plan.enabled = true;
+  stable.failure_plan.seed = 3;
+  auto a = DistributedMatch(data, query, stable);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->total_storage_retries, 0u);
+
+  DistOptions flaky = stable;
+  flaky.failure_plan.storage_error_rate = 0.25;
+  auto b = DistributedMatch(data, query, flaky);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->embeddings, a->embeddings);
+  EXPECT_GT(b->total_storage_retries, 0u);
+  // Retries pay modeled latency + backoff through the cost model.
+  EXPECT_GT(b->build_io_seconds, a->build_io_seconds);
+}
+
+TEST(DistRecoveryTest, RecoveryCountersSurfaceInJson) {
+  Graph data = GenerateBarabasiAlbert(300, 3, 7);
+  Graph query = MakePaperQuery(PaperQuery::kQG3);
+  DistOptions options;
+  options.num_machines = 3;
+  options.failure_plan.enabled = true;
+  options.failure_plan.crashes = {{0, 0.0}};
+  auto result = DistributedMatch(data, query, options);
+  ASSERT_TRUE(result.ok());
+  const std::string json = DistResultJson(*result);
+  EXPECT_NE(json.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"crashed_machines\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reassigned_clusters\""), std::string::npos);
+  EXPECT_NE(json.find("\"storage_retries\""), std::string::npos);
+  EXPECT_NE(json.find("\"crashed\":true"), std::string::npos);
 }
 
 }  // namespace

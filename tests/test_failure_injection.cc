@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "baselines/psgl.h"
 #include "ceci/matcher.h"
@@ -169,6 +171,203 @@ TEST(FailureInjectionTest, RepeatedMatchesDoNotLeakState) {
     auto again = matcher.Count(query);
     ASSERT_TRUE(again.ok());
     EXPECT_EQ(*again, *first);
+  }
+}
+
+// --- Execution budget: deadlines, memory caps, cancellation tokens ---
+
+TEST(ExecutionBudgetTest, CompletedRunIsLabelledAndPartitioned) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.threads = 4;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCompleted);
+  EXPECT_FALSE(result->stats.budget.active);  // no caps set, zero overhead
+  ASSERT_EQ(result->stats.worker_embeddings.size(), 4u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t e : result->stats.worker_embeddings) sum += e;
+  EXPECT_EQ(sum, result->embedding_count);
+}
+
+TEST(ExecutionBudgetTest, LimitIsReportedAsLimitTermination) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.limit = 1;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding_count, 1u);
+  EXPECT_EQ(result->termination, TerminationReason::kLimit);
+}
+
+TEST(ExecutionBudgetTest, AbortingVisitorIsReportedAsCancelled) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  EmbeddingVisitor stop = [](std::span<const VertexId>) { return false; };
+  auto result =
+      matcher.Match(MakePaperQuery(PaperQuery::kQG1), MatchOptions{}, &stop);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCancelled);
+  EXPECT_TRUE(result->stats.budget.cancelled);
+}
+
+TEST(ExecutionBudgetTest, ExpiredDeadlineStopsBeforeAnyIndexWork) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.budget.deadline_seconds = 1e-9;  // expired by the first poll
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kDeadline);
+  EXPECT_EQ(result->embedding_count, 0u);
+  EXPECT_EQ(result->stats.ceci_bytes_unrefined, 0u);  // build never ran
+  EXPECT_TRUE(result->stats.budget.deadline_exceeded);
+  EXPECT_GT(result->stats.budget.polls, 0u);
+}
+
+TEST(ExecutionBudgetTest, DeadlineTripsDuringRefinement) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.budget.deadline_seconds = 0.05;
+  options.budget.check_stride = 1;
+  // Burn the deadline between build and refinement: the inspector runs
+  // with the complete unrefined index, so the trip lands in RefineCeci's
+  // first poll.
+  options.index_inspector = [](const QueryTree&, const CeciIndex&,
+                               bool refined) {
+    if (!refined) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  };
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kDeadline);
+  EXPECT_EQ(result->embedding_count, 0u);
+  EXPECT_GT(result->stats.ceci_bytes_unrefined, 0u);  // build completed
+  EXPECT_EQ(result->stats.enumerate_seconds, 0.0);    // enumeration skipped
+}
+
+TEST(ExecutionBudgetTest, DeadlineTripsDuringEnumeration) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.budget.deadline_seconds = 0.05;
+  options.budget.check_stride = 1;
+  // Burn the deadline after refinement: build and refine complete, the
+  // trip lands in the enumeration phase.
+  options.index_inspector = [](const QueryTree&, const CeciIndex&,
+                               bool refined) {
+    if (refined) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  };
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kDeadline);
+  EXPECT_GT(result->stats.refine_seconds, 0.0);
+  // The enumeration saw at most a stride's worth of work before stopping.
+  const std::uint64_t unbounded =
+      matcher.Count(MakePaperQuery(PaperQuery::kQG1)).value();
+  EXPECT_LT(result->embedding_count, unbounded);
+}
+
+TEST(ExecutionBudgetTest, MemoryBudgetOfOneByteTripsInBuild) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  MatchOptions options;
+  options.budget.memory_budget_bytes = 1;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kMemoryBudget);
+  EXPECT_EQ(result->embedding_count, 0u);
+  EXPECT_TRUE(result->stats.budget.memory_exceeded);
+  EXPECT_GT(result->stats.budget.charged_bytes, 1u);
+}
+
+TEST(ExecutionBudgetTest, GenerousBudgetCompletesAndAccountsBytes) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  const std::uint64_t unbounded =
+      matcher.Count(MakePaperQuery(PaperQuery::kQG1)).value();
+  MatchOptions options;
+  options.threads = 2;
+  options.budget.memory_budget_bytes = 256u << 20;  // far above any need
+  options.budget.deadline_seconds = 300.0;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCompleted);
+  EXPECT_EQ(result->embedding_count, unbounded);
+  EXPECT_TRUE(result->stats.budget.active);
+  // The charge covers at least the built index.
+  EXPECT_GE(result->stats.budget.charged_bytes,
+            result->stats.ceci_bytes_unrefined);
+}
+
+TEST(ExecutionBudgetTest, PreCancelledTokenStopsImmediately) {
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  CancellationToken token;
+  token.RequestCancel();
+  MatchOptions options;
+  options.budget.token = &token;
+  auto result = matcher.Match(MakePaperQuery(PaperQuery::kQG1), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCancelled);
+  EXPECT_EQ(result->embedding_count, 0u);
+  EXPECT_TRUE(result->stats.budget.cancelled);
+}
+
+TEST(ExecutionBudgetTest, MidEnumerationCancellationRaceIsClean) {
+  // Multithreaded cancellation: a visitor requests cancel mid-stream
+  // while 4 workers poll the shared token. Must be TSAN-clean and stop
+  // without enumerating everything.
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  const std::uint64_t total =
+      matcher.Count(MakePaperQuery(PaperQuery::kQG1)).value();
+  ASSERT_GT(total, 20u);  // enough headroom for a mid-stream cancel
+
+  CancellationToken token;
+  std::atomic<std::uint64_t> seen{0};
+  const std::uint64_t cancel_at = total / 2;
+  EmbeddingVisitor visitor = [&](std::span<const VertexId>) {
+    if (seen.fetch_add(1, std::memory_order_relaxed) + 1 >= cancel_at) {
+      token.RequestCancel();
+    }
+    return true;
+  };
+  MatchOptions options;
+  options.threads = 4;
+  options.budget.token = &token;
+  options.budget.check_stride = 1;
+  auto result =
+      matcher.Match(MakePaperQuery(PaperQuery::kQG1), options, &visitor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCancelled);
+  EXPECT_GE(result->embedding_count, cancel_at);
+  EXPECT_LT(result->embedding_count, total);
+  EXPECT_TRUE(result->stats.budget.cancelled);
+}
+
+TEST(ExecutionBudgetTest, RepeatedBudgetedMatchesStayConsistent) {
+  // Budget trackers are per-call; a tripped call must not poison the
+  // matcher for later unbudgeted calls.
+  Graph data = GenerateSocialGraph(300, 8, 7);
+  CeciMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  const std::uint64_t expect = matcher.Count(query).value();
+  for (int i = 0; i < 3; ++i) {
+    MatchOptions capped;
+    capped.budget.memory_budget_bytes = 1;
+    auto tripped = matcher.Match(query, capped);
+    ASSERT_TRUE(tripped.ok());
+    EXPECT_EQ(tripped->termination, TerminationReason::kMemoryBudget);
+    auto clean = matcher.Count(query);
+    ASSERT_TRUE(clean.ok());
+    EXPECT_EQ(*clean, expect);
   }
 }
 

@@ -379,6 +379,74 @@ TEST(AuditQueryProfileTest, DetectsVertexCountMismatch) {
   EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
 }
 
+// Runs a real end-to-end match so the termination audit sees genuine
+// accounting, then lets tests tamper with individual fields.
+MatchResult RealMatch(const MatchOptions& options = {}) {
+  Graph data = PaperExample::Data();  // matcher keeps a reference
+  CeciMatcher matcher(data);
+  auto result = matcher.Match(PaperExample::Query(), options);
+  CECI_CHECK(result.ok());
+  return *std::move(result);
+}
+
+TEST(AuditMatchResultTest, AcceptsCompletedMatch) {
+  MatchResult result = RealMatch();
+  AuditReport report;
+  AuditMatchResult(result, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+TEST(AuditMatchResultTest, AcceptsDeadlineTrippedMatch) {
+  MatchOptions options;
+  options.budget.deadline_seconds = 1e-9;  // expires before any work
+  MatchResult result = RealMatch(options);
+  ASSERT_EQ(result.termination, TerminationReason::kDeadline);
+  AuditReport report;
+  AuditMatchResult(result, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditMatchResultTest, DetectsTamperedTermination) {
+  MatchResult result = RealMatch();
+  result.termination = TerminationReason::kDeadline;  // flag never set
+  AuditReport report;
+  AuditMatchResult(result, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kTerminationAccounting), 0u);
+}
+
+TEST(AuditMatchResultTest, DetectsBudgetFlagWithoutMatchingReason) {
+  MatchResult result = RealMatch();
+  result.stats.budget.cancelled = true;  // claims cancellation, says completed
+  AuditReport report;
+  AuditMatchResult(result, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kTerminationAccounting), 0u);
+}
+
+TEST(AuditMatchResultTest, DetectsTamperedEmbeddingCount) {
+  MatchResult result = RealMatch();
+  result.embedding_count += 1;
+  AuditReport report;
+  AuditMatchResult(result, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kTerminationAccounting), 0u);
+}
+
+TEST(AuditMatchResultTest, DetectsTamperedWorkerCounts) {
+  MatchOptions options;
+  options.threads = 2;
+  MatchResult result = RealMatch(options);
+  ASSERT_FALSE(result.stats.worker_embeddings.empty());
+  result.stats.worker_embeddings[0] += 1;
+  AuditReport report;
+  AuditMatchResult(result, &report);
+  EXPECT_GT(report.CountOf(InvariantClass::kTerminationAccounting), 0u);
+}
+
+TEST(AuditMatchResultTest, ViolationClassHasStableName) {
+  EXPECT_STREQ(InvariantClassName(InvariantClass::kTerminationAccounting),
+               "termination_accounting");
+}
+
 TEST(AuditReportTest, ToStringAndMergeBehave) {
   AuditReport a;
   a.checks_run = 3;

@@ -249,4 +249,87 @@ TEST_F(ToolsTest, BadFlagsFailCleanly) {
             0);
 }
 
+TEST_F(ToolsTest, DeadlineExhaustionExitsFour) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 3000 --attach 8 --labels 4 --seed 13 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  // A deadline of well under a millisecond expires before the pipeline
+  // gets anywhere; the exit-code contract says 4, not an error.
+  EXPECT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--deadline-ms 0.001",
+                File("out.txt")),
+            4);
+  EXPECT_NE(Slurp(File("out.txt")).find("termination: deadline"),
+            std::string::npos);
+}
+
+TEST_F(ToolsTest, MemoryBudgetExhaustionExitsFour) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 3000 --attach 8 --labels 4 --seed 13 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  // A fraction of a megabyte cannot hold the CECI for a 3000-vertex graph.
+  EXPECT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--memory-budget-mb 0.01",
+                File("out.txt")),
+            4);
+  EXPECT_NE(Slurp(File("out.txt")).find("termination: memory_budget"),
+            std::string::npos);
+}
+
+TEST_F(ToolsTest, GenerousBudgetsCompleteNormally) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 1000 --attach 6 --labels 4 --seed 13 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  EXPECT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--deadline-ms 60000 --memory-budget-mb 1024 --audit",
+                File("out.txt")),
+            0);
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_NE(out.find("termination: completed"), std::string::npos);
+  EXPECT_NE(out.find("audit OK"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CancelAfterStopsWithExitZero) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 2000 --attach 8 --labels 3 --seed 17 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  // Cancellation is cooperative: whether the query finishes first or the
+  // token wins the race, the contract is a clean exit 0 with a truthful
+  // termination label.
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern \"(a:0)-(b:1)-(c:2)\" "
+                    "--cancel-after 1",
+                File("out.txt")),
+            0);
+  std::string out = Slurp(File("out.txt"));
+  EXPECT_TRUE(out.find("termination: cancelled") != std::string::npos ||
+              out.find("termination: completed") != std::string::npos)
+      << out;
+}
+
+TEST_F(ToolsTest, BudgetFlagsRejectBadValues) {
+  EXPECT_EQ(Run("ceci_query",
+                "--data x --pattern \"(a)-(b)\" --deadline-ms 0"),
+            2);
+  EXPECT_EQ(Run("ceci_query",
+                "--data x --pattern \"(a)-(b)\" --memory-budget-mb -1"),
+            2);
+  EXPECT_EQ(Run("ceci_query",
+                "--data x --pattern \"(a)-(b)\" --cancel-after 0"),
+            2);
+  EXPECT_EQ(Run("ceci_query", "--data x --pattern \"(a)-(b)\" --deadline-ms"),
+            2);
+}
+
 }  // namespace

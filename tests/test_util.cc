@@ -47,6 +47,13 @@ TEST(ResultTest, HoldsError) {
   EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
 }
 
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatus) {
+  // value() on an error is a programming bug; the failure message must
+  // carry the underlying status so the crash is diagnosable.
+  Result<int> r = Status::NotFound("the thing is gone");
+  EXPECT_DEATH({ (void)r.value(); }, "the thing is gone");
+}
+
 std::vector<std::uint32_t> SortedRandom(std::size_t n, std::uint32_t max,
                                         std::uint64_t seed) {
   std::mt19937_64 rng(seed);
