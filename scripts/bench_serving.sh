@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Serving benchmark (docs/serving.md#benchmark): run ceci_serve + the
+# ceci_loadgen matrix and assemble BENCH_serving.json, or validate an
+# already-committed file's schema.
+#
+#   scripts/bench_serving.sh                     # run matrix, write
+#                                                # BENCH_serving.json
+#   scripts/bench_serving.sh --out PATH          # write elsewhere
+#   scripts/bench_serving.sh --duration-s 10     # per-cell run length
+#   scripts/bench_serving.sh --validate PATH     # schema-check only (CI)
+#
+# The matrix is {qg, generated} mixes x {2, 8} client connections; every
+# run entry carries its exact ceci_loadgen command line, so each cell is
+# individually reproducible against a server started with the flags in
+# the file's "server" block.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+build_dir="build"
+out="BENCH_serving.json"
+duration_s=10
+warmup_s=2
+validate=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="${2:?--out needs a path}"; shift ;;
+    --build-dir) build_dir="${2:?--build-dir needs a path}"; shift ;;
+    --duration-s) duration_s="${2:?--duration-s needs seconds}"; shift ;;
+    --warmup-s) warmup_s="${2:?--warmup-s needs seconds}"; shift ;;
+    --validate) validate="${2:?--validate needs a path}"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+validate_file() {
+  python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["bench"] == "serving"
+server = doc["server"]
+for key in ("data", "pool_threads", "threads_per_query", "max_concurrent",
+            "max_queue", "command"):
+    assert key in server, f"server block missing {key}"
+runs = doc["runs"]
+assert len(runs) >= 4, f"need >= 4 runs (2 mixes x 2 concurrencies), got {len(runs)}"
+mixes = {r["mix"] for r in runs}
+conns = {r["connections"] for r in runs}
+assert len(mixes) >= 2, f"need >= 2 mixes, got {sorted(mixes)}"
+assert len(conns) >= 2, f"need >= 2 concurrency levels, got {sorted(conns)}"
+for r in runs:
+    assert r["requests"] > 0 and r["qps"] > 0, f"empty run: {r['label']}"
+    lat = r["latency_us"]
+    assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"], \
+        f"percentiles not monotone in {r['label']}"
+    assert "command" in r and "--mix" in r["command"], \
+        f"run {r['label']} missing its repro command"
+    # Every recorded request maps to exactly one outcome; unparseable
+    # responses add to "error" without a latency sample.
+    assert sum(r["outcomes"].values()) >= r["requests"], \
+        f"outcome tally short in {r['label']}"
+print(f"BENCH_serving.json OK: {len(runs)} runs, "
+      f"mixes={sorted(mixes)}, connections={sorted(conns)}")
+EOF
+}
+
+if [[ -n "$validate" ]]; then
+  validate_file "$validate"
+  exit 0
+fi
+
+for tool in ceci_generate ceci_serve ceci_loadgen; do
+  [[ -x "$build_dir/src/$tool" ]] || {
+    echo "missing $build_dir/src/$tool (build first: scripts/tier1.sh)" >&2
+    exit 1
+  }
+done
+
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"; [[ -n "${serve_pid:-}" ]] && kill "$serve_pid" 2>/dev/null || true' EXIT
+
+# Fixed data graph: large enough that QG matches take real work, small
+# enough that a full matrix finishes in ~a minute.
+data="$bench_tmp/social_n5000.txt"
+"$build_dir/src/ceci_generate" --family social --n 5000 --attach 8 \
+  --labels 4 --seed 42 --out "$data" --format labeled
+
+server_flags=(--data "$data" --format labeled --pool-threads 4
+  --threads-per-query 2 --max-concurrent 4 --max-queue 64
+  --duration-s 0)
+"$build_dir/src/ceci_serve" "${server_flags[@]}" --port 0 \
+  > "$bench_tmp/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 200); do
+  if grep -q "listening on" "$bench_tmp/serve.log" 2>/dev/null; then
+    port="$(grep 'listening on' "$bench_tmp/serve.log" \
+      | sed 's/.*://' | tr -d '[:space:]')"
+    break
+  fi
+  sleep 0.05
+done
+[[ -n "$port" ]] || { echo "ceci_serve never came up" >&2; \
+  cat "$bench_tmp/serve.log" >&2; exit 1; }
+echo "serving on 127.0.0.1:$port (pid $serve_pid)"
+
+jsonl="$bench_tmp/runs.jsonl"
+for mix in qg generated; do
+  for connections in 2 8; do
+    label="${mix}-c${connections}"
+    echo "=== $label: --mix $mix --connections $connections ==="
+    "$build_dir/src/ceci_loadgen" --host 127.0.0.1 --port "$port" \
+      --connections "$connections" --duration-s "$duration_s" \
+      --warmup-s "$warmup_s" --mix "$mix" --data "$data" \
+      --format labeled --queries 8 --query-size 4 --zipf 0.8 \
+      --seed 7 --limit 100000 --out "$jsonl" --label "$label"
+  done
+done
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+serve_pid=""
+
+# Wrap the JSONL entries into the committed document. The port is
+# ephemeral, so the server command is recorded with --port 0; rerunning
+# it reproduces the same configuration on a fresh port.
+python3 - "$jsonl" "$out" "$data" <<'EOF'
+import json, sys
+jsonl, out, data = sys.argv[1:4]
+runs = [json.loads(line) for line in open(jsonl) if line.strip()]
+doc = {
+    "schema_version": 1,
+    "bench": "serving",
+    "server": {
+        "data": "ceci_generate --family social --n 5000 --attach 8 "
+                "--labels 4 --seed 42 --format labeled",
+        "pool_threads": 4,
+        "threads_per_query": 2,
+        "max_concurrent": 4,
+        "max_queue": 64,
+        "command": "ceci_serve --data <graph> --format labeled "
+                   "--pool-threads 4 --threads-per-query 2 "
+                   "--max-concurrent 4 --max-queue 64 --port 0",
+    },
+    "runs": runs,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}: {len(runs)} runs")
+EOF
+
+validate_file "$out"

@@ -64,7 +64,7 @@ fi
 
 # --- Rule: no stray printf-debugging in the library (tools/ prints by
 # design; util/logging owns stderr).
-hits=$(echo "$sources" | grep -E '^src/(ceci|graph|analysis|util)/' \
+hits=$(echo "$sources" | grep -E '^src/(ceci|graph|analysis|util|serve)/' \
   | xargs grep -nE '\b(std::cout|std::cerr|printf)\b' 2>/dev/null \
   | grep -vE 'logging|// lint: allow-print|:[0-9]+: *//' || true)
 if [[ -n "$hits" ]]; then

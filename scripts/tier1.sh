@@ -26,6 +26,13 @@
 #                                    # ceci_query deadline/budget smokes
 #                                    # asserting the exit-code contract
 #                                    # (docs/robustness.md)
+#   scripts/tier1.sh --serving       # additionally run the serving suites
+#                                    # (shared-pool concurrency, admission
+#                                    # control, wire protocol) plus a
+#                                    # 5-second ceci_serve + ceci_loadgen
+#                                    # smoke (docs/serving.md). Combine
+#                                    # with --preset tsan for the
+#                                    # data-race gate
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,6 +45,7 @@ audit_pass=0
 profile_pass=0
 lint_pass=0
 resilience_pass=0
+serving_pass=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --clean) clean=1 ;;
@@ -46,6 +54,7 @@ while [[ $# -gt 0 ]]; do
     --profile) profile_pass=1 ;;
     --lint) lint_pass=1 ;;
     --resilience) resilience_pass=1 ;;
+    --serving) serving_pass=1 ;;
     --preset) preset="${2:?--preset needs a name}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -194,6 +203,58 @@ if [[ "$resilience_pass" == 1 ]]; then
     --memory-budget-mb 1024 --audit > "$resilience_tmp/ok.txt"
   grep -q "^termination: completed$" "$resilience_tmp/ok.txt"
   echo "resilience smokes OK"
+fi
+
+if [[ "$serving_pass" == 1 ]]; then
+  echo "=== serving pass (concurrency, admission control, protocol) ==="
+  # -R matches gtest suite names: the shared-pool concurrency suite
+  # (test_concurrent_matching), QueryService admission control, and the
+  # wire protocol / workload / latency-summary suites. Under --preset
+  # tsan this is the data-race gate for the serving layer.
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R '(TaskGroup|ThreadPool|ConcurrentMatching|QueryService|Protocol|Workload|Zipf|LatencySummary)' -j
+
+  serving_tmp="$(mktemp -d)"
+  trap 'rm -rf "$serving_tmp"' EXIT
+  "$build_dir/src/ceci_generate" --family social --n 2000 --attach 6 \
+    --labels 4 --seed 17 --out "$serving_tmp/g.txt" --format labeled
+  # End-to-end smoke (docs/serving.md): start ceci_serve on an ephemeral
+  # port, drive it with ceci_loadgen for ~5 seconds, and shut it down
+  # with SIGTERM. The server prints its bound port on the banner line.
+  "$build_dir/src/ceci_serve" --data "$serving_tmp/g.txt" --format labeled \
+    --pool-threads 2 --threads-per-query 2 --max-concurrent 2 \
+    --duration-s 120 > "$serving_tmp/serve.log" 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 200); do
+    if grep -q "listening on" "$serving_tmp/serve.log" 2>/dev/null; then
+      port="$(grep 'listening on' "$serving_tmp/serve.log" \
+        | sed 's/.*://' | tr -d '[:space:]')"
+      break
+    fi
+    sleep 0.05
+  done
+  [[ -n "$port" ]] || { echo "ceci_serve never came up" >&2; \
+    cat "$serving_tmp/serve.log" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+  "$build_dir/src/ceci_loadgen" --host 127.0.0.1 --port "$port" \
+    --connections 4 --duration-s 5 --warmup-s 1 --mix qg --zipf 0.8 \
+    --limit 1000 --seed 7 --out "$serving_tmp/smoke.jsonl" \
+    --label tier1-smoke | tee "$serving_tmp/loadgen.txt"
+  grep -q "^qps:" "$serving_tmp/loadgen.txt"
+  grep -q "^latency_us:" "$serving_tmp/loadgen.txt"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || { echo "ceci_serve exited non-zero" >&2; exit 1; }
+  grep -q "shut down" "$serving_tmp/serve.log"
+  # The benchmark entry must parse and carry its repro command line.
+  python3 - "$serving_tmp/smoke.jsonl" <<'EOF'
+import json, sys
+entry = json.loads(open(sys.argv[1]).read().strip().splitlines()[-1])
+assert entry["requests"] > 0 and entry["qps"] > 0
+assert entry["latency_us"]["p99"] >= entry["latency_us"]["p50"]
+assert "--mix qg" in entry["command"]
+print("serving smoke OK: %d requests, %.0f qps" %
+      (entry["requests"], entry["qps"]))
+EOF
 fi
 
 if [[ "$lint_pass" == 1 ]]; then

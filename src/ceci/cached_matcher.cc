@@ -59,6 +59,12 @@ std::string CachedMatcher::QueryKey(const Graph& query,
 Result<MatchResult> CachedMatcher::Match(const Graph& query,
                                          const MatchOptions& options,
                                          const EmbeddingVisitor* visitor) {
+  // Resilient-execution support (serving mode): the budget bounds index
+  // construction on a miss and every enumeration worker, exactly like
+  // CeciMatcher::Match. Inactive (null) when options.budget is default.
+  BudgetTracker tracker(options.budget);
+  BudgetTracker* budget = tracker.active() ? &tracker : nullptr;
+
   const std::string key = QueryKey(query, options);
   std::shared_ptr<const Entry> entry;
   {
@@ -91,15 +97,33 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
 
     if (!fresh->pre.infeasible) {
       phase.Reset();
+      BuildOptions build_options;
+      build_options.pool = options.pool;
+      build_options.budget = budget;
       CeciBuilder builder(data_, nlc_);
       fresh->index =
-          builder.Build(query, fresh->pre.tree, BuildOptions{}, &stats.build);
+          builder.Build(query, fresh->pre.tree, build_options, &stats.build);
       stats.build_seconds = phase.Seconds();
       phase.Reset();
       RefineCeci(fresh->pre.tree, data_.num_vertices(), &fresh->index,
-                 &stats.refine);
-      fresh->index.Freeze();
+                 &stats.refine, nullptr, budget);
+      if (budget == nullptr || !budget->Exhausted()) {
+        fresh->index.Freeze();
+      }
       stats.refine_seconds = phase.Seconds();
+      if (budget != nullptr && budget->Exhausted()) {
+        // Partial index: never cached (a later unbudgeted repeat must not
+        // inherit an incomplete entry), and never enumerated. Return an
+        // honestly-labelled partial result instead.
+        MatchResult partial;
+        partial.stats = stats;
+        partial.termination = tracker.reason();
+        partial.stats.budget = tracker.ToStats();
+        partial.stats.total_seconds = partial.stats.preprocess_seconds +
+                                      partial.stats.build_seconds +
+                                      partial.stats.refine_seconds;
+        return partial;
+      }
       stats.ceci_bytes = fresh->index.MemoryBytes();
       stats.candidate_edges = fresh->index.TotalCandidateEdges();
       stats.embedding_clusters =
@@ -119,6 +143,14 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
   result.stats = entry->build_stats;
   if (entry->pre.infeasible) return result;
 
+  // A deadline that expired while the query sat in a queue (or during the
+  // cache lookup) stops it before enumeration starts.
+  if (budget != nullptr && budget->Poll()) {
+    result.termination = tracker.reason();
+    result.stats.budget = tracker.ToStats();
+    return result;
+  }
+
   Timer phase;
   ScheduleOptions schedule;
   schedule.threads = options.threads;
@@ -129,6 +161,8 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
   schedule.enumeration.leaf_count_shortcut =
       options.leaf_count_shortcut && visitor == nullptr;
   schedule.enumeration.symmetry = &entry->symmetry;
+  schedule.budget = budget;
+  schedule.pool = options.pool;
   ScheduleResult sched = [&] {
     TraceSpan span("cache/enumerate");
     return RunParallelEnumeration(data_, entry->pre.tree, entry->index,
@@ -137,8 +171,21 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
   result.stats.enumerate_seconds = phase.Seconds();
   result.stats.enumeration = sched.stats;
   result.stats.worker_seconds = std::move(sched.worker_seconds);
+  result.stats.worker_embeddings = std::move(sched.worker_embeddings);
   result.stats.decomposition = sched.decomposition;
   result.embedding_count = sched.embeddings;
+
+  // Termination resolution, most-specific first (same order as
+  // CeciMatcher::Match).
+  if (budget != nullptr && budget->Exhausted()) {
+    result.termination = tracker.reason();
+  } else if (sched.visitor_abort) {
+    result.termination = TerminationReason::kCancelled;
+  } else if (sched.limit_hit) {
+    result.termination = TerminationReason::kLimit;
+  }
+  result.stats.budget = tracker.ToStats();
+  if (sched.visitor_abort) result.stats.budget.cancelled = true;
   result.stats.total_seconds = result.stats.preprocess_seconds +
                                result.stats.build_seconds +
                                result.stats.refine_seconds +

@@ -29,7 +29,13 @@ class CachedMatcher {
 
   /// Same contract as CeciMatcher::Match; construction and refinement are
   /// served from the cache when the same query shape (and order strategy /
-  /// symmetry setting) was matched before.
+  /// symmetry setting) was matched before. Budgets (MatchOptions::budget)
+  /// and a shared worker pool (MatchOptions::pool) are honoured exactly as
+  /// in CeciMatcher: a budget that trips while building a fresh entry
+  /// returns a truthfully-labelled partial result and the partial index is
+  /// *not* cached. Concurrent Match() calls are safe; two threads missing
+  /// the same key may both build (first writer wins, the loser's entry is
+  /// dropped) — enumeration against cached entries is read-only.
   Result<MatchResult> Match(const Graph& query, const MatchOptions& options,
                             const EmbeddingVisitor* visitor = nullptr);
 

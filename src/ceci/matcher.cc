@@ -163,9 +163,9 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
 
   // --- CECI creation + BFS filtering (§3.2) ---
   phase.Reset();
-  ThreadPool* pool = nullptr;
+  ThreadPool* pool = options.pool;
   std::unique_ptr<ThreadPool> owned_pool;
-  if (options.threads > 1) {
+  if (pool == nullptr && options.threads > 1) {
     owned_pool = std::make_unique<ThreadPool>(options.threads);
     pool = owned_pool.get();
   }
@@ -242,6 +242,10 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   schedule.enumeration.per_position_stats = options.profile;
   schedule.collect_profile = options.profile;
   schedule.budget = budget;
+  // Only an external (shared) pool is routed to the scheduler: the
+  // per-query owned pool keeps the original dedicated-thread path so
+  // single-query behaviour and its worker accounting stay unchanged.
+  schedule.pool = options.pool;
   ScheduleResult sched = [&] {
     TraceSpan span("enumerate");
     return RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);

@@ -71,6 +71,14 @@ struct MatchOptions {
   /// budget mid-build/mid-refine skips the remaining phases (including
   /// the profile — a partial index has no meaningful EXPLAIN).
   ExecutionBudget budget;
+  /// Shared worker pool (serving mode; see src/serve/query_service.h).
+  /// When set, filtering and enumeration dispatch to this pool instead of
+  /// creating a per-query pool/threads: the calling thread always runs
+  /// worker 0 inline, so concurrent Match() calls sharing one pool are
+  /// work-conserving even when the pool is saturated. The pool must
+  /// outlive the call. When null (default), `threads > 1` spins up
+  /// per-query threads exactly as before.
+  ThreadPool* pool = nullptr;
 };
 
 /// Reusable matcher over one data graph. Thread-compatible: concurrent

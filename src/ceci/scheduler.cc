@@ -137,6 +137,16 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
 
   if (workers == 1) {
     worker_fn(0);
+  } else if (options.pool != nullptr) {
+    // Serving mode: workers 1..N-1 go to the shared pool as one batch;
+    // the caller runs worker 0 and then helps drain its own batch, so a
+    // pool saturated by other queries cannot stall this one.
+    TaskGroup group(options.pool);
+    for (std::size_t w = 1; w < workers; ++w) {
+      group.Run([&worker_fn, w] { worker_fn(w); });
+    }
+    worker_fn(0);
+    group.Wait();
   } else {
     std::vector<std::thread> threads;
     threads.reserve(workers);

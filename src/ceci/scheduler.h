@@ -17,6 +17,7 @@
 #include "ceci/extreme_cluster.h"
 #include "ceci/profiler.h"
 #include "ceci/query_tree.h"
+#include "util/thread_pool.h"
 
 namespace ceci {
 
@@ -41,6 +42,14 @@ struct ScheduleOptions {
   /// worker's enumeration state against it and stops pulling units once
   /// it is exhausted.
   BudgetTracker* budget = nullptr;
+  /// Shared worker pool (serving mode). When set, the calling thread runs
+  /// worker 0 and workers 1..N-1 are dispatched as one TaskGroup on the
+  /// pool — the pool may concurrently carry other queries' workers, and a
+  /// saturated pool degrades to the caller running every worker loop
+  /// sequentially (work-conserving, never deadlocking). When null,
+  /// enumeration spawns `threads` dedicated std::threads per query
+  /// (the original single-query behaviour).
+  ThreadPool* pool = nullptr;
 };
 
 struct ScheduleResult {

@@ -1,0 +1,181 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace ceci {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string OneLine(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+/// Splits off the first whitespace-delimited token; `rest` gets the
+/// remainder with leading whitespace stripped.
+std::string FirstToken(const std::string& line, std::string* rest) {
+  std::size_t split = line.find_first_of(" \t");
+  if (split == std::string::npos) {
+    *rest = "";
+    return line;
+  }
+  std::size_t next = line.find_first_not_of(" \t", split);
+  *rest = next == std::string::npos ? "" : line.substr(next);
+  return line.substr(0, split);
+}
+
+Status ParseMatchOptionsToken(const std::string& token, ServeRequest* match) {
+  std::istringstream pairs(token);
+  std::string pair;
+  while (std::getline(pairs, pair, ',')) {
+    std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed option (want k=v): " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("non-numeric option value: " + pair);
+    }
+    if (key == "limit") {
+      match->limit = n;
+    } else if (key == "deadline_ms") {
+      match->deadline_seconds = static_cast<double>(n) / 1e3;
+    } else if (key == "explain") {
+      match->explain = n != 0;
+    } else {
+      return Status::InvalidArgument("unknown option key: " + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Request> ParseRequestLine(const std::string& raw) {
+  const std::string line = Trim(raw);
+  std::string rest;
+  const std::string verb = FirstToken(line, &rest);
+  Request request;
+  if (verb == "PING") {
+    request.kind = RequestKind::kPing;
+  } else if (verb == "STATS") {
+    request.kind = RequestKind::kStats;
+  } else if (verb == "QUIT") {
+    request.kind = RequestKind::kQuit;
+  } else if (verb == "MATCH") {
+    if (rest.empty()) return Status::InvalidArgument("MATCH needs a pattern");
+    request.kind = RequestKind::kMatch;
+    request.match.pattern = rest;
+  } else if (verb == "MATCHX") {
+    std::string pattern;
+    const std::string options = FirstToken(rest, &pattern);
+    if (pattern.empty()) {
+      return Status::InvalidArgument("MATCHX needs options and a pattern");
+    }
+    request.kind = RequestKind::kMatch;
+    CECI_RETURN_IF_ERROR(ParseMatchOptionsToken(options, &request.match));
+    request.match.pattern = pattern;
+  } else {
+    return Status::InvalidArgument("unknown verb: " + verb);
+  }
+  return request;
+}
+
+std::string FormatResponseLine(const ServeResponse& response) {
+  if (response.admission == Admission::kRejected) return "BUSY queue_full";
+  if (!response.status.ok()) {
+    return "ERR " + OneLine(response.status.ToString());
+  }
+  std::ostringstream line;
+  line << "OK embeddings=" << response.embeddings
+       << " termination=" << TerminationReasonName(response.termination)
+       << " admission=" << AdmissionName(response.admission) << " queue_us="
+       << static_cast<std::uint64_t>(response.queue_seconds * 1e6)
+       << " exec_us="
+       << static_cast<std::uint64_t>(response.match_seconds * 1e6)
+       << " total_us="
+       << static_cast<std::uint64_t>(response.total_seconds * 1e6);
+  if (response.index_bytes > 0) {
+    line << " index_bytes=" << response.index_bytes;
+  }
+  return line.str();
+}
+
+Result<WireResponse> ParseResponseLine(const std::string& raw) {
+  const std::string line = Trim(raw);
+  std::string rest;
+  const std::string verb = FirstToken(line, &rest);
+  WireResponse response;
+  if (verb == "BUSY") {
+    response.kind = WireResponse::Kind::kBusy;
+    response.error = rest;
+    return response;
+  }
+  if (verb == "ERR") {
+    response.kind = WireResponse::Kind::kErr;
+    response.error = rest;
+    return response;
+  }
+  if (verb != "OK") {
+    return Status::InvalidArgument("unknown response verb: " + verb);
+  }
+  response.kind = WireResponse::Kind::kOk;
+  std::istringstream fields(rest);
+  std::string field;
+  while (fields >> field) {
+    std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed response field: " + field);
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "termination") {
+      response.termination = value;
+      continue;
+    }
+    if (key == "admission") {
+      response.admission = value;
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("non-numeric response field: " + field);
+    }
+    if (key == "embeddings") {
+      response.embeddings = n;
+    } else if (key == "queue_us") {
+      response.queue_us = n;
+    } else if (key == "exec_us") {
+      response.exec_us = n;
+    } else if (key == "total_us") {
+      response.total_us = n;
+    } else if (key == "index_bytes") {
+      response.index_bytes = n;
+    } else {
+      return Status::InvalidArgument("unknown response field: " + key);
+    }
+  }
+  return response;
+}
+
+}  // namespace ceci

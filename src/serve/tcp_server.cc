@@ -1,0 +1,184 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.h"
+#include "util/metrics_registry.h"
+
+namespace ceci {
+namespace {
+
+Counter& ConnectionCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("ceci.serve.connections");
+  return c;
+}
+Gauge& LiveConnectionGauge() {
+  static Gauge& g =
+      MetricsRegistry::Global().GetGauge("ceci.serve.live_connections");
+  return g;
+}
+
+/// Writes the whole line + LF; MSG_NOSIGNAL keeps a client that hung up
+/// from killing the process with SIGPIPE.
+bool SendLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(QueryService& service, const TcpServerOptions& options)
+    : service_(service), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("not an IPv4 address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::IoError(std::string("bind ") + options_.host + ": " +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread(&TcpServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed or unrecoverable
+    }
+    ConnectionCounter().Increment();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_acquire) ||
+        live_fds_.size() >= options_.max_connections) {
+      SendLine(fd, "ERR too_many_connections");
+      ::close(fd);
+      continue;
+    }
+    live_fds_.insert(fd);
+    LiveConnectionGauge().Set(static_cast<std::int64_t>(live_fds_.size()));
+    conn_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      open = HandleLine(fd, line);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_fds_.erase(fd);
+    LiveConnectionGauge().Set(static_cast<std::int64_t>(live_fds_.size()));
+  }
+  ::close(fd);
+}
+
+bool TcpServer::HandleLine(int fd, const std::string& line) {
+  auto request = ParseRequestLine(line);
+  if (!request.ok()) {
+    return SendLine(fd, "ERR " + OneLine(request.status().ToString()));
+  }
+  switch (request->kind) {
+    case RequestKind::kPing:
+      return SendLine(fd, "PONG");
+    case RequestKind::kQuit:
+      return false;
+    case RequestKind::kStats:
+      // The snapshot is pretty-printed; the protocol is line-framed.
+      return SendLine(fd, OneLine(MetricsRegistry::Global().SnapshotJson()));
+    case RequestKind::kMatch: {
+      // Synchronous per connection: admission control (not this thread)
+      // decides whether the request queues, degrades, or bounces.
+      ServeResponse response = service_.Execute(std::move(request->match));
+      return SendLine(fd, FormatResponseLine(response));
+    }
+  }
+  return false;
+}
+
+void TcpServer::Stop() {
+  bool was_stopping = stopping_.exchange(true, std::memory_order_acq_rel);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Threads close their own fds on the way out.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (!was_stopping) conn_threads_.clear();
+}
+
+}  // namespace ceci

@@ -1,0 +1,76 @@
+// Minimal POSIX TCP front end for QueryService.
+//
+// Thread-per-connection, synchronous line protocol (serve/protocol.h):
+// each connection thread blocks on the service future for its in-flight
+// request, so per-connection requests are strictly ordered while the
+// service multiplexes *across* connections. Concurrency therefore comes
+// from the number of client connections, which is exactly what the load
+// generator sweeps. IPv4 only; binding port 0 picks an ephemeral port
+// (read it back via port()).
+#ifndef CECI_SERVE_TCP_SERVER_H_
+#define CECI_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_service.h"
+#include "util/status.h"
+
+namespace ceci {
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (kernel-assigned; see port()).
+  int port = 0;
+  /// Connections beyond this are answered `ERR too_many_connections` and
+  /// closed immediately.
+  std::size_t max_connections = 64;
+};
+
+/// Owns the listening socket and one thread per live connection. The
+/// service must outlive the server.
+class TcpServer {
+ public:
+  TcpServer(QueryService& service, const TcpServerOptions& options);
+  /// Stops and joins (equivalent to Stop()).
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails with IoError on
+  /// bind/listen problems (e.g. port in use).
+  Status Start();
+
+  /// Bound port (differs from options.port when that was 0). Valid after
+  /// a successful Start().
+  int port() const { return bound_port_; }
+
+  /// Closes the listener, shuts down live connections, joins all
+  /// threads. Idempotent. Does not shut down the service.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one request line; false ends the connection (QUIT).
+  bool HandleLine(int fd, const std::string& line);
+
+  QueryService& service_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::set<int> live_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_SERVE_TCP_SERVER_H_

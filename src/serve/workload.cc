@@ -1,0 +1,109 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/paper_queries.h"
+#include "gen/query_gen.h"
+#include "graphio/pattern_parser.h"
+
+namespace ceci {
+namespace {
+
+std::vector<std::string> PaperPatterns() {
+  std::vector<std::string> patterns;
+  patterns.reserve(5);
+  for (PaperQuery q : kAllPaperQueries) {
+    patterns.push_back(FormatPattern(MakePaperQuery(q)));
+  }
+  return patterns;
+}
+
+Result<std::vector<std::string>> GeneratedPatterns(
+    const Graph* data, const WorkloadOptions& options) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("mix '" + options.mix +
+                                   "' needs a data graph to extract from");
+  }
+  QueryGenOptions gen;
+  gen.num_vertices = options.generated_size;
+  gen.seed = options.seed;
+  gen.inherit_labels = true;
+  std::vector<Graph> queries =
+      GenerateQueries(*data, options.generated_count, gen);
+  if (queries.empty()) {
+    return Status::InvalidArgument(
+        "could not extract any connected query of the requested size");
+  }
+  std::vector<std::string> patterns;
+  patterns.reserve(queries.size());
+  for (const Graph& q : queries) patterns.push_back(FormatPattern(q));
+  return patterns;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> BuildWorkload(const Graph* data,
+                                               const WorkloadOptions& options) {
+  if (options.mix == "qg") return PaperPatterns();
+  if (options.mix == "generated") return GeneratedPatterns(data, options);
+  if (options.mix == "mixed") {
+    auto generated = GeneratedPatterns(data, options);
+    if (!generated.ok()) return generated.status();
+    // Interleave so popularity ranks alternate between the two families.
+    std::vector<std::string> qg = PaperPatterns();
+    std::vector<std::string> patterns;
+    patterns.reserve(qg.size() + generated->size());
+    const std::size_t rounds = std::max(qg.size(), generated->size());
+    for (std::size_t i = 0; i < rounds; ++i) {
+      if (i < qg.size()) patterns.push_back(std::move(qg[i]));
+      if (i < generated->size()) {
+        patterns.push_back(std::move((*generated)[i]));
+      }
+    }
+    return patterns;
+  }
+  return Status::InvalidArgument("unknown mix (want qg|generated|mixed): " +
+                                 options.mix);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(std::max<std::size_t>(n, 1));
+  double total = 0.0;
+  for (std::size_t k = 0; k < std::max<std::size_t>(n, 1); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::Sample(double u) const {
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+LatencySummary SummarizeLatencies(std::vector<std::uint64_t>& latencies_us) {
+  LatencySummary summary;
+  if (latencies_us.empty()) return summary;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  summary.count = latencies_us.size();
+  double sum = 0.0;
+  for (std::uint64_t v : latencies_us) sum += static_cast<double>(v);
+  summary.mean_us = sum / static_cast<double>(latencies_us.size());
+  auto nearest_rank = [&](double p) {
+    // Nearest-rank: the smallest sample with at least p% of the mass at
+    // or below it.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(latencies_us.size())));
+    if (rank == 0) rank = 1;
+    return latencies_us[rank - 1];
+  };
+  summary.p50_us = nearest_rank(50.0);
+  summary.p95_us = nearest_rank(95.0);
+  summary.p99_us = nearest_rank(99.0);
+  summary.max_us = latencies_us.back();
+  return summary;
+}
+
+}  // namespace ceci

@@ -1,0 +1,70 @@
+// Serving workload construction and latency summarization (ceci_loadgen).
+//
+// A workload is an ordered list of pattern strings plus a popularity
+// distribution over them. The mixes mirror the paper's query sets: `qg`
+// replays QG1–QG5 (Figure 6), `generated` replays connected queries
+// extracted from the data graph (§6.2), `mixed` interleaves both. Ranked
+// popularity is Zipfian — P(rank k) ∝ 1/k^s — so a skewed mix exercises
+// the CachedMatcher hit path the way a dashboard's repeated shapes do;
+// s = 0 degenerates to uniform.
+//
+// Latency summarization is exact (sorted-sample percentiles), not the
+// log2-bucketed approximation of util/metrics_registry.h — benchmark
+// numbers in BENCH_serving.json must not carry factor-of-2 bucket error.
+#ifndef CECI_SERVE_WORKLOAD_H_
+#define CECI_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ceci {
+
+struct WorkloadOptions {
+  /// "qg", "generated", or "mixed".
+  std::string mix = "qg";
+  /// Generated-query count and size (generated/mixed mixes).
+  std::size_t generated_count = 8;
+  std::size_t generated_size = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the pattern list for a mix. `data` is required for the
+/// generated/mixed mixes (the queries are extracted from it) and ignored
+/// for `qg`; patterns are returned in popularity-rank order.
+Result<std::vector<std::string>> BuildWorkload(const Graph* data,
+                                               const WorkloadOptions& options);
+
+/// Zipfian rank sampler over n items: P(k) ∝ 1/(k+1)^s, via a
+/// precomputed CDF and binary search. Immutable after construction, so
+/// one sampler is shared by every loadgen connection thread.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Maps a uniform draw in [0, 1) to a rank in [0, n).
+  std::size_t Sample(double u) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Exact percentiles over one benchmark run's latencies.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+/// Sorts `latencies_us` in place (nearest-rank percentiles).
+LatencySummary SummarizeLatencies(std::vector<std::uint64_t>& latencies_us);
+
+}  // namespace ceci
+
+#endif  // CECI_SERVE_WORKLOAD_H_

@@ -45,6 +45,7 @@
 //   --cancel-after N  request cancellation after N embeddings have been
 //                     seen (exercises the cooperative cancellation token;
 //                     reports "termination: cancelled", exit 0)
+//   --help            print usage to stdout and exit 0
 //
 // Exit codes:
 //   0  query ran to completion (or was cancelled / hit --limit)
@@ -92,10 +93,11 @@ struct Args {
   std::uint64_t cancel_after = 0;
   std::string metrics_json;
   std::string trace_chrome;
+  bool help = false;
 };
 
-void Usage(const char* argv0) {
-  std::fprintf(stderr,
+void Usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s --data PATH [--format edgelist|labeled|csr]\n"
                "          (--pattern EXPR | --query PATH)\n"
                "          [--threads N] [--limit N] [--order NAME]\n"
@@ -104,7 +106,7 @@ void Usage(const char* argv0) {
                "          [--explain] [--trace-chrome PATH]\n"
                "          [--metrics-json PATH|-] [--audit]\n"
                "          [--deadline-ms N] [--memory-budget-mb F]\n"
-               "          [--cancel-after N]\n"
+               "          [--cancel-after N] [--help]\n"
                "exit codes: 0 ok (completed/cancelled/limit), 1 I/O or "
                "match error,\n"
                "            2 usage, 3 audit violations, 4 deadline or "
@@ -120,7 +122,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (flag == "--data") {
+    if (flag == "--help") {
+      args->help = true;
+      return true;
+    } else if (flag == "--data") {
       const char* v = next();
       if (!v) return false;
       args->data = v;
@@ -222,8 +227,12 @@ Result<Graph> LoadData(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
-    Usage(argv[0]);
+    Usage(stderr, argv[0]);
     return 2;
+  }
+  if (args.help) {
+    Usage(stdout, argv[0]);
+    return 0;
   }
 
   auto data = LoadData(args);

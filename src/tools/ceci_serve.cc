@@ -1,0 +1,215 @@
+// ceci_serve — line-protocol TCP server over one data graph.
+//
+// Loads the data graph, starts a QueryService (shared enumeration pool +
+// admission control), and serves the protocol of serve/protocol.h until
+// SIGINT/SIGTERM (or --duration-s elapses). Prints exactly one line
+//
+//   ceci_serve: listening on HOST:PORT
+//
+// to stdout once ready, so scripts using --port 0 can scrape the
+// ephemeral port.
+//
+//   ceci_serve --data graph.txt --port 0 --pool-threads 4
+//
+// Flags:
+//   --data PATH            data graph file (required)
+//   --format FMT           edgelist | labeled | csr      (default: edgelist)
+//   --host ADDR            IPv4 listen address     (default: 127.0.0.1)
+//   --port N               listen port, 0 = ephemeral    (default: 0)
+//   --pool-threads N       shared enumeration pool size  (default: 4)
+//   --threads-per-query N  enumeration workers per query (default: 2)
+//   --max-concurrent N     queries executing at once     (default: 2)
+//   --max-queue N          waiting queries before BUSY   (default: 16)
+//   --degrade-depth N      waiting queries before degraded admission
+//                          (default: never)
+//   --default-deadline-ms N  deadline for requests without one, 0 = none
+//   --degraded-deadline-ms N deadline ceiling for degraded queries
+//   --degraded-limit N     embedding-limit ceiling for degraded queries
+//   --max-connections N    concurrent client connections (default: 64)
+//   --no-cache             rebuild the index per request (no CachedMatcher)
+//   --duration-s N         exit cleanly after N seconds, 0 = until signal
+//   --help                 print this help and exit 0
+//
+// Exit codes: 0 clean shutdown, 1 I/O error, 2 usage error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "graphio/binary_csr.h"
+#include "graphio/edge_list.h"
+#include "serve/query_service.h"
+#include "serve/tcp_server.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ceci;
+
+std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct Args {
+  std::string data;
+  std::string format = "edgelist";
+  std::string host = "127.0.0.1";
+  int port = 0;
+  ServiceOptions service;
+  std::size_t max_connections = 64;
+  double duration_s = 0.0;
+  bool help = false;
+};
+
+void Usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --data PATH [--format edgelist|labeled|csr]\n"
+               "          [--host ADDR] [--port N]\n"
+               "          [--pool-threads N] [--threads-per-query N]\n"
+               "          [--max-concurrent N] [--max-queue N]\n"
+               "          [--degrade-depth N] [--default-deadline-ms N]\n"
+               "          [--degraded-deadline-ms N] [--degraded-limit N]\n"
+               "          [--max-connections N] [--no-cache]\n"
+               "          [--duration-s N] [--help]\n"
+               "protocol: MATCH <pattern> | MATCHX k=v,... <pattern> | "
+               "STATS | PING | QUIT\n"
+               "exit codes: 0 clean shutdown, 1 I/O error, 2 usage\n",
+               argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (flag == "--help") {
+      args->help = true;
+      return true;
+    } else if (flag == "--data") {
+      const char* v = next();
+      if (!v) return false;
+      args->data = v;
+    } else if (flag == "--format") {
+      const char* v = next();
+      if (!v) return false;
+      args->format = v;
+    } else if (flag == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      args->host = v;
+    } else if (flag == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      args->port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (flag == "--pool-threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.pool_threads = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--threads-per-query") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.threads_per_query = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--max-concurrent") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.limits.max_concurrent = std::strtoul(v, nullptr, 10);
+      if (args->service.limits.max_concurrent == 0) return false;
+    } else if (flag == "--max-queue") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.limits.max_queue = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--degrade-depth") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.limits.degrade_depth = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--default-deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.limits.default_deadline_seconds =
+          std::strtod(v, nullptr) / 1e3;
+    } else if (flag == "--degraded-deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.limits.degraded_deadline_seconds =
+          std::strtod(v, nullptr) / 1e3;
+    } else if (flag == "--degraded-limit") {
+      const char* v = next();
+      if (!v) return false;
+      args->service.limits.degraded_limit = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--max-connections") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_connections = std::strtoul(v, nullptr, 10);
+      if (args->max_connections == 0) return false;
+    } else if (flag == "--no-cache") {
+      args->service.cache_indexes = false;
+    } else if (flag == "--duration-s") {
+      const char* v = next();
+      if (!v) return false;
+      args->duration_s = std::strtod(v, nullptr);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->data.empty();
+}
+
+Result<Graph> LoadData(const Args& args) {
+  if (args.format == "edgelist") return ReadEdgeList(args.data);
+  if (args.format == "labeled") return ReadLabeledGraph(args.data);
+  if (args.format == "csr") return ReadBinaryCsr(args.data);
+  return Status::InvalidArgument("unknown --format " + args.format);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(stderr, argv[0]);
+    return 2;
+  }
+  if (args.help) {
+    Usage(stdout, argv[0]);
+    return 0;
+  }
+
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data graph: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryService service(*data, args.service);
+  TcpServerOptions tcp;
+  tcp.host = args.host;
+  tcp.port = args.port;
+  tcp.max_connections = args.max_connections;
+  TcpServer server(service, tcp);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("ceci_serve: listening on %s:%d\n", args.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  Timer uptime;
+  while (g_stop == 0) {
+    if (args.duration_s > 0.0 && uptime.Seconds() >= args.duration_s) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  service.Shutdown();
+  std::printf("ceci_serve: shut down after %.1fs\n", uptime.Seconds());
+  return 0;
+}

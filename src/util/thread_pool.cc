@@ -42,22 +42,80 @@ void ThreadPool::ParallelFor(std::size_t n, std::size_t grain,
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  std::size_t num_tasks = std::min(workers_.size(), (n + grain - 1) / grain);
-  for (std::size_t t = 0; t < num_tasks; ++t) {
-    Submit([next, n, grain, &fn] {
-      for (;;) {
-        std::size_t begin = next->fetch_add(grain, std::memory_order_relaxed);
-        if (begin >= n) return;
-        std::size_t end = std::min(begin + grain, n);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      }
-    });
-  }
-  Wait();
+  const auto body = [next, n, grain, &fn] {
+    for (;;) {
+      std::size_t begin = next->fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      std::size_t end = std::min(begin + grain, n);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  // The caller is one of the workers; helpers cover the rest. Completion is
+  // batch-local so concurrent ParallelFor calls (different queries sharing
+  // this pool) never wait on each other's tasks.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  TaskGroup group(this);
+  for (std::size_t t = 0; t < helpers; ++t) group.Run(body);
+  body();
+  group.Wait();
 }
 
 std::size_t ThreadPool::DefaultThreads() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_ == nullptr) {  // serial mode: no pool to hand the task to
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->pending.push_back(std::move(task));
+  }
+  // Claim ticket: whichever pool thread pops it runs the group's next
+  // unstarted task. Tickets outliving the group find `pending` empty.
+  pool_->Submit([state = state_] {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->pending.empty()) return;  // Wait() already ran it inline
+      task = std::move(state->pending.front());
+      state->pending.pop_front();
+      ++state->running;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      --state->running;
+    }
+    state->cv.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) return;  // serial mode ran everything in Run()
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      if (state_->pending.empty()) {
+        state_->cv.wait(lock, [&] { return state_->running == 0; });
+        if (state_->pending.empty()) return;
+        continue;  // a racing Run() added more work
+      }
+      task = std::move(state_->pending.front());
+      state_->pending.pop_front();
+      ++state_->running;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      --state_->running;
+    }
+    state_->cv.notify_all();
+  }
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,6 +1,13 @@
 // Fixed-size worker pool used by CECI's parallel filtering and enumeration.
 // Work distribution follows the paper's pull-based dynamic model (§3.6,
 // §4.2): workers pull tasks from a shared queue until it drains.
+//
+// A pool may be shared by many concurrent queries (the serving layer runs
+// one process-wide pool under every in-flight Match). Batch completion is
+// therefore tracked per TaskGroup, never via the pool-global Wait(): a
+// group's Wait() observes only its own tasks, and the waiting thread helps
+// execute the group's unstarted tasks inline, so a query always makes
+// progress even when every pool thread is busy with other queries' work.
 #ifndef CECI_UTIL_THREAD_POOL_H_
 #define CECI_UTIL_THREAD_POOL_H_
 
@@ -9,6 +16,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -32,10 +40,14 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
+  /// Pool-global: with multiple concurrent submitters this waits for
+  /// everyone's tasks — use a TaskGroup to wait for just your own batch.
   void Wait();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Iterations are pulled dynamically in chunks of `grain`.
+  /// Iterations are pulled dynamically in chunks of `grain`. The calling
+  /// thread participates, and completion is batch-local (TaskGroup), so
+  /// concurrent ParallelFor calls from different threads never entangle.
   void ParallelFor(std::size_t n, std::size_t grain,
                    const std::function<void(std::size_t)>& fn);
 
@@ -52,6 +64,49 @@ class ThreadPool {
   std::condition_variable cv_done_;
   std::size_t in_flight_ = 0;
   bool shutdown_ = false;
+};
+
+/// One batch of tasks on a shared pool, with batch-local completion.
+///
+/// Run() enqueues the task into the group's own queue and posts a claim
+/// ticket to the pool; a pool thread that picks up the ticket pops the
+/// next unstarted group task (tickets for a drained group are no-ops).
+/// Wait() runs unstarted tasks inline on the calling thread, then blocks
+/// until the in-flight remainder finishes — so a saturated pool delays a
+/// group by at most the tasks *already running*, never by queueing, and
+/// two groups on one pool cannot deadlock or observe each other's tasks.
+///
+/// Thread-compatible: one thread drives Run()/Wait(); pool threads only
+/// touch the internal state. The destructor waits for the whole batch.
+class TaskGroup {
+ public:
+  /// `pool` may be null: tasks then run inline in Run() (serial mode),
+  /// which keeps call sites free of pool/no-pool branching.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Adds one task to the batch.
+  void Run(std::function<void()> task);
+
+  /// Drains the batch: executes unstarted tasks on this thread, then waits
+  /// for tasks running on pool threads. Idempotent.
+  void Wait();
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> pending;
+    std::size_t running = 0;
+  };
+
+  ThreadPool* pool_;
+  // Shared with claim tickets, which may fire after the group is gone
+  // (they find `pending` empty and return).
+  std::shared_ptr<State> state_ = std::make_shared<State>();
 };
 
 }  // namespace ceci

@@ -1,0 +1,288 @@
+// QueryService admission control and lifecycle. Overload is made
+// deterministic with ServiceOptions::pre_match_hook: runners block on a
+// shared future until the test releases them, so queue depth at each
+// Submit() is exactly what the test arranged.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "ceci/matcher.h"
+#include "gen/labels.h"
+#include "gen/random_graphs.h"
+#include "graphio/pattern_parser.h"
+#include "serve/query_service.h"
+
+namespace ceci {
+namespace {
+
+Graph TestData() {
+  return AssignRandomLabels(GenerateSocialGraph(800, 5, 9), 3, 9);
+}
+
+/// Deterministic-overload helper: the hook parks every runner until
+/// Open(), and AwaitHeld() lets the test wait until a runner has actually
+/// popped a session (so later Submits see exactly the queue depth the
+/// test arranged).
+struct Gate {
+  std::atomic<int> entered{0};
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+
+  std::function<void()> Hook() {
+    std::atomic<int>* counter = &entered;
+    std::shared_future<void> future = released;
+    return [counter, future] {
+      counter->fetch_add(1, std::memory_order_relaxed);
+      future.wait();
+    };
+  }
+  void AwaitHeld(int n) {
+    while (entered.load(std::memory_order_relaxed) < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  void Open() { release.set_value(); }
+};
+
+constexpr const char* kTriangle = "(a)-(b)-(c); (a)-(c)";
+constexpr const char* kWedge = "(a)-(b)-(c)";
+
+TEST(QueryServiceTest, ExecutesPatternsWithCorrectCounts) {
+  const Graph data = TestData();
+  const CeciMatcher reference(data);
+  const std::uint64_t want =
+      reference.Count(ParsePattern(kTriangle).value(), 1).value();
+
+  ServiceOptions options;
+  options.pool_threads = 2;
+  options.limits.max_concurrent = 2;
+  QueryService service(data, options);
+
+  ServeRequest request;
+  request.pattern = kTriangle;
+  request.explain = true;
+  ServeResponse response = service.Execute(request);
+  EXPECT_EQ(response.admission, Admission::kAccepted);
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.embeddings, want);
+  EXPECT_EQ(response.termination, TerminationReason::kCompleted);
+  EXPECT_GT(response.index_bytes, 0u);
+  EXPECT_GE(response.total_seconds, response.match_seconds);
+}
+
+TEST(QueryServiceTest, ConcurrentSubmitsAllComplete) {
+  const Graph data = TestData();
+  const CeciMatcher reference(data);
+  const std::uint64_t want_triangle =
+      reference.Count(ParsePattern(kTriangle).value(), 1).value();
+  const std::uint64_t want_wedge =
+      reference.Count(ParsePattern(kWedge).value(), 1).value();
+
+  ServiceOptions options;
+  options.pool_threads = 4;
+  options.threads_per_query = 2;
+  options.limits.max_concurrent = 3;
+  options.limits.max_queue = 64;
+  QueryService service(data, options);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 24; ++i) {
+    ServeRequest request;
+    request.pattern = i % 2 == 0 ? kTriangle : kWedge;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (int i = 0; i < 24; ++i) {
+    ServeResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.admission, Admission::kAccepted);
+    EXPECT_EQ(response.embeddings, i % 2 == 0 ? want_triangle : want_wedge);
+    EXPECT_EQ(response.termination, TerminationReason::kCompleted);
+  }
+}
+
+TEST(QueryServiceTest, QueueFullRejectsImmediately) {
+  const Graph data = TestData();
+  Gate gate;
+
+  ServiceOptions options;
+  options.pool_threads = 0;
+  options.limits.max_concurrent = 1;
+  options.limits.max_queue = 2;
+  options.pre_match_hook = gate.Hook();
+  QueryService service(data, options);
+
+  // One session occupies the single runner (held at the hook), two fill
+  // the queue; the fourth must bounce without touching the matcher.
+  std::vector<std::future<ServeResponse>> admitted;
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest request;
+    request.pattern = kWedge;
+    admitted.push_back(service.Submit(std::move(request)));
+    if (i == 0) gate.AwaitHeld(1);
+  }
+  ServeRequest overflow;
+  overflow.pattern = kWedge;
+  std::future<ServeResponse> rejected = service.Submit(std::move(overflow));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ServeResponse bounce = rejected.get();
+  EXPECT_EQ(bounce.admission, Admission::kRejected);
+  EXPECT_TRUE(bounce.status.ok());
+  EXPECT_EQ(bounce.embeddings, 0u);
+
+  gate.Open();
+  for (auto& f : admitted) {
+    ServeResponse response = f.get();
+    EXPECT_EQ(response.admission, Admission::kAccepted);
+    EXPECT_EQ(response.termination, TerminationReason::kCompleted);
+  }
+}
+
+TEST(QueryServiceTest, DeepQueueDegradesWithClampedLimit) {
+  const Graph data = TestData();
+  const CeciMatcher reference(data);
+  const std::uint64_t full =
+      reference.Count(ParsePattern(kWedge).value(), 1).value();
+  ASSERT_GT(full, 3u);  // degradation must actually bite
+
+  Gate gate;
+  ServiceOptions options;
+  options.pool_threads = 0;
+  options.limits.max_concurrent = 1;
+  options.limits.max_queue = 8;
+  options.limits.degrade_depth = 2;
+  options.limits.degraded_limit = 3;
+  options.pre_match_hook = gate.Hook();
+  QueryService service(data, options);
+
+  // Runner holds session 0; sessions 1–2 queue below degrade_depth;
+  // session 3 sees depth 2 and is admitted degraded.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    ServeRequest request;
+    request.pattern = kWedge;
+    futures.push_back(service.Submit(std::move(request)));
+    if (i == 0) gate.AwaitHeld(1);
+  }
+  gate.Open();
+
+  for (int i = 0; i < 3; ++i) {
+    ServeResponse response = futures[i].get();
+    EXPECT_EQ(response.admission, Admission::kAccepted);
+    EXPECT_EQ(response.embeddings, full);
+  }
+  ServeResponse degraded = futures[3].get();
+  EXPECT_EQ(degraded.admission, Admission::kDegraded);
+  EXPECT_EQ(degraded.termination, TerminationReason::kLimit);
+  EXPECT_EQ(degraded.embeddings, 3u);
+}
+
+TEST(QueryServiceTest, DeadlineSpentInQueueNeverRuns) {
+  const Graph data = TestData();
+  Gate gate;
+  ServiceOptions options;
+  options.pool_threads = 0;
+  options.limits.max_concurrent = 1;
+  options.limits.max_queue = 8;
+  options.pre_match_hook = gate.Hook();
+  QueryService service(data, options);
+
+  ServeRequest blocker;
+  blocker.pattern = kWedge;
+  std::future<ServeResponse> blocked = service.Submit(std::move(blocker));
+  gate.AwaitHeld(1);
+
+  ServeRequest doomed;
+  doomed.pattern = kTriangle;
+  doomed.deadline_seconds = 0.02;
+  std::future<ServeResponse> expired = service.Submit(std::move(doomed));
+
+  // Hold the runner well past the queued request's whole deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.Open();
+
+  EXPECT_EQ(blocked.get().termination, TerminationReason::kCompleted);
+  ServeResponse response = expired.get();
+  EXPECT_EQ(response.admission, Admission::kAccepted);
+  EXPECT_EQ(response.termination, TerminationReason::kDeadline);
+  // The match never started: no embeddings, no execution time.
+  EXPECT_EQ(response.embeddings, 0u);
+  EXPECT_EQ(response.match_seconds, 0.0);
+  EXPECT_GE(response.queue_seconds, 0.02);
+}
+
+TEST(QueryServiceTest, ShutdownCancelsQueuedSessions) {
+  const Graph data = TestData();
+  Gate gate;
+  ServiceOptions options;
+  options.pool_threads = 0;
+  options.limits.max_concurrent = 1;
+  options.limits.max_queue = 8;
+  options.pre_match_hook = gate.Hook();
+  QueryService service(data, options);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    ServeRequest request;
+    request.pattern = kWedge;
+    futures.push_back(service.Submit(std::move(request)));
+    if (i == 0) gate.AwaitHeld(1);
+  }
+
+  // Shutdown first marks the service stopping and cancels the token,
+  // then joins — release the hook from a helper so the join can finish.
+  std::thread releaser([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.Open();
+  });
+  service.Shutdown();
+  releaser.join();
+
+  for (auto& f : futures) {
+    ServeResponse response = f.get();
+    // Every session either never ran (drained: kCancelled) or observed
+    // the cancelled token; none may report success dishonestly.
+    EXPECT_EQ(response.termination, TerminationReason::kCancelled);
+    EXPECT_TRUE(response.status.ok());
+  }
+
+  // Submitting after shutdown bounces instead of hanging.
+  ServeRequest late;
+  late.pattern = kWedge;
+  EXPECT_EQ(service.Execute(std::move(late)).admission,
+            Admission::kRejected);
+}
+
+TEST(QueryServiceTest, MalformedPatternReturnsErrorStatus) {
+  const Graph data = TestData();
+  ServiceOptions options;
+  options.pool_threads = 0;
+  QueryService service(data, options);
+  ServeRequest request;
+  request.pattern = "((((";
+  ServeResponse response = service.Execute(std::move(request));
+  EXPECT_EQ(response.admission, Admission::kAccepted);
+  EXPECT_FALSE(response.status.ok());
+}
+
+TEST(QueryServiceTest, PerRequestLimitIsHonored) {
+  const Graph data = TestData();
+  ServiceOptions options;
+  options.pool_threads = 2;
+  QueryService service(data, options);
+  ServeRequest request;
+  request.pattern = kWedge;
+  request.limit = 7;
+  ServeResponse response = service.Execute(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.termination, TerminationReason::kLimit);
+  EXPECT_GE(response.embeddings, 7u);
+}
+
+}  // namespace
+}  // namespace ceci

@@ -1,0 +1,207 @@
+// Wire protocol and workload construction for the serving layer: request
+// and response lines must round-trip exactly (the server formats what the
+// load generator parses), and the Zipf sampler / latency summary must be
+// correct because BENCH_serving.json numbers come straight from them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/labels.h"
+#include "gen/random_graphs.h"
+#include "graphio/pattern_parser.h"
+#include "serve/protocol.h"
+#include "serve/workload.h"
+
+namespace ceci {
+namespace {
+
+TEST(ProtocolTest, ParsesSimpleVerbs) {
+  EXPECT_EQ(ParseRequestLine("PING")->kind, RequestKind::kPing);
+  EXPECT_EQ(ParseRequestLine("STATS")->kind, RequestKind::kStats);
+  EXPECT_EQ(ParseRequestLine("QUIT")->kind, RequestKind::kQuit);
+  EXPECT_EQ(ParseRequestLine("  PING \r")->kind, RequestKind::kPing);
+}
+
+TEST(ProtocolTest, ParsesMatchWithPattern) {
+  auto request = ParseRequestLine("MATCH (a:0)-(b:1); (a)-(b)");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->kind, RequestKind::kMatch);
+  EXPECT_EQ(request->match.pattern, "(a:0)-(b:1); (a)-(b)");
+  EXPECT_EQ(request->match.limit, 0u);
+  EXPECT_EQ(request->match.deadline_seconds, 0.0);
+  EXPECT_FALSE(request->match.explain);
+}
+
+TEST(ProtocolTest, ParsesMatchxOptions) {
+  auto request =
+      ParseRequestLine("MATCHX limit=100,deadline_ms=250,explain=1 (a)-(b)");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->match.limit, 100u);
+  EXPECT_DOUBLE_EQ(request->match.deadline_seconds, 0.25);
+  EXPECT_TRUE(request->match.explain);
+  EXPECT_EQ(request->match.pattern, "(a)-(b)");
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("NOPE x").ok());
+  EXPECT_FALSE(ParseRequestLine("MATCH").ok());
+  EXPECT_FALSE(ParseRequestLine("MATCHX limit=1").ok());
+  EXPECT_FALSE(ParseRequestLine("MATCHX limit (a)-(b)").ok());
+  EXPECT_FALSE(ParseRequestLine("MATCHX limit=abc (a)-(b)").ok());
+  EXPECT_FALSE(ParseRequestLine("MATCHX frobnicate=1 (a)-(b)").ok());
+}
+
+TEST(ProtocolTest, OkResponseRoundTrips) {
+  ServeResponse response;
+  response.admission = Admission::kDegraded;
+  response.embeddings = 1024;
+  response.termination = TerminationReason::kLimit;
+  response.queue_seconds = 0.001;
+  response.match_seconds = 0.25;
+  response.total_seconds = 0.251;
+  response.index_bytes = 4096;
+
+  const std::string line = FormatResponseLine(response);
+  auto parsed = ParseResponseLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, WireResponse::Kind::kOk);
+  EXPECT_EQ(parsed->embeddings, 1024u);
+  EXPECT_EQ(parsed->termination, "limit");
+  EXPECT_EQ(parsed->admission, "degraded");
+  EXPECT_EQ(parsed->queue_us, 1000u);
+  EXPECT_EQ(parsed->exec_us, 250000u);
+  EXPECT_EQ(parsed->total_us, 251000u);
+  EXPECT_EQ(parsed->index_bytes, 4096u);
+}
+
+TEST(ProtocolTest, RejectionFormatsAsBusy) {
+  ServeResponse response;
+  response.admission = Admission::kRejected;
+  const std::string line = FormatResponseLine(response);
+  EXPECT_EQ(line, "BUSY queue_full");
+  auto parsed = ParseResponseLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, WireResponse::Kind::kBusy);
+  EXPECT_EQ(parsed->error, "queue_full");
+}
+
+TEST(ProtocolTest, ErrorStatusFormatsAsErrOnOneLine) {
+  ServeResponse response;
+  response.status = Status::InvalidArgument("bad\npattern");
+  const std::string line = FormatResponseLine(response);
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto parsed = ParseResponseLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, WireResponse::Kind::kErr);
+}
+
+TEST(ProtocolTest, RejectsMalformedResponses) {
+  EXPECT_FALSE(ParseResponseLine("WAT").ok());
+  EXPECT_FALSE(ParseResponseLine("OK embeddings").ok());
+  EXPECT_FALSE(ParseResponseLine("OK embeddings=x").ok());
+  EXPECT_FALSE(ParseResponseLine("OK wat=1").ok());
+}
+
+// ---------------------------------------------------------------------
+
+TEST(WorkloadTest, QgMixIsTheFivePaperQueries) {
+  auto patterns = BuildWorkload(nullptr, WorkloadOptions{});
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 5u);
+  for (const std::string& p : *patterns) {
+    ASSERT_TRUE(ParsePattern(p).ok()) << p;
+  }
+  // QG1 is a triangle: 3 vertices, 3 edges.
+  Graph qg1 = ParsePattern((*patterns)[0]).value();
+  EXPECT_EQ(qg1.num_vertices(), 3u);
+  EXPECT_EQ(qg1.num_edges(), 3u);
+}
+
+TEST(WorkloadTest, GeneratedMixNeedsAndUsesData) {
+  WorkloadOptions options;
+  options.mix = "generated";
+  options.generated_count = 6;
+  options.generated_size = 4;
+  EXPECT_FALSE(BuildWorkload(nullptr, options).ok());
+
+  const Graph data =
+      AssignRandomLabels(GenerateSocialGraph(600, 5, 3), 3, 3);
+  auto patterns = BuildWorkload(&data, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 6u);
+  for (const std::string& p : *patterns) {
+    Graph q = ParsePattern(p).value();
+    EXPECT_EQ(q.num_vertices(), 4u);
+  }
+}
+
+TEST(WorkloadTest, MixedInterleavesBothFamilies) {
+  const Graph data =
+      AssignRandomLabels(GenerateSocialGraph(600, 5, 3), 3, 3);
+  WorkloadOptions options;
+  options.mix = "mixed";
+  options.generated_count = 3;
+  auto patterns = BuildWorkload(&data, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 8u);  // 5 QG + 3 generated
+}
+
+TEST(WorkloadTest, UnknownMixIsAnError) {
+  WorkloadOptions options;
+  options.mix = "surprise";
+  EXPECT_FALSE(BuildWorkload(nullptr, options).ok());
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  const ZipfSampler sampler(4, 0.0);
+  // With s = 0 the CDF is linear: quartile boundaries map to ranks.
+  EXPECT_EQ(sampler.Sample(0.0), 0u);
+  EXPECT_EQ(sampler.Sample(0.26), 1u);
+  EXPECT_EQ(sampler.Sample(0.51), 2u);
+  EXPECT_EQ(sampler.Sample(0.99), 3u);
+}
+
+TEST(ZipfSamplerTest, HighSkewConcentratesOnRankZero) {
+  const ZipfSampler sampler(16, 2.0);
+  // P(rank 0) = 1 / sum(1/k^2) ≈ 0.63 for n = 16: the median draw and
+  // well beyond must land on rank 0.
+  EXPECT_EQ(sampler.Sample(0.0), 0u);
+  EXPECT_EQ(sampler.Sample(0.5), 0u);
+  EXPECT_EQ(sampler.Sample(0.6), 0u);
+  EXPECT_GT(sampler.Sample(0.9999), 0u);
+}
+
+TEST(ZipfSamplerTest, EdgeDrawsStayInRange) {
+  const ZipfSampler sampler(3, 0.8);
+  EXPECT_LT(sampler.Sample(1.0), 3u);  // u at the closed upper edge
+  EXPECT_LT(sampler.Sample(0.999999), 3u);
+}
+
+TEST(LatencySummaryTest, NearestRankPercentilesAreExact) {
+  std::vector<std::uint64_t> latencies;
+  for (std::uint64_t v = 100; v >= 1; --v) latencies.push_back(v);
+  const LatencySummary summary = SummarizeLatencies(latencies);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean_us, 50.5);
+  EXPECT_EQ(summary.p50_us, 50u);
+  EXPECT_EQ(summary.p95_us, 95u);
+  EXPECT_EQ(summary.p99_us, 99u);
+  EXPECT_EQ(summary.max_us, 100u);
+}
+
+TEST(LatencySummaryTest, EmptyAndSingleton) {
+  std::vector<std::uint64_t> none;
+  EXPECT_EQ(SummarizeLatencies(none).count, 0u);
+  std::vector<std::uint64_t> one = {42};
+  const LatencySummary summary = SummarizeLatencies(one);
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_EQ(summary.p50_us, 42u);
+  EXPECT_EQ(summary.p99_us, 42u);
+  EXPECT_EQ(summary.max_us, 42u);
+}
+
+}  // namespace
+}  // namespace ceci

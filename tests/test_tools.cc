@@ -318,6 +318,115 @@ TEST_F(ToolsTest, CancelAfterStopsWithExitZero) {
       << out;
 }
 
+TEST_F(ToolsTest, HelpFlagsDocumentTheCliContract) {
+  // --help must exit 0 and mention the flags README documents; this is
+  // the drift check keeping the tables in docs and the binaries in sync.
+  ASSERT_EQ(Run("ceci_query", "--help", File("q.txt")), 0);
+  std::string help = Slurp(File("q.txt"));
+  for (const char* flag :
+       {"--data", "--pattern", "--threads", "--limit", "--deadline-ms",
+        "--memory-budget-mb", "--cancel-after", "--audit", "--explain",
+        "--metrics-json", "--help"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << "ceci_query " << flag;
+  }
+  // The exit-code contract is part of the help text.
+  EXPECT_NE(help.find("exit codes:"), std::string::npos);
+  EXPECT_NE(help.find("audit violations"), std::string::npos);
+
+  ASSERT_EQ(Run("ceci_serve", "--help", File("s.txt")), 0);
+  help = Slurp(File("s.txt"));
+  for (const char* flag :
+       {"--data", "--host", "--port", "--pool-threads",
+        "--threads-per-query", "--max-concurrent", "--max-queue",
+        "--degrade-depth", "--default-deadline-ms",
+        "--degraded-deadline-ms", "--degraded-limit", "--max-connections",
+        "--no-cache", "--duration-s"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << "ceci_serve " << flag;
+  }
+  EXPECT_NE(help.find("MATCHX"), std::string::npos);
+
+  ASSERT_EQ(Run("ceci_loadgen", "--help", File("l.txt")), 0);
+  help = Slurp(File("l.txt"));
+  for (const char* flag :
+       {"--host", "--port", "--connections", "--duration-s", "--requests",
+        "--warmup-s", "--mix", "--zipf", "--seed", "--limit",
+        "--deadline-ms", "--out", "--label"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << "ceci_loadgen " << flag;
+  }
+}
+
+TEST_F(ToolsTest, ServeToolsRejectBadUsage) {
+  EXPECT_EQ(Run("ceci_serve", ""), 2);            // --data is required
+  EXPECT_EQ(Run("ceci_loadgen", ""), 2);          // --port is required
+  EXPECT_EQ(Run("ceci_loadgen", "--port 1 --duration-s 0"), 2);
+  EXPECT_EQ(Run("ceci_serve", "--data x --wat"), 2);
+}
+
+TEST_F(ToolsTest, ServeAndLoadgenEndToEnd) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 1500 --attach 5 --labels 4 --seed 23 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  // Start the server on an ephemeral port with a generous self-timeout
+  // (the test normally SIGTERMs it long before), scrape the bound port
+  // from its banner line, drive it with the load generator, then check
+  // both sides shut down cleanly.
+  const std::string log = File("serve.log");
+  ASSERT_EQ(std::system((std::string(CECI_TOOLS_DIR) +
+                         "/ceci_serve --data " + File("g.txt") +
+                         " --format labeled --port 0 --pool-threads 2 "
+                         "--max-concurrent 2 --duration-s 120 > " + log +
+                         " 2>&1 & echo $! > " + File("pid"))
+                            .c_str()),
+            0);
+  int port = 0;
+  for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
+    const std::string banner = Slurp(log);
+    const std::size_t colon = banner.rfind(':');
+    if (banner.find("listening on") != std::string::npos &&
+        colon != std::string::npos) {
+      port = std::atoi(banner.c_str() + colon + 1);
+    } else {
+      ::usleep(50 * 1000);
+    }
+  }
+  ASSERT_GT(port, 0) << Slurp(log);
+
+  ASSERT_EQ(Run("ceci_loadgen",
+                "--port " + std::to_string(port) +
+                    " --connections 2 --requests 100 --duration-s 30 "
+                    "--mix qg --zipf 0.8 --limit 1000 --out " +
+                    File("run.jsonl") + " --label tools-e2e",
+                File("lg.txt")),
+            0);
+  const std::string report = Slurp(File("lg.txt"));
+  EXPECT_NE(report.find("qps:"), std::string::npos);
+  EXPECT_NE(report.find("latency_us:"), std::string::npos);
+
+  // The JSON entry carries throughput, percentiles, and repro flags.
+  auto parsed = ceci::testing::ParseJson(Slurp(File("run.jsonl")));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_GT(parsed->Num("requests"), 0.0);
+  EXPECT_GT(parsed->Num("qps"), 0.0);
+  EXPECT_GT(parsed->At("latency_us").Num("p99"), 0.0);
+  EXPECT_GT(parsed->At("outcomes").Num("completed") +
+                parsed->At("outcomes").Num("limit"),
+            0.0);
+  EXPECT_NE(parsed->At("command").str.find("--mix qg"), std::string::npos);
+  EXPECT_EQ(parsed->At("label").str, "tools-e2e");
+
+  // Graceful termination: SIGTERM, then the banner's shutdown line.
+  const std::string pid = Slurp(File("pid"));
+  ASSERT_FALSE(pid.empty());
+  ASSERT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
+  bool shut_down = false;
+  for (int attempt = 0; attempt < 200 && !shut_down; ++attempt) {
+    shut_down = Slurp(log).find("shut down") != std::string::npos;
+    if (!shut_down) ::usleep(50 * 1000);
+  }
+  EXPECT_TRUE(shut_down) << Slurp(log);
+}
+
 TEST_F(ToolsTest, BudgetFlagsRejectBadValues) {
   EXPECT_EQ(Run("ceci_query",
                 "--data x --pattern \"(a)-(b)\" --deadline-ms 0"),
