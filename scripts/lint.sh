@@ -43,6 +43,20 @@ if [[ -n "$hits" ]]; then
     "$hits"
 fi
 
+# --- Rule: the flat-index arena stays pointer-free. Everything inside the
+# arena is addressed by u32 slab offsets so the image can be written to
+# disk, mmap'd back, and shared across threads without fixups
+# (docs/index_layout.md). Heap allocation or owning pointers in these
+# files would silently break that relocatability contract.
+arena_sources=$(echo "$sources" \
+  | grep -E 'src/(ceci/(flat_index|index_io)|util/mapped_file)\.' || true)
+hits=$(echo "$arena_sources" \
+  | xargs grep -nE '\bnew\b|\bdelete\b|\bmalloc\s*\(|\bfree\s*\(|unique_ptr|shared_ptr' 2>/dev/null \
+  | grep -vE '= delete|// lint: arena-exempt' || true)
+if [[ -n "$hits" ]]; then
+  fail "raw allocation / owning pointer in arena-backed index code" "$hits"
+fi
+
 # --- Rule: no unchecked Status. A Result<T>/Status return must be consumed;
 # calling .status() or .value() without .ok() first shows up as a bare
 # `.value()` on a fresh call expression.

@@ -26,6 +26,13 @@
 #                                    # ceci_query deadline/budget smokes
 #                                    # asserting the exit-code contract
 #                                    # (docs/robustness.md)
+#   scripts/tier1.sh --index         # additionally run the flat-index
+#                                    # suites (arena layout, index_io,
+#                                    # shared-mmap concurrency, auditor)
+#                                    # plus the persisted-index round
+#                                    # trip: ceci_query --save-index ->
+#                                    # ceci_serve --index -> identical
+#                                    # served count (docs/index_layout.md)
 #   scripts/tier1.sh --serving       # additionally run the serving suites
 #                                    # (shared-pool concurrency, admission
 #                                    # control, wire protocol) plus a
@@ -46,6 +53,7 @@ profile_pass=0
 lint_pass=0
 resilience_pass=0
 serving_pass=0
+index_pass=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --clean) clean=1 ;;
@@ -55,6 +63,7 @@ while [[ $# -gt 0 ]]; do
     --lint) lint_pass=1 ;;
     --resilience) resilience_pass=1 ;;
     --serving) serving_pass=1 ;;
+    --index) index_pass=1 ;;
     --preset) preset="${2:?--preset needs a name}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -255,6 +264,61 @@ assert "--mix qg" in entry["command"]
 print("serving smoke OK: %d requests, %.0f qps" %
       (entry["requests"], entry["qps"]))
 EOF
+fi
+
+if [[ "$index_pass" == 1 ]]; then
+  echo "=== flat-index pass (arena layout, serialization, mmap serving) ==="
+  # -R matches gtest test names: the arena layout suite (FlatIndexTest),
+  # serialization round-trip/corruption (IndexIoTest.Flat*), the shared
+  # mmap concurrency test, the flat auditor classes, and the prebuilt
+  # QueryService/ceci_serve tests ("Prebuilt" matches both).
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R '(FlatIndex|IndexIo|SharedFlatIndex|Prebuilt)' -j
+
+  index_tmp="$(mktemp -d)"
+  trap 'rm -rf "$index_tmp"' EXIT
+  "$build_dir/src/ceci_generate" --family social --n 2000 --attach 6 \
+    --labels 4 --seed 17 --out "$index_tmp/g.txt" --format labeled
+  # Persisted-index round trip (docs/index_layout.md#serving-a-prebuilt-index):
+  # build + freeze + persist offline with ceci_query, then serve the mmap'd
+  # image and require the served embedding count to equal the offline one.
+  "$build_dir/src/ceci_query" --data "$index_tmp/g.txt" --format labeled \
+    --pattern "(a:0)-(b:1)-(c:2); (a)-(c)" --stats \
+    --save-index "$index_tmp/tri.idx" | tee "$index_tmp/offline.txt"
+  want="$(grep '^embeddings:' "$index_tmp/offline.txt" | awk '{print $2}')"
+  [[ -n "$want" ]] || { echo "offline run printed no embeddings" >&2; exit 1; }
+  "$build_dir/src/ceci_serve" --data "$index_tmp/g.txt" --format labeled \
+    --index "$index_tmp/tri.idx" --pool-threads 2 --threads-per-query 2 \
+    --max-concurrent 2 --duration-s 120 > "$index_tmp/serve.log" 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 200); do
+    if grep -q "listening on" "$index_tmp/serve.log" 2>/dev/null; then
+      port="$(grep 'listening on' "$index_tmp/serve.log" \
+        | sed 's/.*://' | tr -d '[:space:]')"
+      break
+    fi
+    sleep 0.05
+  done
+  [[ -n "$port" ]] || { echo "ceci_serve never came up" >&2; \
+    cat "$index_tmp/serve.log" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+  grep -q "installed prebuilt index" "$index_tmp/serve.log"
+  python3 - "$port" "$want" <<'EOF'
+import socket, sys
+port, want = int(sys.argv[1]), int(sys.argv[2])
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(b"MATCH (a:0)-(b:1)-(c:2); (a)-(c)\n")
+line = s.makefile().readline().strip()
+fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+assert line.startswith("OK "), line
+assert fields["termination"] == "completed", line
+assert int(fields["embeddings"]) == want, \
+    f"served {fields['embeddings']} embeddings, offline run found {want}"
+print(f"prebuilt-index round trip OK: {want} embeddings via mmap")
+EOF
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || { echo "ceci_serve exited non-zero" >&2; exit 1; }
+  grep -q "shut down" "$index_tmp/serve.log"
 fi
 
 if [[ "$lint_pass" == 1 ]]; then

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "graph/nlc_index.h"
+#include "util/bitmap.h"
 #include "util/check.h"
 
 namespace ceci {
@@ -50,6 +51,12 @@ const char* InvariantClassName(InvariantClass c) {
       return "empty_key_cascade";
     case InvariantClass::kCardinalityShape:
       return "cardinality_shape";
+    case InvariantClass::kFlatOffsetBounds:
+      return "flat_offset_bounds";
+    case InvariantClass::kFlatSlabOrder:
+      return "flat_slab_order";
+    case InvariantClass::kFlatRepresentation:
+      return "flat_representation";
     case InvariantClass::kInjectivityBitset:
       return "injectivity_bitset";
     case InvariantClass::kWorkUnitInvalid:
@@ -432,6 +439,327 @@ AuditReport AuditCeciIndex(const Graph& data, const Graph& query,
   return report;
 }
 
+namespace {
+
+// Element width of each slab, in SlabKind order (mirrors flat_index.cc).
+constexpr std::size_t kSlabElemBytes[FlatCeciIndex::kNumSlabs] = {
+    sizeof(FlatVertexMeta), sizeof(VertexId),     sizeof(VertexId),
+    sizeof(Cardinality),    sizeof(FlatListMeta), sizeof(VertexId),
+    sizeof(FlatEntry),      sizeof(std::uint32_t), sizeof(std::uint64_t)};
+
+const char* SlabName(std::size_t kind) {
+  static const char* kNames[FlatCeciIndex::kNumSlabs] = {
+      "vertex_meta", "order",   "candidates", "cardinalities", "list_meta",
+      "keys",        "entries", "array_pool", "bitmap_pool"};
+  return kind < FlatCeciIndex::kNumSlabs ? kNames[kind] : "?";
+}
+
+// Decodes one flat value set to sorted data-vertex ids through the owner's
+// candidate array. Ranks are assumed in-bounds (AuditFlatIndex reports
+// out-of-range ranks separately; callers skip decoding on violations).
+std::vector<VertexId> DecodeFlatEntry(const FlatCeciIndex& flat, VertexId u,
+                                      const FlatCeciIndex::EntryRef& ref) {
+  const auto cands = flat.candidates(u);
+  std::vector<VertexId> out;
+  out.reserve(ref.count);
+  if (ref.is_bitmap()) {
+    std::vector<std::uint32_t> ranks;
+    ranks.reserve(ref.count);
+    BitmapExtract(ref.bits, &ranks);
+    for (std::uint32_t r : ranks) {
+      if (r < cands.size()) out.push_back(cands[r]);
+    }
+  } else {
+    for (std::uint32_t r : ref.ranks) {
+      if (r < cands.size()) out.push_back(cands[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void AuditFlatIndex(const QueryTree& tree, const FlatCeciIndex& flat,
+                    AuditReport* report) {
+  const std::size_t nq = tree.num_vertices();
+  ++report->checks_run;
+  if (flat.empty() || flat.num_query_vertices() != nq) {
+    std::ostringstream d;
+    d << "flat index covers " << flat.num_query_vertices()
+      << " query vertices, tree has " << nq;
+    report->Add(InvariantClass::kFlatOffsetBounds, d.str());
+    return;  // every per-vertex loop below would misalign
+  }
+
+  // --- Slab table (kFlatSlabOrder) ---
+  std::uint64_t prev_end = 0;
+  for (std::size_t k = 0; k < FlatCeciIndex::kNumSlabs; ++k) {
+    const FlatCeciIndex::Slab& s =
+        flat.slab(static_cast<FlatCeciIndex::SlabKind>(k));
+    ++report->checks_run;
+    if (s.offset % 8 != 0 || s.bytes % kSlabElemBytes[k] != 0) {
+      std::ostringstream d;
+      d << "slab " << SlabName(k) << " misaligned (offset " << s.offset
+        << ", " << s.bytes << " bytes, element width "
+        << kSlabElemBytes[k] << ")";
+      report->Add(InvariantClass::kFlatSlabOrder, d.str());
+    }
+    ++report->checks_run;
+    if (s.offset < prev_end || s.offset + s.bytes > flat.ArenaBytes()) {
+      std::ostringstream d;
+      d << "slab " << SlabName(k) << " [" << s.offset << ", "
+        << s.offset + s.bytes << ") is out of canonical order or escapes "
+        << "the " << flat.ArenaBytes() << "-byte arena";
+      report->Add(InvariantClass::kFlatSlabOrder, d.str());
+    }
+    prev_end = std::max(prev_end, s.offset + s.bytes);
+  }
+
+  const auto vms = flat.vertex_metas();
+  const auto lms = flat.list_metas();
+  const std::uint64_t cand_total =
+      flat.slab(FlatCeciIndex::kCandidates).bytes / sizeof(VertexId);
+
+  // --- Matching order ---
+  ++report->checks_run;
+  const auto& order = tree.matching_order();
+  if (flat.matching_order().size() != order.size() ||
+      !std::equal(order.begin(), order.end(),
+                  flat.matching_order().begin())) {
+    report->Add(InvariantClass::kFlatRepresentation,
+                "flat matching order disagrees with the query tree");
+  }
+
+  // --- Per-vertex metas (bounds first, then representation) ---
+  for (VertexId u = 0; u < nq; ++u) {
+    const FlatVertexMeta& m = vms[u];
+    ++report->checks_run;
+    if (std::uint64_t{m.cand_begin} + m.cand_count > cand_total) {
+      std::ostringstream d;
+      d << "u" << u << ": candidate range [" << m.cand_begin << ", "
+        << m.cand_begin + std::uint64_t{m.cand_count}
+        << ") escapes the candidates slab (" << cand_total << " entries)";
+      report->Add(InvariantClass::kFlatOffsetBounds, d.str());
+      continue;  // candidates(u) would be out of bounds
+    }
+    ++report->checks_run;
+    if (m.te_list != kNoFlatList && m.te_list >= lms.size()) {
+      std::ostringstream d;
+      d << "u" << u << ": TE list index " << m.te_list << " escapes the "
+        << lms.size() << "-entry list_meta slab";
+      report->Add(InvariantClass::kFlatOffsetBounds, d.str());
+    }
+    ++report->checks_run;
+    if (std::uint64_t{m.nte_begin} + m.nte_count > lms.size() &&
+        m.nte_count > 0) {
+      std::ostringstream d;
+      d << "u" << u << ": NTE list range [" << m.nte_begin << ", "
+        << m.nte_begin + std::uint64_t{m.nte_count}
+        << ") escapes the " << lms.size() << "-entry list_meta slab";
+      report->Add(InvariantClass::kFlatOffsetBounds, d.str());
+    }
+    ++report->checks_run;
+    if (m.bitmap_words != BitmapWords(m.cand_count)) {
+      std::ostringstream d;
+      d << "u" << u << ": bitmap_words = " << m.bitmap_words << " for "
+        << m.cand_count << " candidates (expected "
+        << BitmapWords(m.cand_count) << ")";
+      report->Add(InvariantClass::kFlatRepresentation, d.str());
+    }
+    ++report->checks_run;
+    if ((u == tree.root()) != (m.te_list == kNoFlatList)) {
+      std::ostringstream d;
+      d << "u" << u
+        << (u == tree.root() ? " is the root but stores a TE list"
+                             : " is not the root but has no TE list");
+      report->Add(InvariantClass::kFlatRepresentation, d.str());
+    }
+    ++report->checks_run;
+    if (m.nte_count != tree.nte_in(u).size()) {
+      std::ostringstream d;
+      d << "u" << u << ": " << m.nte_count << " NTE lists for "
+        << tree.nte_in(u).size() << " incoming non-tree edges";
+      report->Add(InvariantClass::kFlatRepresentation, d.str());
+    }
+    ++report->checks_run;
+    if (!StrictlySorted(flat.candidates(u))) {
+      report->Add(InvariantClass::kFlatRepresentation,
+                  Where("flat candidates of", u) +
+                      " are not strictly ascending");
+    }
+  }
+
+  // --- Per-list metas and entries ---
+  for (std::size_t li = 0; li < lms.size(); ++li) {
+    const FlatListMeta& lm = lms[li];
+    std::ostringstream tag;
+    tag << "flat list #" << li << " (owner u" << lm.owner << ")";
+    const std::string prefix = tag.str();
+
+    ++report->checks_run;
+    if (lm.owner >= nq) {
+      report->Add(InvariantClass::kFlatOffsetBounds,
+                  prefix + ": owner is not a query vertex");
+      continue;
+    }
+    ++report->checks_run;
+    if (std::uint64_t{lm.key_begin} + lm.key_count > flat.all_keys().size() ||
+        std::uint64_t{lm.entry_begin} + lm.key_count >
+            flat.all_entries().size()) {
+      report->Add(InvariantClass::kFlatOffsetBounds,
+                  prefix + ": key/entry range escapes its slab");
+      continue;
+    }
+    const auto keys = flat.all_keys().subspan(lm.key_begin, lm.key_count);
+    ++report->checks_run;
+    if (!StrictlySorted(keys)) {
+      report->Add(InvariantClass::kFlatRepresentation,
+                  prefix + ": keys not strictly ascending");
+    }
+    const FlatVertexMeta& om = vms[lm.owner];
+    for (std::uint32_t i = 0; i < lm.key_count; ++i) {
+      const FlatEntry& e = flat.all_entries()[lm.entry_begin + i];
+      std::ostringstream etag;
+      etag << prefix << ", key v" << keys[i];
+      ++report->checks_run;
+      if (e.count() == 0) {
+        report->Add(InvariantClass::kFlatRepresentation,
+                    etag.str() + ": empty value set stored");
+        continue;
+      }
+      if (e.is_bitmap()) {
+        ++report->checks_run;
+        if (std::uint64_t{e.offset} + om.bitmap_words >
+            flat.bitmap_pool().size()) {
+          report->Add(InvariantClass::kFlatOffsetBounds,
+                      etag.str() + ": bitmap escapes the bitmap pool");
+          continue;
+        }
+        const auto bits =
+            flat.bitmap_pool().subspan(e.offset, om.bitmap_words);
+        ++report->checks_run;
+        if (BitmapPopcount(bits) != e.count()) {
+          std::ostringstream d;
+          d << etag.str() << ": bitmap popcount " << BitmapPopcount(bits)
+            << " != stored count " << e.count();
+          report->Add(InvariantClass::kFlatRepresentation, d.str());
+        }
+        ++report->checks_run;
+        bool past_end = false;
+        for (std::uint32_t b = om.cand_count; b < om.bitmap_words * 64;
+             ++b) {
+          if (BitmapTest(bits, b)) past_end = true;
+        }
+        if (past_end) {
+          report->Add(
+              InvariantClass::kFlatRepresentation,
+              etag.str() + ": bitmap sets a rank past the owner's "
+                           "candidate count");
+        }
+      } else {
+        ++report->checks_run;
+        if (std::uint64_t{e.offset} + e.count() >
+            flat.array_pool().size()) {
+          report->Add(InvariantClass::kFlatOffsetBounds,
+                      etag.str() + ": rank array escapes the array pool");
+          continue;
+        }
+        const auto ranks = flat.array_pool().subspan(e.offset, e.count());
+        ++report->checks_run;
+        bool sorted = true;
+        bool in_range = true;
+        for (std::size_t r = 0; r < ranks.size(); ++r) {
+          if (r > 0 && ranks[r - 1] >= ranks[r]) sorted = false;
+          if (ranks[r] >= om.cand_count) in_range = false;
+        }
+        if (!sorted || !in_range) {
+          std::ostringstream d;
+          d << etag.str() << ": ranks "
+            << (!sorted ? "not strictly ascending" : "")
+            << (!sorted && !in_range ? " and " : "")
+            << (!in_range ? "at or past the owner's candidate count" : "");
+          report->Add(InvariantClass::kFlatRepresentation, d.str());
+        }
+      }
+    }
+  }
+}
+
+void AuditFlatAgainstIndex(const QueryTree& tree, const CeciIndex& index,
+                           const FlatCeciIndex& flat, AuditReport* report) {
+  const std::size_t nq = tree.num_vertices();
+  ++report->checks_run;
+  if (flat.num_query_vertices() != nq ||
+      index.num_query_vertices() != nq) {
+    std::ostringstream d;
+    d << "flat index covers " << flat.num_query_vertices()
+      << " query vertices, pointer index " << index.num_query_vertices()
+      << ", tree " << nq;
+    report->Add(InvariantClass::kFlatRepresentation, d.str());
+    return;
+  }
+
+  for (VertexId u = 0; u < nq; ++u) {
+    const CeciVertexData& vd = index.at(u);
+    const auto fc = flat.candidates(u);
+    ++report->checks_run;
+    if (fc.size() != vd.candidates.size() ||
+        !std::equal(fc.begin(), fc.end(), vd.candidates.begin())) {
+      report->Add(InvariantClass::kFlatRepresentation,
+                  Where("flat candidates of", u) +
+                      " disagree with the pointer index");
+      continue;
+    }
+    if (!vd.cardinalities.empty()) {
+      const auto fcard = flat.cardinalities(u);
+      ++report->checks_run;
+      if (fcard.size() != vd.cardinalities.size() ||
+          !std::equal(fcard.begin(), fcard.end(),
+                      vd.cardinalities.begin())) {
+        report->Add(InvariantClass::kFlatRepresentation,
+                    Where("flat cardinalities of", u) +
+                        " disagree with the pointer index");
+      }
+    }
+
+    // Per-list value-set equality through the decoded rank space.
+    auto check_list = [&](const CandidateList& list, const char* kind,
+                          auto lookup) {
+      for (std::size_t i = 0; i < list.num_keys(); ++i) {
+        const VertexId key = list.keys()[i];
+        const auto want = list.values_at(i);
+        const FlatCeciIndex::EntryRef ref = lookup(key);
+        const std::vector<VertexId> got = DecodeFlatEntry(flat, u, ref);
+        ++report->checks_run;
+        if (got.size() != want.size() ||
+            !std::equal(got.begin(), got.end(), want.begin())) {
+          std::ostringstream d;
+          d << kind << "[u" << u << "] key v" << key << ": flat decodes "
+            << got.size() << " values, pointer index holds "
+            << want.size();
+          report->Add(InvariantClass::kFlatRepresentation, d.str());
+        }
+      }
+    };
+    if (u != tree.root()) {
+      check_list(vd.te, "TE",
+                 [&](VertexId key) { return flat.Te(u, key); });
+    }
+    ++report->checks_run;
+    if (flat.nte_count(u) != vd.nte.size()) {
+      std::ostringstream d;
+      d << "u" << u << ": flat stores " << flat.nte_count(u)
+        << " NTE lists, pointer index " << vd.nte.size();
+      report->Add(InvariantClass::kFlatRepresentation, d.str());
+    } else {
+      for (std::size_t k = 0; k < vd.nte.size(); ++k) {
+        check_list(vd.nte[k], "NTE",
+                   [&](VertexId key) { return flat.Nte(u, k, key); });
+      }
+    }
+  }
+}
+
 void AuditInjectivity(std::span<const VertexId> mapping,
                       std::span<const std::uint64_t> used_bits,
                       AuditReport* report) {
@@ -727,6 +1055,93 @@ void AuditQueryProfile(const QueryTree& tree, const CeciIndex& index,
     std::ostringstream d;
     d << "profile measures " << profile.index_bytes
       << " index bytes, MemoryBytes() reports " << index.MemoryBytes();
+    report->Add(InvariantClass::kProfileMismatch, d.str());
+  }
+}
+
+void AuditQueryProfile(const QueryTree& tree, const FlatCeciIndex& flat,
+                       const QueryProfile& profile, AuditReport* report) {
+  ++report->checks_run;
+  if (profile.vertices.size() != tree.num_vertices() ||
+      flat.num_query_vertices() != tree.num_vertices()) {
+    std::ostringstream d;
+    d << "profile has " << profile.vertices.size()
+      << " vertex records, flat index covers " << flat.num_query_vertices()
+      << ", query tree has " << tree.num_vertices();
+    report->Add(InvariantClass::kProfileMismatch, d.str());
+    return;  // per-vertex comparisons below would misalign
+  }
+
+  const auto& order = tree.matching_order();
+  std::size_t te_bytes = 0;
+  std::size_t nte_bytes = 0;
+  std::size_t candidate_bytes = 0;
+  std::size_t footprint_bytes = 0;
+  for (std::size_t i = 0; i < profile.vertices.size(); ++i) {
+    const VertexProfile& vp = profile.vertices[i];
+    ++report->checks_run;
+    if (vp.order_position != i || vp.u != order[i]) {
+      std::ostringstream d;
+      d << "record " << i << " claims u" << vp.u << " at position "
+        << vp.order_position << ", matching order has u" << order[i];
+      report->Add(InvariantClass::kProfileMismatch, d.str());
+      continue;
+    }
+    ++report->checks_run;
+    if (vp.candidates_refined != flat.candidates(vp.u).size()) {
+      std::ostringstream d;
+      d << "u" << vp.u << ": profile reports " << vp.candidates_refined
+        << " refined candidates, flat index holds "
+        << flat.candidates(vp.u).size();
+      report->Add(InvariantClass::kProfileMismatch, d.str());
+    }
+    const CeciIndex::VertexFootprint f = flat.MemoryFootprint(vp.u);
+    ++report->checks_run;
+    if (vp.te_keys != f.te_keys || vp.te_edges != f.te_edges ||
+        vp.te_bytes != f.te_bytes) {
+      std::ostringstream d;
+      d << "u" << vp.u << ": profile reports " << vp.te_keys
+        << " TE keys / " << vp.te_edges << " TE edges / " << vp.te_bytes
+        << " TE bytes, flat slabs hold " << f.te_keys << " / " << f.te_edges
+        << " / " << f.te_bytes;
+      report->Add(InvariantClass::kProfileMismatch, d.str());
+    }
+    ++report->checks_run;
+    if (vp.nte_lists != f.nte_lists || vp.nte_edges != f.nte_edges ||
+        vp.nte_bytes != f.nte_bytes ||
+        vp.candidate_bytes != f.candidate_bytes) {
+      std::ostringstream d;
+      d << "u" << vp.u << ": profile NTE/candidate accounting disagrees "
+        << "with the flat slabs";
+      report->Add(InvariantClass::kProfileMismatch, d.str());
+    }
+    te_bytes += vp.te_bytes;
+    nte_bytes += vp.nte_bytes;
+    candidate_bytes += vp.candidate_bytes;
+    footprint_bytes += f.te_bytes + f.nte_bytes + f.candidate_bytes;
+  }
+
+  ++report->checks_run;
+  if (profile.te_bytes != te_bytes || profile.nte_bytes != nte_bytes ||
+      profile.candidate_bytes != candidate_bytes ||
+      profile.index_bytes != te_bytes + nte_bytes + candidate_bytes) {
+    std::ostringstream d;
+    d << "profile byte totals (" << profile.index_bytes
+      << ") disagree with per-vertex sums ("
+      << te_bytes + nte_bytes + candidate_bytes << ")";
+    report->Add(InvariantClass::kProfileMismatch, d.str());
+  }
+  // Footprint sums equal the arena minus inter-slab alignment padding
+  // (< 8 bytes per slab boundary).
+  ++report->checks_run;
+  const std::size_t max_padding = 8 * FlatCeciIndex::kNumSlabs;
+  if (profile.index_bytes > flat.ArenaBytes() ||
+      profile.index_bytes + max_padding < flat.ArenaBytes() ||
+      profile.index_bytes != footprint_bytes) {
+    std::ostringstream d;
+    d << "profile measures " << profile.index_bytes
+      << " index bytes, flat footprints sum to " << footprint_bytes
+      << " in a " << flat.ArenaBytes() << "-byte arena";
     report->Add(InvariantClass::kProfileMismatch, d.str());
   }
 }

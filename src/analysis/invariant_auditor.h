@@ -24,6 +24,7 @@
 
 #include "ceci/ceci_index.h"
 #include "ceci/enumerator.h"
+#include "ceci/flat_index.h"
 #include "ceci/extreme_cluster.h"
 #include "ceci/profiler.h"
 #include "ceci/query_tree.h"
@@ -57,6 +58,15 @@ enum class InvariantClass {
   kEmptyKeyCascade,         // parent candidate without a TE entry, or an
                             // empty value set survived (Alg. 1 lines 9-12)
   kCardinalityShape,        // refined index with missing/zero cardinalities
+
+  // -- FlatCeciIndex (arena layout; ceci/flat_index.h) --
+  kFlatOffsetBounds,    // a vertex/list/entry offset range escapes its slab
+  kFlatSlabOrder,       // slab table out of canonical order, misaligned,
+                        // overlapping, or outside the arena
+  kFlatRepresentation,  // hybrid entry inconsistent: bitmap popcount !=
+                        // count, rank >= cand_count, unsorted ranks/keys,
+                        // bitmap_words wrong, or flat content disagrees
+                        // with the pointer index it was frozen from
 
   // -- Enumerator state --
   kInjectivityBitset,  // used-bitset out of sync with the partial mapping
@@ -143,12 +153,39 @@ void AuditWorkUnits(const Graph& data, const QueryTree& tree,
                     const CeciIndex& index, const EnumOptions& enum_options,
                     std::span<const WorkUnit> units, AuditReport* report);
 
+/// Audits the arena layout of a frozen flat index against the query tree
+/// it claims to serve: slab-table sanity (canonical order, alignment,
+/// arena bounds — kFlatSlabOrder), every vertex/list/entry offset range
+/// inside its slab (kFlatOffsetBounds), and hybrid-representation
+/// consistency — bitmap popcounts equal to entry counts, no rank at or
+/// past the owner's candidate count, strictly ascending ranks and keys,
+/// bitmap_words = ceil(cand_count/64), root without a TE list
+/// (kFlatRepresentation). Checks are ordered so that a corrupt offset is
+/// reported instead of dereferenced. Appends to `report`.
+void AuditFlatIndex(const QueryTree& tree, const FlatCeciIndex& flat,
+                    AuditReport* report);
+
+/// Cross-checks a flat index against the refined pointer index it was
+/// frozen from: identical candidate sets and cardinalities, and for every
+/// (list, key) the decoded flat value set (ranks resolved through the
+/// owner's candidate array, bitmaps expanded) must equal the mutable
+/// list's sorted values. Disagreements report kFlatRepresentation.
+/// Appends to `report`.
+void AuditFlatAgainstIndex(const QueryTree& tree, const CeciIndex& index,
+                           const FlatCeciIndex& flat, AuditReport* report);
+
 /// Cross-checks a QueryProfile against the refined index it was collected
 /// from: per-vertex refined candidate counts must equal the actual
 /// candidate-set sizes, TE key/edge counts must equal the TE list sizes,
 /// and the profile's measured byte totals must equal MemoryBytes(). Every
 /// mismatch reports kProfileMismatch. Appends to `report`.
 void AuditQueryProfile(const QueryTree& tree, const CeciIndex& index,
+                       const QueryProfile& profile, AuditReport* report);
+
+/// Flat-layout variant: when Match() ran with MatchOptions::flat_index the
+/// profile's footprints were measured over the arena slabs, so the
+/// cross-check compares against FlatCeciIndex::MemoryFootprint instead.
+void AuditQueryProfile(const QueryTree& tree, const FlatCeciIndex& flat,
                        const QueryProfile& profile, AuditReport* report);
 
 /// Checks the termination accounting of a finished Match(): the labelled

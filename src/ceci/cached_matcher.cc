@@ -1,11 +1,14 @@
 #include "ceci/cached_matcher.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "ceci/ceci_builder.h"
+#include "ceci/index_io.h"
 #include "ceci/preprocess.h"
 #include "ceci/refinement.h"
 #include "ceci/symmetry.h"
+#include "graphio/pattern_parser.h"
 #include "util/metrics_registry.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -32,7 +35,12 @@ Gauge& CacheEntriesGauge() {
 struct CachedMatcher::Entry {
   Preprocessed pre;
   SymmetryConstraints symmetry;
+  // Exactly one layout is populated (use_flat selects). Flat entries drop
+  // the pointer form entirely — long-lived serving caches hold only the
+  // compact arena (or borrow a read-only mmap for prebuilt images).
   CeciIndex index;
+  FlatCeciIndex flat;
+  bool use_flat = false;
   MatchStats build_stats;  // phase times & index accounting of the build
 };
 
@@ -42,7 +50,8 @@ std::string CachedMatcher::QueryKey(const Graph& query,
                                     const MatchOptions& options) {
   std::ostringstream key;
   key << OrderStrategyName(options.order) << '|'
-      << (options.break_automorphisms ? 'S' : 'N') << '|';
+      << (options.break_automorphisms ? 'S' : 'N')
+      << (options.flat_index ? 'F' : 'P') << '|';
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
     key << 'v';
     for (Label l : query.labels(u)) key << l << ',';
@@ -129,6 +138,14 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
       stats.embedding_clusters =
           fresh->index.pivots(fresh->pre.tree).size();
       stats.total_cardinality = stats.refine.total_cardinality;
+      if (options.flat_index) {
+        fresh->flat = FlatCeciIndex::Build(fresh->index, fresh->pre.tree);
+        fresh->use_flat = true;
+        fresh->index = CeciIndex();  // the cache keeps only the arena
+        stats.flat_bytes = fresh->flat.ArenaBytes();
+        stats.flat_array_entries = fresh->flat.ArrayEntries();
+        stats.flat_bitmap_entries = fresh->flat.BitmapEntries();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -165,7 +182,9 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
   schedule.pool = options.pool;
   ScheduleResult sched = [&] {
     TraceSpan span("cache/enumerate");
-    return RunParallelEnumeration(data_, entry->pre.tree, entry->index,
+    return RunParallelEnumeration(data_, entry->pre.tree,
+                                  entry->use_flat ? IndexView(entry->flat)
+                                                  : IndexView(entry->index),
                                   schedule, visitor);
   }();
   result.stats.enumerate_seconds = phase.Seconds();
@@ -191,6 +210,66 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
                                result.stats.refine_seconds +
                                result.stats.enumerate_seconds;
   return result;
+}
+
+Status CachedMatcher::InstallPrebuilt(const std::string& path,
+                                      bool use_mmap) {
+  IndexLoadOptions load;
+  load.use_mmap = use_mmap;
+  auto loaded = OpenFlatIndex(path, load);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded->pattern.empty()) {
+    return Status::InvalidArgument("index image carries no pattern text: " +
+                                   path);
+  }
+  auto query = ParsePattern(loaded->pattern);
+  if (!query.ok()) return query.status();
+
+  auto fresh = std::make_shared<Entry>();
+  MatchStats& stats = fresh->build_stats;
+  auto pre = Preprocess(data_, nlc_, *query, PreprocessOptions{});
+  if (!pre.ok()) return pre.status();
+  fresh->pre = std::move(pre).value();
+  if (fresh->pre.infeasible) {
+    return Status::InvalidArgument(
+        "prebuilt index pattern is infeasible on this data graph: " + path);
+  }
+  const auto& order = fresh->pre.tree.matching_order();
+  const FlatCeciIndex& flat = loaded->index;
+  if (flat.num_query_vertices() != order.size() ||
+      !std::equal(order.begin(), order.end(),
+                  flat.matching_order().begin())) {
+    return Status::InvalidArgument(
+        "prebuilt index was built with a different matching order than this "
+        "data graph produces: " +
+        path);
+  }
+  if (flat.TotalCandidateEdges() + flat.candidates(order[0]).size() > 0 &&
+      flat.MaxCandidateId() >= data_.num_vertices()) {
+    return Status::InvalidArgument(
+        "prebuilt index references data vertices beyond this graph: " + path);
+  }
+  fresh->symmetry = SymmetryConstraints::Compute(*query);
+  fresh->flat = std::move(loaded->index);
+  fresh->use_flat = true;
+  stats.automorphisms_broken = fresh->symmetry.automorphism_count();
+  stats.theoretical_bytes = CeciIndex::TheoreticalBytes(
+      query->num_edges(), data_.num_directed_edges());
+  stats.ceci_bytes = fresh->flat.ArenaBytes();
+  stats.flat_bytes = fresh->flat.ArenaBytes();
+  stats.flat_array_entries = fresh->flat.ArrayEntries();
+  stats.flat_bitmap_entries = fresh->flat.BitmapEntries();
+  stats.candidate_edges = fresh->flat.TotalCandidateEdges();
+  stats.embedding_clusters =
+      fresh->flat.candidates(fresh->pre.tree.root()).size();
+
+  const std::string key = QueryKey(*query, MatchOptions{});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_[key] = std::move(fresh);  // prebuilt replaces any prior entry
+    CacheEntriesGauge().Set(static_cast<std::int64_t>(cache_.size()));
+  }
+  return Status::Ok();
 }
 
 Result<std::uint64_t> CachedMatcher::Count(const Graph& query,

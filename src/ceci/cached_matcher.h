@@ -42,6 +42,19 @@ class CachedMatcher {
   /// Convenience count.
   Result<std::uint64_t> Count(const Graph& query, std::size_t threads = 1);
 
+  /// Loads a prebuilt flat index image (index_io, written by
+  /// `ceci_query --save-index`) and installs it as a pre-warmed cache
+  /// entry, keyed exactly as if the image's stored pattern had been
+  /// matched with default MatchOptions — so serving traffic for that
+  /// query shape skips construction and refinement entirely. With
+  /// `use_mmap` the arena stays memory-mapped read-only: every worker,
+  /// connection, and process serving the same file shares one physical
+  /// copy. Fails with kInvalidArgument when the image carries no pattern
+  /// text, was built for a different matching order than this data
+  /// graph's default pipeline produces, or references data vertices this
+  /// graph does not have; kCorruption/kIoError propagate from the loader.
+  Status InstallPrebuilt(const std::string& path, bool use_mmap = true);
+
   std::size_t cache_entries() const;
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/heap_bytes.h"
 #include "util/logging.h"
 
 namespace ceci {
@@ -104,6 +105,15 @@ std::size_t CandidateList::MemoryBytes() const {
   for (const auto& v : values_) {
     bytes += sizeof(std::vector<VertexId>) + v.size() * sizeof(VertexId);
   }
+  return bytes;
+}
+
+std::size_t CandidateList::MeasuredHeapBytes() const {
+  std::size_t bytes = MeasuredVectorBytes(keys_);
+  bytes += MeasuredVectorBytes(flat_offsets_);
+  bytes += MeasuredVectorBytes(flat_values_);
+  bytes += MeasuredVectorBytes(values_);
+  for (const auto& v : values_) bytes += MeasuredVectorBytes(v);
   return bytes;
 }
 

@@ -65,6 +65,12 @@ class CandidateList {
   /// matching the paper's Table 2 accounting of 8 bytes per edge).
   std::size_t MemoryBytes() const;
 
+  /// Actual heap bytes held by this list's allocations, including vector
+  /// capacity slack and allocator block rounding (malloc_usable_size where
+  /// available, capacity-based otherwise). Always >= MemoryBytes(); this is
+  /// the honest figure to compare against FlatCeciIndex::ArenaBytes().
+  std::size_t MeasuredHeapBytes() const;
+
   bool empty() const { return keys_.empty(); }
   void clear();
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/heap_bytes.h"
+
 namespace ceci {
 
 Cardinality CeciIndex::CardinalityOf(VertexId u, VertexId v) const {
@@ -39,6 +41,18 @@ std::size_t CeciIndex::MemoryBytes() const {
     bytes += pv.cardinalities.size() * sizeof(Cardinality);
     bytes += pv.te.MemoryBytes();
     for (const auto& list : pv.nte) bytes += list.MemoryBytes();
+  }
+  return bytes;
+}
+
+std::size_t CeciIndex::MeasuredHeapBytes() const {
+  std::size_t bytes = MeasuredVectorBytes(per_vertex_);
+  for (const auto& pv : per_vertex_) {
+    bytes += MeasuredVectorBytes(pv.candidates);
+    bytes += MeasuredVectorBytes(pv.cardinalities);
+    bytes += pv.te.MeasuredHeapBytes();
+    bytes += MeasuredVectorBytes(pv.nte);
+    for (const auto& list : pv.nte) bytes += list.MeasuredHeapBytes();
   }
   return bytes;
 }

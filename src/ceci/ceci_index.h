@@ -59,6 +59,12 @@ class CeciIndex {
   /// Approximate heap bytes of the index (Table 2 accounting).
   std::size_t MemoryBytes() const;
 
+  /// Actual heap bytes held by the index: every vector's allocation as the
+  /// allocator sees it (capacity slack and block rounding included), plus
+  /// the per-vertex struct storage itself. Always >= MemoryBytes(); this is
+  /// the figure the flat-layout benchmarks compare against.
+  std::size_t MeasuredHeapBytes() const;
+
   /// Measured footprint of one query vertex's slice, split by structure.
   /// MemoryBytes() equals the sum of `te_bytes + nte_bytes +
   /// candidate_bytes` over all vertices; the profiler reports this

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bitmap.h"
 #include "util/check.h"
 #include "util/intersection.h"
 #include "util/logging.h"
@@ -21,11 +22,31 @@ std::span<const VertexId> ClampToRange(std::span<const VertexId> s,
                    static_cast<std::size_t>(end - begin));
 }
 
+// Restricts a sorted rank array to the data-id window [lo, hi). Ranks index
+// the sorted `cand` array, so id order equals rank order and the bounds
+// translate by binary search through the cand[] projection — O(log |entry|)
+// probes into the small entry instead of O(log |cand|) over the whole
+// candidate array.
+std::span<const VertexId> ClampRanksById(std::span<const VertexId> ranks,
+                                         std::span<const VertexId> cand,
+                                         VertexId lo, VertexId hi) {
+  auto begin = ranks.begin();
+  auto end = ranks.end();
+  const auto below = [cand](VertexId r, VertexId id) { return cand[r] < id; };
+  if (lo > 0) begin = std::lower_bound(begin, end, lo, below);
+  if (hi != kInvalidVertex) end = std::lower_bound(begin, end, hi, below);
+  return {begin, end};
+}
+
 }  // namespace
 
 Enumerator::Enumerator(const Graph& data, const QueryTree& tree,
-                       const CeciIndex& index, const EnumOptions& options)
-    : data_(&data), tree_(tree), index_(index), options_(options) {
+                       IndexView index, const EnumOptions& options)
+    : data_(&data),
+      tree_(tree),
+      index_(index.pointer()),
+      flat_(index.flat()),
+      options_(options) {
   CECI_CHECK(options.symmetry != nullptr)
       << "pass SymmetryConstraints::None() to disable symmetry breaking";
   symmetry_ = options.symmetry;
@@ -37,9 +58,13 @@ Enumerator::Enumerator(const Graph& data, const QueryTree& tree,
   InitUsedBitmap();
 }
 
-Enumerator::Enumerator(const QueryTree& tree, const CeciIndex& index,
+Enumerator::Enumerator(const QueryTree& tree, IndexView index,
                        const EnumOptions& options)
-    : data_(nullptr), tree_(tree), index_(index), options_(options) {
+    : data_(nullptr),
+      tree_(tree),
+      index_(index.pointer()),
+      flat_(index.flat()),
+      options_(options) {
   CECI_CHECK(options.nte_intersection)
       << "graph-free enumeration requires NTE intersection";
   CECI_CHECK(options.symmetry != nullptr)
@@ -60,8 +85,10 @@ void Enumerator::InitUsedBitmap() {
   if (data_ != nullptr) {
     num_data = data_->num_vertices();
   } else {
+    const IndexView view =
+        flat_ != nullptr ? IndexView(*flat_) : IndexView(*index_);
     for (VertexId u = 0; u < tree_.num_vertices(); ++u) {
-      const auto& cands = index_.at(u).candidates;
+      const auto cands = view.candidates(u);
       if (!cands.empty()) {
         num_data = std::max<std::size_t>(num_data, cands.back() + 1);
       }
@@ -91,7 +118,12 @@ std::size_t Enumerator::StateBytes() const {
                       used_.capacity() * sizeof(std::uint64_t) +
                       flipped_scratch_.capacity() * sizeof(VertexId) +
                       span_scratch_.capacity() *
-                          sizeof(std::span<const VertexId>);
+                          sizeof(std::span<const VertexId>) +
+                      entry_scratch_.capacity() *
+                          sizeof(FlatCeciIndex::EntryRef) +
+                      rank_scratch_.capacity() * sizeof(VertexId) +
+                      rank_tmp_.capacity() * sizeof(VertexId) +
+                      bitmap_scratch_.capacity() * sizeof(std::uint64_t);
   for (const auto& s : scratch_) {
     bytes += sizeof(s) + s.capacity() * sizeof(VertexId);
   }
@@ -100,7 +132,10 @@ std::size_t Enumerator::StateBytes() const {
 
 std::uint64_t Enumerator::EnumerateAll(const EmbeddingVisitor* visitor) {
   std::uint64_t total = 0;
-  for (VertexId pivot : index_.pivots(tree_)) {
+  const std::span<const VertexId> pivots =
+      flat_ != nullptr ? flat_->candidates(tree_.root())
+                       : std::span<const VertexId>(index_->pivots(tree_));
+  for (VertexId pivot : pivots) {
     total += EnumerateCluster(pivot, visitor);
     if (stopped_ || LimitReached()) break;
   }
@@ -174,7 +209,11 @@ void Enumerator::SymmetryRange(std::span<const VertexId> mapping, VertexId u,
 
 void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
                             std::vector<VertexId>* out) {
-  const CeciVertexData& ud = index_.at(u);
+  if (flat_ != nullptr) {
+    CandidatesFlat(mapping, u, out);
+    return;
+  }
+  const CeciVertexData& ud = index_->at(u);
   const VertexId parent_match = mapping[tree_.parent(u)];
   // The matching order is a topological order of the query tree: by the
   // time u extends, its tree parent (and every NTE parent, checked below)
@@ -235,7 +274,8 @@ void Enumerator::Candidates(std::span<const VertexId> mapping, VertexId u,
 }
 
 std::uint64_t Enumerator::CountLeafCandidates(VertexId u) {
-  const CeciVertexData& ud = index_.at(u);
+  if (flat_ != nullptr) return CountLeafCandidatesFlat(u);
+  const CeciVertexData& ud = index_->at(u);
   VertexId lo, hi;
   SymmetryRange(mapping_, u, &lo, &hi);
   std::span<const VertexId> te =
@@ -265,6 +305,264 @@ std::uint64_t Enumerator::CountLeafCandidates(VertexId u) {
       bool in_all = true;
       for (const auto& list : span_scratch_) {
         if (!SortedContains(list, m)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) --count;
+    }
+  }
+  return count;
+}
+
+bool Enumerator::GatherFlatRefs(std::span<const VertexId> mapping,
+                                VertexId u, bool with_nte, VertexId* lo,
+                                VertexId* hi) {
+  entry_scratch_.clear();
+  const VertexId parent_match = mapping[tree_.parent(u)];
+  CECI_DCHECK_NE(parent_match, kInvalidVertex)
+      << "tree parent of u" << u << " unmatched";
+  const FlatCeciIndex::EntryRef te = flat_->Te(u, parent_match);
+  if (te.count == 0) return false;
+  entry_scratch_.push_back(te);
+  if (with_nte) {
+    const auto nte_ids = tree_.nte_in(u);
+    for (std::size_t k = 0; k < nte_ids.size(); ++k) {
+      const VertexId u_n = tree_.non_tree_edges()[nte_ids[k]].parent;
+      CECI_DCHECK_NE(mapping[u_n], kInvalidVertex)
+          << "NTE parent u" << u_n << " of u" << u << " unmatched";
+      const FlatCeciIndex::EntryRef ref = flat_->Nte(u, k, mapping[u_n]);
+      if (ref.count == 0) return false;
+      entry_scratch_.push_back(ref);
+    }
+  }
+  // The symmetry window stays in *id* space: consumers clamp the (small)
+  // rank arrays through the cand[] projection (ClampRanksById), or
+  // translate to ranks only on the rare all-bitmap path. Translating to
+  // ranks here cost two lower_bounds over the whole candidate array per
+  // call — the single biggest flat-path overhead in profiles.
+  SymmetryRange(mapping, u, lo, hi);
+  return *hi == kInvalidVertex || *lo < *hi;
+}
+
+void Enumerator::CandidatesFlat(std::span<const VertexId> mapping, VertexId u,
+                                std::vector<VertexId>* out) {
+  out->clear();
+  VertexId lo, hi;
+  if (!GatherFlatRefs(mapping, u, options_.nte_intersection, &lo, &hi)) {
+    return;
+  }
+  const std::span<const VertexId> cand = flat_->candidates(u);
+
+  // Split by representation. Rank arrays are sorted u32 — exactly what the
+  // SIMD kernels eat — so they reuse span_scratch_ (VertexId == u32).
+  span_scratch_.clear();
+  bool have_bitmap = false;
+  for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+    if (ref.is_bitmap()) {
+      have_bitmap = true;
+    } else {
+      span_scratch_.push_back(ref.ranks);
+    }
+  }
+  const bool count_stats = entry_scratch_.size() > 1;
+  if (count_stats) {
+    ++stats_.intersections;
+    for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+      stats_.intersection_elements_in += ref.count;
+    }
+  }
+
+  rank_scratch_.clear();
+  if (!span_scratch_.empty()) {
+    // At least one rank array: the symmetry window clamps the first array
+    // through the cand[] projection (the intersection output is a subset
+    // of every input), so no global rank window is ever materialized.
+    span_scratch_[0] = ClampRanksById(span_scratch_[0], cand, lo, hi);
+    if (!have_bitmap && span_scratch_.size() == 1) {
+      // Lone TE array (no NTE constraints): decode straight from the
+      // clamped rank span — no intersection kernel, no intermediate copy.
+      // This mirrors the pointer path's plain-assign case.
+      out->reserve(span_scratch_[0].size());
+      for (VertexId r : span_scratch_[0]) {
+        const VertexId v = cand[r];
+        if (!IsUsed(v)) out->push_back(v);
+      }
+      ApplyEdgeVerification(mapping, u, out);
+      return;
+    }
+    if (!have_bitmap) {
+      IntersectSortedMulti(span_scratch_, &rank_scratch_);
+    } else {
+      // Mixed: accumulate the dense entries (seeded from the first, no
+      // window mask needed — the array side is already windowed),
+      // intersect the array side, probe the accumulator per survivor.
+      bool seeded = false;
+      for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+        if (!ref.is_bitmap()) continue;
+        if (!seeded) {
+          bitmap_scratch_.assign(ref.bits.begin(), ref.bits.end());
+          seeded = true;
+        } else {
+          BitmapAndInPlace(bitmap_scratch_, ref.bits);
+        }
+      }
+      IntersectSortedMulti(span_scratch_, &rank_tmp_);
+      for (VertexId r : rank_tmp_) {
+        if (BitmapTest(bitmap_scratch_, r)) rank_scratch_.push_back(r);
+      }
+    }
+  } else {
+    // All-bitmap: here the window must be translated to rank space after
+    // all. Accumulator seeded all-ones, windowed, ANDed with every entry.
+    const std::uint32_t rlo =
+        lo == 0 ? 0
+                : static_cast<std::uint32_t>(
+                      std::lower_bound(cand.begin(), cand.end(), lo) -
+                      cand.begin());
+    const std::uint32_t rhi =
+        hi == kInvalidVertex
+            ? static_cast<std::uint32_t>(cand.size())
+            : static_cast<std::uint32_t>(
+                  std::lower_bound(cand.begin(), cand.end(), hi) -
+                  cand.begin());
+    if (rlo >= rhi) return;
+    bitmap_scratch_.assign(flat_->bitmap_words(u), ~std::uint64_t{0});
+    BitmapMaskWindow(bitmap_scratch_, rlo, rhi);
+    for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+      BitmapAndInPlace(bitmap_scratch_, ref.bits);
+    }
+    BitmapExtract(bitmap_scratch_, &rank_scratch_);
+  }
+  if (count_stats) stats_.intersection_elements_out += rank_scratch_.size();
+
+  // Decode ranks to data-vertex ids, folding in injectivity.
+  out->reserve(rank_scratch_.size());
+  for (VertexId r : rank_scratch_) {
+    const VertexId v = cand[r];
+    if (!IsUsed(v)) out->push_back(v);
+  }
+
+  ApplyEdgeVerification(mapping, u, out);
+}
+
+// Edge-verification ablation filter (no-op under NTE intersection), shared
+// by both CandidatesFlat exits; matches the pointer path's behaviour.
+void Enumerator::ApplyEdgeVerification(std::span<const VertexId> mapping,
+                                       VertexId u,
+                                       std::vector<VertexId>* out) {
+  const auto nte_ids = tree_.nte_in(u);
+  if (options_.nte_intersection || nte_ids.empty()) return;
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&](VertexId v) {
+                              for (std::uint32_t e : nte_ids) {
+                                const VertexId u_n =
+                                    tree_.non_tree_edges()[e].parent;
+                                ++stats_.edge_verifications;
+                                if (!data_->HasEdge(v, mapping[u_n])) {
+                                  return true;
+                                }
+                              }
+                              return false;
+                            }),
+             out->end());
+}
+
+std::uint64_t Enumerator::CountLeafCandidatesFlat(VertexId u) {
+  VertexId lo, hi;
+  if (!GatherFlatRefs(mapping_, u, true, &lo, &hi)) return 0;
+  const std::span<const VertexId> cand = flat_->candidates(u);
+
+  span_scratch_.clear();
+  bool have_bitmap = false;
+  for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+    if (ref.is_bitmap()) {
+      have_bitmap = true;
+    } else {
+      span_scratch_.push_back(ref.ranks);
+    }
+  }
+  const bool count_stats = entry_scratch_.size() > 1;
+  if (count_stats) {
+    ++stats_.intersections;
+    for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+      stats_.intersection_elements_in += ref.count;
+    }
+  }
+
+  std::size_t count;
+  if (!span_scratch_.empty()) {
+    // Window the array side through the cand[] projection, as in
+    // CandidatesFlat; the counting kernels then never see ranks outside
+    // the symmetry window.
+    span_scratch_[0] = ClampRanksById(span_scratch_[0], cand, lo, hi);
+    if (!have_bitmap) {
+      count = IntersectionSizeMulti(span_scratch_);
+    } else {
+      bool seeded = false;
+      for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+        if (!ref.is_bitmap()) continue;
+        if (!seeded) {
+          bitmap_scratch_.assign(ref.bits.begin(), ref.bits.end());
+          seeded = true;
+        } else {
+          BitmapAndInPlace(bitmap_scratch_, ref.bits);
+        }
+      }
+      IntersectSortedMulti(span_scratch_, &rank_tmp_);
+      count = 0;
+      for (VertexId r : rank_tmp_) {
+        count += BitmapTest(bitmap_scratch_, r) ? 1 : 0;
+      }
+    }
+  } else {
+    const std::uint32_t rlo =
+        lo == 0 ? 0
+                : static_cast<std::uint32_t>(
+                      std::lower_bound(cand.begin(), cand.end(), lo) -
+                      cand.begin());
+    const std::uint32_t rhi =
+        hi == kInvalidVertex
+            ? static_cast<std::uint32_t>(cand.size())
+            : static_cast<std::uint32_t>(
+                  std::lower_bound(cand.begin(), cand.end(), hi) -
+                  cand.begin());
+    if (rlo >= rhi) return 0;
+    bitmap_scratch_.assign(flat_->bitmap_words(u), ~std::uint64_t{0});
+    BitmapMaskWindow(bitmap_scratch_, rlo, rhi);
+    for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+      BitmapAndInPlace(bitmap_scratch_, ref.bits);
+    }
+    count = BitmapPopcount(bitmap_scratch_);
+  }
+  if (count_stats) stats_.intersection_elements_out += count;
+
+  if (count > 0) {
+    // Injectivity: mapped data vertices inside the window were counted by
+    // the kernels but cannot extend the embedding. The rank of a mapped
+    // vertex is recovered through the first (already windowed) array entry
+    // when one exists — absence there already rules it out — and only the
+    // all-bitmap case falls back to a search over the candidate array.
+    for (VertexId m : mapping_) {
+      if (m == kInvalidVertex) continue;
+      if (m < lo || (hi != kInvalidVertex && m >= hi)) continue;
+      std::uint32_t r;
+      if (!span_scratch_.empty()) {
+        const std::span<const VertexId> rs = span_scratch_[0];
+        auto it = std::lower_bound(
+            rs.begin(), rs.end(), m,
+            [&](VertexId rr, VertexId id) { return cand[rr] < id; });
+        if (it == rs.end() || cand[*it] != m) continue;
+        r = *it;
+      } else {
+        auto it = std::lower_bound(cand.begin(), cand.end(), m);
+        if (it == cand.end() || *it != m) continue;
+        r = static_cast<std::uint32_t>(it - cand.begin());
+      }
+      bool in_all = true;
+      for (const FlatCeciIndex::EntryRef& ref : entry_scratch_) {
+        if (ref.is_bitmap() ? !BitmapTest(ref.bits, r)
+                            : !SortedContains(ref.ranks, r)) {
           in_all = false;
           break;
         }

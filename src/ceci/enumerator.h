@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ceci/ceci_index.h"
+#include "ceci/flat_index.h"
 #include "ceci/query_tree.h"
 #include "ceci/symmetry.h"
 #include "graph/graph.h"
@@ -88,17 +89,23 @@ struct EnumStats {
   }
 };
 
-/// Single-worker backtracking enumerator over a refined CECI.
+/// Single-worker backtracking enumerator over a refined CECI. Accepts
+/// either index layout through IndexView: against the pointer-rich
+/// CeciIndex the hot path is the classic sorted-id intersection; against
+/// a FlatCeciIndex it runs in *rank space* — TE/NTE entries store ranks
+/// into the child's candidate array, arrays go through the same SIMD
+/// sorted-u32 kernels, bitmap entries through word-wise AND/popcount, and
+/// ids materialize only for survivors.
 class Enumerator {
  public:
-  Enumerator(const Graph& data, const QueryTree& tree, const CeciIndex& index,
+  Enumerator(const Graph& data, const QueryTree& tree, IndexView index,
              const EnumOptions& options);
 
   /// Graph-free variant: enumeration by intersection never touches the
   /// data graph, so index-only callers (e.g. the out-of-core §5 path,
   /// where no in-memory Graph exists) can omit it. Requires
   /// options.nte_intersection == true.
-  Enumerator(const QueryTree& tree, const CeciIndex& index,
+  Enumerator(const QueryTree& tree, IndexView index,
              const EnumOptions& options);
 
   /// Installs a cross-worker emission budget: enumeration stops once
@@ -174,6 +181,22 @@ class Enumerator {
   // materializing the final level's list. Requires options_.nte_intersection
   // (the edge-verification ablation must probe each candidate).
   std::uint64_t CountLeafCandidates(VertexId u);
+  // Flat-layout twins of Candidates / CountLeafCandidates, operating in
+  // rank space (see class comment). Dispatched to when flat_ != nullptr.
+  void CandidatesFlat(std::span<const VertexId> mapping, VertexId u,
+                      std::vector<VertexId>* out);
+  // The edge-verification ablation filter over `out` (no-op when
+  // options_.nte_intersection is on or u has no incoming NTEs).
+  void ApplyEdgeVerification(std::span<const VertexId> mapping, VertexId u,
+                             std::vector<VertexId>* out);
+  std::uint64_t CountLeafCandidatesFlat(VertexId u);
+  // Collects the TE (+ NTE when `with_nte`) entry refs for u into
+  // entry_scratch_ and computes the symmetry id window [lo, hi) — kept in
+  // id space; consumers clamp rank arrays through the cand[] projection.
+  // Returns false when the result is certainly empty (empty window or an
+  // absent/empty entry).
+  bool GatherFlatRefs(std::span<const VertexId> mapping, VertexId u,
+                      bool with_nte, VertexId* lo, VertexId* hi);
   // The symmetry-breaking [lo, hi) admissible window for u under `mapping`
   // (hi == kInvalidVertex when unbounded above).
   void SymmetryRange(std::span<const VertexId> mapping, VertexId u,
@@ -199,7 +222,8 @@ class Enumerator {
 
   const Graph* data_;  // null only in the graph-free intersection mode
   const QueryTree& tree_;
-  const CeciIndex& index_;
+  const CeciIndex* index_;       // exactly one of index_ / flat_ is set
+  const FlatCeciIndex* flat_;
   EnumOptions options_;
   const SymmetryConstraints* symmetry_;
 
@@ -208,6 +232,12 @@ class Enumerator {
   std::vector<VertexId> flipped_scratch_;     // CollectExtensions bookkeeping
   std::vector<std::vector<VertexId>> scratch_;  // per matching-order depth
   std::vector<std::span<const VertexId>> span_scratch_;
+  // Flat-path scratch: gathered entry refs, surviving ranks, the array-side
+  // intersection result, and the bitmap accumulator.
+  std::vector<FlatCeciIndex::EntryRef> entry_scratch_;
+  std::vector<VertexId> rank_scratch_;
+  std::vector<VertexId> rank_tmp_;
+  std::vector<std::uint64_t> bitmap_scratch_;
   EnumStats stats_;
   const EmbeddingVisitor* visitor_ = nullptr;
   std::atomic<std::uint64_t>* shared_counter_ = nullptr;

@@ -11,7 +11,7 @@ namespace {
 
 class Decomposer {
  public:
-  Decomposer(const Graph& data, const QueryTree& tree, const CeciIndex& index,
+  Decomposer(const Graph& data, const QueryTree& tree, IndexView index,
              const EnumOptions& enum_options, Cardinality threshold,
              std::vector<WorkUnit>* out)
       : tree_(tree),
@@ -72,7 +72,7 @@ class Decomposer {
 
  private:
   const QueryTree& tree_;
-  const CeciIndex& index_;
+  IndexView index_;
   const Cardinality threshold_;
   std::vector<WorkUnit>* out_;
   Enumerator helper_;
@@ -82,7 +82,7 @@ class Decomposer {
 }  // namespace
 
 std::vector<WorkUnit> BuildWorkUnits(const Graph& data, const QueryTree& tree,
-                                     const CeciIndex& index,
+                                     IndexView index,
                                      const EnumOptions& enum_options,
                                      std::size_t workers, double beta,
                                      bool decompose, bool sort_by_cardinality,
@@ -92,13 +92,15 @@ std::vector<WorkUnit> BuildWorkUnits(const Graph& data, const QueryTree& tree,
   if (stats == nullptr) stats = &local;
   *stats = DecomposeStats{};
 
-  const CeciVertexData& root_data = index.at(tree.root());
+  const std::span<const VertexId> root_cands = index.candidates(tree.root());
+  const std::span<const Cardinality> root_cards =
+      index.cardinalities(tree.root());
   // Cardinalities drive the split decisions; an unrefined index (empty or
   // mis-sized vector) would silently produce zero work units.
-  CECI_DCHECK_EQ(root_data.cardinalities.size(), root_data.candidates.size())
+  CECI_DCHECK_EQ(root_cards.size(), root_cands.size())
       << "BuildWorkUnits needs a refined index";
   Cardinality total = 0;
-  for (Cardinality c : root_data.cardinalities) {
+  for (Cardinality c : root_cards) {
     total = SaturatingAdd(total, c);
   }
   std::vector<WorkUnit> units;
@@ -113,9 +115,9 @@ std::vector<WorkUnit> BuildWorkUnits(const Graph& data, const QueryTree& tree,
   stats->threshold = threshold;
 
   Decomposer decomposer(data, tree, index, enum_options, threshold, &units);
-  for (std::size_t i = 0; i < root_data.candidates.size(); ++i) {
-    const VertexId pivot = root_data.candidates[i];
-    const Cardinality card = root_data.cardinalities[i];
+  for (std::size_t i = 0; i < root_cands.size(); ++i) {
+    const VertexId pivot = root_cands[i];
+    const Cardinality card = root_cards[i];
     if (card == 0) continue;
     if (!decompose || card <= threshold) {
       units.push_back(WorkUnit{{pivot}, card});

@@ -40,7 +40,7 @@ struct DecomposeStats {
 /// the paper's naive static distribution does not. `beta` trades
 /// decomposition overhead for balance.
 std::vector<WorkUnit> BuildWorkUnits(const Graph& data, const QueryTree& tree,
-                                     const CeciIndex& index,
+                                     IndexView index,
                                      const EnumOptions& enum_options,
                                      std::size_t workers, double beta,
                                      bool decompose, bool sort_by_cardinality,

@@ -1,0 +1,313 @@
+// Arena-backed flat CECI with hybrid candidate-set entries.
+//
+// The mutable CeciIndex (ceci_index.h) is pointer-rich: every TE/NTE value
+// set is its own heap vector, so the "compact" index of paper §3.4 spends
+// much of its bytes on allocator metadata and its enumeration time on
+// pointer chasing. FlatCeciIndex is the frozen form the enumerator actually
+// reads: the entire index lives in ONE contiguous 8-byte-aligned arena cut
+// into nine typed slabs addressed by `uint32` offsets (the katana
+// LargeArray idiom). Built from a *refined* CeciIndex by Build(); the
+// builder and refinement keep their mutable working form untouched.
+//
+// Layout (canonical slab order; see docs/index_layout.md for the full map):
+//
+//   kVertexMeta    FlatVertexMeta per query vertex
+//   kOrder         the matching order the index was built for
+//   kCandidates    all candidate arrays, concatenated (data-vertex ids)
+//   kCardinalities refinement cardinalities, parallel to kCandidates
+//   kListMeta      FlatListMeta per TE/NTE list
+//   kKeys          all list keys, concatenated (parent data-vertex ids)
+//   kEntries       FlatEntry per key, parallel to kKeys
+//   kArrayPool     sparse value sets: sorted u32 *ranks* into the owning
+//                  vertex's candidate array
+//   kBitmapPool    dense value sets: fixed-width bitmaps over those ranks
+//
+// Hybrid representation: a value set of a vertex with n candidates becomes
+// a bitmap iff its bitmap (ceil(n/64) words = 8·words bytes) is smaller
+// than its sorted array (4·count bytes) — i.e. dense entries pay ~n/8
+// bytes total while sparse ones stay 4 bytes/element. Because every stored
+// value is a *rank*, array entries intersect through the existing SIMD
+// sorted-u32 kernels (util/intersection.h) unchanged, bitmap entries
+// through word-wise AND/popcount (util/bitmap.h), and the two mix freely
+// in one intersection. The id of rank r is candidates(u)[r] — one
+// contiguous lookup per emitted element.
+//
+// A FlatCeciIndex either owns its arena (Build, Clone, file read) or
+// borrows it from a read-only mmap (index_io.h), which is how
+// `ceci_serve --index` shares one physical index image across every
+// connection and process. The structure is immutable after construction;
+// concurrent readers need no synchronization.
+#ifndef CECI_CECI_FLAT_INDEX_H_
+#define CECI_CECI_FLAT_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ceci/ceci_index.h"
+#include "ceci/query_tree.h"
+#include "graph/types.h"
+#include "util/mapped_file.h"
+#include "util/status.h"
+
+namespace ceci {
+
+/// Per-query-vertex record (kVertexMeta slab).
+struct FlatVertexMeta {
+  std::uint32_t cand_begin = 0;   // into kCandidates / kCardinalities
+  std::uint32_t cand_count = 0;
+  std::uint32_t bitmap_words = 0;  // ceil(cand_count / 64)
+  std::uint32_t te_list = 0;       // into kListMeta; kNoFlatList for root
+  std::uint32_t nte_begin = 0;     // first NTE list, into kListMeta
+  std::uint32_t nte_count = 0;     // == |QueryTree::nte_in(u)|
+};
+
+/// Per-list record (kListMeta slab). Keys and entries are parallel:
+/// key i of this list is kKeys[key_begin + i] with entry
+/// kEntries[entry_begin + i].
+struct FlatListMeta {
+  std::uint32_t key_begin = 0;
+  std::uint32_t key_count = 0;
+  std::uint32_t entry_begin = 0;
+  std::uint32_t owner = 0;  // child query vertex whose ranks the values use
+};
+
+/// One key's value set (kEntries slab). Bit 31 of `count_and_tag` selects
+/// the representation; the low 31 bits hold the element count either way.
+struct FlatEntry {
+  std::uint32_t offset = 0;  // into kArrayPool (u32s) or kBitmapPool (words)
+  std::uint32_t count_and_tag = 0;
+
+  static constexpr std::uint32_t kBitmapTag = 0x80000000u;
+  std::uint32_t count() const { return count_and_tag & ~kBitmapTag; }
+  bool is_bitmap() const { return (count_and_tag & kBitmapTag) != 0; }
+};
+
+inline constexpr std::uint32_t kNoFlatList = 0xFFFFFFFFu;
+
+static_assert(sizeof(FlatVertexMeta) == 24);
+static_assert(sizeof(FlatListMeta) == 16);
+static_assert(sizeof(FlatEntry) == 8);
+
+class FlatCeciIndex {
+ public:
+  enum SlabKind : std::uint32_t {
+    kVertexMeta = 0,
+    kOrder,
+    kCandidates,
+    kCardinalities,
+    kListMeta,
+    kKeys,
+    kEntries,
+    kArrayPool,
+    kBitmapPool,
+  };
+  static constexpr std::size_t kNumSlabs = 9;
+
+  /// One slab's placement inside the arena (byte offsets, 8-aligned).
+  struct Slab {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// A value set handed to the enumerator: exactly one of `ranks` / `bits`
+  /// is non-empty (both empty for an absent key). Elements are ranks into
+  /// candidates(owner).
+  struct EntryRef {
+    std::span<const std::uint32_t> ranks;  // sorted, strictly ascending
+    std::span<const std::uint64_t> bits;   // fixed width: bitmap_words(owner)
+    std::uint32_t count = 0;
+    bool is_bitmap() const { return !bits.empty(); }
+  };
+
+  FlatCeciIndex() = default;
+  FlatCeciIndex(FlatCeciIndex&&) noexcept = default;
+  FlatCeciIndex& operator=(FlatCeciIndex&&) noexcept = default;
+  FlatCeciIndex(const FlatCeciIndex&) = delete;
+  FlatCeciIndex& operator=(const FlatCeciIndex&) = delete;
+
+  /// Freezes a *refined* mutable index into the flat form. Every TE/NTE
+  /// value must be an alive candidate of its child vertex (the refinement
+  /// postcondition the auditor calls kValueNotCandidate) — ranks are not
+  /// defined otherwise (checked).
+  static FlatCeciIndex Build(const CeciIndex& index, const QueryTree& tree);
+
+  /// Reconstructs the index from an arena image (an owned byte copy or a
+  /// read-only mapping; exactly one is used, the other default). The slab
+  /// table and every structural offset are fully validated so a corrupt
+  /// arena yields kCorruption here, never an out-of-bounds access later.
+  /// Used by index_io; Build() skips this (correct by construction).
+  static Result<FlatCeciIndex> FromArena(std::vector<std::uint64_t> owned,
+                                         MappedFile mapped,
+                                         std::size_t arena_offset,
+                                         std::size_t arena_bytes,
+                                         std::span<const Slab> slabs,
+                                         std::size_t num_query_vertices);
+
+  bool empty() const { return arena_ == nullptr; }
+  bool mapped() const { return mapped_.valid() && mapped_.size() > 0; }
+
+  /// Deep copy with an owned arena (e.g. to audit past the source's
+  /// lifetime). Explicit because the arena can be large.
+  FlatCeciIndex Clone() const;
+
+  std::size_t num_query_vertices() const { return vertices_.size(); }
+  std::span<const VertexId> matching_order() const { return order_; }
+
+  std::span<const VertexId> candidates(VertexId u) const {
+    const FlatVertexMeta& m = vertices_[u];
+    return candidates_.subspan(m.cand_begin, m.cand_count);
+  }
+  std::span<const Cardinality> cardinalities(VertexId u) const {
+    const FlatVertexMeta& m = vertices_[u];
+    return cardinalities_.subspan(m.cand_begin, m.cand_count);
+  }
+  std::uint32_t bitmap_words(VertexId u) const {
+    return vertices_[u].bitmap_words;
+  }
+  std::uint32_t nte_count(VertexId u) const { return vertices_[u].nte_count; }
+
+  /// Visits every (list, key) pair in vertex order: TE list first (absent
+  /// for the root), then NTE lists in paper order. `nte_slot` is -1 for
+  /// the TE list, else the index into QueryTree::nte_in(owner). Used by
+  /// index inflation and layout diagnostics.
+  template <typename Fn>  // Fn(VertexId owner, std::int32_t nte_slot,
+                          //    VertexId key, const EntryRef& ref)
+  void ForEachList(Fn&& fn) const {
+    for (VertexId u = 0; u < vertices_.size(); ++u) {
+      const FlatVertexMeta& m = vertices_[u];
+      auto visit = [&](std::uint32_t l, std::int32_t slot) {
+        const FlatListMeta& lm = lists_[l];
+        for (std::uint32_t i = 0; i < lm.key_count; ++i) {
+          fn(u, slot, keys_[lm.key_begin + i],
+             MakeRef(entries_[lm.entry_begin + i], lm.owner));
+        }
+      };
+      if (m.te_list != kNoFlatList) visit(m.te_list, -1);
+      for (std::uint32_t k = 0; k < m.nte_count; ++k) {
+        visit(m.nte_begin + k, static_cast<std::int32_t>(k));
+      }
+    }
+  }
+
+  /// TE value set of u for the tree parent's match; count == 0 (both spans
+  /// empty) when the key is absent. Binary search over the list's keys.
+  EntryRef Te(VertexId u, VertexId parent_match) const;
+  /// NTE value set of u for incoming non-tree edge k (paper order,
+  /// parallel to QueryTree::nte_in(u)).
+  EntryRef Nte(VertexId u, std::size_t k, VertexId parent_match) const;
+
+  /// cardinality(u, v); zero if v is not an alive candidate of u.
+  Cardinality CardinalityOf(VertexId u, VertexId v) const;
+
+  /// Exact arena size — the bytes enumeration (and an mmap) actually
+  /// touches. This is the figure MemoryFootprint sums to (± slab padding).
+  std::size_t ArenaBytes() const { return arena_bytes_; }
+
+  /// Total candidate edges stored across all TE and NTE entries.
+  std::size_t TotalCandidateEdges() const;
+
+  /// Entries per representation (hybrid split diagnostics).
+  std::size_t ArrayEntries() const;
+  std::size_t BitmapEntries() const;
+
+  /// Exact per-vertex byte accounting over the slabs: every slab element
+  /// is attributed to the query vertex that owns it (vertex meta + order
+  /// entry count as candidate_bytes). Summed over all vertices this equals
+  /// ArenaBytes() minus inter-slab alignment padding (< 8 bytes per slab).
+  CeciIndex::VertexFootprint MemoryFootprint(VertexId u) const;
+
+  /// Raw arena for persistence (index_io) and the slab table describing
+  /// it. The arena starts 8-aligned and slabs appear in SlabKind order.
+  std::span<const std::byte> arena() const {
+    return {arena_, arena_bytes_};
+  }
+  const Slab& slab(SlabKind kind) const { return slabs_[kind]; }
+
+  /// Largest data-vertex id stored in any candidate set, or 0 when empty.
+  /// Load-time sanity check against the serving data graph.
+  VertexId MaxCandidateId() const;
+
+  /// Raw typed slab views for layout auditing (invariant_auditor.h). The
+  /// auditor re-derives every offset bound from these instead of going
+  /// through the checked accessors, so it can report on corrupt metas
+  /// without tripping them.
+  std::span<const FlatVertexMeta> vertex_metas() const { return vertices_; }
+  std::span<const FlatListMeta> list_metas() const { return lists_; }
+  std::span<const VertexId> all_keys() const { return keys_; }
+  std::span<const FlatEntry> all_entries() const { return entries_; }
+  std::span<const std::uint32_t> array_pool() const { return array_pool_; }
+  std::span<const std::uint64_t> bitmap_pool() const { return bitmap_pool_; }
+
+ private:
+  friend class FlatIndexTestPeer;  // corruption planting (auditor tests)
+
+  /// Derives the typed spans from arena_ + slabs_; arena must be set.
+  void BindSpans();
+  /// Deep structural validation of a freshly bound arena (see FromArena).
+  Status ValidateStructure() const;
+
+  EntryRef ListFind(std::uint32_t list_index, VertexId key) const;
+  EntryRef MakeRef(const FlatEntry& entry, VertexId owner) const;
+
+  // Arena storage: exactly one of owned_ / mapped_ backs arena_.
+  std::vector<std::uint64_t> owned_;
+  MappedFile mapped_;
+  const std::byte* arena_ = nullptr;
+  std::size_t arena_bytes_ = 0;
+  Slab slabs_[kNumSlabs] = {};
+
+  // Typed views into the arena (derived, never owning).
+  std::span<const FlatVertexMeta> vertices_;
+  std::span<const VertexId> order_;
+  std::span<const VertexId> candidates_;
+  std::span<const Cardinality> cardinalities_;
+  std::span<const FlatListMeta> lists_;
+  std::span<const VertexId> keys_;
+  std::span<const FlatEntry> entries_;
+  std::span<const std::uint32_t> array_pool_;
+  std::span<const std::uint64_t> bitmap_pool_;
+};
+
+/// Cheap two-pointer view over either index layout. Scheduler, work-unit
+/// decomposition, and the enumerator take IndexView so call sites pass a
+/// CeciIndex or a FlatCeciIndex interchangeably (implicit conversion);
+/// exactly one of pointer()/flat() is non-null.
+class IndexView {
+ public:
+  IndexView(const CeciIndex& index) : index_(&index) {}        // NOLINT
+  IndexView(const FlatCeciIndex& flat) : flat_(&flat) {}       // NOLINT
+
+  const CeciIndex* pointer() const { return index_; }
+  const FlatCeciIndex* flat() const { return flat_; }
+
+  std::size_t num_query_vertices() const {
+    return flat_ != nullptr ? flat_->num_query_vertices()
+                            : index_->num_query_vertices();
+  }
+  std::span<const VertexId> candidates(VertexId u) const {
+    return flat_ != nullptr ? flat_->candidates(u)
+                            : std::span<const VertexId>(index_->at(u).candidates);
+  }
+  std::span<const Cardinality> cardinalities(VertexId u) const {
+    return flat_ != nullptr
+               ? flat_->cardinalities(u)
+               : std::span<const Cardinality>(index_->at(u).cardinalities);
+  }
+  Cardinality CardinalityOf(VertexId u, VertexId v) const {
+    return flat_ != nullptr ? flat_->CardinalityOf(u, v)
+                            : index_->CardinalityOf(u, v);
+  }
+  /// Cluster pivots: the root's candidate set.
+  std::span<const VertexId> pivots(const QueryTree& tree) const {
+    return candidates(tree.root());
+  }
+
+ private:
+  const CeciIndex* index_ = nullptr;
+  const FlatCeciIndex* flat_ = nullptr;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_CECI_FLAT_INDEX_H_

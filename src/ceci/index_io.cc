@@ -1,150 +1,263 @@
 #include "ceci/index_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <vector>
+
+#include "util/bitmap.h"
+#include "util/crc32.h"
 
 namespace ceci {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'E', 'I', 'X'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kHeaderBytes = 72;
+constexpr std::uint32_t kSlabCount = FlatCeciIndex::kNumSlabs;
 
 struct Header {
   char magic[4];
   std::uint32_t version;
+  std::uint32_t header_bytes;
+  std::uint32_t slab_count;
   std::uint64_t num_query_vertices;
+  std::uint64_t arena_offset;
+  std::uint64_t arena_bytes;
+  std::uint64_t pattern_offset;
+  std::uint64_t pattern_bytes;
+  std::uint32_t slab_table_crc;
+  std::uint32_t pattern_crc;
+  std::uint32_t reserved;
+  std::uint32_t header_crc;  // over the preceding 68 bytes
 };
+static_assert(sizeof(Header) == kHeaderBytes);
 
-template <typename T>
-bool WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-  return static_cast<bool>(out);
-}
+struct SlabRecord {
+  std::uint64_t offset;  // into the arena
+  std::uint64_t bytes;
+  std::uint32_t kind;  // SlabKind, canonical order
+  std::uint32_t crc;
+};
+static_assert(sizeof(SlabRecord) == 24);
 
-template <typename T>
-bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
-  std::uint64_t size = v.size();
-  if (!WritePod(out, size)) return false;
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-  return static_cast<bool>(out);
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v) {
-  std::uint64_t size = 0;
-  if (!ReadPod(in, &size)) return false;
-  v->resize(size);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  return static_cast<bool>(in);
-}
-
-bool WriteList(std::ofstream& out, const CandidateList& list) {
-  std::uint64_t keys = list.num_keys();
-  if (!WritePod(out, keys)) return false;
-  for (std::size_t i = 0; i < list.num_keys(); ++i) {
-    if (!WritePod(out, list.keys()[i])) return false;
-    auto vals = list.values_at(i);
-    std::vector<VertexId> copy(vals.begin(), vals.end());
-    if (!WriteVec(out, copy)) return false;
-  }
-  return true;
-}
-
-bool ReadList(std::ifstream& in, CandidateList* list) {
-  std::uint64_t keys = 0;
-  if (!ReadPod(in, &keys)) return false;
-  for (std::uint64_t i = 0; i < keys; ++i) {
-    VertexId key = 0;
-    std::vector<VertexId> vals;
-    if (!ReadPod(in, &key) || !ReadVec(in, &vals)) return false;
-    list->Append(key, std::move(vals));
-  }
-  return true;
-}
+constexpr std::uint64_t kArenaOffset =
+    kHeaderBytes + kSlabCount * sizeof(SlabRecord);
+static_assert(kArenaOffset == 288 && kArenaOffset % 8 == 0);
 
 }  // namespace
 
-Status WriteCeciIndex(const CeciIndex& index, const QueryTree& tree,
+Status WriteFlatIndex(const FlatCeciIndex& flat, const std::string& pattern,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const std::span<const std::byte> arena = flat.arena();
+
+  SlabRecord table[kSlabCount];
+  for (std::uint32_t s = 0; s < kSlabCount; ++s) {
+    const FlatCeciIndex::Slab& slab =
+        flat.slab(static_cast<FlatCeciIndex::SlabKind>(s));
+    table[s].offset = slab.offset;
+    table[s].bytes = slab.bytes;
+    table[s].kind = s;
+    table[s].crc = Crc32(arena.data() + slab.offset, slab.bytes);
+  }
 
   Header h{};
   std::memcpy(h.magic, kMagic, sizeof(kMagic));
   h.version = kVersion;
-  h.num_query_vertices = index.num_query_vertices();
-  if (!WritePod(out, h)) return Status::IoError("write failure");
-  if (!WriteVec(out, tree.matching_order())) {
-    return Status::IoError("write failure");
-  }
-  for (VertexId u = 0; u < index.num_query_vertices(); ++u) {
-    const CeciVertexData& ud = index.at(u);
-    if (!WriteVec(out, ud.candidates) || !WriteVec(out, ud.cardinalities)) {
-      return Status::IoError("write failure");
-    }
-    if (!WriteList(out, ud.te)) return Status::IoError("write failure");
-    std::uint64_t nte_count = ud.nte.size();
-    if (!WritePod(out, nte_count)) return Status::IoError("write failure");
-    for (const CandidateList& list : ud.nte) {
-      if (!WriteList(out, list)) return Status::IoError("write failure");
-    }
-  }
+  h.header_bytes = kHeaderBytes;
+  h.slab_count = kSlabCount;
+  h.num_query_vertices = flat.num_query_vertices();
+  h.arena_offset = kArenaOffset;
+  h.arena_bytes = arena.size();
+  h.pattern_offset = kArenaOffset + arena.size();
+  h.pattern_bytes = pattern.size();
+  h.slab_table_crc = Crc32(table, sizeof(table));
+  h.pattern_crc = Crc32(pattern.data(), pattern.size());
+  h.header_crc = Crc32(&h, kHeaderBytes - sizeof(std::uint32_t));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(table), sizeof(table));
+  out.write(reinterpret_cast<const char*>(arena.data()),
+            static_cast<std::streamsize>(arena.size()));
+  out.write(pattern.data(), static_cast<std::streamsize>(pattern.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
   return Status::Ok();
 }
 
-Result<CeciIndex> ReadCeciIndex(const QueryTree& tree,
-                                const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+Result<LoadedFlatIndex> OpenFlatIndex(const std::string& path,
+                                      const IndexLoadOptions& options) {
+  // Both load modes validate against the same raw byte view; only the
+  // arena hand-off at the end differs (copy vs borrow the mapping).
+  MappedFile mapped;
+  std::vector<char> buffer;
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+  if (options.use_mmap) {
+    Result<MappedFile> m = MappedFile::Open(path);
+    if (!m.ok()) return m.status();
+    mapped = std::move(m).value();
+    data = mapped.data();
+    size = mapped.size();
+  } else {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return Status::IoError("cannot open " + path);
+    size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    buffer.resize(size);
+    in.read(buffer.data(), static_cast<std::streamsize>(size));
+    if (!in) return Status::IoError("read failure on " + path);
+    data = reinterpret_cast<const std::byte*>(buffer.data());
+  }
+
+  if (size < sizeof(Header)) return Status::Corruption("truncated header");
   Header h{};
-  if (!ReadPod(in, &h)) return Status::Corruption("truncated header");
+  std::memcpy(&h, data, sizeof(h));
   if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad magic in " + path);
   }
   if (h.version != kVersion) {
     return Status::Corruption("unsupported index version");
   }
-  if (h.num_query_vertices != tree.num_vertices()) {
+  if (h.header_bytes != kHeaderBytes || h.slab_count != kSlabCount) {
+    return Status::Corruption("unexpected header geometry");
+  }
+  if (options.verify_checksums &&
+      Crc32(&h, kHeaderBytes - sizeof(std::uint32_t)) != h.header_crc) {
+    return Status::Corruption("header checksum mismatch");
+  }
+  if (h.arena_offset != kArenaOffset) {
+    return Status::Corruption("unexpected arena offset");
+  }
+  if (size < kArenaOffset) return Status::Corruption("truncated slab table");
+  SlabRecord table[kSlabCount];
+  std::memcpy(table, data + kHeaderBytes, sizeof(table));
+  if (options.verify_checksums &&
+      Crc32(table, sizeof(table)) != h.slab_table_crc) {
+    return Status::Corruption("slab table checksum mismatch");
+  }
+  if (h.arena_bytes > size - kArenaOffset) {
+    return Status::Corruption("truncated arena");
+  }
+  if (h.pattern_offset != kArenaOffset + h.arena_bytes ||
+      h.pattern_bytes > size - h.pattern_offset) {
+    return Status::Corruption("truncated pattern");
+  }
+
+  const std::byte* arena = data + kArenaOffset;
+  FlatCeciIndex::Slab slabs[kSlabCount];
+  for (std::uint32_t s = 0; s < kSlabCount; ++s) {
+    if (table[s].kind != s) {
+      return Status::Corruption("slab table kinds out of order");
+    }
+    if (table[s].offset > h.arena_bytes ||
+        table[s].bytes > h.arena_bytes - table[s].offset) {
+      return Status::Corruption("slab " + std::to_string(s) +
+                                " exceeds the arena");
+    }
+    if (options.verify_checksums &&
+        Crc32(arena + table[s].offset, table[s].bytes) != table[s].crc) {
+      return Status::Corruption("slab checksum mismatch (slab " +
+                                std::to_string(s) + ")");
+    }
+    slabs[s].offset = table[s].offset;
+    slabs[s].bytes = table[s].bytes;
+  }
+
+  LoadedFlatIndex loaded;
+  loaded.pattern.assign(
+      reinterpret_cast<const char*>(data + h.pattern_offset),
+      static_cast<std::size_t>(h.pattern_bytes));
+  if (options.verify_checksums &&
+      Crc32(loaded.pattern.data(), loaded.pattern.size()) != h.pattern_crc) {
+    return Status::Corruption("pattern checksum mismatch");
+  }
+
+  Result<FlatCeciIndex> flat = [&]() -> Result<FlatCeciIndex> {
+    if (options.use_mmap) {
+      return FlatCeciIndex::FromArena(
+          {}, std::move(mapped), kArenaOffset,
+          static_cast<std::size_t>(h.arena_bytes), slabs,
+          static_cast<std::size_t>(h.num_query_vertices));
+    }
+    std::vector<std::uint64_t> owned((h.arena_bytes + 7) / 8, 0);
+    std::memcpy(owned.data(), arena, h.arena_bytes);
+    return FlatCeciIndex::FromArena(
+        std::move(owned), {}, 0, static_cast<std::size_t>(h.arena_bytes),
+        slabs, static_cast<std::size_t>(h.num_query_vertices));
+  }();
+  if (!flat.ok()) return flat.status();
+  loaded.index = std::move(flat).value();
+  return loaded;
+}
+
+Result<FlatCeciIndex> ReadFlatIndex(const QueryTree& tree,
+                                    const std::string& path,
+                                    const IndexLoadOptions& options) {
+  Result<LoadedFlatIndex> loaded = OpenFlatIndex(path, options);
+  if (!loaded.ok()) return loaded.status();
+  FlatCeciIndex flat = std::move(loaded->index);
+  if (flat.num_query_vertices() != tree.num_vertices()) {
     return Status::InvalidArgument(
         "index was built for a different query size");
   }
-  std::vector<VertexId> order;
-  if (!ReadVec(in, &order)) return Status::Corruption("truncated order");
-  if (order != tree.matching_order()) {
+  const std::span<const VertexId> order = flat.matching_order();
+  if (!std::equal(order.begin(), order.end(),
+                  tree.matching_order().begin())) {
     return Status::InvalidArgument(
         "index was built for a different matching order");
   }
+  return flat;
+}
 
-  CeciIndex index(tree.num_vertices());
-  for (VertexId u = 0; u < tree.num_vertices(); ++u) {
+CeciIndex InflateFlatIndex(const FlatCeciIndex& flat) {
+  const std::size_t nq = flat.num_query_vertices();
+  CeciIndex index(nq);
+  std::vector<std::uint32_t> rank_scratch;
+  for (VertexId u = 0; u < nq; ++u) {
     CeciVertexData& ud = index.at(u);
-    if (!ReadVec(in, &ud.candidates) || !ReadVec(in, &ud.cardinalities)) {
-      return Status::Corruption("truncated candidates for u" +
-                                std::to_string(u));
-    }
-    if (!ReadList(in, &ud.te)) {
-      return Status::Corruption("truncated TE list for u" +
-                                std::to_string(u));
-    }
-    std::uint64_t nte_count = 0;
-    if (!ReadPod(in, &nte_count)) return Status::Corruption("truncated NTE");
-    ud.nte.resize(nte_count);
-    for (std::uint64_t k = 0; k < nte_count; ++k) {
-      if (!ReadList(in, &ud.nte[k])) {
-        return Status::Corruption("truncated NTE list for u" +
-                                  std::to_string(u));
-      }
-    }
+    const std::span<const VertexId> cand = flat.candidates(u);
+    const std::span<const Cardinality> card = flat.cardinalities(u);
+    ud.candidates.assign(cand.begin(), cand.end());
+    ud.cardinalities.assign(card.begin(), card.end());
+    ud.nte.resize(flat.nte_count(u));
   }
+  flat.ForEachList([&](VertexId owner, std::int32_t nte_slot, VertexId key,
+                       const FlatCeciIndex::EntryRef& ref) {
+    const std::span<const VertexId> cand = flat.candidates(owner);
+    std::vector<VertexId> values;
+    values.reserve(ref.count);
+    if (ref.is_bitmap()) {
+      rank_scratch.clear();
+      BitmapExtract(ref.bits, &rank_scratch);
+      for (std::uint32_t r : rank_scratch) values.push_back(cand[r]);
+    } else {
+      for (std::uint32_t r : ref.ranks) values.push_back(cand[r]);
+    }
+    CeciVertexData& ud = index.at(owner);
+    if (nte_slot < 0) {
+      ud.te.Append(key, std::move(values));
+    } else {
+      ud.nte[static_cast<std::size_t>(nte_slot)].Append(key,
+                                                        std::move(values));
+    }
+  });
   return index;
+}
+
+Status WriteCeciIndex(const CeciIndex& index, const QueryTree& tree,
+                      const std::string& path) {
+  const FlatCeciIndex flat = FlatCeciIndex::Build(index, tree);
+  return WriteFlatIndex(flat, "", path);
+}
+
+Result<CeciIndex> ReadCeciIndex(const QueryTree& tree,
+                                const std::string& path) {
+  Result<FlatCeciIndex> flat = ReadFlatIndex(tree, path);
+  if (!flat.ok()) return flat.status();
+  return InflateFlatIndex(*flat);
 }
 
 }  // namespace ceci

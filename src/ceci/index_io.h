@@ -1,32 +1,86 @@
-// CECI index persistence.
+// CECI index persistence — the flat arena IS the on-disk format.
 //
 // §6.4 notes that for graphs whose CECI exceeds memory the authors "plan
 // to store it in non-volatile memory". This module provides the storage
-// half of that plan: a refined CECI serializes to a compact on-disk image
-// and loads back for enumeration without re-running construction and
-// refinement — useful when one query shape is matched repeatedly against
-// a static data graph.
+// half of that plan: a frozen FlatCeciIndex serializes as one versioned
+// image — fixed header, slab table, the arena verbatim, then the pattern
+// text it was built for — and loads back either by copying (owned arena)
+// or by mmap (ceci_serve --index), where enumeration reads the mapped
+// pages directly and every process serving the same file shares one
+// physical copy.
 //
-// The image records the matching order it was built for; loading validates
-// it against the caller's QueryTree so an index can never be silently used
-// with a mismatched order.
+// File layout (all little-endian, offsets from file start):
+//
+//   [0,   72)  Header     magic "CEIX", version 2, counts, offsets, CRCs
+//   [72, 288)  slab table 9 × SlabRecord{offset, bytes, kind, crc}
+//   [288,  …)  arena      FlatCeciIndex slabs, byte-for-byte
+//   […,  EOF)  pattern    the query pattern text (optional, may be empty)
+//
+// Every region is checksummed (CRC-32): per-slab, the slab table, the
+// pattern, and the header itself. Loading validates checksums (unless
+// disabled) and then the full slab structure (FlatCeciIndex::FromArena),
+// so a corrupt or truncated file yields a clean kCorruption Status —
+// never a crash or an out-of-bounds read later. The image records the
+// matching order it was built for; ReadFlatIndex validates it against the
+// caller's QueryTree so an index can never be silently used with a
+// mismatched order.
 #ifndef CECI_CECI_INDEX_IO_H_
 #define CECI_CECI_INDEX_IO_H_
 
 #include <string>
 
 #include "ceci/ceci_index.h"
+#include "ceci/flat_index.h"
 #include "ceci/query_tree.h"
 #include "util/status.h"
 
 namespace ceci {
 
-/// Serializes a (refined) index to `path`.
-Status WriteCeciIndex(const CeciIndex& index, const QueryTree& tree,
+struct IndexLoadOptions {
+  /// Map the file read-only and enumerate straight from the page cache
+  /// instead of copying the arena to the heap. The serving path sets this.
+  bool use_mmap = false;
+  /// Verify all CRC-32 checksums at load. Structural validation runs
+  /// either way; this only gates bit-rot detection over slab payloads.
+  bool verify_checksums = true;
+};
+
+/// A loaded image: the index plus the pattern text recorded at write time
+/// (empty if the writer supplied none).
+struct LoadedFlatIndex {
+  FlatCeciIndex index;
+  std::string pattern;
+};
+
+/// Serializes a frozen flat index to `path`. `pattern` is the query
+/// pattern text the index was built for (used by `ceci_serve --index` to
+/// reconstruct the query); pass "" if not needed.
+Status WriteFlatIndex(const FlatCeciIndex& flat, const std::string& pattern,
                       const std::string& path);
 
-/// Loads an index written by WriteCeciIndex. Fails if the image's matching
-/// order does not match `tree`'s.
+/// Loads an image with no query-side validation (the caller reconstructs
+/// the query from the stored pattern, e.g. the serving path).
+Result<LoadedFlatIndex> OpenFlatIndex(const std::string& path,
+                                      const IndexLoadOptions& options = {});
+
+/// Loads an image for a known query. Fails with kInvalidArgument if the
+/// image's query size or matching order does not match `tree`'s.
+Result<FlatCeciIndex> ReadFlatIndex(const QueryTree& tree,
+                                    const std::string& path,
+                                    const IndexLoadOptions& options = {});
+
+/// Reconstructs the mutable pointer-rich form from a flat image (ranks
+/// decoded back to data-vertex ids). For tooling and tests that want to
+/// resume refinement or compare layouts; enumeration should use the flat
+/// form directly.
+CeciIndex InflateFlatIndex(const FlatCeciIndex& flat);
+
+/// Compatibility wrappers around the flat format for callers holding the
+/// mutable form: Write freezes to flat (the index must satisfy the
+/// refinement postcondition that every TE/NTE value is an alive candidate
+/// of its child vertex), Read inflates back.
+Status WriteCeciIndex(const CeciIndex& index, const QueryTree& tree,
+                      const std::string& path);
 Result<CeciIndex> ReadCeciIndex(const QueryTree& tree,
                                 const std::string& path);
 

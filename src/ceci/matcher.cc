@@ -228,6 +228,24 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   stats.embedding_clusters = index.pivots(pre->tree).size();
   stats.total_cardinality = stats.refine.total_cardinality;
 
+  // --- Freeze to the flat arena layout (the enumeration hot path) ---
+  FlatCeciIndex flat;
+  if (options.flat_index) {
+    TraceSpan span("freeze_flat");
+    flat = FlatCeciIndex::Build(index, pre->tree);
+    stats.flat_bytes = flat.ArenaBytes();
+    stats.flat_array_entries = flat.ArrayEntries();
+    stats.flat_bitmap_entries = flat.BitmapEntries();
+    if (budget != nullptr) {
+      budget->ChargeBytes(flat.ArenaBytes());
+      if (budget->Poll()) {
+        finalize(tracker.reason());
+        return result;
+      }
+    }
+    if (options.flat_inspector) options.flat_inspector(pre->tree, flat);
+  }
+
   // --- Parallel enumeration (§4) ---
   phase.Reset();
   ScheduleOptions schedule;
@@ -248,7 +266,10 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
   schedule.pool = options.pool;
   ScheduleResult sched = [&] {
     TraceSpan span("enumerate");
-    return RunParallelEnumeration(data_, pre->tree, index, schedule, visitor);
+    return RunParallelEnumeration(data_, pre->tree,
+                                  options.flat_index ? IndexView(flat)
+                                                     : IndexView(index),
+                                  schedule, visitor);
   }();
   stats.enumerate_seconds = phase.Seconds();
   stats.enumeration = sched.stats;
@@ -292,7 +313,10 @@ Result<MatchResult> CeciMatcher::Match(const Graph& query,
       if (u < pruned_per_vertex.size()) {
         vp.refine_pruned = pruned_per_vertex[u];
       }
-      const CeciIndex::VertexFootprint f = index.MemoryFootprint(u);
+      // Footprints reflect the layout enumeration actually read.
+      const CeciIndex::VertexFootprint f = options.flat_index
+                                               ? flat.MemoryFootprint(u)
+                                               : index.MemoryFootprint(u);
       vp.te_keys = f.te_keys;
       vp.te_edges = f.te_edges;
       vp.te_bytes = f.te_bytes;

@@ -55,6 +55,12 @@ struct MatchOptions {
   /// runs (every profiled quantity is a counter delta or a post-hoc walk,
   /// same discipline as TraceSpan). See src/ceci/profiler.h.
   bool profile = false;
+  /// Enumerate from the arena-backed flat layout (ceci/flat_index.h): after
+  /// refinement the index is frozen into one contiguous arena with hybrid
+  /// array/bitmap candidate sets, and the enumerator runs in rank space.
+  /// Default on — it is the production hot path. Off reproduces the
+  /// pointer-layout behaviour exactly (layout A/B comparisons, Table 2).
+  bool flat_index = true;
   /// Invoked with the CECI right after construction (refined == false) and
   /// again after refinement + freeze (refined == true). Hook for the
   /// invariant auditor (analysis/invariant_auditor.h, `ceci_query --audit`)
@@ -64,6 +70,12 @@ struct MatchOptions {
   std::function<void(const QueryTree& tree, const CeciIndex& index,
                      bool refined)>
       index_inspector;
+  /// Invoked with the frozen flat index right after it is built (only when
+  /// `flat_index` is set and the pipeline reaches enumeration). Hook for
+  /// flat-layout auditing and `ceci_query --save-index`; must not mutate
+  /// or retain the reference past the call (Clone() to keep it).
+  std::function<void(const QueryTree& tree, const FlatCeciIndex& flat)>
+      flat_inspector;
   /// Per-query resource caps: wall-clock deadline, index + enumeration
   /// byte budget, external cancellation token (util/budget.h). Default =
   /// unbounded, zero overhead. When a cap trips, Match() returns a

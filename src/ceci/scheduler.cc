@@ -26,7 +26,7 @@ std::string DistributionName(Distribution d) {
 }
 
 ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
-                                      const CeciIndex& index,
+                                      IndexView index,
                                       const ScheduleOptions& options,
                                       const EmbeddingVisitor* visitor) {
   CECI_CHECK(options.threads >= 1);
@@ -86,7 +86,7 @@ ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
     // skew over the work units actually scheduled (after). Read-only walks
     // over structures already built — nothing here touches the hot path.
     result.cluster_skew =
-        SkewSummary::Of(index.at(tree.root()).cardinalities);
+        SkewSummary::Of(index.cardinalities(tree.root()));
     std::vector<Cardinality> unit_cards;
     unit_cards.reserve(units.size());
     for (const WorkUnit& unit : units) unit_cards.push_back(unit.cardinality);

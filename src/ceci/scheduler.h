@@ -93,10 +93,11 @@ struct ScheduleResult {
   }
 };
 
-/// Runs parallel enumeration. `visitor` may be null (count only); it is
-/// invoked concurrently from worker threads when set.
+/// Runs parallel enumeration over either index layout (IndexView converts
+/// implicitly from CeciIndex or FlatCeciIndex). `visitor` may be null
+/// (count only); it is invoked concurrently from worker threads when set.
 ScheduleResult RunParallelEnumeration(const Graph& data, const QueryTree& tree,
-                                      const CeciIndex& index,
+                                      IndexView index,
                                       const ScheduleOptions& options,
                                       const EmbeddingVisitor* visitor);
 

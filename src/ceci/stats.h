@@ -33,6 +33,14 @@ struct MatchStats {
   std::size_t candidate_edges = 0;
   std::size_t candidate_edges_unrefined = 0;
 
+  // Flat-layout accounting (arena-backed index; all zero when
+  // MatchOptions::flat_index is off). flat_bytes is *exact* — the arena
+  // size enumeration reads — where ceci_bytes is the pointer layout's
+  // estimate; the entry split shows how the hybrid rule fell.
+  std::size_t flat_bytes = 0;
+  std::size_t flat_array_entries = 0;
+  std::size_t flat_bitmap_entries = 0;
+
   // Cluster accounting (§4.2-4.3).
   std::size_t embedding_clusters = 0;
   Cardinality total_cardinality = 0;

@@ -29,6 +29,11 @@ void AppendMatchStatsJson(const MatchStats& stats, JsonWriter* w) {
   w->KV("candidate_edges", static_cast<std::uint64_t>(stats.candidate_edges));
   w->KV("candidate_edges_unrefined",
         static_cast<std::uint64_t>(stats.candidate_edges_unrefined));
+  w->KV("flat_bytes", static_cast<std::uint64_t>(stats.flat_bytes));
+  w->KV("flat_array_entries",
+        static_cast<std::uint64_t>(stats.flat_array_entries));
+  w->KV("flat_bitmap_entries",
+        static_cast<std::uint64_t>(stats.flat_bitmap_entries));
   w->EndObject();
 
   w->Key("clusters");

@@ -154,6 +154,16 @@ ServeResponse QueryService::Execute(ServeRequest request) {
   return Submit(std::move(request)).get();
 }
 
+Status QueryService::InstallPrebuiltIndex(const std::string& path,
+                                          bool use_mmap) {
+  if (cached_ == nullptr) {
+    return Status::InvalidArgument(
+        "prebuilt indexes require cache_indexes (the service was configured "
+        "without an index cache)");
+  }
+  return cached_->InstallPrebuilt(path, use_mmap);
+}
+
 void QueryService::RunnerLoop() {
   for (;;) {
     std::unique_ptr<Session> session;

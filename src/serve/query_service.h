@@ -128,6 +128,15 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Pre-warms the cache with a prebuilt flat index image (index_io,
+  /// written by `ceci_query --save-index`): traffic for the image's
+  /// stored pattern skips construction and refinement and enumerates
+  /// straight from the (mmap-shared, when `use_mmap`) arena. Requires
+  /// cache_indexes; fails with kInvalidArgument otherwise. Call before
+  /// serving traffic — installation takes the cache lock but does not
+  /// quiesce in-flight queries.
+  Status InstallPrebuiltIndex(const std::string& path, bool use_mmap = true);
+
   /// Admits or rejects `request`; the future resolves when the query
   /// completes (immediately for rejections). Never blocks on query
   /// execution.

@@ -45,6 +45,11 @@
 //   --cancel-after N  request cancellation after N embeddings have been
 //                     seen (exercises the cooperative cancellation token;
 //                     reports "termination: cancelled", exit 0)
+//   --save-index P    write the frozen flat index (plus the pattern text)
+//                     to P in the index_io format; serve it later with
+//                     `ceci_serve --index P`
+//   --no-flat-index   enumerate from the pointer-rich CECI layout instead
+//                     of the arena-backed flat layout (A/B comparisons)
 //   --help            print usage to stdout and exit 0
 //
 // Exit codes:
@@ -60,6 +65,7 @@
 #include <string>
 
 #include "analysis/invariant_auditor.h"
+#include "ceci/index_io.h"
 #include "ceci/matcher.h"
 #include "ceci/stats_json.h"
 #include "ceci/symmetry.h"
@@ -93,6 +99,8 @@ struct Args {
   std::uint64_t cancel_after = 0;
   std::string metrics_json;
   std::string trace_chrome;
+  std::string save_index;
+  bool flat_index = true;
   bool help = false;
 };
 
@@ -106,7 +114,8 @@ void Usage(std::FILE* out, const char* argv0) {
                "          [--explain] [--trace-chrome PATH]\n"
                "          [--metrics-json PATH|-] [--audit]\n"
                "          [--deadline-ms N] [--memory-budget-mb F]\n"
-               "          [--cancel-after N] [--help]\n"
+               "          [--cancel-after N] [--save-index PATH]\n"
+               "          [--no-flat-index] [--help]\n"
                "exit codes: 0 ok (completed/cancelled/limit), 1 I/O or "
                "match error,\n"
                "            2 usage, 3 audit violations, 4 deadline or "
@@ -195,6 +204,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!v) return false;
       args->cancel_after = std::strtoull(v, nullptr, 10);
       if (args->cancel_after == 0) return false;
+    } else if (flag == "--save-index") {
+      const char* v = next();
+      if (!v) return false;
+      args->save_index = v;
+    } else if (flag == "--no-flat-index") {
+      args->flat_index = false;
     } else if (flag == "--metrics-json") {
       const char* v = next();
       if (!v) return false;
@@ -210,6 +225,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (args->data.empty()) return false;
   if (args->pattern.empty() == args->query_file.empty()) {
     std::fprintf(stderr, "pass exactly one of --pattern / --query\n");
+    return false;
+  }
+  if (!args->save_index.empty() && !args->flat_index) {
+    std::fprintf(stderr, "--save-index requires the flat index layout "
+                         "(drop --no-flat-index)\n");
     return false;
   }
   return true;
@@ -252,6 +272,7 @@ int main(int argc, char** argv) {
   options.limit = args.limit;
   options.beta = args.beta;
   options.break_automorphisms = args.symmetry;
+  options.flat_index = args.flat_index;
   if (args.order == "bfs") {
     options.order = OrderStrategy::kBfs;
   } else if (args.order == "edge-ranked") {
@@ -293,12 +314,14 @@ int main(int argc, char** argv) {
   // work-unit partition the scheduler would enumerate from.
   AuditReport audit_report;
   SymmetryConstraints audit_symmetry;
-  // For the profile cross-check (--audit with profiling on) the refined
-  // tree/index must outlive Match(); both are plain copyable data, and
-  // copying is acceptable at audit cost.
+  // For the profile and flat-layout cross-checks the refined tree/index
+  // (and the frozen flat arena) must outlive Match(); all are plain
+  // copyable data, and copying is acceptable at audit cost.
   QueryTree audited_tree;
   CeciIndex audited_index;
+  FlatCeciIndex audited_flat;
   bool audited_refined_captured = false;
+  bool audited_flat_captured = false;
   if (args.audit) {
     audit_report.Merge(AuditGraph(*data));
     audit_report.Merge(AuditGraph(*query));
@@ -323,11 +346,32 @@ int main(int argc, char** argv) {
             fine, sorted, nullptr);
         AuditWorkUnits(*data, tree, index, enum_options, units,
                        &audit_report);
-        if (options.profile) {
-          audited_tree = tree;
-          audited_index = index;
-          audited_refined_captured = true;
+        audited_tree = tree;
+        audited_index = index;
+        audited_refined_captured = true;
+      }
+    };
+  }
+
+  // The flat inspector serves --audit (layout invariants + pointer/flat
+  // agreement) and --save-index; it fires once, right after the freeze.
+  Status save_status;
+  bool index_saved = false;
+  if (args.audit || !args.save_index.empty()) {
+    options.flat_inspector = [&](const QueryTree& tree,
+                                 const FlatCeciIndex& flat) {
+      if (args.audit) {
+        AuditFlatIndex(tree, flat, &audit_report);
+        if (audited_refined_captured) {
+          AuditFlatAgainstIndex(tree, audited_index, flat, &audit_report);
         }
+        audited_flat = flat.Clone();
+        audited_flat_captured = true;
+      }
+      if (!args.save_index.empty()) {
+        save_status =
+            WriteFlatIndex(flat, FormatPattern(*query), args.save_index);
+        index_saved = save_status.ok();
       }
     };
   }
@@ -376,10 +420,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (args.audit && audited_refined_captured &&
-      result->profile.has_value()) {
-    AuditQueryProfile(audited_tree, audited_index, *result->profile,
-                      &audit_report);
+  if (!args.save_index.empty()) {
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "save-index: %s\n",
+                   save_status.ToString().c_str());
+      return 1;
+    }
+    if (!index_saved) {
+      std::fprintf(stderr, "save-index: the query terminated before the "
+                           "index was frozen (infeasible or budget)\n");
+      return 1;
+    }
+    std::printf("index saved: %s\n", args.save_index.c_str());
+  }
+
+  if (args.audit && result->profile.has_value()) {
+    // The profile's footprints reflect the layout enumeration read.
+    if (args.flat_index && audited_flat_captured) {
+      AuditQueryProfile(audited_tree, audited_flat, *result->profile,
+                        &audit_report);
+    } else if (!args.flat_index && audited_refined_captured) {
+      AuditQueryProfile(audited_tree, audited_index, *result->profile,
+                        &audit_report);
+    }
   }
   if (args.audit) {
     AuditMatchResult(*result, &audit_report);

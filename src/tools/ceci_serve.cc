@@ -27,6 +27,12 @@
 //   --degraded-limit N     embedding-limit ceiling for degraded queries
 //   --max-connections N    concurrent client connections (default: 64)
 //   --no-cache             rebuild the index per request (no CachedMatcher)
+//   --index PATH           pre-warm the cache with a prebuilt flat index
+//                          image (ceci_query --save-index); mmap'd
+//                          read-only so concurrent workers and server
+//                          processes share one physical copy. Repeatable;
+//                          incompatible with --no-cache.
+//   --no-mmap              load --index images by copying instead of mmap
 //   --duration-s N         exit cleanly after N seconds, 0 = until signal
 //   --help                 print this help and exit 0
 //
@@ -37,6 +43,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "graphio/binary_csr.h"
 #include "graphio/edge_list.h"
@@ -58,6 +65,8 @@ struct Args {
   std::string host = "127.0.0.1";
   int port = 0;
   ServiceOptions service;
+  std::vector<std::string> indexes;
+  bool use_mmap = true;
   std::size_t max_connections = 64;
   double duration_s = 0.0;
   bool help = false;
@@ -72,6 +81,7 @@ void Usage(std::FILE* out, const char* argv0) {
                "          [--degrade-depth N] [--default-deadline-ms N]\n"
                "          [--degraded-deadline-ms N] [--degraded-limit N]\n"
                "          [--max-connections N] [--no-cache]\n"
+               "          [--index PATH]... [--no-mmap]\n"
                "          [--duration-s N] [--help]\n"
                "protocol: MATCH <pattern> | MATCHX k=v,... <pattern> | "
                "STATS | PING | QUIT\n"
@@ -147,6 +157,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (args->max_connections == 0) return false;
     } else if (flag == "--no-cache") {
       args->service.cache_indexes = false;
+    } else if (flag == "--index") {
+      const char* v = next();
+      if (!v) return false;
+      args->indexes.emplace_back(v);
+    } else if (flag == "--no-mmap") {
+      args->use_mmap = false;
     } else if (flag == "--duration-s") {
       const char* v = next();
       if (!v) return false;
@@ -155,6 +171,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
+  }
+  if (!args->indexes.empty() && !args->service.cache_indexes) {
+    std::fprintf(stderr, "--index requires the cache (drop --no-cache)\n");
+    return false;
   }
   return !args->data.empty();
 }
@@ -186,6 +206,16 @@ int main(int argc, char** argv) {
   }
 
   QueryService service(*data, args.service);
+  for (const std::string& path : args.indexes) {
+    Status installed = service.InstallPrebuiltIndex(path, args.use_mmap);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "index %s: %s\n", path.c_str(),
+                   installed.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ceci_serve: installed prebuilt index %s\n",
+                 path.c_str());
+  }
   TcpServerOptions tcp;
   tcp.host = args.host;
   tcp.port = args.port;

@@ -1,0 +1,83 @@
+// Fixed-width bitmap kernels for the hybrid candidate-set representation
+// (ceci/flat_index.h). Dense candidate-set entries are stored as bitmaps
+// over *ranks* into the owning vertex's candidate array; intersecting k
+// dense sets is then k-1 word-wise ANDs plus a popcount or set-bit
+// extraction, instead of a k-way sorted merge.
+//
+// All kernels are simple u64 loops the compiler auto-vectorizes; unlike
+// the sorted-array kernels (util/intersection.h) there is no data-dependent
+// control flow to hand-tune, so no per-ISA dispatch tier exists here.
+#ifndef CECI_UTIL_BITMAP_H_
+#define CECI_UTIL_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ceci {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t BitmapWords(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+/// acc &= other, word-wise. `other` may be shorter than `acc`; the excess
+/// words of `acc` are cleared (a shorter bitmap has those bits unset).
+inline void BitmapAndInPlace(std::span<std::uint64_t> acc,
+                             std::span<const std::uint64_t> other) {
+  const std::size_t common = other.size() < acc.size() ? other.size()
+                                                       : acc.size();
+  for (std::size_t w = 0; w < common; ++w) acc[w] &= other[w];
+  for (std::size_t w = common; w < acc.size(); ++w) acc[w] = 0;
+}
+
+/// Clears every bit outside the half-open position window [lo, hi).
+inline void BitmapMaskWindow(std::span<std::uint64_t> acc, std::uint32_t lo,
+                             std::uint32_t hi) {
+  const std::uint64_t total = static_cast<std::uint64_t>(acc.size()) * 64;
+  if (hi > total) hi = static_cast<std::uint32_t>(total);
+  if (lo >= hi) {
+    for (auto& w : acc) w = 0;
+    return;
+  }
+  const std::size_t lo_word = lo >> 6;
+  const std::size_t hi_word = hi >> 6;  // word holding the first cleared bit
+  for (std::size_t w = 0; w < lo_word; ++w) acc[w] = 0;
+  acc[lo_word] &= ~std::uint64_t{0} << (lo & 63);
+  if (hi_word < acc.size()) {
+    acc[hi_word] &= (hi & 63) == 0 ? 0 : ~std::uint64_t{0} >> (64 - (hi & 63));
+    for (std::size_t w = hi_word + 1; w < acc.size(); ++w) acc[w] = 0;
+  }
+}
+
+/// Number of set bits.
+inline std::size_t BitmapPopcount(std::span<const std::uint64_t> bits) {
+  std::size_t n = 0;
+  for (std::uint64_t w : bits) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+/// True iff bit `pos` is set (false when `pos` is past the end).
+inline bool BitmapTest(std::span<const std::uint64_t> bits,
+                       std::uint32_t pos) {
+  const std::size_t w = pos >> 6;
+  return w < bits.size() && ((bits[w] >> (pos & 63)) & 1) != 0;
+}
+
+/// Appends the positions of all set bits, ascending, to `out`.
+inline void BitmapExtract(std::span<const std::uint64_t> bits,
+                          std::vector<std::uint32_t>* out) {
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      out->push_back(static_cast<std::uint32_t>(w * 64 + b));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_BITMAP_H_

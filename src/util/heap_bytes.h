@@ -1,0 +1,41 @@
+// Honest heap measurement for container allocations.
+//
+// MemoryBytes()-style estimates count payload only; the allocator actually
+// hands out capacity-sized blocks rounded up to bin sizes. When comparing a
+// pointer-rich layout against a single contiguous arena, the fair pointer
+// figure is what the allocator charges, not what the payload sums to. On
+// glibc we ask malloc_usable_size; elsewhere we fall back to capacity.
+#ifndef CECI_UTIL_HEAP_BYTES_H_
+#define CECI_UTIL_HEAP_BYTES_H_
+
+#include <cstddef>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace ceci {
+
+/// Bytes the allocator charges for one heap block, or `fallback` when the
+/// platform cannot tell us (non-glibc).
+inline std::size_t MeasuredBlockBytes(const void* block, std::size_t fallback) {
+  if (block == nullptr) return 0;
+#if defined(__GLIBC__)
+  return malloc_usable_size(const_cast<void*>(block));
+#else
+  return fallback;
+#endif
+}
+
+/// Heap bytes held by a vector's backing allocation (zero if it never
+/// allocated). Excludes the vector header itself — callers add
+/// sizeof(std::vector<T>) when the header lives on the heap too.
+template <typename T>
+std::size_t MeasuredVectorBytes(const std::vector<T>& v) {
+  return MeasuredBlockBytes(v.data(), v.capacity() * sizeof(T));
+}
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_HEAP_BYTES_H_

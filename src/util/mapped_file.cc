@@ -1,0 +1,65 @@
+#include "util/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ceci {
+
+MappedFile::~MappedFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      open_(std::exchange(other.open_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    open_ = std::exchange(other.open_, false);
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  MappedFile file;
+  file.open_ = true;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* base =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot mmap " + path + ": " +
+                             std::strerror(err));
+    }
+    file.base_ = base;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+}  // namespace ceci

@@ -1,0 +1,46 @@
+// Read-only memory-mapped file (RAII).
+//
+// Backs `ceci_serve --index`: a prebuilt flat CECI image is mapped
+// PROT_READ / MAP_SHARED, so every connection — and every *process*
+// serving the same file — shares one physical copy through the page
+// cache. The mapping is immutable for its whole lifetime; concurrent
+// readers need no synchronization.
+#ifndef CECI_UTIL_MAPPED_FILE_H_
+#define CECI_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace ceci {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Fails with kIoError when the file cannot be
+  /// opened or mapped; an empty file maps successfully with size() == 0.
+  static Result<MappedFile> Open(const std::string& path);
+
+  bool valid() const { return base_ != nullptr || size_ == 0; }
+  const std::byte* data() const {
+    return static_cast<const std::byte*>(base_);
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;  // distinguishes default-constructed from empty file
+};
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_MAPPED_FILE_H_

@@ -7,14 +7,22 @@
 // --serving runs it under ThreadSanitizer).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <thread>
 #include <vector>
 
 #include "ceci/cached_matcher.h"
+#include "ceci/ceci_builder.h"
+#include "ceci/enumerator.h"
+#include "ceci/index_io.h"
 #include "ceci/matcher.h"
+#include "ceci/refinement.h"
+#include "ceci/symmetry.h"
 #include "gen/labels.h"
 #include "gen/paper_queries.h"
 #include "gen/query_gen.h"
@@ -295,6 +303,63 @@ TEST(ConcurrentMatchingTest, CrossThreadCancellationIsConfined) {
   victim.join();
   bystander.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Shared frozen flat index: N threads enumerating from ONE mmap'd arena
+// (the `ceci_serve --index` serving mode). The arena is immutable and
+// read-only, so workers need no synchronization; every thread must see
+// the pointer-layout ground truth.
+
+TEST(SharedFlatIndexTest, ManyThreadsEnumerateOneMappedArena) {
+  const Graph data = TestData();
+  const Graph query = MakePaperQuery(PaperQuery::kQG3);
+  NlcIndex nlc(data);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  CeciBuilder builder(data, nlc);
+  CeciIndex index = builder.Build(query, *tree, BuildOptions{}, nullptr);
+  RefineCeci(*tree, data.num_vertices(), &index, nullptr);
+  const SymmetryConstraints sym = SymmetryConstraints::Compute(query);
+  EnumOptions eo;
+  eo.symmetry = &sym;
+
+  // Pointer-layout ground truth, enumerated before the flat freeze.
+  std::uint64_t want = 0;
+  {
+    Enumerator e(data, *tree, index, eo);
+    want = e.EnumerateAll(nullptr);
+  }
+  ASSERT_GT(want, 0u);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("ceci_shared_idx_" + std::to_string(::getpid()) + ".idx");
+  {
+    const FlatCeciIndex flat = FlatCeciIndex::Build(index, *tree);
+    ASSERT_TRUE(WriteFlatIndex(flat, "", path.string()).ok());
+  }
+  IndexLoadOptions load;
+  load.use_mmap = true;
+  auto shared = ReadFlatIndex(*tree, path.string(), load);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  ASSERT_TRUE(shared->mapped());
+
+  constexpr int kThreads = 8;
+  std::vector<std::uint64_t> counts(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Enumerator e(data, *tree, *shared, eo);
+      counts[i] = e.EnumerateAll(nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(counts[i], want) << "thread " << i;
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -146,5 +146,172 @@ TEST_F(IndexIoTest, RejectsTruncatedFile) {
   EXPECT_FALSE(loaded.ok());
 }
 
+// ---------------------------------------------------------------------
+// Flat-image hardening: the v2 format served by `ceci_serve --index`.
+
+// Reads the whole file into a byte string.
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A written flat image plus its ground-truth embedding count.
+struct FlatImage {
+  FlatImage(const Graph& data_graph, const Graph& query_graph,
+            const std::string& path)
+      : data(data_graph), query(query_graph), built(data, query, 0) {
+    flat = FlatCeciIndex::Build(built.index, built.tree);
+    CECI_CHECK(WriteFlatIndex(flat, "(a)-(b)", path).ok());
+    Enumerator e(data, built.tree, built.index, Options());
+    embeddings = e.EnumerateAll(nullptr);
+  }
+
+  EnumOptions Options() {
+    sym = SymmetryConstraints::None(query.num_vertices());
+    EnumOptions eo;
+    eo.symmetry = &sym;
+    return eo;
+  }
+
+  std::uint64_t Enumerate(const FlatCeciIndex& index) {
+    Enumerator e(data, built.tree, index, Options());
+    return e.EnumerateAll(nullptr);
+  }
+
+  Graph data;
+  Graph query;
+  Built built;
+  FlatCeciIndex flat;
+  SymmetryConstraints sym;
+  std::uint64_t embeddings = 0;
+};
+
+TEST_F(IndexIoTest, FlatRoundTripOwnedAndMapped) {
+  FlatImage img(GenerateSocialGraph(600, 8, 11),
+                MakePaperQuery(PaperQuery::kQG3), File("f.idx"));
+  IndexLoadOptions copy;
+  auto owned = ReadFlatIndex(img.built.tree, File("f.idx"), copy);
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+  EXPECT_FALSE(owned->mapped());
+  EXPECT_EQ(owned->ArenaBytes(), img.flat.ArenaBytes());
+  EXPECT_EQ(img.Enumerate(*owned), img.embeddings);
+
+  IndexLoadOptions mmapped;
+  mmapped.use_mmap = true;
+  auto mapped = ReadFlatIndex(img.built.tree, File("f.idx"), mmapped);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_EQ(img.Enumerate(*mapped), img.embeddings);
+}
+
+TEST_F(IndexIoTest, OpenFlatIndexRecoversThePattern) {
+  FlatImage img(testing::PaperExample::Data(), testing::PaperExample::Query(),
+                File("p.idx"));
+  auto loaded = OpenFlatIndex(File("p.idx"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->pattern, "(a)-(b)");
+  EXPECT_EQ(loaded->index.num_query_vertices(),
+            img.flat.num_query_vertices());
+}
+
+TEST_F(IndexIoTest, FlatRoundTripDegenerateEmptyIndex) {
+  // Label 9 does not exist in the data graph: every candidate set is
+  // empty, and the image is all-metadata. It must still round-trip.
+  Graph data = testing::PaperExample::Data();
+  Graph query = testing::MakeGraph({0, 9}, {{0, 1}});
+  Built b(data, query, 0);
+  FlatCeciIndex flat = FlatCeciIndex::Build(b.index, b.tree);
+  ASSERT_TRUE(WriteFlatIndex(flat, "", File("empty.idx")).ok());
+  auto loaded = ReadFlatIndex(b.tree, File("empty.idx"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->candidates(0).empty());
+  EXPECT_TRUE(loaded->candidates(1).empty());
+  EXPECT_EQ(loaded->TotalCandidateEdges(), 0u);
+}
+
+TEST_F(IndexIoTest, FlatRoundTripLargeIndex) {
+  FlatImage img(GenerateSocialGraph(4000, 10, 3),
+                MakePaperQuery(PaperQuery::kQG5), File("big.idx"));
+  IndexLoadOptions mmapped;
+  mmapped.use_mmap = true;
+  auto loaded = ReadFlatIndex(img.built.tree, File("big.idx"), mmapped);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(img.Enumerate(*loaded), img.embeddings);
+}
+
+TEST_F(IndexIoTest, FlatRejectsBadMagic) {
+  FlatImage img(testing::PaperExample::Data(), testing::PaperExample::Query(),
+                File("m.idx"));
+  std::string bytes = SlurpFile(File("m.idx"));
+  bytes[0] = 'X';
+  WriteBytes(File("m.idx"), bytes);
+  auto loaded = OpenFlatIndex(File("m.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, FlatRejectsUnsupportedVersion) {
+  FlatImage img(testing::PaperExample::Data(), testing::PaperExample::Query(),
+                File("v.idx"));
+  std::string bytes = SlurpFile(File("v.idx"));
+  bytes[4] = static_cast<char>(bytes[4] + 1);  // version field
+  WriteBytes(File("v.idx"), bytes);
+  auto loaded = OpenFlatIndex(File("v.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, FlatRejectsTruncatedSlabTable) {
+  FlatImage img(testing::PaperExample::Data(), testing::PaperExample::Query(),
+                File("t.idx"));
+  std::string bytes = SlurpFile(File("t.idx"));
+  WriteBytes(File("t.idx"), bytes.substr(0, 100));  // header survives
+  auto loaded = OpenFlatIndex(File("t.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, FlatChecksumCatchesArenaBitRot) {
+  FlatImage img(GenerateSocialGraph(400, 6, 29),
+                MakePaperQuery(PaperQuery::kQG1), File("rot.idx"));
+  std::string bytes = SlurpFile(File("rot.idx"));
+  ASSERT_GT(bytes.size(), 400u);
+  bytes[400] = static_cast<char>(bytes[400] ^ 0x40);  // inside the arena
+  WriteBytes(File("rot.idx"), bytes);
+  auto loaded = OpenFlatIndex(File("rot.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, ByteFlipFuzzFailsCleanlyEverywhere) {
+  // Flip one byte at ~100 positions across the image. Every load must
+  // either fail with a clean Status or — if it somehow passes validation —
+  // still enumerate the correct count. No crash, no OOB access (asan CI
+  // job runs this suite).
+  FlatImage img(GenerateSocialGraph(300, 6, 41),
+                MakePaperQuery(PaperQuery::kQG2), File("fuzz.idx"));
+  const std::string pristine = SlurpFile(File("fuzz.idx"));
+  ASSERT_FALSE(pristine.empty());
+  const std::size_t step = std::max<std::size_t>(1, pristine.size() / 97);
+  for (std::size_t at = 0; at < pristine.size(); at += step) {
+    std::string bytes = pristine;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x5A);
+    WriteBytes(File("fuzz.idx"), bytes);
+    auto loaded = ReadFlatIndex(img.built.tree, File("fuzz.idx"));
+    if (loaded.ok()) {
+      EXPECT_EQ(img.Enumerate(*loaded), img.embeddings)
+          << "byte " << at << " flipped";
+    } else {
+      EXPECT_NE(loaded.status().code(), Status::Code::kOk) << "byte " << at;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ceci

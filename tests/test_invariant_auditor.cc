@@ -31,6 +31,29 @@ class CandidateListTestPeer {
   }
 };
 
+// Plants corruption inside a flat arena (owned arenas only: Build/Clone).
+// The const_casts are legitimate here — the bytes live in the peer-visible
+// owned_ buffer, and FlatCeciIndex is immutable only by API contract.
+class FlatIndexTestPeer {
+ public:
+  static FlatVertexMeta* VertexMetas(FlatCeciIndex* f) {
+    return const_cast<FlatVertexMeta*>(f->vertices_.data());
+  }
+  static VertexId* Order(FlatCeciIndex* f) {
+    return const_cast<VertexId*>(f->order_.data());
+  }
+  static FlatCeciIndex::Slab& Slab(FlatCeciIndex* f,
+                                   FlatCeciIndex::SlabKind kind) {
+    return f->slabs_[kind];
+  }
+  static std::uint64_t* BitmapPool(FlatCeciIndex* f) {
+    return const_cast<std::uint64_t*>(f->bitmap_pool_.data());
+  }
+  static std::uint32_t* ArrayPool(FlatCeciIndex* f) {
+    return const_cast<std::uint32_t*>(f->array_pool_.data());
+  }
+};
+
 namespace {
 
 using ::ceci::testing::MakeUnlabeled;
@@ -310,20 +333,159 @@ TEST_F(AuditWorkUnitsTest, DetectsDuplicateUnit) {
   EXPECT_GE(report.CountOf(InvariantClass::kClusterOverlap), 1u);
 }
 
+// ---------------------------------------------------------------------
+// Flat-layout corruption planting: freeze the paper example's refined
+// index into an (owned) arena, damage exactly one structure through
+// FlatIndexTestPeer, and assert AuditFlatIndex pins the right class.
+
+struct FlatFixture : Fixture {
+  FlatFixture() : flat(FlatCeciIndex::Build(index, tree)) {}
+
+  AuditReport AuditFlat() const {
+    AuditReport report;
+    AuditFlatIndex(tree, flat, &report);
+    return report;
+  }
+
+  FlatCeciIndex flat;
+};
+
+TEST(AuditFlatIndexTest, AcceptsHealthyArena) {
+  FlatFixture f;
+  AuditReport report = f.AuditFlat();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 20u);
+  AuditReport against;
+  AuditFlatAgainstIndex(f.tree, f.index, f.flat, &against);
+  EXPECT_TRUE(against.ok()) << against.ToString();
+}
+
+TEST(AuditFlatIndexTest, DetectsCandidateRangeEscapingItsSlab) {
+  FlatFixture f;
+  FlatIndexTestPeer::VertexMetas(&f.flat)[1].cand_count += 1000;
+  AuditReport report = f.AuditFlat();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kFlatOffsetBounds), 1u);
+}
+
+TEST(AuditFlatIndexTest, DetectsMisalignedSlab) {
+  FlatFixture f;
+  FlatIndexTestPeer::Slab(&f.flat, FlatCeciIndex::kCandidates).offset += 4;
+  AuditReport report = f.AuditFlat();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kFlatSlabOrder), 1u);
+}
+
+TEST(AuditFlatIndexTest, DetectsSlabEscapingTheArena) {
+  FlatFixture f;
+  FlatIndexTestPeer::Slab(&f.flat, FlatCeciIndex::kBitmapPool).bytes += 1024;
+  AuditReport report = f.AuditFlat();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kFlatSlabOrder), 1u);
+}
+
+TEST(AuditFlatIndexTest, DetectsTamperedMatchingOrder) {
+  FlatFixture f;
+  VertexId* order = FlatIndexTestPeer::Order(&f.flat);
+  std::swap(order[0], order[1]);
+  AuditReport report = f.AuditFlat();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kFlatRepresentation), 1u);
+}
+
+TEST(AuditFlatIndexTest, DetectsBitmapPopcountDrift) {
+  // The paper example's value sets are all sparse, so build a dense one:
+  // a hub with 70 leaves makes the TE entry a bitmap (2 words beat 70
+  // ranks). Toggling rank 0 desynchronizes popcount and stored count.
+  std::vector<Label> labels(71, 1);
+  labels[0] = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 1; v <= 70; ++v) edges.push_back({0, v});
+  Graph data = ceci::testing::MakeGraph(labels, edges);
+  Graph query = ceci::testing::MakeGraph({0, 1}, {{0, 1}});
+  NlcIndex nlc(data);
+  auto tree = QueryTree::Build(query, 0);
+  ASSERT_TRUE(tree.ok());
+  CeciBuilder builder(data, nlc);
+  CeciIndex index = builder.Build(query, *tree, BuildOptions{}, nullptr);
+  RefineCeci(*tree, data.num_vertices(), &index, nullptr);
+  FlatCeciIndex flat = FlatCeciIndex::Build(index, *tree);
+  ASSERT_GE(flat.BitmapEntries(), 1u);
+
+  FlatIndexTestPeer::BitmapPool(&flat)[0] ^= 1u;
+  AuditReport report;
+  AuditFlatIndex(*tree, flat, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kFlatRepresentation), 1u);
+}
+
+TEST(AuditFlatIndexTest, DetectsUnsortedRankArray) {
+  FlatFixture f;
+  // Find an array entry with two distinct ranks and swap them in the pool.
+  std::size_t at = static_cast<std::size_t>(-1);
+  f.flat.ForEachList([&](VertexId, std::int32_t, VertexId,
+                         const FlatCeciIndex::EntryRef& ref) {
+    if (at == static_cast<std::size_t>(-1) && !ref.is_bitmap() &&
+        ref.ranks.size() >= 2) {
+      at = static_cast<std::size_t>(ref.ranks.data() -
+                                    f.flat.array_pool().data());
+    }
+  });
+  ASSERT_NE(at, static_cast<std::size_t>(-1))
+      << "paper example lost its multi-rank array entries";
+  std::uint32_t* pool = FlatIndexTestPeer::ArrayPool(&f.flat);
+  std::swap(pool[at], pool[at + 1]);
+  AuditReport report = f.AuditFlat();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.CountOf(InvariantClass::kFlatRepresentation), 1u);
+}
+
+TEST(AuditFlatIndexTest, DetectsDriftFromThePointerIndex) {
+  FlatFixture f;
+  // Mutate the pointer side after the freeze: the layouts now disagree on
+  // one TE value set, which only the cross-check can see (the arena alone
+  // is still perfectly valid).
+  bool planted = false;
+  for (VertexId u = 0; u < f.query.num_vertices() && !planted; ++u) {
+    if (u == f.tree.root()) continue;
+    auto& te = f.index.at(u).te;
+    for (auto& vals : CandidateListTestPeer::values(&te)) {
+      if (vals.size() >= 2) {
+        vals.pop_back();
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted);
+  EXPECT_TRUE(f.AuditFlat().ok());
+  AuditReport against;
+  AuditFlatAgainstIndex(f.tree, f.index, f.flat, &against);
+  EXPECT_FALSE(against.ok());
+  EXPECT_GE(against.CountOf(InvariantClass::kFlatRepresentation), 1u);
+}
+
 // Fixture running a full profiled Match() and capturing the refined
-// tree/index through the inspector hook — exactly what `ceci_query
-// --explain --audit` does.
+// tree/index — and the frozen flat arena — through the inspector hooks,
+// exactly what `ceci_query --explain --audit` does. `flat_layout` selects
+// which layout the enumeration (and so the profile's footprints) used.
 struct ProfiledMatch {
-  ProfiledMatch() : data(PaperExample::Data()), query(PaperExample::Query()) {
+  explicit ProfiledMatch(bool flat_layout = true)
+      : data(PaperExample::Data()), query(PaperExample::Query()) {
     CeciMatcher matcher(data);
     MatchOptions options;
     options.profile = true;
+    options.flat_index = flat_layout;
     options.index_inspector = [this](const QueryTree& t, const CeciIndex& i,
                                      bool refined) {
       if (refined) {
         tree = t;
         index = i;
       }
+    };
+    options.flat_inspector = [this](const QueryTree&,
+                                    const FlatCeciIndex& f) {
+      flat = f.Clone();
     };
     auto result = matcher.Match(query, options);
     CECI_CHECK(result.ok());
@@ -335,11 +497,20 @@ struct ProfiledMatch {
   Graph query;
   QueryTree tree;
   CeciIndex index;
+  FlatCeciIndex flat;
   QueryProfile profile;
 };
 
 TEST(AuditQueryProfileTest, AcceptsProfileFromRealMatch) {
   ProfiledMatch m;
+  AuditReport report;
+  AuditQueryProfile(m.tree, m.flat, m.profile, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+TEST(AuditQueryProfileTest, AcceptsPointerLayoutProfile) {
+  ProfiledMatch m(/*flat_layout=*/false);
   AuditReport report;
   AuditQueryProfile(m.tree, m.index, m.profile, &report);
   EXPECT_TRUE(report.ok()) << report.ToString();
@@ -350,7 +521,7 @@ TEST(AuditQueryProfileTest, DetectsTamperedCandidateCount) {
   ProfiledMatch m;
   m.profile.vertices[2].candidates_refined += 1;
   AuditReport report;
-  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  AuditQueryProfile(m.tree, m.flat, m.profile, &report);
   EXPECT_FALSE(report.ok());
   EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
 }
@@ -359,7 +530,7 @@ TEST(AuditQueryProfileTest, DetectsTamperedTeEdgeCount) {
   ProfiledMatch m;
   m.profile.vertices[1].te_edges += 5;
   AuditReport report;
-  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  AuditQueryProfile(m.tree, m.flat, m.profile, &report);
   EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
 }
 
@@ -367,7 +538,7 @@ TEST(AuditQueryProfileTest, DetectsTamperedByteTotal) {
   ProfiledMatch m;
   m.profile.index_bytes += 64;
   AuditReport report;
-  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  AuditQueryProfile(m.tree, m.flat, m.profile, &report);
   EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
 }
 
@@ -375,7 +546,7 @@ TEST(AuditQueryProfileTest, DetectsVertexCountMismatch) {
   ProfiledMatch m;
   m.profile.vertices.pop_back();
   AuditReport report;
-  AuditQueryProfile(m.tree, m.index, m.profile, &report);
+  AuditQueryProfile(m.tree, m.flat, m.profile, &report);
   EXPECT_GT(report.CountOf(InvariantClass::kProfileMismatch), 0u);
 }
 

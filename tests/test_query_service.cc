@@ -4,14 +4,21 @@
 // Submit() is exactly what the test arranged.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <functional>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "ceci/ceci_builder.h"
+#include "ceci/index_io.h"
 #include "ceci/matcher.h"
+#include "ceci/preprocess.h"
+#include "ceci/refinement.h"
 #include "gen/labels.h"
 #include "gen/random_graphs.h"
 #include "graphio/pattern_parser.h"
@@ -268,6 +275,70 @@ TEST(QueryServiceTest, MalformedPatternReturnsErrorStatus) {
   ServeResponse response = service.Execute(std::move(request));
   EXPECT_EQ(response.admission, Admission::kAccepted);
   EXPECT_FALSE(response.status.ok());
+}
+
+// Writes a flat index image for `pattern` exactly as `ceci_query
+// --save-index` would (Preprocess picks the tree, so the stored matching
+// order is the one InstallPrebuiltIndex re-derives and validates).
+std::string SavePrebuiltIndex(const Graph& data, const std::string& pattern,
+                              const std::string& name) {
+  const Graph query = ParsePattern(pattern).value();
+  NlcIndex nlc(data);
+  auto pre = Preprocess(data, nlc, query, PreprocessOptions{});
+  CECI_CHECK(pre.ok() && !pre->infeasible);
+  CeciBuilder builder(data, nlc);
+  CeciIndex index = builder.Build(query, pre->tree, BuildOptions{}, nullptr);
+  RefineCeci(pre->tree, data.num_vertices(), &index, nullptr);
+  const FlatCeciIndex flat = FlatCeciIndex::Build(index, pre->tree);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (name + "_" + std::to_string(::getpid()) + ".idx"))
+          .string();
+  CECI_CHECK(WriteFlatIndex(flat, pattern, path).ok());
+  return path;
+}
+
+TEST(QueryServiceTest, PrebuiltIndexServesIdenticalResults) {
+  const Graph data = TestData();
+  const std::string path = SavePrebuiltIndex(data, kTriangle, "svc_prewarm");
+
+  // Ground truth from a service that builds the index at query time.
+  ServiceOptions options;
+  options.pool_threads = 2;
+  std::uint64_t want = 0;
+  {
+    QueryService cold(data, options);
+    ServeRequest request;
+    request.pattern = kTriangle;
+    ServeResponse response = cold.Execute(request);
+    ASSERT_TRUE(response.status.ok());
+    want = response.embeddings;
+  }
+  ASSERT_GT(want, 0u);
+
+  // The pre-warmed service answers the same pattern from the mmap'd arena.
+  QueryService warm(data, options);
+  ASSERT_TRUE(warm.InstallPrebuiltIndex(path, /*use_mmap=*/true).ok());
+  ServeRequest request;
+  request.pattern = kTriangle;
+  ServeResponse response = warm.Execute(request);
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.embeddings, want);
+  EXPECT_EQ(response.termination, TerminationReason::kCompleted);
+  std::filesystem::remove(path);
+}
+
+TEST(QueryServiceTest, PrebuiltIndexRequiresTheCache) {
+  const Graph data = TestData();
+  const std::string path = SavePrebuiltIndex(data, kWedge, "svc_nocache");
+  ServiceOptions options;
+  options.pool_threads = 1;
+  options.cache_indexes = false;
+  QueryService service(data, options);
+  Status status = service.InstallPrebuiltIndex(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  std::filesystem::remove(path);
 }
 
 TEST(QueryServiceTest, PerRequestLimitIsHonored) {

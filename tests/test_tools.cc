@@ -235,8 +235,13 @@ TEST_F(ToolsTest, MetricsJsonCarriesProfileBlock) {
   const auto& profile = parsed->At("profile");
   EXPECT_EQ(profile.At("vertices").array.size(), 3u);
   EXPECT_GT(profile.At("index").Num("bytes"), 0.0);
-  EXPECT_EQ(profile.At("index").Num("bytes"),
-            parsed->At("stats").At("index").Num("ceci_bytes"));
+  // Enumeration reads the flat layout by default, so the profile's
+  // footprint walk accounts for the arena: equal to flat_bytes up to the
+  // < 8 bytes of alignment padding per slab boundary.
+  const auto& sidx = parsed->At("stats").At("index");
+  EXPECT_LE(profile.At("index").Num("bytes"), sidx.Num("flat_bytes"));
+  EXPECT_LT(sidx.Num("flat_bytes") - profile.At("index").Num("bytes"),
+            72.0);
 }
 
 TEST_F(ToolsTest, BadFlagsFailCleanly) {
@@ -416,6 +421,76 @@ TEST_F(ToolsTest, ServeAndLoadgenEndToEnd) {
   EXPECT_EQ(parsed->At("label").str, "tools-e2e");
 
   // Graceful termination: SIGTERM, then the banner's shutdown line.
+  const std::string pid = Slurp(File("pid"));
+  ASSERT_FALSE(pid.empty());
+  ASSERT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
+  bool shut_down = false;
+  for (int attempt = 0; attempt < 200 && !shut_down; ++attempt) {
+    shut_down = Slurp(log).find("shut down") != std::string::npos;
+    if (!shut_down) ::usleep(50 * 1000);
+  }
+  EXPECT_TRUE(shut_down) << Slurp(log);
+}
+
+TEST_F(ToolsTest, ServeFromPrebuiltIndexEndToEnd) {
+  // ceci_query --save-index writes a flat image; ceci_serve --index mmaps
+  // it and serves QG1 traffic (the saved triangle pattern is structurally
+  // QG1, so the loadgen qg mix actually hits the prebuilt arena).
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 1200 --attach 5 --labels 4 --seed 31 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  ASSERT_EQ(Run("ceci_query",
+                "--data " + File("g.txt") +
+                    " --format labeled --pattern "
+                    "\"(a)-(b)-(c); (a)-(c)\" --stats --save-index " +
+                    File("qg1.idx"),
+                File("q.txt")),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(File("qg1.idx")));
+  const std::string direct = Slurp(File("q.txt"));
+  EXPECT_NE(direct.find("embeddings:"), std::string::npos);
+
+  const std::string log = File("serve.log");
+  ASSERT_EQ(std::system((std::string(CECI_TOOLS_DIR) +
+                         "/ceci_serve --data " + File("g.txt") +
+                         " --format labeled --index " + File("qg1.idx") +
+                         " --port 0 --pool-threads 2 --max-concurrent 2 "
+                         "--duration-s 120 > " + log + " 2>&1 & echo $! > " +
+                         File("pid"))
+                            .c_str()),
+            0);
+  int port = 0;
+  bool installed = false;
+  for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
+    const std::string banner = Slurp(log);
+    installed =
+        banner.find("installed prebuilt index") != std::string::npos;
+    const std::size_t colon = banner.rfind(':');
+    if (banner.find("listening on") != std::string::npos &&
+        colon != std::string::npos) {
+      port = std::atoi(banner.c_str() + colon + 1);
+    } else {
+      ::usleep(50 * 1000);
+    }
+  }
+  ASSERT_GT(port, 0) << Slurp(log);
+  EXPECT_TRUE(installed) << Slurp(log);
+
+  ASSERT_EQ(Run("ceci_loadgen",
+                "--port " + std::to_string(port) +
+                    " --connections 2 --requests 60 --duration-s 30 "
+                    "--mix qg --limit 1000 --out " + File("run.jsonl") +
+                    " --label prebuilt-e2e",
+                File("lg.txt")),
+            0);
+  auto parsed = ceci::testing::ParseJson(Slurp(File("run.jsonl")));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_GT(parsed->Num("requests"), 0.0);
+  EXPECT_GT(parsed->At("outcomes").Num("completed") +
+                parsed->At("outcomes").Num("limit"),
+            0.0);
+
   const std::string pid = Slurp(File("pid"));
   ASSERT_FALSE(pid.empty());
   ASSERT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
