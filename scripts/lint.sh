@@ -10,6 +10,11 @@
 #
 #   scripts/lint.sh            # lint src/ and tests/
 #   scripts/lint.sh --fix      # let clang-format rewrite files in place
+#
+# CECI_REQUIRE_CLANG=1 turns the clang-format/clang-tidy "skipped" paths
+# into failures (set by the clang CI lane, where the tools must exist).
+# CECI_LINT_BUILD_DIR points clang-tidy at a different compile_commands
+# directory (default: build).
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -57,6 +62,39 @@ if [[ -n "$hits" ]]; then
   fail "raw allocation / owning pointer in arena-backed index code" "$hits"
 fi
 
+# --- Rule: lock through util/sync.h, never the raw std primitives. The
+# capability analysis (docs/static_analysis.md#capability-analysis) only
+# sees locks taken through the annotated Mutex/MutexLock/CondVar wrappers;
+# a raw std::mutex is invisible to it and silently unchecked. util/sync.h
+# itself wraps the std types and is exempt; any other exception carries
+# `// lint: raw-mutex` with a justification.
+hits=$(echo "$sources" | grep -E '^src/' | grep -v 'src/util/sync\.h' \
+  | xargs grep -nE 'std::(mutex|recursive_mutex|shared_mutex|timed_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)\b|#include <(mutex|condition_variable|shared_mutex)>' 2>/dev/null \
+  | grep -v 'lint: raw-mutex' || true)
+if [[ -n "$hits" ]]; then
+  fail "raw std synchronization primitive (use util/sync.h wrappers)" "$hits"
+fi
+
+# --- Rule: a Mutex member implies guarded fields. A file that declares a
+# Mutex member must annotate what it protects with CECI_GUARDED_BY (the
+# analysis then enforces the discipline); a mutex that genuinely guards no
+# field (e.g. serializing an external resource) says so on its declaration
+# with `// lint: unguarded`.
+hits=""
+for f in $(echo "$sources" | grep -E '^src/'); do
+  decls=$(grep -nE '^\s*(mutable\s+)?(ceci::)?Mutex\s+[A-Za-z_]' "$f" \
+    | grep -v 'lint: unguarded' || true)
+  [[ -z "$decls" ]] && continue
+  if ! grep -q 'CECI_GUARDED_BY' "$f"; then
+    hits+="$f declares a Mutex but annotates no CECI_GUARDED_BY field:"
+    hits+=$'\n'"$decls"$'\n'
+  fi
+done
+if [[ -n "$hits" ]]; then
+  fail "unguarded Mutex member (annotate fields or waive with // lint: unguarded)" \
+    "$hits"
+fi
+
 # --- Rule: no unchecked Status. A Result<T>/Status return must be consumed;
 # calling .status() or .value() without .ok() first shows up as a bare
 # `.value()` on a fresh call expression.
@@ -97,22 +135,29 @@ if command -v clang-format >/dev/null 2>&1; then
         "$(echo "$unformatted" | head -20)"
     fi
   fi
+elif [[ "${CECI_REQUIRE_CLANG:-0}" == 1 ]]; then
+  fail "clang-format required (CECI_REQUIRE_CLANG=1) but not installed" ""
 else
   echo "lint: clang-format not installed; skipping format check"
 fi
 
 # --- clang-tidy (gated on availability; needs compile_commands.json) ---
+tidy_build_dir="${CECI_LINT_BUILD_DIR:-build}"
 if command -v clang-tidy >/dev/null 2>&1; then
-  if [[ -f build/compile_commands.json ]]; then
-    tidy_out=$(clang-tidy -p build --quiet $(echo "$sources" | grep '\.cc$') \
-      2>/dev/null || true)
+  if [[ -f "$tidy_build_dir/compile_commands.json" ]]; then
+    tidy_out=$(clang-tidy -p "$tidy_build_dir" --quiet \
+      $(echo "$sources" | grep '\.cc$') 2>/dev/null || true)
     if echo "$tidy_out" | grep -q "warning:"; then
       fail "clang-tidy warnings" "$(echo "$tidy_out" | grep 'warning:' | head -20)"
     fi
+  elif [[ "${CECI_REQUIRE_CLANG:-0}" == 1 ]]; then
+    fail "clang-tidy required but $tidy_build_dir/compile_commands.json missing" ""
   else
-    echo "lint: build/compile_commands.json missing; configure with" \
+    echo "lint: $tidy_build_dir/compile_commands.json missing; configure with" \
       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON to enable clang-tidy"
   fi
+elif [[ "${CECI_REQUIRE_CLANG:-0}" == 1 ]]; then
+  fail "clang-tidy required (CECI_REQUIRE_CLANG=1) but not installed" ""
 else
   echo "lint: clang-tidy not installed; skipping static analysis"
 fi

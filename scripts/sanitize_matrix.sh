@@ -8,6 +8,9 @@
 #                     intersection kernels (covers the scalar tier without
 #                     a third build)
 #   3. tsan         — ThreadSanitizer, DCHECKs on
+#   4. analyze      — Clang -Wthread-safety capability analysis (compile-
+#                     time counterpart of tsan; skipped with a notice when
+#                     clang++ is not installed)
 #
 # Each configuration reuses scripts/tier1.sh with a CMakePresets.json
 # preset; suppressions live in scripts/sanitizers/. Pass --clean to wipe
@@ -25,13 +28,23 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/3] asan (address,undefined) ==="
+echo "=== [1/4] asan (address,undefined) ==="
 scripts/tier1.sh --preset asan --audit $clean_arg
 
-echo "=== [2/3] asan-scalar (CECI_FORCE_SCALAR=1) ==="
+echo "=== [2/4] asan-scalar (CECI_FORCE_SCALAR=1) ==="
 ctest --preset asan-scalar -j
 
-echo "=== [3/3] tsan (thread) ==="
+echo "=== [3/4] tsan (thread) ==="
 scripts/tier1.sh --preset tsan --audit $clean_arg
+
+echo "=== [4/4] analyze (clang -Wthread-safety) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  [[ -n "$clean_arg" ]] && rm -rf build-analyze
+  cmake --preset analyze
+  cmake --build --preset analyze -j
+  ctest --preset analyze -j
+else
+  echo "analyze skipped: clang++ not installed (the clang CI lane runs it)"
+fi
 
 echo "sanitize matrix: all configurations clean"

@@ -33,6 +33,16 @@
 #                                    # trip: ceci_query --save-index ->
 #                                    # ceci_serve --index -> identical
 #                                    # served count (docs/index_layout.md)
+#   scripts/tier1.sh --analyze       # additionally configure, build, and
+#                                    # test the `analyze` preset: Clang's
+#                                    # -Wthread-safety capability analysis
+#                                    # as errors plus the negative-
+#                                    # compilation harness
+#                                    # (docs/static_analysis.md#capability-analysis).
+#                                    # Skipped with a notice when clang++
+#                                    # is not installed, unless
+#                                    # CECI_REQUIRE_CLANG=1 (the clang CI
+#                                    # lane) makes that fatal
 #   scripts/tier1.sh --serving       # additionally run the serving suites
 #                                    # (shared-pool concurrency, admission
 #                                    # control, wire protocol) plus a
@@ -54,6 +64,7 @@ lint_pass=0
 resilience_pass=0
 serving_pass=0
 index_pass=0
+analyze_pass=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --clean) clean=1 ;;
@@ -64,6 +75,7 @@ while [[ $# -gt 0 ]]; do
     --resilience) resilience_pass=1 ;;
     --serving) serving_pass=1 ;;
     --index) index_pass=1 ;;
+    --analyze) analyze_pass=1 ;;
     --preset) preset="${2:?--preset needs a name}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -319,6 +331,23 @@ EOF
   kill -TERM "$serve_pid"
   wait "$serve_pid" || { echo "ceci_serve exited non-zero" >&2; exit 1; }
   grep -q "shut down" "$index_tmp/serve.log"
+fi
+
+if [[ "$analyze_pass" == 1 ]]; then
+  echo "=== capability-analysis pass (clang -Wthread-safety, preset analyze) ==="
+  if command -v clang++ >/dev/null 2>&1; then
+    [[ "$clean" == 1 ]] && rm -rf build-analyze
+    cmake --preset analyze
+    cmake --build --preset analyze -j
+    ctest --preset analyze -j
+  elif [[ "${CECI_REQUIRE_CLANG:-0}" == 1 ]]; then
+    echo "analyze pass requires clang++ (CECI_REQUIRE_CLANG=1) but it is" \
+      "not installed" >&2
+    exit 1
+  else
+    echo "analyze pass skipped: clang++ not installed (the clang CI lane" \
+      "runs it; see docs/static_analysis.md#capability-analysis)"
+  fi
 fi
 
 if [[ "$lint_pass" == 1 ]]; then

@@ -77,7 +77,7 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
   const std::string key = QueryKey(query, options);
   std::shared_ptr<const Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
@@ -148,7 +148,7 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++misses_;
       CacheMissCounter().Increment();
       entry = cache_.emplace(key, fresh).first->second;  // first writer wins
@@ -265,7 +265,7 @@ Status CachedMatcher::InstallPrebuilt(const std::string& path,
 
   const std::string key = QueryKey(*query, MatchOptions{});
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cache_[key] = std::move(fresh);  // prebuilt replaces any prior entry
     CacheEntriesGauge().Set(static_cast<std::int64_t>(cache_.size()));
   }
@@ -282,12 +282,12 @@ Result<std::uint64_t> CachedMatcher::Count(const Graph& query,
 }
 
 std::size_t CachedMatcher::cache_entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cache_.size();
 }
 
 void CachedMatcher::ClearCache() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cache_.clear();
   CacheEntriesGauge().Set(0);
 }

@@ -11,10 +11,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "ceci/matcher.h"
+#include "util/sync.h"
 
 namespace ceci {
 
@@ -56,8 +56,14 @@ class CachedMatcher {
   Status InstallPrebuilt(const std::string& path, bool use_mmap = true);
 
   std::size_t cache_entries() const;
-  std::uint64_t cache_hits() const { return hits_; }
-  std::uint64_t cache_misses() const { return misses_; }
+  std::uint64_t cache_hits() const {
+    MutexLock lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t cache_misses() const {
+    MutexLock lock(mutex_);
+    return misses_;
+  }
   void ClearCache();
 
   /// Structural cache key of a query under given options: labels + edges +
@@ -70,10 +76,13 @@ class CachedMatcher {
 
   const Graph& data_;
   NlcIndex nlc_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const Entry>> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  // Guards the map and the hit/miss tallies; entries themselves are
+  // immutable once published, so enumeration never holds the lock.
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Entry>> cache_
+      CECI_GUARDED_BY(mutex_);
+  std::uint64_t hits_ CECI_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ CECI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ceci

@@ -40,8 +40,10 @@
 #ifndef CECI_CECI_FLAT_INDEX_H_
 #define CECI_CECI_FLAT_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "ceci/ceci_index.h"
@@ -85,9 +87,41 @@ struct FlatEntry {
 
 inline constexpr std::uint32_t kNoFlatList = 0xFFFFFFFFu;
 
+// Layout contract. These three records ARE the on-disk CEIX format
+// (index_io.h serializes the slabs byte-for-byte), so their exact size,
+// alignment, and field placement are ABI: a compiler or refactor that
+// moves a field silently corrupts every saved index. Pinning offsetof per
+// field turns that into a compile error here rather than a checksum
+// mismatch (or worse) at load time. All three must stay standard-layout
+// and trivially copyable — the reader casts raw arena bytes to them.
 static_assert(sizeof(FlatVertexMeta) == 24);
+static_assert(alignof(FlatVertexMeta) == 4);
+static_assert(std::is_standard_layout_v<FlatVertexMeta>);
+static_assert(std::is_trivially_copyable_v<FlatVertexMeta>);
+static_assert(offsetof(FlatVertexMeta, cand_begin) == 0);
+static_assert(offsetof(FlatVertexMeta, cand_count) == 4);
+static_assert(offsetof(FlatVertexMeta, bitmap_words) == 8);
+static_assert(offsetof(FlatVertexMeta, te_list) == 12);
+static_assert(offsetof(FlatVertexMeta, nte_begin) == 16);
+static_assert(offsetof(FlatVertexMeta, nte_count) == 20);
+
 static_assert(sizeof(FlatListMeta) == 16);
+static_assert(alignof(FlatListMeta) == 4);
+static_assert(std::is_standard_layout_v<FlatListMeta>);
+static_assert(std::is_trivially_copyable_v<FlatListMeta>);
+static_assert(offsetof(FlatListMeta, key_begin) == 0);
+static_assert(offsetof(FlatListMeta, key_count) == 4);
+static_assert(offsetof(FlatListMeta, entry_begin) == 8);
+static_assert(offsetof(FlatListMeta, owner) == 12);
+
 static_assert(sizeof(FlatEntry) == 8);
+static_assert(alignof(FlatEntry) == 4);
+static_assert(std::is_standard_layout_v<FlatEntry>);
+static_assert(std::is_trivially_copyable_v<FlatEntry>);
+static_assert(offsetof(FlatEntry, offset) == 0);
+static_assert(offsetof(FlatEntry, count_and_tag) == 4);
+static_assert(FlatEntry::kBitmapTag == (1u << 31),
+              "bit 31 tags bitmap entries; the low 31 bits are the count");
 
 class FlatCeciIndex {
  public:

@@ -1,8 +1,10 @@
 #include "ceci/index_io.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <fstream>
+#include <type_traits>
 #include <vector>
 
 #include "util/bitmap.h"
@@ -31,7 +33,28 @@ struct Header {
   std::uint32_t reserved;
   std::uint32_t header_crc;  // over the preceding 68 bytes
 };
+// File-format contract: the header and slab records are written and read
+// by memcpy, so every field offset below is part of the CEIX format. A
+// field that moves (reordering, an alignment change, an accidental
+// padding hole) must fail here at compile time, not as a corruption
+// report against every previously written index.
 static_assert(sizeof(Header) == kHeaderBytes);
+static_assert(std::is_standard_layout_v<Header>);
+static_assert(std::is_trivially_copyable_v<Header>);
+static_assert(offsetof(Header, magic) == 0);
+static_assert(offsetof(Header, version) == 4);
+static_assert(offsetof(Header, header_bytes) == 8);
+static_assert(offsetof(Header, slab_count) == 12);
+static_assert(offsetof(Header, num_query_vertices) == 16);
+static_assert(offsetof(Header, arena_offset) == 24);
+static_assert(offsetof(Header, arena_bytes) == 32);
+static_assert(offsetof(Header, pattern_offset) == 40);
+static_assert(offsetof(Header, pattern_bytes) == 48);
+static_assert(offsetof(Header, slab_table_crc) == 56);
+static_assert(offsetof(Header, pattern_crc) == 60);
+static_assert(offsetof(Header, reserved) == 64);
+static_assert(offsetof(Header, header_crc) == 68,
+              "header_crc must be the final word: it covers [0, 68)");
 
 struct SlabRecord {
   std::uint64_t offset;  // into the arena
@@ -40,6 +63,12 @@ struct SlabRecord {
   std::uint32_t crc;
 };
 static_assert(sizeof(SlabRecord) == 24);
+static_assert(std::is_standard_layout_v<SlabRecord>);
+static_assert(std::is_trivially_copyable_v<SlabRecord>);
+static_assert(offsetof(SlabRecord, offset) == 0);
+static_assert(offsetof(SlabRecord, bytes) == 8);
+static_assert(offsetof(SlabRecord, kind) == 16);
+static_assert(offsetof(SlabRecord, crc) == 20);
 
 constexpr std::uint64_t kArenaOffset =
     kHeaderBytes + kSlabCount * sizeof(SlabRecord);

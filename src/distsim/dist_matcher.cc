@@ -4,7 +4,6 @@
 #include <atomic>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <string>
@@ -446,6 +445,10 @@ Result<DistResult> DistributedMatch(const Graph& data, const Graph& query,
   }
 
   // --- Per-machine CECI construction + own-pool enumeration ---
+  // The only cross-machine shared mutable state: a monotone relaxed
+  // counter each simulated machine adds into. Everything else is
+  // per-machine (MachineState) or read-only, so no Mutex is needed; the
+  // coordinator reads the total only after joining the machine threads.
   std::atomic<std::uint64_t> total_embeddings{0};
   EnumOptions enum_options;
   enum_options.symmetry = &symmetry;

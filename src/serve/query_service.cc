@@ -127,7 +127,7 @@ std::future<ServeResponse> QueryService::Submit(ServeRequest request) {
   session->req = std::move(request);
   std::future<ServeResponse> future = session->promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ || queue_.size() >= options_.limits.max_queue) {
       RejectedCounter().Increment();
       ServeResponse response;
@@ -146,7 +146,7 @@ std::future<ServeResponse> QueryService::Submit(ServeRequest request) {
     queue_.push_back(std::move(session));
     QueueDepthGauge().Set(static_cast<std::int64_t>(queue_.size()));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -168,8 +168,8 @@ void QueryService::RunnerLoop() {
   for (;;) {
     std::unique_ptr<Session> session;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and fully drained
       session = std::move(queue_.front());
       queue_.pop_front();
@@ -179,7 +179,7 @@ void QueryService::RunnerLoop() {
     }
     Process(*session);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       ActiveGauge().Set(static_cast<std::int64_t>(active_));
     }
@@ -279,23 +279,23 @@ void QueryService::Process(Session& session) {
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   shutdown_token_.RequestCancel();
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& runner : runners_) {
     if (runner.joinable()) runner.join();
   }
 }
 
 std::size_t QueryService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t QueryService::active() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_;
 }
 

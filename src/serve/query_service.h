@@ -22,13 +22,11 @@
 #ifndef CECI_SERVE_QUERY_SERVICE_H_
 #define CECI_SERVE_QUERY_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +34,7 @@
 #include "ceci/cached_matcher.h"
 #include "ceci/matcher.h"
 #include "util/budget.h"
+#include "util/sync.h"
 
 namespace ceci {
 
@@ -169,12 +168,12 @@ class QueryService {
   std::unique_ptr<CeciMatcher> uncached_;     //   backs the service
   CancellationToken shutdown_token_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Session>> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> runners_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::unique_ptr<Session>> queue_ CECI_GUARDED_BY(mutex_);
+  std::size_t active_ CECI_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CECI_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> runners_;  // written only in the constructor
 };
 
 }  // namespace ceci

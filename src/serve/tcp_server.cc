@@ -90,20 +90,20 @@ Status TcpServer::Start() {
   socklen_t bound_len = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   bound_port_ = ntohs(bound.sin_port);
-  accept_thread_ = std::thread(&TcpServer::AcceptLoop, this);
+  accept_thread_ = std::thread(&TcpServer::AcceptLoop, this, listen_fd_);
   return Status::Ok();
 }
 
-void TcpServer::AcceptLoop() {
+void TcpServer::AcceptLoop(int listen_fd) {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_acquire)) return;
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // listener closed or unrecoverable
     }
     ConnectionCounter().Increment();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_.load(std::memory_order_acquire) ||
         live_fds_.size() >= options_.max_connections) {
       SendLine(fd, "ERR too_many_connections");
@@ -132,7 +132,7 @@ void TcpServer::ServeConnection(int fd) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     live_fds_.erase(fd);
     LiveConnectionGauge().Set(static_cast<std::int64_t>(live_fds_.size()));
   }
@@ -163,22 +163,28 @@ bool TcpServer::HandleLine(int fd, const std::string& line) {
 }
 
 void TcpServer::Stop() {
-  bool was_stopping = stopping_.exchange(true, std::memory_order_acq_rel);
+  stopping_.exchange(true, std::memory_order_acq_rel);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Claim the connection threads under the lock, then join outside it:
+  // exiting connection threads take mutex_ to drop out of live_fds_, so
+  // joining while holding it would deadlock. The accept thread is already
+  // joined, so nothing appends to conn_threads_ after the swap and a
+  // repeated Stop() finds it empty.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(conn_threads_);
   }
   // Threads close their own fds on the way out.
-  for (std::thread& t : conn_threads_) {
+  for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
-  if (!was_stopping) conn_threads_.clear();
 }
 
 }  // namespace ceci

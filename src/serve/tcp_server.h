@@ -11,7 +11,6 @@
 #define CECI_SERVE_TCP_SERVER_H_
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -19,6 +18,7 @@
 
 #include "serve/query_service.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ceci {
 
@@ -55,20 +55,24 @@ class TcpServer {
   void Stop();
 
  private:
-  void AcceptLoop();
+  /// Takes the listener by value so Stop() closing/resetting listen_fd_
+  /// never races the accept thread's reads of it.
+  void AcceptLoop(int listen_fd);
   void ServeConnection(int fd);
   /// Handles one request line; false ends the connection (QUIT).
   bool HandleLine(int fd, const std::string& line);
 
   QueryService& service_;
   TcpServerOptions options_;
-  int listen_fd_ = -1;
-  int bound_port_ = 0;
+  // Start()/Stop()/port() are thread-compatible (one controlling thread);
+  // only the fields below the mutex are shared with server threads.
+  int listen_fd_ = -1;    // lint: unguarded
+  int bound_port_ = 0;    // lint: unguarded
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex mutex_;
-  std::set<int> live_fds_;
-  std::vector<std::thread> conn_threads_;
+  Mutex mutex_;
+  std::set<int> live_fds_ CECI_GUARDED_BY(mutex_);
+  std::vector<std::thread> conn_threads_ CECI_GUARDED_BY(mutex_);
 };
 
 }  // namespace ceci

@@ -130,6 +130,22 @@ class BudgetTracker {
  private:
   void SetReason(TerminationReason reason);
 
+  // Lock-free by design: the tracker sits on every enumeration worker's
+  // poll stride, so it deliberately holds NO Mutex and NO CECI_GUARDED_BY
+  // fields. Its concurrency contract is carried entirely by the atomics
+  // below:
+  //   - budget_/active_/stride_/start_ are written once in the
+  //     constructor and read-only afterwards (safe to share unannotated);
+  //   - reason_ is decided by a first-wins CAS (SetReason): the worker
+  //     whose compare_exchange from 0 succeeds owns the TerminationReason,
+  //     later trippers keep it intact;
+  //   - exhausted_ is a monotone false->true flag stored after the CAS;
+  //     both are relaxed, so workers treat it only as a stop hint —
+  //     reason() is authoritative once workers are joined (the join is
+  //     the synchronization point);
+  //   - bytes_/polls_ are monotone relaxed counters (statistics only).
+  // Capability analysis intentionally has nothing to check here; TSan
+  // covers this class through the concurrent serving tests.
   ExecutionBudget budget_;
   bool active_ = false;
   std::uint64_t stride_ = 4096;

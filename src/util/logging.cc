@@ -1,13 +1,16 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace ceci {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+// Serializes whole messages onto std::cerr — an external resource, not a
+// field, so there is nothing to CECI_GUARDED_BY.
+Mutex g_log_mutex;  // lint: unguarded
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -45,7 +48,7 @@ LogMessage::~LogMessage() {
       g_log_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::cerr << stream_.str() << "\n";
 }
 
@@ -56,7 +59,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 
 FatalMessage::~FatalMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   std::abort();

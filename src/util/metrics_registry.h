@@ -26,10 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ceci {
 
@@ -175,10 +176,17 @@ class MetricsRegistry {
   void ResetForTest();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The mutex guards only the name->metric maps (registration and
+  // snapshot sweeps). The metric cells themselves are lock-free sharded
+  // atomics — handles returned by Get* are written without any lock,
+  // which is the whole point of the sharded design above.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CECI_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CECI_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CECI_GUARDED_BY(mutex_);
 };
 
 }  // namespace ceci

@@ -1,0 +1,176 @@
+// Capability-annotated synchronization primitives.
+//
+// Every mutex-owning class in src/ locks through these wrappers instead of
+// the raw std primitives, so Clang's `-Wthread-safety` capability analysis
+// can prove the lock discipline at compile time on every `analyze` build
+// (docs/static_analysis.md#capability-analysis):
+//
+//   class Account {
+//    public:
+//     void Deposit(int amount) {
+//       MutexLock lock(mutex_);
+//       balance_ += amount;
+//     }
+//    private:
+//     Mutex mutex_;
+//     int balance_ CECI_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Reading or writing `balance_` without holding `mutex_` is then a
+// compile error under `cmake --preset analyze`, not a latent data race
+// waiting for TSan to catch the right interleaving at runtime.
+//
+// The macro family expands to the full Clang thread-safety attributes
+// under Clang and to nothing elsewhere (gcc builds are unaffected).
+// Lambdas are analyzed as separate functions that hold no capabilities,
+// so condition-variable waits use explicit loops at the call site
+// (`while (!ready_) cv_.Wait(mutex_);`) rather than predicate lambdas —
+// the loop body is then checked in the caller's context where the lock
+// is visibly held.
+#ifndef CECI_UTIL_SYNC_H_
+#define CECI_UTIL_SYNC_H_
+
+#include <condition_variable>  // lint: raw-mutex (wrapped here, once)
+#include <mutex>               // lint: raw-mutex (wrapped here, once)
+
+// Attribute spelling. Clang has shipped these attributes since 3.5;
+// everything else sees empty expansions, so annotated code stays
+// portable C++ under gcc (the CI default) and MSVC alike.
+#if defined(__clang__) && !defined(SWIG)
+#define CECI_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CECI_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+/// Declares a class to be a capability (a lockable resource).
+#define CECI_CAPABILITY(x) CECI_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define CECI_SCOPED_CAPABILITY \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define CECI_GUARDED_BY(x) CECI_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer-field annotation: the pointee is guarded by `x` (the pointer
+/// itself is not).
+#define CECI_PT_GUARDED_BY(x) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the capability on entry and
+/// still holds it on exit.
+#define CECI_REQUIRES(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define CECI_REQUIRES_SHARED(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability (not held on entry, held
+/// on exit). On a member of a CECI_CAPABILITY class, an empty argument
+/// list means `this`.
+#define CECI_ACQUIRE(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define CECI_ACQUIRE_SHARED(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capability (held on entry, released
+/// on exit).
+#define CECI_RELEASE(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define CECI_RELEASE_SHARED(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value
+/// equals the first argument.
+#define CECI_TRY_ACQUIRE(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability (guards
+/// against self-deadlock on non-recursive mutexes).
+#define CECI_EXCLUDES(...) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis
+/// without acquiring anything).
+#define CECI_ASSERT_CAPABILITY(x) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function annotation: returns a reference to the given capability.
+#define CECI_RETURN_CAPABILITY(x) \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining why the discipline cannot be expressed.
+#define CECI_NO_THREAD_SAFETY_ANALYSIS \
+  CECI_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace ceci {
+
+class CondVar;
+
+/// A std::mutex the capability analysis can see. Prefer MutexLock over
+/// calling Lock()/Unlock() directly — manual pairs are easy to get past
+/// the analysis reviewer and hard to get past exceptions.
+class CECI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CECI_ACQUIRE() { mutex_.lock(); }
+  void Unlock() CECI_RELEASE() { mutex_.unlock(); }
+  bool TryLock() CECI_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII scoped lock over a Mutex (the annotated std::lock_guard).
+class CECI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CECI_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() CECI_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over a Mutex. Wait() releases and reacquires the
+/// caller's lock internally, so from the analysis' point of view the
+/// capability is held across the call — which is exactly the contract
+/// the caller's re-checked loop condition relies on:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.Wait(mutex_);   // ready_ is GUARDED_BY(mutex_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible: always re-check
+  /// the condition in a loop). The caller must hold `mutex`.
+  void Wait(Mutex& mutex) CECI_REQUIRES(mutex) {
+    // Adopt the already-held mutex for the wait, then release ownership
+    // back to the caller's MutexLock so it is not unlocked twice.
+    std::unique_lock<std::mutex> lock(mutex.mutex_,  // lint: raw-mutex
+                                      std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_SYNC_H_

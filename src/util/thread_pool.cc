@@ -16,25 +16,25 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) cv_done_.Wait(mutex_);
 }
 
 void ThreadPool::ParallelFor(std::size_t n, std::size_t grain,
@@ -71,7 +71,7 @@ void TaskGroup::Run(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->pending.push_back(std::move(task));
   }
   // Claim ticket: whichever pool thread pops it runs the group's next
@@ -79,7 +79,7 @@ void TaskGroup::Run(std::function<void()> task) {
   pool_->Submit([state = state_] {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (state->pending.empty()) return;  // Wait() already ran it inline
       task = std::move(state->pending.front());
       state->pending.pop_front();
@@ -87,10 +87,10 @@ void TaskGroup::Run(std::function<void()> task) {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       --state->running;
     }
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   });
 }
 
@@ -99,9 +99,9 @@ void TaskGroup::Wait() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       if (state_->pending.empty()) {
-        state_->cv.wait(lock, [&] { return state_->running == 0; });
+        while (state_->running != 0) state_->cv.Wait(state_->mutex);
         if (state_->pending.empty()) return;
         continue;  // a racing Run() added more work
       }
@@ -111,10 +111,10 @@ void TaskGroup::Wait() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       --state_->running;
     }
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
   }
 }
 
@@ -122,8 +122,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) cv_task_.Wait(mutex_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -133,9 +133,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
+      if (in_flight_ == 0) cv_done_.NotifyAll();
     }
   }
 }

@@ -12,14 +12,14 @@
 #define CECI_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ceci {
 
@@ -57,13 +57,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // written only before workers start
+  Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_done_;
+  std::deque<std::function<void()>> queue_ CECI_GUARDED_BY(mutex_);
+  std::size_t in_flight_ CECI_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ CECI_GUARDED_BY(mutex_) = false;
 };
 
 /// One batch of tasks on a shared pool, with batch-local completion.
@@ -97,10 +97,10 @@ class TaskGroup {
 
  private:
   struct State {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> pending;
-    std::size_t running = 0;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<std::function<void()>> pending CECI_GUARDED_BY(mutex);
+    std::size_t running CECI_GUARDED_BY(mutex) = 0;
   };
 
   ThreadPool* pool_;

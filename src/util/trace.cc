@@ -64,7 +64,7 @@ void Tracer::Enable() {
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
   epoch_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
   // Restart dense ordinal assignment: zero the counter first so a thread
@@ -74,14 +74,14 @@ void Tracer::Clear() {
 }
 
 void Tracer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events = events_;
   }
   std::stable_sort(events.begin(), events.end(),

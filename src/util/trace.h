@@ -27,10 +27,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ceci {
 
@@ -93,9 +94,12 @@ class Tracer {
   /// Dense per-epoch ordinal of the calling thread.
   std::uint32_t ThreadOrdinal();
 
+  // enabled_/epoch_ns_ and the ordinal counters below are read on the
+  // disabled-span fast path and by Now(); they stay lock-free atomics.
+  // Only the recorded-event buffer needs the mutex.
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ CECI_GUARDED_BY(mutex_);
   std::atomic<std::int64_t> epoch_ns_{0};
   // Thread ordinals are cached per thread, keyed by generation; Clear()
   // bumps the generation so every thread re-registers densely from 0.

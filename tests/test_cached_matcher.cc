@@ -1,6 +1,7 @@
 // Tests for the memoizing multi-query session.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "baselines/quicksi.h"
@@ -126,6 +127,40 @@ TEST(CachedMatcherTest, ConcurrentMatchesAreConsistent) {
   }
   for (auto& t : threads) t.join();
   for (std::uint64_t c : counts) EXPECT_EQ(c, oracle.embeddings);
+}
+
+// TSan regression (tier-1 `--serving` runs this suite under the tsan
+// preset): cache_hits()/cache_misses() used to read the mutex-guarded
+// tallies without the lock, racing the increments inside Match(). Readers
+// polling the stats while matches run must stay race-free.
+TEST(CachedMatcherTest, StatReadersDoNotRaceMatchers) {
+  Graph data = GenerateSocialGraph(200, 6, 8);
+  CachedMatcher matcher(data);
+  Graph query = MakePaperQuery(PaperQuery::kQG1);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(matcher.Match(query, MatchOptions{}).ok());
+      }
+    });
+  }
+  std::uint64_t observed_hits = 0;
+  std::uint64_t observed_misses = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      observed_hits = matcher.cache_hits();
+      observed_misses = matcher.cache_misses();
+      (void)matcher.cache_entries();
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(matcher.cache_hits() + matcher.cache_misses(), 32u);
+  EXPECT_GE(matcher.cache_misses(), 1u);
+  EXPECT_LE(observed_hits + observed_misses, 32u);
 }
 
 TEST(CachedMatcherTest, QueryKeyDistinguishesLabelsAndEdges) {

@@ -1,0 +1,87 @@
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ceci {
+namespace {
+
+TEST(SyncTest, MutexLockProvidesMutualExclusion) {
+  Mutex mutex;
+  int counter = 0;  // deliberately not atomic: the lock is the protection
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(mutex);
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SyncTest, TryLockReportsContention) {
+  Mutex mutex;
+  mutex.Lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mutex.TryLock());
+  });
+  other.join();
+  mutex.Unlock();
+  ASSERT_TRUE(mutex.TryLock());
+  mutex.Unlock();
+}
+
+TEST(SyncTest, CondVarWakesWaiterAndKeepsLockOwnership) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    MutexLock lock(mutex);
+    while (!ready) cv.Wait(mutex);
+    // The MutexLock still owns the mutex here; its destructor unlocks
+    // exactly once. A double-unlock (Wait leaking ownership) would abort
+    // or trip TSan.
+    observed = true;
+  });
+  {
+    MutexLock lock(mutex);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  MutexLock lock(mutex);
+  EXPECT_TRUE(observed);
+}
+
+TEST(SyncTest, CondVarNotifyAllReleasesEveryWaiter) {
+  Mutex mutex;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mutex);
+      while (!go) cv.Wait(mutex);
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(mutex);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+}  // namespace
+}  // namespace ceci

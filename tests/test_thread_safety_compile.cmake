@@ -1,0 +1,62 @@
+# Negative-compilation harness for the Clang thread-safety analysis.
+#
+# Run as a ctest entry (registered in tests/CMakeLists.txt when the
+# configured compiler is Clang):
+#
+#   cmake -DTS_COMPILER=<clang++> -DTS_SOURCE_DIR=<repo>/src \
+#         -DTS_CASES=<repo>/tests/thread_safety/ts_cases.cc \
+#         -P test_thread_safety_compile.cmake
+#
+# The control build (no TS_CASE_* macro) must compile clean; then each
+# violation case must FAIL to compile. A case that compiles proves the
+# analysis lost coverage — e.g. an annotation macro expanding to nothing
+# under a compiler we believed enforced it — which is exactly the silent
+# regression this harness exists to catch.
+
+if(NOT TS_COMPILER OR NOT TS_SOURCE_DIR OR NOT TS_CASES)
+  message(FATAL_ERROR
+    "usage: cmake -DTS_COMPILER=clang++ -DTS_SOURCE_DIR=<src> "
+    "-DTS_CASES=<ts_cases.cc> -P test_thread_safety_compile.cmake")
+endif()
+
+set(TS_FLAGS
+  -std=c++20 -fsyntax-only
+  -Wthread-safety -Wthread-safety-beta -Werror
+  -I${TS_SOURCE_DIR})
+
+function(ts_compile case_macro expect_success)
+  set(defines "")
+  if(case_macro)
+    set(defines "-D${case_macro}")
+  endif()
+  execute_process(
+    COMMAND ${TS_COMPILER} ${TS_FLAGS} ${defines} ${TS_CASES}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(expect_success AND NOT result EQUAL 0)
+    message(FATAL_ERROR
+      "control case must compile clean under -Wthread-safety but failed:\n"
+      "${output}")
+  endif()
+  if(NOT expect_success AND result EQUAL 0)
+    message(FATAL_ERROR
+      "${case_macro} compiled, but it violates the lock discipline — the "
+      "thread-safety analysis is no longer rejecting this class of bug")
+  endif()
+  if(NOT expect_success)
+    # The rejection must come from the analysis, not an unrelated error.
+    if(NOT output MATCHES "thread-safety|thread safety")
+      message(FATAL_ERROR
+        "${case_macro} failed to compile, but not with a thread-safety "
+        "diagnostic:\n${output}")
+    endif()
+  endif()
+endfunction()
+
+ts_compile("" TRUE)
+ts_compile(TS_CASE_READ_NO_LOCK FALSE)
+ts_compile(TS_CASE_WRITE_NO_LOCK FALSE)
+ts_compile(TS_CASE_REQUIRES_NOT_HELD FALSE)
+
+message(STATUS "thread-safety negative-compilation cases all behaved")

@@ -1,0 +1,75 @@
+// Negative-compilation cases for the capability analysis
+// (tests/test_thread_safety_compile.cmake).
+//
+// With no TS_CASE_* macro defined this file follows the lock discipline
+// and must compile warning-free under `-Wthread-safety -Werror` — that is
+// the harness' control case, and the plain build compiles it on every
+// compiler so the cases cannot bit-rot. Each TS_CASE_* macro switches ONE
+// statement into a discipline violation that the analysis must reject;
+// the harness compiles the file once per case and asserts failure. A case
+// that starts compiling means the analysis silently stopped covering that
+// class of bug.
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    ceci::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int Read() {
+#if defined(TS_CASE_READ_NO_LOCK)
+    return balance_;  // reading a guarded field without the lock
+#else
+    ceci::MutexLock lock(mutex_);
+    return balance_;
+#endif
+  }
+
+  void Write(int value) {
+#if defined(TS_CASE_WRITE_NO_LOCK)
+    balance_ = value;  // writing a guarded field without the lock
+#else
+    ceci::MutexLock lock(mutex_);
+    balance_ = value;
+#endif
+  }
+
+  void AddLocked(int amount) CECI_REQUIRES(mutex_) { balance_ += amount; }
+
+  void CallRequires() {
+#if defined(TS_CASE_REQUIRES_NOT_HELD)
+    AddLocked(1);  // calling a REQUIRES(mutex_) method without the lock
+#else
+    ceci::MutexLock lock(mutex_);
+    AddLocked(1);
+#endif
+  }
+
+  void WaitForFunds(int amount) {
+    ceci::MutexLock lock(mutex_);
+    while (balance_ < amount) cv_.Wait(mutex_);
+  }
+
+  void NotifyDeposit() { cv_.NotifyAll(); }
+
+ private:
+  ceci::Mutex mutex_;
+  ceci::CondVar cv_;
+  int balance_ CECI_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(2);
+  account.Write(3);
+  account.CallRequires();
+  account.NotifyDeposit();
+  account.WaitForFunds(1);
+  return account.Read() == 4 ? 0 : 1;
+}
