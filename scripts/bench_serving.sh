@@ -12,7 +12,10 @@
 # The matrix is {qg, generated} mixes x {2, 8} client connections; every
 # run entry carries its exact ceci_loadgen command line, so each cell is
 # individually reproducible against a server started with the flags in
-# the file's "server" block.
+# the file's "server" block. The server runs with --telemetry-port 0 and
+# /varz is scraped before and after each cell, so every run also carries
+# a "server_metrics" block with the server-side counter deltas for that
+# cell (docs/observability.md#varz).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,12 +42,13 @@ validate_file() {
   python3 - "$1" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["schema_version"] == 2, "schema_version must be 2"
 assert doc["bench"] == "serving"
 server = doc["server"]
 for key in ("data", "pool_threads", "threads_per_query", "max_concurrent",
-            "max_queue", "command"):
+            "max_queue", "command", "build"):
     assert key in server, f"server block missing {key}"
+assert server["build"].get("version"), "server.build.version empty"
 runs = doc["runs"]
 assert len(runs) >= 4, f"need >= 4 runs (2 mixes x 2 concurrencies), got {len(runs)}"
 mixes = {r["mix"] for r in runs}
@@ -62,8 +66,20 @@ for r in runs:
     # responses add to "error" without a latency sample.
     assert sum(r["outcomes"].values()) >= r["requests"], \
         f"outcome tally short in {r['label']}"
+    # Server-side counter deltas scraped from /varz around the cell.
+    # Warmup requests hit the server but are excluded from the client
+    # tally, so the server side can only ever be >= the client side.
+    sm = r["server_metrics"]
+    counters = sm["counters"]
+    assert counters.get("ceci.serve.submitted", 0) >= r["requests"], \
+        f"server saw fewer requests than the client tallied in {r['label']}"
+    assert counters.get("ceci.serve.rejected", 0) >= r["outcomes"]["busy"], \
+        f"rejected counter below client busy tally in {r['label']}"
+    assert all(v >= 0 for v in counters.values()), \
+        f"negative counter delta in {r['label']}"
 print(f"BENCH_serving.json OK: {len(runs)} runs, "
-      f"mixes={sorted(mixes)}, connections={sorted(conns)}")
+      f"mixes={sorted(mixes)}, connections={sorted(conns)}, "
+      f"server build {server['build']['version']}")
 EOF
 }
 
@@ -92,31 +108,49 @@ server_flags=(--data "$data" --format labeled --pool-threads 4
   --threads-per-query 2 --max-concurrent 4 --max-queue 64
   --duration-s 0)
 "$build_dir/src/ceci_serve" "${server_flags[@]}" --port 0 \
-  > "$bench_tmp/serve.log" 2>&1 &
+  --telemetry-port 0 > "$bench_tmp/serve.log" 2>&1 &
 serve_pid=$!
 port=""
+telemetry_port=""
 for _ in $(seq 1 200); do
-  if grep -q "listening on" "$bench_tmp/serve.log" 2>/dev/null; then
+  if grep -q "telemetry on" "$bench_tmp/serve.log" 2>/dev/null; then
     port="$(grep 'listening on' "$bench_tmp/serve.log" \
+      | sed 's/.*://' | tr -d '[:space:]')"
+    telemetry_port="$(grep 'telemetry on' "$bench_tmp/serve.log" \
       | sed 's/.*://' | tr -d '[:space:]')"
     break
   fi
   sleep 0.05
 done
-[[ -n "$port" ]] || { echo "ceci_serve never came up" >&2; \
+[[ -n "$port" && -n "$telemetry_port" ]] || {
+  echo "ceci_serve never came up" >&2
   cat "$bench_tmp/serve.log" >&2; exit 1; }
-echo "serving on 127.0.0.1:$port (pid $serve_pid)"
+echo "serving on 127.0.0.1:$port, telemetry on :$telemetry_port (pid $serve_pid)"
+
+# scrape_varz OUT — snapshot the server's /varz document to a file.
+scrape_varz() {
+  python3 - "$telemetry_port" "$1" <<'EOF'
+import http.client, sys
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=5)
+conn.request("GET", "/varz")
+resp = conn.getresponse()
+assert resp.status == 200, f"/varz returned {resp.status}"
+open(sys.argv[2], "wb").write(resp.read())
+EOF
+}
 
 jsonl="$bench_tmp/runs.jsonl"
 for mix in qg generated; do
   for connections in 2 8; do
     label="${mix}-c${connections}"
     echo "=== $label: --mix $mix --connections $connections ==="
+    scrape_varz "$bench_tmp/varz-$label-pre.json"
     "$build_dir/src/ceci_loadgen" --host 127.0.0.1 --port "$port" \
       --connections "$connections" --duration-s "$duration_s" \
       --warmup-s "$warmup_s" --mix "$mix" --data "$data" \
       --format labeled --queries 8 --query-size 4 --zipf 0.8 \
       --seed 7 --limit 100000 --out "$jsonl" --label "$label"
+    scrape_varz "$bench_tmp/varz-$label-post.json"
   done
 done
 
@@ -124,15 +158,31 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || true
 serve_pid=""
 
-# Wrap the JSONL entries into the committed document. The port is
-# ephemeral, so the server command is recorded with --port 0; rerunning
-# it reproduces the same configuration on a fresh port.
-python3 - "$jsonl" "$out" "$data" <<'EOF'
+# Wrap the JSONL entries into the committed document, folding the
+# per-cell /varz scrapes into each run's server_metrics block. The port
+# is ephemeral, so the server command is recorded with --port 0;
+# rerunning it reproduces the same configuration on a fresh port.
+python3 - "$jsonl" "$out" "$bench_tmp" <<'EOF'
 import json, sys
-jsonl, out, data = sys.argv[1:4]
+jsonl, out, tmp = sys.argv[1:4]
 runs = [json.loads(line) for line in open(jsonl) if line.strip()]
+
+def counters(varz):
+    return {k: v for k, v in varz["counters"].items()
+            if k.startswith("ceci.serve.")}
+
+build = None
+for r in runs:
+    pre = json.load(open(f"{tmp}/varz-{r['label']}-pre.json"))
+    post = json.load(open(f"{tmp}/varz-{r['label']}-post.json"))
+    build = post["build"]
+    pre_c, post_c = counters(pre), counters(post)
+    r["server_metrics"] = {
+        "counters": {k: post_c[k] - pre_c.get(k, 0) for k in post_c},
+        "uptime_s": post["uptime_s"],
+    }
 doc = {
-    "schema_version": 1,
+    "schema_version": 2,
     "bench": "serving",
     "server": {
         "data": "ceci_generate --family social --n 5000 --attach 8 "
@@ -143,7 +193,9 @@ doc = {
         "max_queue": 64,
         "command": "ceci_serve --data <graph> --format labeled "
                    "--pool-threads 4 --threads-per-query 2 "
-                   "--max-concurrent 4 --max-queue 64 --port 0",
+                   "--max-concurrent 4 --max-queue 64 --port 0 "
+                   "--telemetry-port 0",
+        "build": build,
     },
     "runs": runs,
 }

@@ -116,11 +116,32 @@ fi
 
 # --- Rule: no stray printf-debugging in the library (tools/ prints by
 # design; util/logging owns stderr).
-hits=$(echo "$sources" | grep -E '^src/(ceci|graph|analysis|util|serve)/' \
+hits=$(echo "$sources" | grep -E '^src/(ceci|graph|analysis|util|serve|telemetry)/' \
   | xargs grep -nE '\b(std::cout|std::cerr|printf)\b' 2>/dev/null \
   | grep -vE 'logging|// lint: allow-print|:[0-9]+: *//' || true)
 if [[ -n "$hits" ]]; then
   fail "direct stdout/stderr output in library code (use CECI_LOG)" "$hits"
+fi
+
+# --- Rule: every registered ceci.* metric is documented. The counter
+# tables in docs/observability.md are the operator-facing contract for
+# /metrics and /varz; a metric registered in src/ but absent from the
+# docs is invisible to whoever builds the dashboards. Names are extracted
+# from Get{Counter,Gauge,Histogram}("...") literals (whitespace-stripped
+# first, so wrapped call sites still match).
+metric_names=$(echo "$sources" | grep -E '^src/' | xargs cat 2>/dev/null \
+  | tr -d ' \n' \
+  | grep -oE 'Get(Counter|Gauge|Histogram)\("ceci\.[a-zA-Z0-9_.]+"' \
+  | grep -oE 'ceci\.[a-zA-Z0-9_.]+' | sort -u)
+undocumented=""
+for name in $metric_names; do
+  if ! grep -qF "$name" docs/observability.md; then
+    undocumented+="$name"$'\n'
+  fi
+done
+if [[ -n "$undocumented" ]]; then
+  fail "registered metric missing from docs/observability.md counter tables" \
+    "$undocumented"
 fi
 
 # --- clang-format (gated on availability) ---

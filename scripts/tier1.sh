@@ -233,49 +233,109 @@ if [[ "$serving_pass" == 1 ]]; then
   # wire protocol / workload / latency-summary suites. Under --preset
   # tsan this is the data-race gate for the serving layer.
   ctest --test-dir "$build_dir" --output-on-failure \
-    -R '(TaskGroup|ThreadPool|ConcurrentMatching|QueryService|Protocol|Workload|Zipf|LatencySummary)' -j
+    -R '(TaskGroup|ThreadPool|ConcurrentMatching|QueryService|Protocol|Workload|Zipf|LatencySummary|Exposition|WindowDelta|WindowedAggregator|Slo|AccessLog|JsonParser|ServerTelemetry|TelemetryHttp)' -j
 
   serving_tmp="$(mktemp -d)"
   trap 'rm -rf "$serving_tmp"' EXIT
   "$build_dir/src/ceci_generate" --family social --n 2000 --attach 6 \
     --labels 4 --seed 17 --out "$serving_tmp/g.txt" --format labeled
-  # End-to-end smoke (docs/serving.md): start ceci_serve on an ephemeral
-  # port, drive it with ceci_loadgen for ~5 seconds, and shut it down
-  # with SIGTERM. The server prints its bound port on the banner line.
+  # End-to-end smoke (docs/serving.md, docs/observability.md): start
+  # ceci_serve with the telemetry listener and an access log, drive it
+  # with ceci_loadgen for an exact request count, scrape /metrics and
+  # /healthz, and reconcile three independent tallies — loadgen's offered
+  # count, the server's ceci.serve.* counters, and the access-log line
+  # count — before shutting down with SIGTERM.
   "$build_dir/src/ceci_serve" --data "$serving_tmp/g.txt" --format labeled \
     --pool-threads 2 --threads-per-query 2 --max-concurrent 2 \
+    --telemetry-port 0 --access-log "$serving_tmp/access.jsonl" \
+    --slo-latency-ms 500 \
     --duration-s 120 > "$serving_tmp/serve.log" 2>&1 &
   serve_pid=$!
-  port=""
+  port=""; tport=""
   for _ in $(seq 1 200); do
-    if grep -q "listening on" "$serving_tmp/serve.log" 2>/dev/null; then
+    if grep -q "telemetry on" "$serving_tmp/serve.log" 2>/dev/null; then
       port="$(grep 'listening on' "$serving_tmp/serve.log" \
+        | sed 's/.*://' | tr -d '[:space:]')"
+      tport="$(grep 'telemetry on' "$serving_tmp/serve.log" \
         | sed 's/.*://' | tr -d '[:space:]')"
       break
     fi
     sleep 0.05
   done
-  [[ -n "$port" ]] || { echo "ceci_serve never came up" >&2; \
+  [[ -n "$port" && -n "$tport" ]] || { echo "ceci_serve never came up" >&2; \
     cat "$serving_tmp/serve.log" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
   "$build_dir/src/ceci_loadgen" --host 127.0.0.1 --port "$port" \
-    --connections 4 --duration-s 5 --warmup-s 1 --mix qg --zipf 0.8 \
+    --connections 4 --requests 200 --warmup-s 0 --mix qg --zipf 0.8 \
     --limit 1000 --seed 7 --out "$serving_tmp/smoke.jsonl" \
     --label tier1-smoke | tee "$serving_tmp/loadgen.txt"
   grep -q "^qps:" "$serving_tmp/loadgen.txt"
   grep -q "^latency_us:" "$serving_tmp/loadgen.txt"
-  kill -TERM "$serve_pid"
-  wait "$serve_pid" || { echo "ceci_serve exited non-zero" >&2; exit 1; }
-  grep -q "shut down" "$serving_tmp/serve.log"
-  # The benchmark entry must parse and carry its repro command line.
-  python3 - "$serving_tmp/smoke.jsonl" <<'EOF'
-import json, sys
-entry = json.loads(open(sys.argv[1]).read().strip().splitlines()[-1])
+  # Scrape the telemetry endpoint and reconcile (exact: no warmup, fixed
+  # request count, scrape after the run while the server is still up).
+  python3 - "$tport" "$serving_tmp" <<'EOF'
+import http.client, json, re, sys
+tport, tmp = int(sys.argv[1]), sys.argv[2]
+
+def get(path):
+    conn = http.client.HTTPConnection("127.0.0.1", tport, timeout=10)
+    conn.request("GET", path)
+    resp = conn.getresponse()
+    body = resp.read().decode()
+    assert resp.status == 200, f"{path} -> {resp.status}"
+    return body
+
+assert get("/healthz").strip() == "ok"
+
+# Exposition grammar: every line is a comment or `name[{labels}] value`.
+line_re = re.compile(
+    r'^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* \w+.*'
+    r'|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+naif]+)$')
+metrics = get("/metrics")
+for line in metrics.strip().splitlines():
+    assert line_re.match(line), f"bad exposition line: {line!r}"
+assert "# TYPE ceci_serve_submitted counter" in metrics
+assert 'ceci_window_qps{window="1m"}' in metrics
+assert "ceci_uptime_seconds" in metrics
+
+varz = json.loads(get("/varz"))
+entry = json.loads(open(tmp + "/smoke.jsonl").read().strip().splitlines()[-1])
 assert entry["requests"] > 0 and entry["qps"] > 0
 assert entry["latency_us"]["p99"] >= entry["latency_us"]["p50"]
 assert "--mix qg" in entry["command"]
-print("serving smoke OK: %d requests, %.0f qps" %
-      (entry["requests"], entry["qps"]))
+
+# Access-log schema + the three-way reconciliation.
+required = {"ts_s", "request_id", "fingerprint", "admission", "outcome",
+            "queue_us", "exec_us", "total_us", "embeddings", "cache_hit",
+            "budget_charged_bytes"}
+records = [json.loads(l) for l in open(tmp + "/access.jsonl")]
+for r in records:
+    missing = required - set(r)
+    assert not missing, f"access record missing {missing}: {r}"
+    assert re.fullmatch(r"r-[a-z0-9-]+", r["request_id"]), r["request_id"]
+
+offered = entry["offered"]
+counters = varz["counters"]
+assert offered == 200, f"loadgen offered {offered}, wanted 200"
+assert counters["ceci.serve.submitted"] == offered, \
+    (counters["ceci.serve.submitted"], offered)
+assert len(records) == offered, (len(records), offered)
+# Admission split agrees between loadgen outcomes, server counters, and
+# the access log.
+busy = entry["outcomes"]["busy"]
+assert counters.get("ceci.serve.rejected", 0) == busy
+assert sum(1 for r in records if r["outcome"] == "busy") == busy
+accepted = counters.get("ceci.serve.accepted", 0) + \
+    counters.get("ceci.serve.degraded", 0)
+assert accepted + busy == offered, (accepted, busy, offered)
+# Windowed totals cover the whole burst (it fits inside 5 minutes).
+assert varz["windows"]["5m"]["submitted"] == offered
+assert varz["uptime_s"] > 0
+print("telemetry smoke OK: %d offered == submitted == %d access records, "
+      "%d busy" % (offered, len(records), busy))
 EOF
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || { echo "ceci_serve exited non-zero" >&2; exit 1; }
+  grep -q "shut down" "$serving_tmp/serve.log"
 fi
 
 if [[ "$index_pass" == 1 ]]; then

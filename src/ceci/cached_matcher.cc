@@ -76,6 +76,7 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
 
   const std::string key = QueryKey(query, options);
   std::shared_ptr<const Entry> entry;
+  bool cache_hit = false;
   {
     MutexLock lock(mutex_);
     auto it = cache_.find(key);
@@ -83,6 +84,7 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
       ++hits_;
       CacheHitCounter().Increment();
       entry = it->second;
+      cache_hit = true;
     }
   }
 
@@ -158,6 +160,7 @@ Result<MatchResult> CachedMatcher::Match(const Graph& query,
 
   MatchResult result;
   result.stats = entry->build_stats;
+  result.stats.index_cache_hit = cache_hit;
   if (entry->pre.infeasible) return result;
 
   // A deadline that expired while the query sat in a queue (or during the

@@ -60,6 +60,10 @@ struct MatchStats {
   // Symmetry.
   std::size_t automorphisms_broken = 0;
 
+  /// The refined index came from the CachedMatcher's memo (no build or
+  /// refine ran for this query); always false for uncached matchers.
+  bool index_cache_hit = false;
+
   /// Execution-budget outcome (resilient execution layer); budget.active
   /// is false when MatchOptions::budget was default (unbounded).
   BudgetStats budget;

@@ -106,7 +106,10 @@ std::string FormatResponseLine(const ServeResponse& response) {
     return "ERR " + OneLine(response.status.ToString());
   }
   std::ostringstream line;
-  line << "OK embeddings=" << response.embeddings
+  line << "OK ";
+  if (!response.request_id.empty()) line << "rid=" << response.request_id
+                                         << ' ';
+  line << "embeddings=" << response.embeddings
        << " termination=" << TerminationReasonName(response.termination)
        << " admission=" << AdmissionName(response.admission) << " queue_us="
        << static_cast<std::uint64_t>(response.queue_seconds * 1e6)
@@ -148,6 +151,10 @@ Result<WireResponse> ParseResponseLine(const std::string& raw) {
     }
     const std::string key = field.substr(0, eq);
     const std::string value = field.substr(eq + 1);
+    if (key == "rid") {
+      response.request_id = value;
+      continue;
+    }
     if (key == "termination") {
       response.termination = value;
       continue;

@@ -16,10 +16,16 @@
 //
 // Match responses:
 //
-//   OK embeddings=N termination=<reason> admission=<accepted|degraded>
-//      queue_us=N exec_us=N total_us=N [index_bytes=N]
+//   OK [rid=<id>] embeddings=N termination=<reason>
+//      admission=<accepted|degraded> queue_us=N exec_us=N total_us=N
+//      [index_bytes=N]
 //   BUSY queue_full               admission control rejected the request
 //   ERR <message>                 malformed request / pattern / match error
+//
+// `rid` is the server-assigned request id (telemetry/access_log.h): the
+// same id appears in the access log and on the request's trace spans, so
+// a slow response can be joined to its server-side records. Present
+// whenever the server assigned one (always, for ceci_serve).
 //
 // `termination` is the TerminationReason name (util/budget.h) — a partial
 // answer is always labelled (deadline, limit, cancelled, memory_budget).
@@ -55,6 +61,7 @@ std::string FormatResponseLine(const ServeResponse& response);
 struct WireResponse {
   enum class Kind { kOk, kBusy, kErr };
   Kind kind = Kind::kErr;
+  std::string request_id;  // empty when the server did not assign one
   std::uint64_t embeddings = 0;
   std::string termination;  // reason name, e.g. "completed"
   std::string admission;    // "accepted" or "degraded"

@@ -80,6 +80,31 @@ std::uint64_t Micros(double seconds) {
   return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
 }
 
+/// Access-log projection of a finished (or rejected) session.
+AccessRecord MakeAccessRecord(const ServeRequest& req,
+                              const ServeResponse& response) {
+  AccessRecord record;
+  record.request_id = response.request_id;
+  record.fingerprint = QueryFingerprint(req.pattern);
+  record.admission = AdmissionName(response.admission);
+  if (response.admission == Admission::kRejected) {
+    record.outcome = "busy";
+  } else if (!response.status.ok()) {
+    record.outcome = "error";
+    record.error = response.status.ToString();
+  } else {
+    record.outcome = "ok";
+    record.termination = TerminationReasonName(response.termination);
+  }
+  record.queue_us = Micros(response.queue_seconds);
+  record.exec_us = Micros(response.match_seconds);
+  record.total_us = Micros(response.total_seconds);
+  record.embeddings = response.embeddings;
+  record.cache_hit = response.cache_hit;
+  record.budget_charged_bytes = response.budget_charged_bytes;
+  return record;
+}
+
 }  // namespace
 
 std::string AdmissionName(Admission admission) {
@@ -125,13 +150,23 @@ std::future<ServeResponse> QueryService::Submit(ServeRequest request) {
   SubmittedCounter().Increment();
   auto session = std::make_unique<Session>();
   session->req = std::move(request);
+  if (session->req.request_id.empty()) {
+    session->req.request_id = NextRequestId();
+  }
   std::future<ServeResponse> future = session->promise.get_future();
   {
     MutexLock lock(mutex_);
     if (stopping_ || queue_.size() >= options_.limits.max_queue) {
       RejectedCounter().Increment();
       ServeResponse response;
+      response.request_id = session->req.request_id;
       response.admission = Admission::kRejected;
+      // Logged under the lock: AccessLog has its own mutex and never
+      // calls back into the service, so the order mutex_ -> log is safe,
+      // and rejections are rare enough that the fwrite doesn't matter.
+      if (options_.access_log != nullptr) {
+        options_.access_log->Write(MakeAccessRecord(session->req, response));
+      }
       session->promise.set_value(std::move(response));
       return future;
     }
@@ -187,17 +222,25 @@ void QueryService::RunnerLoop() {
 }
 
 void QueryService::Process(Session& session) {
+  // Pin the request id to this thread before any span opens so every
+  // span the session produces (including enumeration on this thread)
+  // carries it into trace/profiler output.
+  TraceTag tag(session.req.request_id);
   TraceSpan span("serve/process");
   if (options_.pre_match_hook) options_.pre_match_hook();
 
   ServeResponse response;
+  response.request_id = session.req.request_id;
   response.admission = session.admission;
   response.queue_seconds = session.queued.Seconds();
   QueueLatencyHistogram().Record(Micros(response.queue_seconds));
 
-  const auto finish = [&session, &response] {
+  const auto finish = [this, &session, &response] {
     response.total_seconds = response.queue_seconds + response.match_seconds;
     TotalLatencyHistogram().Record(Micros(response.total_seconds));
+    if (options_.access_log != nullptr) {
+      options_.access_log->Write(MakeAccessRecord(session.req, response));
+    }
     session.promise.set_value(std::move(response));
   };
 
@@ -272,6 +315,8 @@ void QueryService::Process(Session& session) {
   }
   response.embeddings = result->embedding_count;
   response.termination = result->termination;
+  response.cache_hit = result->stats.index_cache_hit;
+  response.budget_charged_bytes = result->stats.budget.charged_bytes;
   if (session.req.explain) response.index_bytes = result->stats.ceci_bytes;
   CompletedCounter().Increment();
   finish();

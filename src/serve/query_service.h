@@ -33,6 +33,7 @@
 
 #include "ceci/cached_matcher.h"
 #include "ceci/matcher.h"
+#include "telemetry/access_log.h"
 #include "util/budget.h"
 #include "util/sync.h"
 
@@ -82,11 +83,20 @@ struct ServiceOptions {
   /// the queue, before its queue time is measured. Lets tests hold all
   /// runners on a latch to build deterministic overload.
   std::function<void()> pre_match_hook;
+  /// When set, one JSONL record is written per submitted request —
+  /// including rejections — keyed by the request id (shared so the
+  /// frontend and any embedding process can hold the same log).
+  std::shared_ptr<AccessLog> access_log;
 };
 
 struct ServeRequest {
   /// Query in the pattern DSL (graphio/pattern_parser.h).
   std::string pattern;
+  /// Correlation id echoed in the response, stamped on the access-log
+  /// record, and pinned to the session's trace spans (TraceTag). The
+  /// frontend assigns one at accept time; Submit() generates one if the
+  /// caller left it empty.
+  std::string request_id;
   /// Stop after this many embeddings; 0 = all.
   std::uint64_t limit = 0;
   /// Per-request deadline covering queue wait + execution; 0 = use
@@ -97,6 +107,8 @@ struct ServeRequest {
 };
 
 struct ServeResponse {
+  /// The id the request ran under (see ServeRequest::request_id).
+  std::string request_id;
   Admission admission = Admission::kAccepted;
   /// Non-OK for malformed patterns / match errors; rejected requests are
   /// status-OK with admission == kRejected.
@@ -111,6 +123,10 @@ struct ServeResponse {
   double total_seconds = 0.0;
   /// Refined CECI footprint (explain only; 0 otherwise).
   std::size_t index_bytes = 0;
+  /// The match ran against a memoized refined index (CachedMatcher hit).
+  bool cache_hit = false;
+  /// Bytes charged against the session's memory budget during the match.
+  std::size_t budget_charged_bytes = 0;
 };
 
 /// Multi-threaded query service over one data graph. Thread-safe:

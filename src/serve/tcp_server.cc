@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "serve/protocol.h"
+#include "telemetry/access_log.h"
 #include "util/metrics_registry.h"
 
 namespace ceci {
@@ -150,9 +151,16 @@ bool TcpServer::HandleLine(int fd, const std::string& line) {
     case RequestKind::kQuit:
       return false;
     case RequestKind::kStats:
-      // The snapshot is pretty-printed; the protocol is line-framed.
-      return SendLine(fd, OneLine(MetricsRegistry::Global().SnapshotJson()));
+      // The JSON may be pretty-printed; the protocol is line-framed.
+      return SendLine(
+          fd, OneLine(options_.telemetry != nullptr
+                          ? options_.telemetry->VarzJson()
+                          : MetricsRegistry::Global().SnapshotJson()));
     case RequestKind::kMatch: {
+      // The request id is minted here — at accept time, before admission
+      // — so even rejected requests correlate across the response line,
+      // the access log, and trace spans.
+      request->match.request_id = NextRequestId();
       // Synchronous per connection: admission control (not this thread)
       // decides whether the request queues, degrades, or bounces.
       ServeResponse response = service_.Execute(std::move(request->match));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "serve/query_service.h"
+#include "telemetry/server_telemetry.h"
 #include "util/status.h"
 #include "util/sync.h"
 
@@ -29,6 +30,10 @@ struct TcpServerOptions {
   /// Connections beyond this are answered `ERR too_many_connections` and
   /// closed immediately.
   std::size_t max_connections = 64;
+  /// When set, STATS answers with the telemetry /varz document (build
+  /// info, uptime, 10s/1m/5m windows, SLO burn) instead of the bare
+  /// registry snapshot. Must outlive the server.
+  const ServerTelemetry* telemetry = nullptr;
 };
 
 /// Owns the listening socket and one thread per live connection. The

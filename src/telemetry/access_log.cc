@@ -1,0 +1,112 @@
+#include "telemetry/access_log.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "util/json_writer.h"
+
+namespace ceci {
+namespace {
+
+std::string Hex64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Wall-clock seconds since the epoch, for the record timestamp.
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::IoError("access log: cannot open " + path);
+  }
+  return std::unique_ptr<AccessLog>(new AccessLog(file));  // lint: private-ctor
+}
+
+AccessLog::AccessLog(std::FILE* file) : file_(file) {}
+
+AccessLog::~AccessLog() {
+  MutexLock lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void AccessLog::Write(const AccessRecord& record) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("ts_s", NowSeconds());
+  w.KV("request_id", record.request_id);
+  w.KV("fingerprint", record.fingerprint);
+  w.KV("admission", record.admission);
+  w.KV("outcome", record.outcome);
+  if (!record.termination.empty()) w.KV("termination", record.termination);
+  w.KV("queue_us", record.queue_us);
+  w.KV("exec_us", record.exec_us);
+  w.KV("total_us", record.total_us);
+  w.KV("embeddings", record.embeddings);
+  w.KV("cache_hit", record.cache_hit);
+  w.KV("budget_charged_bytes", record.budget_charged_bytes);
+  if (!record.error.empty()) w.KV("error", record.error);
+  w.EndObject();
+  const std::string line = std::move(w).Take();
+
+  MutexLock lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+std::uint64_t AccessLog::lines_written() const {
+  MutexLock lock(mutex_);
+  return lines_;
+}
+
+std::string QueryFingerprint(std::string_view pattern) {
+  return Hex64(Fnv1a64(pattern));
+}
+
+std::string NextRequestId() {
+  // The token mixes pid and process start wall time so ids stay unique
+  // across server restarts that reuse a pid.
+  static const std::uint64_t token = [] {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const std::uint64_t nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+    return Fnv1a64(std::to_string(nanos) + "/" +
+                   std::to_string(::getpid()));
+  }();  // lint: leaky-singleton
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::uint64_t seq =
+      sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+  return "r-" + Hex64(token).substr(8) + "-" + std::to_string(seq);
+}
+
+}  // namespace ceci

@@ -1,0 +1,84 @@
+// Structured per-request access log for ceci_serve.
+//
+// One JSONL record per serving session — including sessions the admission
+// controller rejected, so `wc -l` on the log reconciles exactly with the
+// ceci.serve.submitted counter and a load generator's per-outcome tally.
+// Records carry the request id that the tracer pins on spans (TraceTag),
+// so a slow access-log line can be joined to its profiler/trace output.
+//
+// Record schema (docs/observability.md#access-log):
+//   {"ts_s":…,"request_id":"r-…","fingerprint":"…","admission":"accepted",
+//    "outcome":"ok","termination":"completed","queue_us":…,"exec_us":…,
+//    "total_us":…,"embeddings":…,"cache_hit":true,
+//    "budget_charged_bytes":…}        // "error":"…" only when outcome!=ok
+//
+// Writes take a Mutex and flush per line: the log is an audit artifact,
+// losing the tail on crash would defeat the point, and serving sessions
+// are long relative to one fprintf.
+#ifndef CECI_TELEMETRY_ACCESS_LOG_H_
+#define CECI_TELEMETRY_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace ceci {
+
+struct AccessRecord {
+  std::string request_id;
+  /// FNV-1a 64 of the pattern text (QueryFingerprint) — groups identical
+  /// queries without logging the query itself.
+  std::string fingerprint;
+  std::string admission;    // accepted | degraded | rejected
+  std::string outcome;      // ok | busy | error
+  std::string termination;  // TerminationReasonName, empty unless ok
+  std::uint64_t queue_us = 0;
+  std::uint64_t exec_us = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t embeddings = 0;
+  bool cache_hit = false;
+  std::uint64_t budget_charged_bytes = 0;
+  std::string error;  // empty unless outcome == error
+};
+
+class AccessLog {
+ public:
+  /// Opens `path` for appending. The parent directory must exist.
+  static Result<std::unique_ptr<AccessLog>> Open(const std::string& path);
+
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Appends one JSONL record and flushes. Thread-safe.
+  void Write(const AccessRecord& record);
+
+  std::uint64_t lines_written() const;
+
+ private:
+  explicit AccessLog(std::FILE* file);  // lint: private-ctor
+
+  mutable Mutex mutex_;
+  std::FILE* file_ CECI_GUARDED_BY(mutex_);
+  std::uint64_t lines_ CECI_GUARDED_BY(mutex_) = 0;
+};
+
+/// FNV-1a 64-bit hash of the pattern text, rendered as 16 lowercase hex
+/// digits. Stable across runs and platforms.
+std::string QueryFingerprint(std::string_view pattern);
+
+/// Process-unique request id: "r-<process-token>-<seq>", charset
+/// [a-z0-9-]. The token is derived from the pid and process start time
+/// so ids from concurrent or successive servers don't collide in merged
+/// logs; the sequence is a process-wide atomic.
+std::string NextRequestId();
+
+}  // namespace ceci
+
+#endif  // CECI_TELEMETRY_ACCESS_LOG_H_

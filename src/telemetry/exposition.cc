@@ -1,0 +1,139 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ceci {
+namespace {
+
+bool LegalNameByte(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+void AppendDouble(std::string* out, double value) {
+  // %.17g round-trips any double; trim the common integral case so
+  // counters render as plain integers.
+  char buf[40];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  *out += buf;
+}
+
+void AppendLabels(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += key;
+    *out += "=\"";
+    *out += PrometheusLabelValue(value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out += '_';
+  }
+  for (char c : name) {
+    out += LegalNameByte(c, /*first=*/false) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderHistogram(std::string_view name,
+                            const HistogramSnapshot& histogram) {
+  std::string out;
+  out += "# TYPE ";
+  out += name;
+  out += " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+    cumulative += histogram.buckets[b];
+    out += name;
+    out += "_bucket{le=\"";
+    out += std::to_string(HistogramSnapshot::BucketUpperBound(b));
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += std::to_string(histogram.count);
+  out += '\n';
+  out += name;
+  out += "_sum ";
+  out += std::to_string(histogram.sum);
+  out += '\n';
+  out += name;
+  out += "_count ";
+  out += std::to_string(histogram.count);
+  out += '\n';
+  return out;
+}
+
+std::string RenderExposition(const MetricsSnapshot& snapshot,
+                             const std::vector<ExpositionSample>& extra) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out += RenderHistogram(PrometheusName(name), histogram);
+  }
+  // Extra samples arrive grouped by caller construction order; emit one
+  // TYPE header the first time each family name appears.
+  std::string last_family;
+  for (const ExpositionSample& sample : extra) {
+    if (sample.name != last_family) {
+      out += "# TYPE " + sample.name + " gauge\n";
+      last_family = sample.name;
+    }
+    out += sample.name;
+    AppendLabels(&out, sample.labels);
+    out += ' ';
+    AppendDouble(&out, sample.value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ceci

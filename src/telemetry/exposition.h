@@ -1,0 +1,57 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// MetricsSnapshot. This is what `GET /metrics` on the telemetry port
+// returns (telemetry/http_server.h): one `# TYPE` comment per metric
+// family followed by its samples, histograms expanded into cumulative
+// `_bucket{le="..."}` series plus `_sum`/`_count`.
+//
+// The registry names metrics with dots (`ceci.serve.latency_us`); the
+// exposition name charset is `[a-zA-Z_:][a-zA-Z0-9_:]*`, so names are
+// sanitized by mapping every illegal byte to '_'
+// (`ceci_serve_latency_us`). The log2 histogram buckets translate
+// directly: bucket b holds values in [2^(b-1), 2^b), so its inclusive
+// Prometheus bound is le="2^b - 1" (HistogramSnapshot::BucketUpperBound —
+// the same function Percentile() uses, keeping the two views consistent).
+#ifndef CECI_TELEMETRY_EXPOSITION_H_
+#define CECI_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/metrics_registry.h"
+
+namespace ceci {
+
+/// Maps a registry metric name onto the exposition charset: every byte
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a '_'
+/// prefix. Idempotent.
+std::string PrometheusName(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline are backslash-escaped.
+std::string PrometheusLabelValue(std::string_view value);
+
+/// One extra sample to append to the exposition beyond the registry
+/// contents (windowed gauges, build info). Rendered as an untyped gauge.
+struct ExpositionSample {
+  std::string name;  // already-final exposition name (no sanitizing)
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Renders the full exposition document: counters, gauges, histograms
+/// from `snapshot` (names sanitized), then `extra` samples grouped by
+/// name with one `# TYPE <name> gauge` header per group. Ends with a
+/// trailing newline as scrapers require.
+std::string RenderExposition(const MetricsSnapshot& snapshot,
+                             const std::vector<ExpositionSample>& extra = {});
+
+/// Renders one histogram family (exposition name `name`): cumulative
+/// buckets, +Inf, `_sum`, `_count`. Exposed for tests.
+std::string RenderHistogram(std::string_view name,
+                            const HistogramSnapshot& histogram);
+
+}  // namespace ceci
+
+#endif  // CECI_TELEMETRY_EXPOSITION_H_

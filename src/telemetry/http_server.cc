@@ -1,0 +1,186 @@
+#include "telemetry/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/metrics_registry.h"
+
+namespace ceci {
+namespace {
+
+Counter& ScrapeCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("ceci.telemetry.scrapes");
+  return c;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Reads until the blank line ending the request head (or the client
+/// stops sending). Returns false on timeout/close before a full head.
+bool ReadRequestHead(int fd, std::string* head) {
+  char chunk[2048];
+  while (head->find("\r\n\r\n") == std::string::npos &&
+         head->find("\n\n") == std::string::npos) {
+    if (head->size() > 16384) return false;  // absurd for a GET head
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    head->append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// "GET /metrics HTTP/1.1" -> "/metrics"; empty on anything else.
+std::string ParseGetPath(const std::string& head) {
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) return "";
+  const std::size_t path_end = line.find(' ', 4);
+  std::string path = line.substr(4, path_end == std::string::npos
+                                        ? std::string::npos
+                                        : path_end - 4);
+  // Scrapers may append query params (?format=...); route on the path.
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.erase(query);
+  return path;
+}
+
+}  // namespace
+
+TelemetryHttpServer::TelemetryHttpServer(const ServerTelemetry& telemetry,
+                                         const TelemetryHttpOptions& options)
+    : telemetry_(telemetry), options_(options) {}
+
+TelemetryHttpServer::~TelemetryHttpServer() { Stop(); }
+
+Status TelemetryHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("not an IPv4 address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::IoError(std::string("bind ") + options_.host + ": " +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+  serve_thread_ = std::thread(&TelemetryHttpServer::ServeLoop, this,
+                              listen_fd_);
+  return Status::Ok();
+}
+
+void TelemetryHttpServer::ServeLoop(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed or unrecoverable
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryHttpServer::ServeConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(options_.read_timeout_seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (options_.read_timeout_seconds - std::floor(
+           options_.read_timeout_seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) return;
+  const std::string path = ParseGetPath(head);
+  if (path.empty()) {
+    SendAll(fd, HttpResponse("400 Bad Request", "text/plain; charset=utf-8",
+                             "only GET is supported\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    ScrapeCounter().Increment();
+    SendAll(fd, HttpResponse("200 OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             telemetry_.MetricsText()));
+  } else if (path == "/varz") {
+    ScrapeCounter().Increment();
+    SendAll(fd, HttpResponse("200 OK", "application/json",
+                             telemetry_.VarzJson()));
+  } else if (path == "/healthz") {
+    SendAll(fd, HttpResponse("200 OK", "text/plain; charset=utf-8", "ok\n"));
+  } else {
+    SendAll(fd, HttpResponse("404 Not Found", "text/plain; charset=utf-8",
+                             "no such endpoint; try /metrics /varz "
+                             "/healthz\n"));
+  }
+}
+
+void TelemetryHttpServer::Stop() {
+  stopping_.exchange(true, std::memory_order_acq_rel);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+}  // namespace ceci

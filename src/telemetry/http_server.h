@@ -1,0 +1,74 @@
+// Minimal HTTP/1.0-style listener for the telemetry endpoints. Serves
+//   GET /metrics  -> ServerTelemetry::MetricsText() (Prometheus 0.0.4)
+//   GET /varz     -> ServerTelemetry::VarzJson()
+//   GET /healthz  -> "ok\n"
+// and 404/400 otherwise. Every response carries Content-Length and
+// `Connection: close` and the socket is closed after it — scrapers open
+// a fresh connection per scrape, which keeps the server a single accept
+// thread handling one connection at a time (a scrape renders in
+// microseconds; there is nothing to pipeline). A read timeout bounds how
+// long a stuck client can hold the thread.
+//
+// Deliberately NOT a general HTTP server: no keep-alive, no chunked
+// encoding, no request bodies. It exists so `curl` and Prometheus can
+// scrape ceci_serve without speaking the line protocol.
+#ifndef CECI_TELEMETRY_HTTP_SERVER_H_
+#define CECI_TELEMETRY_HTTP_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "telemetry/server_telemetry.h"
+#include "util/status.h"
+
+namespace ceci {
+
+struct TelemetryHttpOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (kernel-assigned; see port()).
+  int port = 0;
+  /// Per-connection receive timeout; a client that connects and never
+  /// sends a request line is dropped after this long.
+  double read_timeout_seconds = 2.0;
+};
+
+/// Owns the listening socket and one accept/serve thread. The telemetry
+/// object must outlive the server.
+class TelemetryHttpServer {
+ public:
+  TelemetryHttpServer(const ServerTelemetry& telemetry,
+                      const TelemetryHttpOptions& options);
+  ~TelemetryHttpServer();
+
+  TelemetryHttpServer(const TelemetryHttpServer&) = delete;
+  TelemetryHttpServer& operator=(const TelemetryHttpServer&) = delete;
+
+  /// Binds, listens, and starts the serve thread.
+  Status Start();
+
+  /// Bound port (differs from options.port when that was 0). Valid after
+  /// a successful Start().
+  int port() const { return bound_port_; }
+
+  /// Closes the listener and joins. Idempotent.
+  void Stop();
+
+ private:
+  /// Takes the listener by value so Stop() closing/resetting listen_fd_
+  /// never races the serve thread's reads of it (same contract as
+  /// TcpServer::AcceptLoop).
+  void ServeLoop(int listen_fd);
+  void ServeConnection(int fd);
+
+  const ServerTelemetry& telemetry_;
+  TelemetryHttpOptions options_;
+  int listen_fd_ = -1;    // lint: unguarded
+  int bound_port_ = 0;    // lint: unguarded
+  std::atomic<bool> stopping_{false};
+  std::thread serve_thread_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_TELEMETRY_HTTP_SERVER_H_

@@ -1,0 +1,152 @@
+#include "telemetry/server_telemetry.h"
+
+#include <utility>
+
+#include "telemetry/build_info.h"
+#include "telemetry/exposition.h"
+#include "util/json_writer.h"
+
+namespace ceci {
+namespace {
+
+struct NamedWindow {
+  const char* name;    // label value in /metrics, object key in /varz
+  double seconds;
+};
+
+constexpr NamedWindow kWindows[] = {
+    {"10s", 10.0}, {"1m", 60.0}, {"5m", 300.0}};
+
+void AppendWindowSamples(const char* window_name, const ServingWindow& w,
+                         std::vector<ExpositionSample>* out) {
+  const auto add = [&](const char* name, double value) {
+    out->push_back({name, {{"window", window_name}}, value});
+  };
+  add("ceci_window_qps", w.qps);
+  add("ceci_window_error_rate", w.error_rate);
+  add("ceci_window_requests", static_cast<double>(w.submitted));
+  add("ceci_window_latency_p50_us", static_cast<double>(w.p50_us));
+  add("ceci_window_latency_p90_us", static_cast<double>(w.p90_us));
+  add("ceci_window_latency_p99_us", static_cast<double>(w.p99_us));
+}
+
+void WriteServingWindow(JsonWriter* w, const ServingWindow& window,
+                        const SloBurn& burn) {
+  w->BeginObject();
+  w->KV("covered_s", window.covered_seconds);
+  w->KV("qps", window.qps);
+  w->KV("error_rate", window.error_rate);
+  w->KV("submitted", window.submitted);
+  w->KV("accepted", window.accepted);
+  w->KV("degraded", window.degraded);
+  w->KV("rejected", window.rejected);
+  w->KV("completed", window.completed);
+  w->KV("errors", window.errors);
+  w->KV("expired_in_queue", window.expired_in_queue);
+  w->KV("cancelled", window.cancelled);
+  w->KV("latency_count", window.latency_count);
+  w->KV("p50_us", window.p50_us);
+  w->KV("p90_us", window.p90_us);
+  w->KV("p99_us", window.p99_us);
+  w->KV("mean_us", window.mean_us);
+  w->KV("availability_burn", burn.availability_burn);
+  w->KV("latency_burn", burn.latency_burn);
+  w->EndObject();
+}
+
+}  // namespace
+
+ServerTelemetry::ServerTelemetry(MetricsRegistry& registry,
+                                 const ServerTelemetryOptions& options)
+    : registry_(registry),
+      windows_(registry, options.windows),
+      slo_(options.slo, registry) {
+  windows_.set_on_tick([this] { slo_.Publish(windows_); });
+}
+
+void ServerTelemetry::Start() { windows_.Start(); }
+
+void ServerTelemetry::Stop() { windows_.Stop(); }
+
+void ServerTelemetry::Tick() {
+  windows_.Tick();
+  slo_.Publish(windows_);
+}
+
+std::string ServerTelemetry::MetricsText() const {
+  std::vector<ExpositionSample> extra;
+  for (const NamedWindow& nw : kWindows) {
+    double covered = 0.0;
+    const MetricsSnapshot delta = windows_.WindowDelta(nw.seconds, &covered);
+    AppendWindowSamples(nw.name, ComputeServingWindow(delta, covered), &extra);
+  }
+  extra.push_back({"ceci_uptime_seconds", {}, uptime_.Seconds()});
+  extra.push_back({"ceci_build_info",
+                   {{"version", kCeciVersion},
+                    {"compiler", CompilerString()},
+                    {"index_format", kCeciIndexFormat}},
+                   1.0});
+  return RenderExposition(registry_.Snapshot(), extra);
+}
+
+std::string ServerTelemetry::VarzJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("build");
+  w.BeginObject();
+  w.KV("version", kCeciVersion);
+  w.KV("compiler", CompilerString());
+  w.KV("cpp_standard", CppStandard());
+  w.KV("index_format", kCeciIndexFormat);
+  w.EndObject();
+  w.KV("uptime_s", uptime_.Seconds());
+
+  const SloConfig& slo = slo_.config();
+  w.Key("slo");
+  w.BeginObject();
+  w.KV("availability_target", slo.availability_target);
+  w.KV("latency_threshold_us", slo.latency_threshold_us);
+  w.KV("latency_target", slo.latency_target);
+  w.EndObject();
+
+  w.Key("windows");
+  w.BeginObject();
+  for (const NamedWindow& nw : kWindows) {
+    double covered = 0.0;
+    const MetricsSnapshot delta = windows_.WindowDelta(nw.seconds, &covered);
+    w.Key(nw.name);
+    WriteServingWindow(&w, ComputeServingWindow(delta, covered),
+                       ComputeSloBurn(slo, delta));
+  }
+  w.EndObject();
+
+  const MetricsSnapshot snap = registry_.Snapshot();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.counters) w.KV(name, value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.gauges) w.KV(name, value);
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.KV("count", h.count);
+    w.KV("sum", h.sum);
+    w.KV("min", h.min);
+    w.KV("max", h.max);
+    w.KV("mean", h.Mean());
+    w.KV("p50", h.Percentile(50));
+    w.KV("p90", h.Percentile(90));
+    w.KV("p99", h.Percentile(99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace ceci

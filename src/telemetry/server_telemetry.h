@@ -1,0 +1,67 @@
+// One object owning a server's observability surface: the windowed
+// aggregator, the SLO tracker, uptime/build info, and the two rendered
+// views the outside world reads —
+//   MetricsText()  -> Prometheus exposition for GET /metrics
+//   VarzJson()     -> one JSON document for GET /varz, the extended
+//                     STATS wire reply, and ceci_top
+//
+// ceci_serve constructs one of these unconditionally (STATS always
+// reports uptime/build/windows) and additionally points a
+// TelemetryHttpServer at it when --telemetry-port is set.
+#ifndef CECI_TELEMETRY_SERVER_TELEMETRY_H_
+#define CECI_TELEMETRY_SERVER_TELEMETRY_H_
+
+#include <string>
+
+#include "telemetry/slo.h"
+#include "telemetry/windows.h"
+#include "util/metrics_registry.h"
+#include "util/timer.h"
+
+namespace ceci {
+
+struct ServerTelemetryOptions {
+  SloConfig slo;
+  WindowedAggregator::Options windows;
+};
+
+class ServerTelemetry {
+ public:
+  ServerTelemetry(MetricsRegistry& registry,
+                  const ServerTelemetryOptions& options);
+
+  ServerTelemetry(const ServerTelemetry&) = delete;
+  ServerTelemetry& operator=(const ServerTelemetry&) = delete;
+
+  /// Starts the aggregator ticker (SLO gauges publish on each tick).
+  void Start();
+  void Stop();
+
+  /// One aggregator step without the ticker thread — deterministic tests
+  /// and single-threaded embeddings.
+  void Tick();
+
+  double uptime_seconds() const { return uptime_.Seconds(); }
+
+  /// Full Prometheus 0.0.4 document: every registry metric plus windowed
+  /// serving gauges (ceci_window_* with a window label), uptime, and a
+  /// ceci_build_info info-style gauge.
+  std::string MetricsText() const;
+
+  /// Everything ceci_top needs in one scrape: build info, uptime, SLO
+  /// config and per-window burn rates, 10s/1m/5m serving windows, then
+  /// the cumulative counters/gauges/histograms in SnapshotJson's shape.
+  std::string VarzJson() const;
+
+  const WindowedAggregator& windows() const { return windows_; }
+
+ private:
+  MetricsRegistry& registry_;
+  WindowedAggregator windows_;
+  SloTracker slo_;
+  Timer uptime_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_TELEMETRY_SERVER_TELEMETRY_H_

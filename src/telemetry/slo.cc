@@ -1,0 +1,86 @@
+#include "telemetry/slo.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace ceci {
+namespace {
+
+std::uint64_t CounterOf(const MetricsSnapshot& delta, const char* name) {
+  auto it = delta.counters.find(name);
+  return it == delta.counters.end() ? 0 : it->second;
+}
+
+double BurnRate(double bad_fraction, double target) {
+  const double budget = 1.0 - target;
+  if (budget <= 0.0) {
+    // Zero error budget: any badness is an infinite burn; report a large
+    // finite sentinel so milli-scaled gauges stay representable.
+    return bad_fraction > 0.0 ? 1e6 : 0.0;
+  }
+  return bad_fraction / budget;
+}
+
+std::int64_t Milli(double burn) {
+  // Round, don't truncate: a burn of exactly 2x computed as 1.9999…
+  // from the counter ratio must publish as 2000 milli, not 1999.
+  const double scaled = burn * 1000.0;
+  return scaled >= 1e9 ? 1000000000 : std::llround(scaled);
+}
+
+}  // namespace
+
+SloBurn ComputeSloBurn(const SloConfig& config, const MetricsSnapshot& delta) {
+  SloBurn burn;
+  const std::uint64_t submitted = CounterOf(delta, "ceci.serve.submitted");
+  if (submitted > 0) {
+    const std::uint64_t bad = CounterOf(delta, "ceci.serve.rejected") +
+                              CounterOf(delta, "ceci.serve.errors") +
+                              CounterOf(delta, "ceci.serve.expired_in_queue");
+    burn.availability_valid = true;
+    burn.availability_burn =
+        BurnRate(static_cast<double>(bad) / static_cast<double>(submitted),
+                 config.availability_target);
+  }
+  if (config.latency_threshold_us > 0.0) {
+    auto it = delta.histograms.find("ceci.serve.latency_us");
+    if (it != delta.histograms.end() && it->second.count > 0) {
+      const HistogramSnapshot& latency = it->second;
+      // A sample is good when its whole bucket fits under the threshold;
+      // with log2 buckets this understates goodness by at most a factor
+      // of 2 in latency, never overstates it.
+      std::uint64_t good = 0;
+      for (std::size_t b = 0; b < latency.buckets.size(); ++b) {
+        if (static_cast<double>(HistogramSnapshot::BucketUpperBound(b)) <=
+            config.latency_threshold_us) {
+          good += latency.buckets[b];
+        }
+      }
+      burn.latency_valid = true;
+      burn.latency_burn = BurnRate(
+          1.0 - static_cast<double>(good) / static_cast<double>(latency.count),
+          config.latency_target);
+    }
+  }
+  return burn;
+}
+
+SloTracker::SloTracker(const SloConfig& config, MetricsRegistry& registry)
+    : config_(config),
+      availability_burn_1m_(
+          registry.GetGauge("ceci.slo.availability_burn_milli.1m")),
+      availability_burn_5m_(
+          registry.GetGauge("ceci.slo.availability_burn_milli.5m")),
+      latency_burn_1m_(registry.GetGauge("ceci.slo.latency_burn_milli.1m")),
+      latency_burn_5m_(registry.GetGauge("ceci.slo.latency_burn_milli.5m")) {}
+
+void SloTracker::Publish(const WindowedAggregator& windows) {
+  const SloBurn burn_1m = ComputeSloBurn(config_, windows.WindowDelta(60.0));
+  const SloBurn burn_5m = ComputeSloBurn(config_, windows.WindowDelta(300.0));
+  availability_burn_1m_.Set(Milli(burn_1m.availability_burn));
+  availability_burn_5m_.Set(Milli(burn_5m.availability_burn));
+  latency_burn_1m_.Set(Milli(burn_1m.latency_burn));
+  latency_burn_5m_.Set(Milli(burn_5m.latency_burn));
+}
+
+}  // namespace ceci

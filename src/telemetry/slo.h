@@ -1,0 +1,72 @@
+// Service-level objectives over the windowed serving metrics.
+//
+// Two objectives, both fractions of submitted requests over a window:
+//   availability — a request is "good" unless it was rejected, errored,
+//     or expired in the queue (degraded and budget-terminated requests
+//     still produced an answer and count as good);
+//   latency — a request is "good" when its total latency is at or under
+//     the configured threshold (bucket-resolution: a request counts as
+//     good when its entire log2 bucket fits under the threshold, so the
+//     accounting is conservative by at most one bucket).
+//
+// Burn rate is the standard SRE quantity: observed bad fraction divided
+// by the error budget (1 - target). Burn 1.0 consumes the budget exactly
+// at the sustainable rate; >1 eats into it (docs/observability.md#slos).
+//
+// The tracker publishes gauges on every aggregator tick, scaled by 1000
+// because registry gauges are integral:
+//   ceci.slo.availability_burn_milli.1m / .5m
+//   ceci.slo.latency_burn_milli.1m / .5m
+// Unscaled doubles per window are in /varz (ServerTelemetry::VarzJson).
+#ifndef CECI_TELEMETRY_SLO_H_
+#define CECI_TELEMETRY_SLO_H_
+
+#include "telemetry/windows.h"
+#include "util/metrics_registry.h"
+
+namespace ceci {
+
+struct SloConfig {
+  /// Fraction of submitted requests that must be served (not rejected /
+  /// errored / expired). 1.0 means zero error budget.
+  double availability_target = 0.999;
+  /// Total-latency threshold in µs; 0 disables the latency objective.
+  double latency_threshold_us = 0.0;
+  /// Fraction of served requests that must finish under the threshold.
+  double latency_target = 0.99;
+};
+
+/// Burn rates for one window. A burn is `valid` only when the window saw
+/// traffic (no requests -> nothing consumed the budget).
+struct SloBurn {
+  bool availability_valid = false;
+  double availability_burn = 0.0;
+  bool latency_valid = false;
+  double latency_burn = 0.0;
+};
+
+/// Pure burn computation from one window delta; used by both the gauge
+/// publisher and /varz.
+SloBurn ComputeSloBurn(const SloConfig& config, const MetricsSnapshot& delta);
+
+class SloTracker {
+ public:
+  SloTracker(const SloConfig& config, MetricsRegistry& registry);
+
+  /// Computes 1m/5m burns from `windows` and publishes the milli-scaled
+  /// gauges. Wired as the aggregator's on_tick callback.
+  void Publish(const WindowedAggregator& windows);
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  SloConfig config_;
+  Gauge& availability_burn_1m_;
+  Gauge& availability_burn_5m_;
+  Gauge& latency_burn_1m_;
+  Gauge& latency_burn_5m_;
+};
+
+}  // namespace ceci
+
+#endif  // CECI_TELEMETRY_SLO_H_

@@ -1,0 +1,186 @@
+#include "telemetry/windows.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ceci {
+namespace {
+
+std::uint64_t ClampedSub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& cur,
+                                 const HistogramSnapshot& prev) {
+  HistogramSnapshot delta;
+  delta.count = ClampedSub(cur.count, prev.count);
+  delta.sum = ClampedSub(cur.sum, prev.sum);
+  // Cumulative extremes: the delta's true min/max are unrecoverable from
+  // bucket counts, and Percentile() only uses max to tighten the top
+  // bucket, for which the cumulative max is a valid upper bound.
+  delta.min = cur.min;
+  delta.max = cur.max;
+  delta.buckets.resize(cur.buckets.size());
+  for (std::size_t b = 0; b < cur.buckets.size(); ++b) {
+    const std::uint64_t before = b < prev.buckets.size() ? prev.buckets[b] : 0;
+    delta.buckets[b] = ClampedSub(cur.buckets[b], before);
+  }
+  while (!delta.buckets.empty() && delta.buckets.back() == 0) {
+    delta.buckets.pop_back();
+  }
+  return delta;
+}
+
+std::uint64_t CounterOf(const MetricsSnapshot& snap, const char* name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& cur,
+                              const MetricsSnapshot& prev) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : cur.counters) {
+    auto it = prev.counters.find(name);
+    delta.counters[name] =
+        ClampedSub(value, it == prev.counters.end() ? 0 : it->second);
+  }
+  delta.gauges = cur.gauges;
+  for (const auto& [name, histogram] : cur.histograms) {
+    auto it = prev.histograms.find(name);
+    delta.histograms[name] = it == prev.histograms.end()
+                                 ? histogram
+                                 : HistogramDelta(histogram, it->second);
+  }
+  return delta;
+}
+
+void AccumulateSnapshot(MetricsSnapshot* into, const MetricsSnapshot& add) {
+  for (const auto& [name, value] : add.counters) {
+    into->counters[name] += value;
+  }
+  for (const auto& [name, value] : add.gauges) {
+    into->gauges[name] = value;
+  }
+  for (const auto& [name, histogram] : add.histograms) {
+    HistogramSnapshot& sum = into->histograms[name];
+    sum.count += histogram.count;
+    sum.sum += histogram.sum;
+    sum.min = sum.min == 0 ? histogram.min : std::min(sum.min, histogram.min);
+    sum.max = std::max(sum.max, histogram.max);
+    if (sum.buckets.size() < histogram.buckets.size()) {
+      sum.buckets.resize(histogram.buckets.size());
+    }
+    for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+      sum.buckets[b] += histogram.buckets[b];
+    }
+  }
+}
+
+WindowedAggregator::WindowedAggregator(MetricsRegistry& registry,
+                                       const Options& options)
+    : registry_(registry), options_(options) {
+  MutexLock lock(mutex_);
+  ring_.resize(std::max<std::size_t>(options_.slots, 1));
+  last_ = registry_.Snapshot();
+  since_last_.Reset();
+}
+
+WindowedAggregator::~WindowedAggregator() { Stop(); }
+
+void WindowedAggregator::Start() {
+  if (ticker_.joinable()) return;
+  {
+    MutexLock lock(mutex_);
+    stop_ = false;
+  }
+  ticker_ = std::thread(&WindowedAggregator::TickerLoop, this);
+}
+
+void WindowedAggregator::Stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void WindowedAggregator::Tick() {
+  const MetricsSnapshot cur = registry_.Snapshot();
+  MutexLock lock(mutex_);
+  Slot& slot = ring_[next_];
+  slot.span_seconds = since_last_.Seconds();
+  slot.delta = SnapshotDelta(cur, last_);
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  last_ = cur;
+  since_last_.Reset();
+}
+
+MetricsSnapshot WindowedAggregator::WindowDelta(
+    double seconds, double* covered_seconds) const {
+  const MetricsSnapshot cur = registry_.Snapshot();
+  MutexLock lock(mutex_);
+  // Live partial interval first, then recent slots newest to oldest.
+  MetricsSnapshot window = SnapshotDelta(cur, last_);
+  double covered = since_last_.Seconds();
+  for (std::size_t i = 0; i < filled_ && covered < seconds; ++i) {
+    const std::size_t idx = (next_ + ring_.size() - 1 - i) % ring_.size();
+    AccumulateSnapshot(&window, ring_[idx].delta);
+    covered += ring_[idx].span_seconds;
+  }
+  // Gauges are instantaneous: always report the freshest value.
+  window.gauges = cur.gauges;
+  if (covered_seconds != nullptr) *covered_seconds = covered;
+  return window;
+}
+
+void WindowedAggregator::TickerLoop() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_) return;
+      cv_.WaitFor(mutex_, options_.tick_seconds);
+      if (stop_) return;
+    }
+    Tick();
+    if (on_tick_) on_tick_();
+  }
+}
+
+ServingWindow ComputeServingWindow(const MetricsSnapshot& delta,
+                                   double covered_seconds) {
+  ServingWindow window;
+  window.covered_seconds = covered_seconds;
+  window.submitted = CounterOf(delta, "ceci.serve.submitted");
+  window.accepted = CounterOf(delta, "ceci.serve.accepted");
+  window.degraded = CounterOf(delta, "ceci.serve.degraded");
+  window.rejected = CounterOf(delta, "ceci.serve.rejected");
+  window.completed = CounterOf(delta, "ceci.serve.completed");
+  window.errors = CounterOf(delta, "ceci.serve.errors");
+  window.expired_in_queue = CounterOf(delta, "ceci.serve.expired_in_queue");
+  window.cancelled = CounterOf(delta, "ceci.serve.cancelled");
+  if (covered_seconds > 0.0) {
+    window.qps = static_cast<double>(window.submitted) / covered_seconds;
+  }
+  if (window.submitted > 0) {
+    window.error_rate =
+        static_cast<double>(window.rejected + window.errors +
+                            window.expired_in_queue) /
+        static_cast<double>(window.submitted);
+  }
+  auto it = delta.histograms.find("ceci.serve.latency_us");
+  if (it != delta.histograms.end()) {
+    const HistogramSnapshot& latency = it->second;
+    window.latency_count = latency.count;
+    window.p50_us = latency.Percentile(50);
+    window.p90_us = latency.Percentile(90);
+    window.p99_us = latency.Percentile(99);
+    window.mean_us = latency.Mean();
+  }
+  return window;
+}
+
+}  // namespace ceci

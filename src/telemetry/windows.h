@@ -1,0 +1,132 @@
+// Rolling time-windowed metric aggregation for the serving layer.
+//
+// The registry's counters and histograms are process-cumulative, which
+// answers "how many since startup" but not "what is p99 *right now*". A
+// WindowedAggregator keeps a ring of per-interval MetricsSnapshot deltas
+// (counter increments and histogram bucket increments are monotone, so
+// consecutive-snapshot subtraction is exact); WindowDelta(seconds) sums
+// the most recent slots — plus the live partial interval since the last
+// tick, so a scrape right after a burst sees it — into one delta snapshot
+// covering approximately the requested span. ComputeServingWindow() then
+// projects the ceci.serve.* family out of a delta into QPS, admission
+// mix, error rate, and latency quantiles for one window (10s/1m/5m in
+// /varz and the extended STATS reply; docs/observability.md#windows).
+//
+// Sampling runs on an internal ticker thread (Start/Stop) or manually via
+// Tick() in tests — deterministic windowed-delta tests never start the
+// thread.
+#ifndef CECI_TELEMETRY_WINDOWS_H_
+#define CECI_TELEMETRY_WINDOWS_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/metrics_registry.h"
+#include "util/sync.h"
+#include "util/timer.h"
+
+namespace ceci {
+
+/// Subtracts `prev` from `cur` member-wise: counters and histogram
+/// buckets/count/sum clamp at zero (a reset registry never yields
+/// underflow), gauges keep `cur`'s instantaneous value, and histogram
+/// min/max carry `cur`'s cumulative extremes (the delta's true extremes
+/// are not recoverable; Percentile() on a delta is still bucket-exact).
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& cur,
+                              const MetricsSnapshot& prev);
+
+/// Accumulates `add` into `into`: counters/histograms sum, gauges take
+/// `add`'s (more recent) value.
+void AccumulateSnapshot(MetricsSnapshot* into, const MetricsSnapshot& add);
+
+class WindowedAggregator {
+ public:
+  struct Options {
+    /// Sampling interval. With 60 slots the default covers 5 minutes.
+    double tick_seconds = 5.0;
+    std::size_t slots = 60;
+  };
+
+  WindowedAggregator(MetricsRegistry& registry, const Options& options);
+  ~WindowedAggregator();
+
+  WindowedAggregator(const WindowedAggregator&) = delete;
+  WindowedAggregator& operator=(const WindowedAggregator&) = delete;
+
+  /// Spawns the ticker thread (idempotent). `on_tick` (if set) runs on
+  /// that thread after every periodic Tick — the SLO tracker publishes
+  /// its burn gauges there.
+  void Start();
+  /// Stops and joins the ticker (idempotent; also run by the dtor).
+  void Stop();
+
+  /// Captures one delta slot now. Called by the ticker; public so tests
+  /// and single-threaded embeddings can drive time explicitly.
+  void Tick();
+
+  /// Sum of the live partial interval plus as many recent slots as it
+  /// takes to cover `seconds`. `covered_seconds` (optional) receives the
+  /// actual span, which is shorter early in the process lifetime and up
+  /// to one tick longer otherwise.
+  MetricsSnapshot WindowDelta(double seconds,
+                              double* covered_seconds = nullptr) const;
+
+  /// Must be set before Start(); runs on the ticker thread.
+  void set_on_tick(std::function<void()> on_tick) {
+    on_tick_ = std::move(on_tick);
+  }
+
+  double tick_seconds() const { return options_.tick_seconds; }
+
+ private:
+  struct Slot {
+    double span_seconds = 0.0;
+    MetricsSnapshot delta;
+  };
+
+  void TickerLoop();
+
+  MetricsRegistry& registry_;
+  const Options options_;
+  std::function<void()> on_tick_;  // written before Start()
+  std::thread ticker_;             // managed by Start()/Stop() only
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool stop_ CECI_GUARDED_BY(mutex_) = false;
+  std::vector<Slot> ring_ CECI_GUARDED_BY(mutex_);
+  std::size_t next_ CECI_GUARDED_BY(mutex_) = 0;    // ring write cursor
+  std::size_t filled_ CECI_GUARDED_BY(mutex_) = 0;  // valid slots
+  MetricsSnapshot last_ CECI_GUARDED_BY(mutex_);    // cumulative at last Tick
+  Timer since_last_ CECI_GUARDED_BY(mutex_);
+};
+
+/// The ceci.serve.* view of one window delta.
+struct ServingWindow {
+  double covered_seconds = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t expired_in_queue = 0;
+  std::uint64_t cancelled = 0;
+  double qps = 0.0;         // submitted / covered
+  double error_rate = 0.0;  // (rejected + errors + expired) / submitted
+  /// From the ceci.serve.latency_us delta (log2-bucket precision).
+  std::uint64_t latency_count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+  double mean_us = 0.0;
+};
+
+ServingWindow ComputeServingWindow(const MetricsSnapshot& delta,
+                                   double covered_seconds);
+
+}  // namespace ceci
+
+#endif  // CECI_TELEMETRY_WINDOWS_H_

@@ -182,6 +182,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 /// Per-connection outcome tally, keyed by the response's termination.
 struct ConnStats {
   std::vector<std::uint64_t> latencies_us;
+  /// Requests actually sent to the server, *including* warmup requests
+  /// that the latency/outcome tallies exclude. This is the number to
+  /// reconcile against the server's ceci.serve.submitted counter and its
+  /// access-log line count.
+  std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t deadline = 0;
   std::uint64_t limit = 0;
@@ -323,7 +328,12 @@ int main(int argc, char** argv) {
       }
       const std::string& request = request_lines[sampler.Sample(uniform(rng))];
       Timer latency;
-      if (!SendAll(fd, request) || !ReadLine(fd, &buffer, &line)) {
+      if (!SendAll(fd, request)) {
+        local.io_error = true;
+        break;
+      }
+      local.offered += 1;
+      if (!ReadLine(fd, &buffer, &line)) {
         local.io_error = true;
         break;
       }
@@ -383,6 +393,7 @@ int main(int argc, char** argv) {
   for (const ConnStats& s : stats) {
     total.latencies_us.insert(total.latencies_us.end(),
                               s.latencies_us.begin(), s.latencies_us.end());
+    total.offered += s.offered;
     total.completed += s.completed;
     total.deadline += s.deadline;
     total.limit += s.limit;
@@ -401,6 +412,8 @@ int main(int argc, char** argv) {
   std::printf("ceci_loadgen: mix=%s connections=%zu zipf=%.2f elapsed=%.1fs\n",
               args.workload.mix.c_str(), args.connections, args.zipf,
               elapsed_s);
+  std::printf("offered: %llu\n",
+              static_cast<unsigned long long>(total.offered));
   std::printf(
       "requests: %llu (completed %llu, deadline %llu, limit %llu, "
       "cancelled %llu, memory_budget %llu, busy %llu, err %llu)\n",
@@ -433,7 +446,8 @@ int main(int argc, char** argv) {
           << ",\"limit\":" << args.limit
           << ",\"deadline_ms\":" << args.deadline_ms
           << ",\"warmup_s\":" << args.warmup_s
-          << ",\"elapsed_s\":" << elapsed_s << ",\"requests\":"
+          << ",\"elapsed_s\":" << elapsed_s << ",\"offered\":" << total.offered
+          << ",\"requests\":"
           << latency.count << ",\"qps\":" << qps << ",\"latency_us\":{"
           << "\"mean\":" << latency.mean_us << ",\"p50\":" << latency.p50_us
           << ",\"p95\":" << latency.p95_us << ",\"p99\":" << latency.p99_us

@@ -7,7 +7,11 @@
 //   ceci_serve: listening on HOST:PORT
 //
 // to stdout once ready, so scripts using --port 0 can scrape the
-// ephemeral port.
+// ephemeral port. With --telemetry-port it additionally prints
+//
+//   ceci_serve: telemetry on HOST:PORT
+//
+// and serves GET /metrics (Prometheus), /varz (JSON), /healthz there.
 //
 //   ceci_serve --data graph.txt --port 0 --pool-threads 4
 //
@@ -34,6 +38,12 @@
 //                          incompatible with --no-cache.
 //   --no-mmap              load --index images by copying instead of mmap
 //   --duration-s N         exit cleanly after N seconds, 0 = until signal
+//   --telemetry-port N     serve /metrics /varz /healthz on this port
+//                          (0 = ephemeral; omit the flag to disable)
+//   --access-log PATH      append one JSONL record per request
+//   --slo-availability-target F  availability objective  (default: 0.999)
+//   --slo-latency-ms N     latency objective threshold, 0 = disabled
+//   --slo-latency-target F fraction under the threshold  (default: 0.99)
 //   --help                 print this help and exit 0
 //
 // Exit codes: 0 clean shutdown, 1 I/O error, 2 usage error.
@@ -41,6 +51,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +60,10 @@
 #include "graphio/edge_list.h"
 #include "serve/query_service.h"
 #include "serve/tcp_server.h"
+#include "telemetry/access_log.h"
+#include "telemetry/http_server.h"
+#include "telemetry/server_telemetry.h"
+#include "util/metrics_registry.h"
 #include "util/timer.h"
 
 namespace {
@@ -69,6 +84,10 @@ struct Args {
   bool use_mmap = true;
   std::size_t max_connections = 64;
   double duration_s = 0.0;
+  /// -1 = telemetry HTTP endpoint disabled; 0 = ephemeral port.
+  int telemetry_port = -1;
+  std::string access_log;
+  SloConfig slo;
   bool help = false;
 };
 
@@ -82,7 +101,10 @@ void Usage(std::FILE* out, const char* argv0) {
                "          [--degraded-deadline-ms N] [--degraded-limit N]\n"
                "          [--max-connections N] [--no-cache]\n"
                "          [--index PATH]... [--no-mmap]\n"
-               "          [--duration-s N] [--help]\n"
+               "          [--duration-s N] [--telemetry-port N]\n"
+               "          [--access-log PATH] [--slo-availability-target F]\n"
+               "          [--slo-latency-ms N] [--slo-latency-target F]\n"
+               "          [--help]\n"
                "protocol: MATCH <pattern> | MATCHX k=v,... <pattern> | "
                "STATS | PING | QUIT\n"
                "exit codes: 0 clean shutdown, 1 I/O error, 2 usage\n",
@@ -167,6 +189,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->duration_s = std::strtod(v, nullptr);
+    } else if (flag == "--telemetry-port") {
+      const char* v = next();
+      if (!v) return false;
+      args->telemetry_port = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (args->telemetry_port < 0) return false;
+    } else if (flag == "--access-log") {
+      const char* v = next();
+      if (!v) return false;
+      args->access_log = v;
+    } else if (flag == "--slo-availability-target") {
+      const char* v = next();
+      if (!v) return false;
+      args->slo.availability_target = std::strtod(v, nullptr);
+    } else if (flag == "--slo-latency-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->slo.latency_threshold_us = std::strtod(v, nullptr) * 1e3;
+    } else if (flag == "--slo-latency-target") {
+      const char* v = next();
+      if (!v) return false;
+      args->slo.latency_target = std::strtod(v, nullptr);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -205,6 +248,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!args.access_log.empty()) {
+    auto log = AccessLog::Open(args.access_log);
+    if (!log.ok()) {
+      std::fprintf(stderr, "access log: %s\n",
+                   log.status().ToString().c_str());
+      return 1;
+    }
+    args.service.access_log = std::move(log).value();
+  }
+
   QueryService service(*data, args.service);
   for (const std::string& path : args.indexes) {
     Status installed = service.InstallPrebuiltIndex(path, args.use_mmap);
@@ -216,10 +269,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ceci_serve: installed prebuilt index %s\n",
                  path.c_str());
   }
+  // Telemetry always runs (STATS reports uptime/build/windows whether or
+  // not the HTTP endpoint is enabled); the scrape listener is opt-in.
+  ServerTelemetryOptions telemetry_options;
+  telemetry_options.slo = args.slo;
+  ServerTelemetry telemetry(MetricsRegistry::Global(), telemetry_options);
+  telemetry.Start();
+
   TcpServerOptions tcp;
   tcp.host = args.host;
   tcp.port = args.port;
   tcp.max_connections = args.max_connections;
+  tcp.telemetry = &telemetry;
   TcpServer server(service, tcp);
   Status started = server.Start();
   if (!started.ok()) {
@@ -230,6 +291,23 @@ int main(int argc, char** argv) {
               server.port());
   std::fflush(stdout);
 
+  std::unique_ptr<TelemetryHttpServer> scrape_server;
+  if (args.telemetry_port >= 0) {
+    TelemetryHttpOptions http;
+    http.host = args.host;
+    http.port = args.telemetry_port;
+    scrape_server = std::make_unique<TelemetryHttpServer>(telemetry, http);
+    Status scrape_started = scrape_server->Start();
+    if (!scrape_started.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n",
+                   scrape_started.ToString().c_str());
+      return 1;
+    }
+    std::printf("ceci_serve: telemetry on %s:%d\n", args.host.c_str(),
+                scrape_server->port());
+    std::fflush(stdout);
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   Timer uptime;
@@ -238,8 +316,10 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  if (scrape_server != nullptr) scrape_server->Stop();
   server.Stop();
   service.Shutdown();
+  telemetry.Stop();
   std::printf("ceci_serve: shut down after %.1fs\n", uptime.Seconds());
   return 0;
 }

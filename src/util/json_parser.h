@@ -1,0 +1,63 @@
+// Minimal recursive-descent JSON parser (RFC 8259 subset) for tooling
+// that consumes the JSON this codebase emits: `ceci_top` polling /varz,
+// scripts reading metrics snapshots, tests round-tripping JsonWriter
+// output. Numbers are held as double (plus the raw text for exact
+// integer reads); objects preserve no duplicate keys (last wins).
+//
+//   auto doc = ParseJson(R"({"qps": 12.5, "windows": {"10s": {...}}})");
+//   if (doc.ok()) double qps = doc->Get("qps")->AsDouble();
+//
+// Not a streaming parser and not hardened against adversarial input
+// beyond depth/size limits — both sides of the exchange are this
+// project's own tools.
+#ifndef CECI_UTIL_JSON_PARSER_H_
+#define CECI_UTIL_JSON_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ceci {
+
+/// One parsed JSON value. A tagged union kept deliberately simple: the
+/// containers are plain std types so callers can iterate directly.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw_number;  // original text, for exact u64 reads
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+  /// Dotted-path convenience: Find("windows.10s.qps").
+  const JsonValue* Find(std::string_view dotted_path) const;
+
+  /// Coercions return the fallback when the value has the wrong kind.
+  double AsDouble(double fallback = 0.0) const;
+  std::uint64_t AsUint(std::uint64_t fallback = 0) const;
+  std::int64_t AsInt(std::int64_t fallback = 0) const;
+  bool AsBool(bool fallback = false) const;
+  const std::string& AsString() const;  // "" for non-strings
+};
+
+/// Parses one JSON document (leading/trailing whitespace tolerated;
+/// trailing garbage is an error). Fails with kInvalidArgument naming the
+/// byte offset of the first problem.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace ceci
+
+#endif  // CECI_UTIL_JSON_PARSER_H_

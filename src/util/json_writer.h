@@ -67,8 +67,12 @@ class JsonWriter {
     out_ += buf;
   }
 
-  // Key/value conveniences for flat objects.
+  // Key/value conveniences for flat objects. The const char* overload
+  // exists because a string literal or char-pointer value would otherwise
+  // pick the bool overload (pointer->bool is a standard conversion and
+  // beats the user-defined one to string_view), silently writing `true`.
   void KV(std::string_view k, std::string_view v) { Key(k); String(v); }
+  void KV(std::string_view k, const char* v) { Key(k); String(v); }
   void KV(std::string_view k, std::uint64_t v) { Key(k); Uint(v); }
   void KV(std::string_view k, std::int64_t v) { Key(k); Int(v); }
   void KV(std::string_view k, double v) { Key(k); Double(v); }

@@ -25,12 +25,6 @@ std::size_t BucketOf(std::uint64_t value) {
   return static_cast<std::size_t>(std::bit_width(value));
 }
 
-std::uint64_t BucketUpperBound(std::size_t bucket) {
-  if (bucket == 0) return 0;
-  if (bucket >= 64) return ~0ull;
-  return (1ull << bucket) - 1;
-}
-
 }  // namespace
 
 std::uint64_t HistogramSnapshot::Percentile(double p) const {

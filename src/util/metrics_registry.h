@@ -104,6 +104,16 @@ struct HistogramSnapshot {
   /// is b, i.e. the range [2^(b-1), 2^b) (bucket 0 holds the value 0).
   std::vector<std::uint64_t> buckets;
 
+  /// Largest value bucket `b` can hold: 0 for bucket 0, 2^b - 1 otherwise
+  /// (saturating at UINT64_MAX). Shared by Percentile(), the Prometheus
+  /// exposition renderer (telemetry/exposition.h), and the SLO latency
+  /// accounting, so every consumer agrees on the bucket boundaries.
+  static std::uint64_t BucketUpperBound(std::size_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket >= 64) return ~0ull;
+    return (1ull << bucket) - 1;
+  }
+
   /// Upper bound of the bucket containing the p-th percentile (p in
   /// [0, 100]); exact to within a factor of 2. Returns 0 on empty.
   std::uint64_t Percentile(double p) const;

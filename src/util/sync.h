@@ -30,6 +30,7 @@
 #ifndef CECI_UTIL_SYNC_H_
 #define CECI_UTIL_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>  // lint: raw-mutex (wrapped here, once)
 #include <mutex>               // lint: raw-mutex (wrapped here, once)
 
@@ -162,6 +163,20 @@ class CondVar {
                                       std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Blocks until notified or `seconds` elapsed, whichever comes first.
+  /// Returns true when notified (or spuriously woken), false on timeout;
+  /// either way the caller still holds `mutex` and must re-check its
+  /// condition in a loop. Used by periodic background work (the windowed
+  /// metrics sampler) that must wake promptly on shutdown.
+  bool WaitFor(Mutex& mutex, double seconds) CECI_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_,  // lint: raw-mutex
+                                      std::adopt_lock);
+    const auto status = cv_.wait_for(lock, std::chrono::duration<double>(
+                                               seconds < 0.0 ? 0.0 : seconds));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <set>
+#include <utility>
 
 #include "util/json_writer.h"
 
@@ -31,6 +32,10 @@ thread_local std::uint32_t t_ordinal = 0;
 // physical thread ordinal.
 thread_local std::uint32_t t_lane = 0;
 thread_local bool t_lane_set = false;
+
+// Correlation tag pinned by TraceTag (request id in serving mode).
+thread_local std::string t_tag;
+thread_local bool t_tag_set = false;
 
 }  // namespace
 
@@ -119,6 +124,7 @@ void Tracer::AppendJson(JsonWriter* writer) const {
     writer->KV("depth", static_cast<std::uint64_t>(e.depth));
     writer->KV("start_seconds", e.start_seconds);
     writer->KV("duration_seconds", e.duration_seconds);
+    if (!e.tag.empty()) writer->KV("tag", e.tag);
     writer->EndObject();
   }
   writer->EndArray();
@@ -166,6 +172,7 @@ std::string Tracer::ChromeTraceJson() const {
     w.BeginObject();
     w.KV("thread", static_cast<std::uint64_t>(e.thread));
     w.KV("depth", static_cast<std::uint64_t>(e.depth));
+    if (!e.tag.empty()) w.KV("request_id", e.tag);
     w.EndObject();
     w.EndObject();
   }
@@ -200,6 +207,7 @@ TraceSpan::~TraceSpan() {
   event.depth = t_depth;
   event.start_seconds = start_;
   event.duration_seconds = tracer.Now() - start_;
+  if (t_tag_set) event.tag = t_tag;
   tracer.Record(std::move(event));
 }
 
@@ -213,5 +221,18 @@ TraceLane::~TraceLane() {
   t_lane = saved_lane_;
   t_lane_set = saved_set_;
 }
+
+TraceTag::TraceTag(std::string_view tag)
+    : saved_tag_(std::move(t_tag)), saved_set_(t_tag_set) {
+  t_tag.assign(tag.data(), tag.size());
+  t_tag_set = true;
+}
+
+TraceTag::~TraceTag() {
+  t_tag = std::move(saved_tag_);
+  t_tag_set = saved_set_;
+}
+
+std::string TraceTag::Current() { return t_tag_set ? t_tag : std::string(); }
 
 }  // namespace ceci

@@ -48,6 +48,9 @@ struct TraceEvent {
   std::uint32_t depth = 0;
   double start_seconds = 0.0;     // since Enable()/Clear()
   double duration_seconds = 0.0;
+  /// Request correlation tag pinned by TraceTag (serving: the request id
+  /// generated at accept time). Empty outside a tagged scope.
+  std::string tag;
 };
 
 class Tracer {
@@ -150,6 +153,30 @@ class TraceLane {
 
  private:
   std::uint32_t saved_lane_ = 0;
+  bool saved_set_ = false;
+};
+
+/// Pins a correlation tag (request id) onto every span the calling thread
+/// closes while the object lives; restores the previous tag on
+/// destruction. The serving layer opens one per session so trace events
+/// and profiler output can be joined back to the access-log record with
+/// the same id (docs/observability.md#request-scoped-tracing). Like
+/// TraceLane, construct it BEFORE the spans it should tag, and note the
+/// tag does not follow work handed to shared pool threads — it is
+/// per-thread state, so pool workers' spans stay untagged.
+class TraceTag {
+ public:
+  explicit TraceTag(std::string_view tag);
+  ~TraceTag();
+
+  TraceTag(const TraceTag&) = delete;
+  TraceTag& operator=(const TraceTag&) = delete;
+
+  /// The calling thread's current tag ("" when none is pinned).
+  static std::string Current();
+
+ private:
+  std::string saved_tag_;
   bool saved_set_ = false;
 };
 

@@ -9,8 +9,11 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <future>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +26,8 @@
 #include "gen/random_graphs.h"
 #include "graphio/pattern_parser.h"
 #include "serve/query_service.h"
+#include "telemetry/access_log.h"
+#include "util/json_parser.h"
 
 namespace ceci {
 namespace {
@@ -338,6 +343,133 @@ TEST(QueryServiceTest, PrebuiltIndexRequiresTheCache) {
   Status status = service.InstallPrebuiltIndex(path);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------- telemetry plumbing
+
+TEST(QueryServiceTest, AssignsRequestIdsAndEchoesProvidedOnes) {
+  const Graph data = TestData();
+  ServiceOptions options;
+  options.pool_threads = 0;
+  QueryService service(data, options);
+
+  // The frontend mints ids at accept time; the response echoes them.
+  ServeRequest tagged;
+  tagged.pattern = kWedge;
+  tagged.request_id = "r-frontend-7";
+  EXPECT_EQ(service.Execute(std::move(tagged)).request_id, "r-frontend-7");
+
+  // Direct submissions (tests, embedded use) get a generated id.
+  ServeRequest bare;
+  bare.pattern = kWedge;
+  ServeResponse response = service.Execute(std::move(bare));
+  EXPECT_EQ(response.request_id.rfind("r-", 0), 0u) << response.request_id;
+}
+
+std::string AccessLogPath(const char* stem) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + "_" + std::to_string(::getpid()) + ".jsonl"))
+      .string();
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(QueryServiceTest, AccessLogRecordsEveryOutcome) {
+  const Graph data = TestData();
+  const std::string path = AccessLogPath("svc_access");
+  std::filesystem::remove(path);
+
+  Gate gate;
+  ServiceOptions options;
+  options.pool_threads = 0;
+  options.limits.max_concurrent = 1;
+  options.limits.max_queue = 1;
+  options.pre_match_hook = gate.Hook();
+  options.access_log = std::move(AccessLog::Open(path)).value();
+  QueryService service(data, options);
+
+  // Session 0 runs (held at the gate), session 1 queues, session 2 is
+  // rejected — and must STILL produce an access-log record.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest request;
+    request.pattern = kWedge;
+    request.request_id = "r-outcome-" + std::to_string(i);
+    futures.push_back(service.Submit(std::move(request)));
+    if (i == 0) gate.AwaitHeld(1);
+  }
+  ASSERT_EQ(futures[2].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(futures[2].get().admission, Admission::kRejected);
+  gate.Open();
+  EXPECT_EQ(futures[0].get().termination, TerminationReason::kCompleted);
+  EXPECT_EQ(futures[1].get().termination, TerminationReason::kCompleted);
+
+  // An error outcome (malformed pattern) also lands in the log.
+  ServeRequest bad;
+  bad.pattern = "((((";
+  bad.request_id = "r-outcome-err";
+  EXPECT_FALSE(service.Execute(std::move(bad)).status.ok());
+  service.Shutdown();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  std::map<std::string, std::string> outcome_by_id;
+  for (const std::string& line : lines) {
+    auto record = ParseJson(line);
+    ASSERT_TRUE(record.ok()) << line;
+    outcome_by_id[record->Get("request_id")->AsString()] =
+        record->Get("outcome")->AsString();
+    EXPECT_GE(record->Get("total_us")->AsUint(), 0u);
+  }
+  EXPECT_EQ(outcome_by_id.at("r-outcome-0"), "ok");
+  EXPECT_EQ(outcome_by_id.at("r-outcome-1"), "ok");
+  EXPECT_EQ(outcome_by_id.at("r-outcome-2"), "busy");
+  EXPECT_EQ(outcome_by_id.at("r-outcome-err"), "error");
+  std::filesystem::remove(path);
+}
+
+TEST(QueryServiceTest, AccessLogCapturesCacheHitAndBudget) {
+  const Graph data = TestData();
+  const std::string path = AccessLogPath("svc_access_cache");
+  std::filesystem::remove(path);
+
+  ServiceOptions options;
+  options.pool_threads = 2;
+  options.access_log = std::move(AccessLog::Open(path)).value();
+  QueryService service(data, options);
+
+  // Same pattern twice: first request builds the index, second hits the
+  // cache — both responses and both log records must say which was which.
+  for (int i = 0; i < 2; ++i) {
+    ServeRequest request;
+    request.pattern = kTriangle;
+    ServeResponse response = service.Execute(std::move(request));
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.cache_hit, i == 1);
+  }
+  service.Shutdown();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  auto first = ParseJson(lines[0]);
+  auto second = ParseJson(lines[1]);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_FALSE(first->Get("cache_hit")->AsBool());
+  EXPECT_TRUE(second->Get("cache_hit")->AsBool());
+  // Both requests share one fingerprint (same pattern), distinct ids.
+  EXPECT_EQ(first->Get("fingerprint")->AsString(),
+            second->Get("fingerprint")->AsString());
+  EXPECT_NE(first->Get("request_id")->AsString(),
+            second->Get("request_id")->AsString());
+  EXPECT_GT(first->Get("budget_charged_bytes")->AsUint(), 0u);
   std::filesystem::remove(path);
 }
 

@@ -76,6 +76,30 @@ TEST(ProtocolTest, OkResponseRoundTrips) {
   EXPECT_EQ(parsed->index_bytes, 4096u);
 }
 
+TEST(ProtocolTest, RequestIdRoundTripsInOkLine) {
+  ServeResponse response;
+  response.request_id = "r-4f2a9c1d-17";
+  response.embeddings = 3;
+  response.termination = TerminationReason::kCompleted;
+  const std::string line = FormatResponseLine(response);
+  // rid leads the field list so log scrapers can grab it positionally.
+  EXPECT_EQ(line.rfind("OK rid=r-4f2a9c1d-17 ", 0), 0u) << line;
+  auto parsed = ParseResponseLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->request_id, "r-4f2a9c1d-17");
+  EXPECT_EQ(parsed->embeddings, 3u);
+}
+
+TEST(ProtocolTest, OkLineWithoutRidStaysParseable) {
+  // Back-compat: pre-telemetry servers emit no rid field.
+  auto parsed = ParseResponseLine(
+      "OK embeddings=7 termination=completed admission=accepted "
+      "queue_us=1 exec_us=2 total_us=3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->request_id.empty());
+  EXPECT_EQ(parsed->embeddings, 7u);
+}
+
 TEST(ProtocolTest, RejectionFormatsAsBusy) {
   ServeResponse response;
   response.admission = Admission::kRejected;

@@ -2,12 +2,16 @@
 // exercised exactly as a user would run them.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "json_test_util.h"
 
@@ -345,7 +349,9 @@ TEST_F(ToolsTest, HelpFlagsDocumentTheCliContract) {
         "--threads-per-query", "--max-concurrent", "--max-queue",
         "--degrade-depth", "--default-deadline-ms",
         "--degraded-deadline-ms", "--degraded-limit", "--max-connections",
-        "--no-cache", "--duration-s"}) {
+        "--no-cache", "--duration-s", "--telemetry-port", "--access-log",
+        "--slo-availability-target", "--slo-latency-ms",
+        "--slo-latency-target"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << "ceci_serve " << flag;
   }
   EXPECT_NE(help.find("MATCHX"), std::string::npos);
@@ -500,6 +506,179 @@ TEST_F(ToolsTest, ServeFromPrebuiltIndexEndToEnd) {
     if (!shut_down) ::usleep(50 * 1000);
   }
   EXPECT_TRUE(shut_down) << Slurp(log);
+}
+
+// Scrapes "ceci_serve: <what> on HOST:PORT" from the server log; 0 until
+// the banner appears.
+int BannerPort(const std::string& log, const std::string& what) {
+  const std::size_t at = log.find(what + " on ");
+  if (at == std::string::npos) return 0;
+  const std::size_t eol = log.find('\n', at);
+  const std::string line = log.substr(at, eol - at);
+  const std::size_t colon = line.rfind(':');
+  if (colon == std::string::npos) return 0;
+  return std::atoi(line.c_str() + colon + 1);
+}
+
+// Minimal HTTP GET against 127.0.0.1:port; returns headers + body, or ""
+// on any socket failure (callers assert on content).
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpBody(const std::string& response) {
+  const std::size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+// The full observability path: ceci_serve with a telemetry listener and
+// an access log, driven by ceci_loadgen for an exact request count, then
+// reconciled three ways — loadgen's offered tally, the server's
+// ceci.serve.submitted counter (via /varz), and the access-log line
+// count must all agree. ceci_top renders a frame from the same endpoint.
+TEST_F(ToolsTest, TelemetryEndpointAccessLogAndTopEndToEnd) {
+  ASSERT_EQ(Run("ceci_generate",
+                "--family social --n 1500 --attach 5 --labels 4 --seed 23 "
+                "--out " + File("g.txt") + " --format labeled"),
+            0);
+  const std::string log = File("serve.log");
+  const std::string access = File("access.jsonl");
+  ASSERT_EQ(std::system((std::string(CECI_TOOLS_DIR) +
+                         "/ceci_serve --data " + File("g.txt") +
+                         " --format labeled --port 0 --telemetry-port 0 "
+                         "--access-log " + access +
+                         " --slo-latency-ms 500 --pool-threads 2 "
+                         "--max-concurrent 2 --duration-s 120 > " + log +
+                         " 2>&1 & echo $! > " + File("pid"))
+                            .c_str()),
+            0);
+  int port = 0, telemetry_port = 0;
+  for (int attempt = 0; attempt < 200 && telemetry_port == 0; ++attempt) {
+    const std::string banner = Slurp(log);
+    port = BannerPort(banner, "listening");
+    telemetry_port = BannerPort(banner, "telemetry");
+    if (telemetry_port == 0) ::usleep(50 * 1000);
+  }
+  ASSERT_GT(port, 0) << Slurp(log);
+  ASSERT_GT(telemetry_port, 0) << Slurp(log);
+
+  // Health first: the listener must answer before any traffic.
+  EXPECT_NE(HttpGet(telemetry_port, "/healthz").find("200 OK"),
+            std::string::npos);
+
+  // Exactly 40 requests, no warmup: offered == submitted == log lines.
+  constexpr int kRequests = 40;
+  ASSERT_EQ(Run("ceci_loadgen",
+                "--port " + std::to_string(port) +
+                    " --connections 2 --requests " +
+                    std::to_string(kRequests) +
+                    " --warmup-s 0 --mix qg --limit 1000 --out " +
+                    File("run.jsonl") + " --label telemetry-e2e",
+                File("lg.txt")),
+            0);
+  auto run = ceci::testing::ParseJson(Slurp(File("run.jsonl")));
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(run->Num("offered"), static_cast<double>(kRequests));
+
+  // /metrics: exposition families present, and the cumulative submitted
+  // counter reconciles with what the load generator offered.
+  const std::string metrics = HttpBody(HttpGet(telemetry_port, "/metrics"));
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_NE(metrics.find("# TYPE ceci_serve_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ceci_serve_submitted " +
+                         std::to_string(kRequests) + "\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ceci_serve_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ceci_window_qps{window=\"1m\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ceci_uptime_seconds"), std::string::npos);
+  EXPECT_NE(metrics.find("ceci_build_info{"), std::string::npos);
+
+  // /varz: the JSON mirror agrees, and the windows cover the burst.
+  auto varz = ceci::testing::ParseJson(HttpBody(HttpGet(telemetry_port,
+                                                        "/varz")));
+  ASSERT_TRUE(varz.has_value());
+  EXPECT_EQ(varz->At("counters").Num("ceci.serve.submitted"),
+            static_cast<double>(kRequests));
+  EXPECT_EQ(varz->At("windows").At("5m").Num("submitted"),
+            static_cast<double>(kRequests));
+  EXPECT_FALSE(varz->At("build").At("version").str.empty());
+  EXPECT_GT(varz->Num("uptime_s"), 0.0);
+
+  // Access log: one parseable JSONL record per offered request.
+  std::ifstream in(access);
+  std::string line;
+  std::size_t access_lines = 0;
+  while (std::getline(in, line)) {
+    auto record = ceci::testing::ParseJson(line);
+    ASSERT_TRUE(record.has_value()) << line;
+    EXPECT_TRUE(record->Has("request_id")) << line;
+    EXPECT_TRUE(record->Has("fingerprint")) << line;
+    EXPECT_TRUE(record->Has("outcome")) << line;
+    EXPECT_TRUE(record->Has("total_us")) << line;
+    ++access_lines;
+  }
+  EXPECT_EQ(access_lines, static_cast<std::size_t>(kRequests));
+
+  // ceci_top renders one frame from the same endpoint and exits 0.
+  ASSERT_EQ(Run("ceci_top",
+                "--port " + std::to_string(telemetry_port) +
+                    " --iterations 1 --no-clear",
+                File("top.txt")),
+            0);
+  const std::string frame = Slurp(File("top.txt"));
+  EXPECT_NE(frame.find("ceci_top"), std::string::npos);
+  EXPECT_NE(frame.find("window"), std::string::npos);
+  EXPECT_NE(frame.find("10s"), std::string::npos);
+  EXPECT_NE(frame.find("slo burn"), std::string::npos);
+
+  const std::string pid = Slurp(File("pid"));
+  ASSERT_FALSE(pid.empty());
+  ASSERT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
+  bool shut_down = false;
+  for (int attempt = 0; attempt < 200 && !shut_down; ++attempt) {
+    shut_down = Slurp(log).find("shut down") != std::string::npos;
+    if (!shut_down) ::usleep(50 * 1000);
+  }
+  EXPECT_TRUE(shut_down) << Slurp(log);
+}
+
+TEST_F(ToolsTest, TopRejectsBadUsageAndUnreachableServer) {
+  EXPECT_EQ(Run("ceci_top", ""), 2);  // --port is required
+  EXPECT_EQ(Run("ceci_top", "--port 1 --interval-s 0"), 2);
+  ASSERT_EQ(Run("ceci_top", "--help", File("t.txt")), 0);
+  const std::string help = Slurp(File("t.txt"));
+  for (const char* flag : {"--host", "--port", "--interval-s",
+                           "--iterations", "--no-clear", "--help"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << "ceci_top " << flag;
+  }
+  // Nothing listens on this port: connection errors exit 1, not a hang.
+  EXPECT_EQ(Run("ceci_top", "--port 1 --iterations 1 2>/dev/null"), 1);
 }
 
 TEST_F(ToolsTest, BudgetFlagsRejectBadValues) {

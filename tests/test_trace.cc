@@ -13,6 +13,7 @@
 #include "json_test_util.h"
 #include "test_support.h"
 #include "util/intersection.h"
+#include "util/json_writer.h"
 #include "util/metrics_registry.h"
 #include "util/trace.h"
 
@@ -156,6 +157,76 @@ TEST_F(TraceTest, ChromeTraceJsonIsValidAndCarriesWorkerLanes) {
   // Scheduler workers pin lanes 1..threads; at least one worker lane must
   // appear beyond the main lane 0.
   EXPECT_GE(metadata_lanes.size(), 2u);
+}
+
+TEST_F(TraceTest, TraceTagStampsSpansAndRestoresOnExit) {
+  Tracer::Global().Enable();
+  EXPECT_EQ(TraceTag::Current(), "");
+  {
+    TraceTag outer("r-outer-1");
+    EXPECT_EQ(TraceTag::Current(), "r-outer-1");
+    { TraceSpan span("tagged"); }
+    {
+      TraceTag inner("r-inner-2");  // nests: innermost tag wins
+      EXPECT_EQ(TraceTag::Current(), "r-inner-2");
+      { TraceSpan span("inner_tagged"); }
+    }
+    EXPECT_EQ(TraceTag::Current(), "r-outer-1");
+  }
+  EXPECT_EQ(TraceTag::Current(), "");
+  { TraceSpan span("untagged"); }
+
+  const auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 3u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "tagged") {
+      EXPECT_EQ(e.tag, "r-outer-1");
+    } else if (e.name == "inner_tagged") {
+      EXPECT_EQ(e.tag, "r-inner-2");
+    } else {
+      EXPECT_EQ(e.name, "untagged");
+      EXPECT_EQ(e.tag, "");
+    }
+  }
+}
+
+TEST_F(TraceTest, TagSurfacesInJsonAndChromeTraceExports) {
+  Tracer::Global().Enable();
+  {
+    TraceTag tag("r-abc123-9");
+    TraceSpan span("serve/process");
+  }
+  { TraceSpan span("untagged"); }
+
+  JsonWriter writer;
+  Tracer::Global().AppendJson(&writer);
+  auto doc = ParseJson(std::move(writer).Take());
+  ASSERT_TRUE(doc.has_value());
+  bool saw_tagged = false, saw_untagged = false;
+  for (const JsonValue& e : doc->array) {
+    if (e.At("name").str == "serve/process") {
+      EXPECT_EQ(e.At("tag").str, "r-abc123-9");
+      saw_tagged = true;
+    } else {
+      EXPECT_FALSE(e.Has("tag")) << "untagged spans must omit the field";
+      saw_untagged = true;
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+  EXPECT_TRUE(saw_untagged);
+
+  // Chrome trace spells the tag request_id under args, where Perfetto's
+  // event detail pane shows it.
+  auto chrome = ParseJson(Tracer::Global().ChromeTraceJson());
+  ASSERT_TRUE(chrome.has_value());
+  bool chrome_tagged = false;
+  for (const JsonValue& e : chrome->At("traceEvents").array) {
+    if (e.At("ph").str == "X" && e.At("name").str == "serve/process") {
+      EXPECT_EQ(e.At("args").At("request_id").str, "r-abc123-9");
+      chrome_tagged = true;
+    }
+  }
+  EXPECT_TRUE(chrome_tagged);
 }
 
 // The intersection kernels batch their counters thread-locally (flush
