@@ -1,0 +1,211 @@
+#!/usr/bin/env bash
+# Multi-process matching benchmark (docs/robustness.md#multi-process-
+# matching-and-crash-recovery): run ceci_query --dist over a small
+# dataset/query grid twice per cell — failure-free, then with a scripted
+# SIGKILL — and assemble BENCH_dist.json, or validate an already-
+# committed file's schema and claims.
+#
+#   scripts/bench_dist.sh                  # run, write BENCH_dist.json
+#   scripts/bench_dist.sh --out PATH       # write elsewhere
+#   scripts/bench_dist.sh --workers 3      # worker-process count
+#   scripts/bench_dist.sh --validate PATH  # schema + claims check (CI)
+#
+# The bench closes the loop on the simulator's cost model: each worker
+# reports both its *measured* enumeration time and the time the
+# CostModel *predicted* for its unit mix, and the assembled file fits
+# enum_seconds_per_cardinality = sum(measured enum seconds) /
+# sum(cardinality executed) across all clean runs — the constant to feed
+# back into distsim so modeled crash timing tracks this machine.
+#
+# Validation enforces the recovery claims, which are deterministic, and
+# stays deliberately loose on wall-clock numbers (CI machines vary):
+# every (dataset, query) cell has a clean and a chaos run with equal
+# embedding totals; every chaos run actually killed a worker, re-adopted
+# orphans, redelivered units, and still passed the cross-process audit;
+# and the fitted cost-model rate is positive and finite.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+build_dir="build"
+out="BENCH_dist.json"
+workers=3
+validate=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="${2:?--out needs a path}"; shift ;;
+    --build-dir) build_dir="${2:?--build-dir needs a path}"; shift ;;
+    --workers) workers="${2:?--workers needs a count}"; shift ;;
+    --validate) validate="${2:?--validate needs a path}"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+validate_file() {
+  python3 - "$1" <<'EOF'
+import json, math, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["bench"] == "dist"
+runs = doc["runs"]
+by_cell = {}
+for r in runs:
+    key = (r["dataset"], r["query"])
+    by_cell.setdefault(key, {})[r["mode"]] = r
+assert len(by_cell) >= 4, f"need >= 4 (dataset, query) cells, got {len(by_cell)}"
+for (d, q), pair in sorted(by_cell.items()):
+    assert set(pair) == {"clean", "chaos"}, f"{d}/{q} missing a mode"
+    clean, chaos = pair["clean"], pair["chaos"]
+    for r in (clean, chaos):
+        assert r["audit_ok"], f"{d}/{q} {r['mode']}: cross-process audit failed"
+        assert r["total_units"] > 0, f"{d}/{q} {r['mode']}: no work units"
+    # The recovery contract: a real SIGKILL mid-run loses nothing and
+    # duplicates nothing.
+    assert chaos["embeddings"] == clean["embeddings"], (
+        f"{d}/{q}: chaos total {chaos['embeddings']} != "
+        f"clean total {clean['embeddings']}")
+    assert clean["crashed_workers"] == 0, f"{d}/{q}: clean run crashed"
+    assert chaos["crashed_workers"] == 1, f"{d}/{q}: expected one crash"
+    assert chaos["reassigned_clusters"] > 0, f"{d}/{q}: nothing re-adopted"
+    assert chaos["redelivered_units"] > 0, f"{d}/{q}: nothing redelivered"
+model = doc["cost_model"]
+rate = model["fitted_enum_seconds_per_cardinality"]
+assert rate > 0 and math.isfinite(rate), f"bad fitted rate {rate}"
+assert model["total_cardinality"] > 0
+print(f"BENCH_dist.json OK: {len(runs)} runs over {len(by_cell)} cells; "
+      f"all chaos totals equal clean; fitted enum rate "
+      f"{rate:.3e} s/cardinality over {model['total_cardinality']} units")
+EOF
+}
+
+if [[ -n "$validate" ]]; then
+  validate_file "$validate"
+  exit 0
+fi
+
+query_bin="$build_dir/src/ceci_query"
+gen_bin="$build_dir/src/ceci_generate"
+worker_bin="$build_dir/src/ceci_worker"
+for bin in "$query_bin" "$gen_bin" "$worker_bin"; do
+  [[ -x "$bin" ]] || {
+    echo "missing $bin (build first: scripts/tier1.sh)" >&2
+    exit 1
+  }
+done
+
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+
+# A scripted early SIGKILL: worker 1 dies 2us into modeled time, before
+# it finishes anything, so every cell exercises orphan re-adoption.
+cat > "$bench_tmp/plan.json" <<'EOF'
+{"seed": 42, "crashes": [{"machine": 1, "at_seconds": 0.000002}]}
+EOF
+
+"$gen_bin" --family er --n 300 --m 1800 --labels 3 --seed 7 \
+  --format labeled --out "$bench_tmp/er300.graph" >/dev/null
+"$gen_bin" --family ba --n 400 --attach 4 --labels 3 --seed 11 \
+  --format labeled --out "$bench_tmp/ba400.graph" >/dev/null
+
+datasets=(er300 ba400)
+query_names=(triangle wedge path3)
+query_exprs=(
+  "(a)-(b); (b)-(c); (a)-(c)"
+  "(a)-(b); (b)-(c)"
+  "(a)-(b); (b)-(c); (c)-(d)"
+)
+
+manifest="$bench_tmp/manifest.tsv"
+: > "$manifest"
+for dataset in "${datasets[@]}"; do
+  for i in "${!query_names[@]}"; do
+    qname="${query_names[$i]}"
+    qexpr="${query_exprs[$i]}"
+    for mode in clean chaos; do
+      sidecar="$bench_tmp/$dataset.$qname.$mode.json"
+      args=(--data "$bench_tmp/$dataset.graph" --format labeled
+            --pattern "$qexpr" --dist "$workers"
+            --worker-binary "$worker_bin" --dist-json "$sidecar")
+      [[ "$mode" == chaos ]] && args+=(--failure-plan "$bench_tmp/plan.json")
+      "$query_bin" "${args[@]}" >/dev/null || {
+        echo "bench run failed: $dataset/$qname/$mode" >&2
+        exit 1
+      }
+      printf '%s\t%s\t%s\t%s\n' "$dataset" "$qname" "$mode" "$sidecar" \
+        >> "$manifest"
+    done
+  done
+done
+
+python3 - "$manifest" "$out" "$workers" <<'EOF'
+import json, sys
+manifest, out, workers = sys.argv[1:4]
+runs = []
+total_enum = 0.0
+total_modeled = 0.0
+total_cardinality = 0
+for line in open(manifest):
+    dataset, query, mode, sidecar = line.rstrip("\n").split("\t")
+    doc = json.load(open(sidecar))
+    per_worker = [
+        {
+            "worker_id": w["worker_id"],
+            "units_executed": w["units_executed"],
+            "cardinality_executed": w["cardinality_executed"],
+            "enum_seconds": w["enum_seconds"],
+            "modeled_enum_seconds": w["modeled_enum_seconds"],
+            "crashed": w["crashed"],
+        }
+        for w in doc["workers"]
+    ]
+    if mode == "clean":
+        total_enum += sum(w["enum_seconds"] for w in per_worker)
+        total_modeled += sum(w["modeled_enum_seconds"] for w in per_worker)
+        total_cardinality += sum(w["cardinality_executed"] for w in per_worker)
+    runs.append({
+        "dataset": dataset,
+        "query": query,
+        "mode": mode,
+        "embeddings": doc["embeddings"],
+        "total_units": doc["total_units"],
+        "crashed_workers": doc["crashed_workers"],
+        "reassigned_clusters": doc["reassigned_clusters"],
+        "redelivered_units": doc["redelivered_units"],
+        "stolen_units": doc["stolen_units"],
+        "wall_seconds": doc["wall_seconds"],
+        "audit_ok": doc["audit_ok"],
+        "workers": per_worker,
+    })
+fitted = total_enum / total_cardinality if total_cardinality else 0.0
+doc = {
+    "schema_version": 1,
+    "bench": "dist",
+    "config": {
+        "workers": int(workers),
+        "datasets": "er300 (ER n=300 m=1800), ba400 (BA n=400 attach=4)",
+        "queries": "triangle, wedge, path3",
+        "chaos_plan": "worker 1 SIGKILLed at modeled t=2us (seed 42)",
+        "command": f"ceci_query --dist {workers} [--failure-plan plan.json]",
+    },
+    "cost_model": {
+        # The regression distsim's CostModel consumes: measured
+        # enumeration seconds per unit of candidate cardinality,
+        # pooled over every clean run's workers.
+        "fitted_enum_seconds_per_cardinality": fitted,
+        "total_enum_seconds": total_enum,
+        "total_modeled_enum_seconds": total_modeled,
+        "total_cardinality": total_cardinality,
+        "modeled_over_measured":
+            (total_modeled / total_enum) if total_enum else 0.0,
+    },
+    "runs": runs,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}: {len(runs)} runs, fitted enum rate {fitted:.3e}")
+EOF
+
+validate_file "$out"

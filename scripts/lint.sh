@@ -123,16 +123,32 @@ if [[ -n "$hits" ]]; then
   fail "direct stdout/stderr output in library code (use CECI_LOG)" "$hits"
 fi
 
-# --- Rule: every registered ceci.* metric is documented. The counter
-# tables in docs/observability.md are the operator-facing contract for
-# /metrics and /varz; a metric registered in src/ but absent from the
+# --- Rule: raw process/socket primitives live in src/util/ only. The
+# supervisor's failure detection depends on every worker channel being a
+# close-on-exec socketpair owned by exactly one child (util/subprocess.h);
+# a stray fork or socketpair elsewhere can leak a descriptor into a
+# sibling and suppress the EOF that announces a crash. Network servers
+# and clients go through the same funnel so the primitives stay auditable
+# in one place; the pre-existing TCP call sites carry `// lint: raw-socket`
+# with a justification.
+hits=$(echo "$sources" | grep -E '^src/' | grep -v '^src/util/' \
+  | xargs grep -nE '::(fork|socketpair|execv|execve|waitpid|socket)\s*\(' 2>/dev/null \
+  | grep -v 'lint: raw-socket' || true)
+if [[ -n "$hits" ]]; then
+  fail "raw process/socket primitive outside src/util/ (use util/subprocess.h, or annotate // lint: raw-socket)" \
+    "$hits"
+fi
+
+# --- Rule: every registered ceci.* / dist.* metric is documented. The
+# counter tables in docs/observability.md are the operator-facing contract
+# for /metrics and /varz; a metric registered in src/ but absent from the
 # docs is invisible to whoever builds the dashboards. Names are extracted
 # from Get{Counter,Gauge,Histogram}("...") literals (whitespace-stripped
 # first, so wrapped call sites still match).
 metric_names=$(echo "$sources" | grep -E '^src/' | xargs cat 2>/dev/null \
   | tr -d ' \n' \
-  | grep -oE 'Get(Counter|Gauge|Histogram)\("ceci\.[a-zA-Z0-9_.]+"' \
-  | grep -oE 'ceci\.[a-zA-Z0-9_.]+' | sort -u)
+  | grep -oE 'Get(Counter|Gauge|Histogram)\("(ceci|dist|distsim)\.[a-zA-Z0-9_.]+"' \
+  | grep -oE '(ceci|dist|distsim)\.[a-zA-Z0-9_.]+' | sort -u)
 undocumented=""
 for name in $metric_names; do
   if ! grep -qF "$name" docs/observability.md; then

@@ -43,6 +43,17 @@
 #                                    # is not installed, unless
 #                                    # CECI_REQUIRE_CLANG=1 (the clang CI
 #                                    # lane) makes that fatal
+#   scripts/tier1.sh --dist          # additionally run the multi-process
+#                                    # suites (message codecs, failure-plan
+#                                    # fuzz, kill-9 chaos harness) plus a
+#                                    # supervisor smoke: a failure-free
+#                                    # --dist run must equal the single-
+#                                    # process count, and a scripted
+#                                    # kill -9 run must recover to the
+#                                    # same total with the recovery
+#                                    # visible in the report and the
+#                                    # --dist-json artifact
+#                                    # (docs/robustness.md)
 #   scripts/tier1.sh --serving       # additionally run the serving suites
 #                                    # (shared-pool concurrency, admission
 #                                    # control, wire protocol) plus a
@@ -62,6 +73,7 @@ audit_pass=0
 profile_pass=0
 lint_pass=0
 resilience_pass=0
+dist_pass=0
 serving_pass=0
 index_pass=0
 analyze_pass=0
@@ -73,6 +85,7 @@ while [[ $# -gt 0 ]]; do
     --profile) profile_pass=1 ;;
     --lint) lint_pass=1 ;;
     --resilience) resilience_pass=1 ;;
+    --dist) dist_pass=1 ;;
     --serving) serving_pass=1 ;;
     --index) index_pass=1 ;;
     --analyze) analyze_pass=1 ;;
@@ -224,6 +237,66 @@ if [[ "$resilience_pass" == 1 ]]; then
     --memory-budget-mb 1024 --audit > "$resilience_tmp/ok.txt"
   grep -q "^termination: completed$" "$resilience_tmp/ok.txt"
   echo "resilience smokes OK"
+fi
+
+if [[ "$dist_pass" == 1 ]]; then
+  echo "=== multi-process pass (supervisor, workers, kill-9 recovery) ==="
+  # -R matches gtest suite names: codec/transport/subprocess plumbing,
+  # the 200-plan failure fuzz against the simulator, and the real-process
+  # suite (failure-free exactness, 20 seeded SIGKILL trials, sim-vs-real
+  # differential accounting).
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R '(MessagesTest|FrameChannel|SubprocessTest|PlanIoTest|FailurePlanFuzz|DistProcess)' -j
+
+  dist_tmp="$(mktemp -d)"
+  trap 'rm -rf "$dist_tmp"' EXIT
+  "$build_dir/src/ceci_generate" --family er --n 300 --m 1800 --labels 3 \
+    --seed 7 --out "$dist_tmp/g.txt" --format labeled
+  # Ground truth from the single-process matcher.
+  "$build_dir/src/ceci_query" --data "$dist_tmp/g.txt" --format labeled \
+    --pattern "(a:0)-(b:1)-(c:2); (a)-(c)" > "$dist_tmp/single.txt"
+  want="$(grep '^embeddings:' "$dist_tmp/single.txt" | awk '{print $2}')"
+  [[ -n "$want" ]] || { echo "single-process run printed no count" >&2; exit 1; }
+  # Failure-free distributed run: same total, clean audit.
+  "$build_dir/src/ceci_query" --data "$dist_tmp/g.txt" --format labeled \
+    --pattern "(a:0)-(b:1)-(c:2); (a)-(c)" --dist 3 \
+    --dist-json "$dist_tmp/clean.json" | tee "$dist_tmp/dist.txt"
+  got="$(grep '^embeddings:' "$dist_tmp/dist.txt" | awk '{print $2}')"
+  [[ "$got" == "$want" ]] || { echo "dist run found $got embeddings," \
+    "single-process found $want" >&2; exit 1; }
+  grep -q "^audit: audit OK" "$dist_tmp/dist.txt"
+  # Chaos run: a scripted kill -9 of worker 1 mid-enumeration must recover
+  # to the identical total, with the recovery visible in the report.
+  cat > "$dist_tmp/plan.json" <<'EOF'
+{"seed": 42, "crashes": [{"machine": 1, "at_seconds": 0.000002}]}
+EOF
+  "$build_dir/src/ceci_query" --data "$dist_tmp/g.txt" --format labeled \
+    --pattern "(a:0)-(b:1)-(c:2); (a)-(c)" --dist 3 \
+    --failure-plan "$dist_tmp/plan.json" \
+    --dist-json "$dist_tmp/chaos.json" | tee "$dist_tmp/chaos.txt"
+  got="$(grep '^embeddings:' "$dist_tmp/chaos.txt" | awk '{print $2}')"
+  [[ "$got" == "$want" ]] || { echo "chaos run found $got embeddings," \
+    "single-process found $want" >&2; exit 1; }
+  grep -q "^recovery: 1 crashed" "$dist_tmp/chaos.txt"
+  grep -q "^audit: audit OK" "$dist_tmp/chaos.txt"
+  # Both JSON artifacts must parse and agree with the terminal output.
+  python3 - "$dist_tmp" "$want" <<'EOF'
+import json, sys
+tmp, want = sys.argv[1], int(sys.argv[2])
+clean = json.load(open(tmp + "/clean.json"))
+chaos = json.load(open(tmp + "/chaos.json"))
+assert clean["embeddings"] == want, (clean["embeddings"], want)
+assert chaos["embeddings"] == want, (chaos["embeddings"], want)
+assert clean["crashed_workers"] == 0 and clean["audit_ok"]
+assert chaos["crashed_workers"] == 1 and chaos["audit_ok"]
+assert chaos["reassigned_clusters"] > 0
+assert chaos["redelivered_units"] > 0
+victims = [w for w in chaos["workers"] if w["crashed"]]
+assert len(victims) == 1 and victims[0]["worker_id"] == 1, victims
+assert len(chaos["orphan_events"]) == chaos["reassigned_clusters"]
+print("dist smoke OK: %d embeddings, %d clusters re-adopted after kill -9"
+      % (want, chaos["reassigned_clusters"]))
+EOF
 fi
 
 if [[ "$serving_pass" == 1 ]]; then

@@ -1,0 +1,110 @@
+#include "dist/messages.h"
+
+namespace ceci::dist {
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("truncated ") + what + " payload");
+}
+
+Status Overlong(const char* what) {
+  return Status::Corruption(std::string("trailing bytes in ") + what +
+                            " payload");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeHello(const HelloMsg& msg) {
+  std::vector<std::uint8_t> buf;
+  PutU32(&buf, msg.worker_id);
+  PutU64(&buf, msg.pid);
+  PutU64(&buf, msg.arena_bytes);
+  return buf;
+}
+
+Result<HelloMsg> DecodeHello(std::span<const std::uint8_t> payload) {
+  HelloMsg msg;
+  std::size_t off = 0;
+  if (!GetU32(payload, &off, &msg.worker_id) ||
+      !GetU64(payload, &off, &msg.pid) ||
+      !GetU64(payload, &off, &msg.arena_bytes)) {
+    return Truncated("hello");
+  }
+  if (off != payload.size()) return Overlong("hello");
+  return msg;
+}
+
+std::vector<std::uint8_t> EncodeAssign(const AssignMsg& msg) {
+  std::vector<std::uint8_t> buf;
+  PutU64(&buf, msg.unit_id);
+  PutU32(&buf, msg.origin);
+  PutU32(&buf, static_cast<std::uint32_t>(msg.prefix.size()));
+  for (VertexId v : msg.prefix) PutU32(&buf, v);
+  return buf;
+}
+
+Result<AssignMsg> DecodeAssign(std::span<const std::uint8_t> payload) {
+  AssignMsg msg;
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!GetU64(payload, &off, &msg.unit_id) ||
+      !GetU32(payload, &off, &msg.origin) ||
+      !GetU32(payload, &off, &count)) {
+    return Truncated("assign");
+  }
+  // The length prefix must be consistent with the remaining bytes before
+  // we reserve anything — a corrupt count must not drive an allocation.
+  if (payload.size() - off != static_cast<std::size_t>(count) * 4) {
+    return count * 4 > payload.size() - off ? Truncated("assign")
+                                            : Overlong("assign");
+  }
+  msg.prefix.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VertexId v = 0;
+    if (!GetU32(payload, &off, &v)) return Truncated("assign");
+    msg.prefix.push_back(v);
+  }
+  return msg;
+}
+
+std::vector<std::uint8_t> EncodeResult(const ResultMsg& msg) {
+  std::vector<std::uint8_t> buf;
+  PutU64(&buf, msg.unit_id);
+  PutU64(&buf, msg.embeddings);
+  PutU64(&buf, msg.recursive_calls);
+  PutF64(&buf, msg.enum_seconds);
+  return buf;
+}
+
+Result<ResultMsg> DecodeResult(std::span<const std::uint8_t> payload) {
+  ResultMsg msg;
+  std::size_t off = 0;
+  if (!GetU64(payload, &off, &msg.unit_id) ||
+      !GetU64(payload, &off, &msg.embeddings) ||
+      !GetU64(payload, &off, &msg.recursive_calls) ||
+      !GetF64(payload, &off, &msg.enum_seconds)) {
+    return Truncated("result");
+  }
+  if (off != payload.size()) return Overlong("result");
+  return msg;
+}
+
+std::vector<std::uint8_t> EncodeHeartbeat(const HeartbeatMsg& msg) {
+  std::vector<std::uint8_t> buf;
+  PutU32(&buf, msg.worker_id);
+  PutU64(&buf, msg.units_done);
+  return buf;
+}
+
+Result<HeartbeatMsg> DecodeHeartbeat(std::span<const std::uint8_t> payload) {
+  HeartbeatMsg msg;
+  std::size_t off = 0;
+  if (!GetU32(payload, &off, &msg.worker_id) ||
+      !GetU64(payload, &off, &msg.units_done)) {
+    return Truncated("heartbeat");
+  }
+  if (off != payload.size()) return Overlong("heartbeat");
+  return msg;
+}
+
+}  // namespace ceci::dist

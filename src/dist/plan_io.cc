@@ -1,0 +1,86 @@
+#include "dist/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json_parser.h"
+
+namespace ceci::dist {
+
+Result<distsim::FailurePlan> ParseFailurePlanJson(std::string_view text) {
+  auto doc = ParseJson(text);
+  CECI_RETURN_IF_ERROR(doc.status());
+  const JsonValue& root = doc.value();
+  if (!root.is_object()) {
+    return Status::InvalidArgument("failure plan: top level must be an object");
+  }
+
+  distsim::FailurePlan plan;
+  plan.enabled = true;  // handing us a plan file means "inject failures"
+  if (const JsonValue* v = root.Get("enabled")) plan.enabled = v->AsBool(true);
+  if (const JsonValue* v = root.Get("seed")) plan.seed = v->AsUint();
+  if (const JsonValue* v = root.Get("storage_error_rate")) {
+    plan.storage_error_rate = v->AsDouble();
+  }
+  if (const JsonValue* v = root.Get("max_storage_retries")) {
+    plan.max_storage_retries = static_cast<std::size_t>(v->AsUint(4));
+  }
+  if (const JsonValue* v = root.Get("retry_backoff_seconds")) {
+    plan.retry_backoff_seconds = v->AsDouble(1e-3);
+  }
+
+  if (const JsonValue* crashes = root.Get("crashes")) {
+    if (!crashes->is_array()) {
+      return Status::InvalidArgument("failure plan: crashes must be an array");
+    }
+    for (const JsonValue& entry : crashes->array) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument(
+            "failure plan: crash entries must be objects");
+      }
+      distsim::MachineCrash crash;
+      if (const JsonValue* m = entry.Get("machine")) {
+        crash.machine = static_cast<std::size_t>(m->AsUint());
+      }
+      if (const JsonValue* t = entry.Get("at_seconds")) {
+        crash.at_seconds = t->AsDouble();
+      }
+      plan.crashes.push_back(crash);
+    }
+  }
+
+  if (const JsonValue* stragglers = root.Get("stragglers")) {
+    if (!stragglers->is_array()) {
+      return Status::InvalidArgument(
+          "failure plan: stragglers must be an array");
+    }
+    for (const JsonValue& entry : stragglers->array) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument(
+            "failure plan: straggler entries must be objects");
+      }
+      distsim::MachineStraggler straggler;
+      if (const JsonValue* m = entry.Get("machine")) {
+        straggler.machine = static_cast<std::size_t>(m->AsUint());
+      }
+      if (const JsonValue* s = entry.Get("slowdown")) {
+        straggler.slowdown = s->AsDouble(1.0);
+      }
+      plan.stragglers.push_back(straggler);
+    }
+  }
+
+  return plan;
+}
+
+Result<distsim::FailurePlan> ReadFailurePlanJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open failure plan: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseFailurePlanJson(buf.str());
+}
+
+}  // namespace ceci::dist

@@ -1,0 +1,40 @@
+// FailurePlan JSON loader for the chaos harness: `ceci_query
+// --failure-plan plan.json` and the tier-1 --dist smoke feed scripted
+// crash/straggler plans to both the simulation and the real-process
+// supervisor from the same file, so differential tests exercise one
+// source of truth.
+//
+// Schema (all fields optional except when noted):
+//
+//   {
+//     "enabled": true,            // default true when the file is given
+//     "seed": 42,
+//     "crashes": [{"machine": 1, "at_seconds": 0.002}],
+//     "stragglers": [{"machine": 2, "slowdown": 4.0}],
+//     "storage_error_rate": 0.01,
+//     "max_storage_retries": 4,
+//     "retry_backoff_seconds": 0.001
+//   }
+#ifndef CECI_DIST_PLAN_IO_H_
+#define CECI_DIST_PLAN_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "distsim/failure.h"
+#include "util/status.h"
+
+namespace ceci::dist {
+
+/// Parses a plan from JSON text. kInvalidArgument on malformed JSON or a
+/// structurally bad plan (e.g. crashes not an array). Range validation
+/// (machine ids vs. the machine count) stays with FailurePlan::Validate,
+/// which needs the run's num_machines.
+Result<distsim::FailurePlan> ParseFailurePlanJson(std::string_view text);
+
+/// Reads and parses `path`. kIoError when the file cannot be read.
+Result<distsim::FailurePlan> ReadFailurePlanJson(const std::string& path);
+
+}  // namespace ceci::dist
+
+#endif  // CECI_DIST_PLAN_IO_H_

@@ -257,10 +257,14 @@ void ReplayWithFailures(const DistOptions& options,
   // follow it, which is what makes reassignment at-most-once per cluster.
   std::vector<std::unordered_map<VertexId, std::size_t>> adopter(m);
 
-  auto pick_survivor = [&]() -> std::size_t {
+  // `exclude` is the machine whose units are being redistributed —
+  // always dead by the time reassign runs, so the exclusion is belt and
+  // braces: handing a machine its own orphan would write a self-cycle
+  // into the adopter map and the chain walk below would never terminate.
+  auto pick_survivor = [&](std::size_t exclude) -> std::size_t {
     std::size_t best = m;
     for (std::size_t j = 0; j < m; ++j) {
-      if (dead[j] != 0) continue;
+      if (j == exclude || dead[j] != 0) continue;
       if (best == m || remaining[j] < remaining[best]) best = j;
     }
     return best;
@@ -276,7 +280,7 @@ void ReplayWithFailures(const DistOptions& options,
     while (true) {
       auto it = adopter[hop].find(unit.pivot);
       if (it == adopter[hop].end()) {
-        to = pick_survivor();
+        to = pick_survivor(from);
         if (to == m) return;  // unreachable: Validate() keeps a survivor
         adopter[hop].emplace(unit.pivot, to);
         ++(*machines)[to]->reassigned_clusters;
@@ -300,6 +304,15 @@ void ReplayWithFailures(const DistOptions& options,
     queues[to].push_back(unit);
   };
 
+  // Units in flight on a lane when their machine's crash time overtakes
+  // them. They are redistributed by the crash event itself — NOT at the
+  // lane event that discovers the overlap — because the lane event runs
+  // at an earlier sim time, when dead[] does not yet reflect crashes
+  // scheduled between now and this machine's own crash. Reassigning
+  // early could pick an adopter that dies first, writing a cycle into
+  // the adopter map that the chain walk would spin on forever.
+  std::vector<std::vector<ReplayUnit>> lost(m);
+
   while (!events.empty()) {
     Event ev = events.top();
     events.pop();
@@ -313,6 +326,10 @@ void ReplayWithFailures(const DistOptions& options,
         queues[self].pop_front();
         reassign(self, unit, ev.time);
       }
+      for (ReplayUnit& unit : lost[self]) {
+        reassign(self, unit, ev.time);
+      }
+      lost[self].clear();
       remaining[self] = 0.0;
       continue;
     }
@@ -362,8 +379,9 @@ void ReplayWithFailures(const DistOptions& options,
         begin + unit.setup_seconds + unit.base_seconds * slowdown[self];
     if (finish > crash_time[self]) {
       // The machine dies mid-unit: the unit is lost with it and gets
-      // reassigned at the crash instant. This lane rides into the crash.
-      reassign(self, unit, crash_time[self]);
+      // redistributed when the crash event fires (see `lost` above).
+      // This lane rides into the crash.
+      lost[self].push_back(unit);
       continue;
     }
     if (unit.recovered) {

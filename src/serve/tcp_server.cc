@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "serve/protocol.h"
 #include "telemetry/access_log.h"
@@ -24,6 +26,11 @@ Gauge& LiveConnectionGauge() {
   static Gauge& g =
       MetricsRegistry::Global().GetGauge("ceci.serve.live_connections");
   return g;
+}
+Counter& AcceptErrorCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("ceci.serve.accept_errors");
+  return c;
 }
 
 /// Writes the whole line + LF; MSG_NOSIGNAL keeps a client that hung up
@@ -56,7 +63,7 @@ TcpServer::TcpServer(QueryService& service, const TcpServerOptions& options)
 TcpServer::~TcpServer() { Stop(); }
 
 Status TcpServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);  // lint: raw-socket TCP listener
   if (listen_fd_ < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
@@ -100,7 +107,18 @@ void TcpServer::AcceptLoop(int listen_fd) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_acquire)) return;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      const int err = errno;
+      if (err == EINTR || err == ECONNABORTED) continue;
+      // Transient resource exhaustion (fd limits, kernel memory) must not
+      // take the listener down: the pending connection stays queued, so
+      // back off briefly and retry once pressure clears. Everything else
+      // (EBADF after close, EINVAL) really is the end of the listener.
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+        AcceptErrorCounter().Increment();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      AcceptErrorCounter().Increment();
       return;  // listener closed or unrecoverable
     }
     ConnectionCounter().Increment();

@@ -86,7 +86,7 @@ TelemetryHttpServer::TelemetryHttpServer(const ServerTelemetry& telemetry,
 TelemetryHttpServer::~TelemetryHttpServer() { Stop(); }
 
 Status TelemetryHttpServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);  // lint: raw-socket TCP listener
   if (listen_fd_ < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }

@@ -25,11 +25,22 @@
 //   --seed N           workload + sampling seed      (default: 1)
 //   --limit N          per-request embedding limit, 0 = all
 //   --deadline-ms N    per-request deadline, 0 = server default
+//   --retries N        attempts to retry a failed connect or a
+//                      `BUSY queue_full` response, with capped
+//                      exponential backoff + jitter (default: 0 — every
+//                      offered request maps 1:1 to a server submission,
+//                      which the tier-1 serving smoke reconciles on)
+//   --retry-backoff-ms F
+//                      initial retry backoff; doubles per attempt, capped
+//                      at 32x, jittered in [0.5, 1.0)  (default: 10)
 //   --out PATH         append the run as one JSON line
 //   --label STR        free-form tag recorded in the JSON entry
 //   --help             print this help and exit 0
 //
-// Exit codes: 0 run completed, 1 I/O / connection error, 2 usage error.
+// Exit codes: 0 run completed (including BUSY retries exhausted — the
+// server's admission verdict is a valid outcome, tallied as
+// retry_exhausted), 1 I/O / connection error (including connect retries
+// exhausted), 2 usage error.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -69,6 +80,8 @@ struct Args {
   double zipf = 0.0;
   std::uint64_t limit = 0;
   double deadline_ms = 0.0;
+  std::uint64_t retries = 0;
+  double retry_backoff_ms = 10.0;
   std::string out;
   std::string label;
   bool help = false;
@@ -81,7 +94,8 @@ void Usage(std::FILE* out, const char* argv0) {
                "          [--mix qg|generated|mixed] [--data PATH]\n"
                "          [--format edgelist|labeled|csr] [--queries N]\n"
                "          [--query-size N] [--zipf S] [--seed N]\n"
-               "          [--limit N] [--deadline-ms N]\n"
+               "          [--limit N] [--deadline-ms N] [--retries N]\n"
+               "          [--retry-backoff-ms F]\n"
                "          [--out PATH] [--label STR] [--help]\n"
                "exit codes: 0 run completed, 1 I/O or connection error, "
                "2 usage\n",
@@ -161,6 +175,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->deadline_ms = std::strtod(v, nullptr);
+    } else if (flag == "--retries") {
+      const char* v = next();
+      if (!v) return false;
+      args->retries = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--retry-backoff-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->retry_backoff_ms = std::strtod(v, nullptr);
+      if (args->retry_backoff_ms <= 0.0) return false;
     } else if (flag == "--out") {
       const char* v = next();
       if (!v) return false;
@@ -194,11 +217,28 @@ struct ConnStats {
   std::uint64_t memory_budget = 0;
   std::uint64_t busy = 0;
   std::uint64_t errors = 0;
+  /// Backoff-and-resend attempts (connect + BUSY), across all requests.
+  std::uint64_t retries = 0;
+  /// Requests still BUSY after the last allowed retry (distinct from
+  /// `busy`, which only counts un-retried BUSY verdicts).
+  std::uint64_t retry_exhausted = 0;
   bool io_error = false;
 };
 
+/// Capped exponential backoff with multiplicative jitter in [0.5, 1.0):
+/// attempt k sleeps ~base * 2^min(k, 5). Jitter decorrelates the closed
+/// loop — otherwise every connection that got BUSY together retries
+/// together and slams the queue again in phase.
+void BackoffSleep(double base_ms, std::uint64_t attempt, std::mt19937_64* rng) {
+  const double factor =
+      static_cast<double>(1u << std::min<std::uint64_t>(attempt, 5));
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  const double ms = base_ms * factor * jitter(*rng);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
 int Connect(const std::string& host, int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // lint: raw-socket TCP client
   if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -312,12 +352,21 @@ int main(int argc, char** argv) {
 
   auto worker = [&](std::size_t conn_id) {
     ConnStats& local = stats[conn_id];
-    int fd = Connect(args.host, args.port);
+    std::mt19937_64 rng(args.workload.seed * 1000003 + conn_id);
+    // A refused connect is usually the server still binding (or its accept
+    // loop riding out fd exhaustion) — exactly the transient the bounded
+    // backoff is for. Exhaustion is an I/O error: nothing was measured.
+    int fd = -1;
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      fd = Connect(args.host, args.port);
+      if (fd >= 0 || attempt >= args.retries) break;
+      local.retries += 1;
+      BackoffSleep(args.retry_backoff_ms, attempt, &rng);
+    }
     if (fd < 0) {
       local.io_error = true;
       return;
     }
-    std::mt19937_64 rng(args.workload.seed * 1000003 + conn_id);
     std::uniform_real_distribution<double> uniform(0.0, 1.0);
     std::string buffer;
     std::string line;
@@ -327,19 +376,40 @@ int main(int argc, char** argv) {
         break;
       }
       const std::string& request = request_lines[sampler.Sample(uniform(rng))];
-      Timer latency;
-      if (!SendAll(fd, request)) {
-        local.io_error = true;
+      // BUSY queue_full retry loop: each resend is a genuine submission
+      // (offered counts it; the server's access log sees it), so with
+      // --retries 0 the loop collapses to the old single-shot behaviour.
+      std::uint64_t attempt = 0;
+      bool io_failed = false;
+      std::uint64_t micros = 0;
+      Result<WireResponse> response = WireResponse{};
+      for (;;) {
+        Timer latency;
+        if (!SendAll(fd, request)) {
+          local.io_error = true;
+          io_failed = true;
+          break;
+        }
+        local.offered += 1;
+        if (!ReadLine(fd, &buffer, &line)) {
+          local.io_error = true;
+          io_failed = true;
+          break;
+        }
+        micros = latency.Micros();
+        response = ParseResponseLine(line);
+        if (response.ok() && response->kind == WireResponse::Kind::kBusy &&
+            attempt < args.retries &&
+            !stop.load(std::memory_order_relaxed)) {
+          local.retries += 1;
+          BackoffSleep(args.retry_backoff_ms, attempt, &rng);
+          ++attempt;
+          continue;
+        }
         break;
       }
-      local.offered += 1;
-      if (!ReadLine(fd, &buffer, &line)) {
-        local.io_error = true;
-        break;
-      }
-      const std::uint64_t micros = latency.Micros();
+      if (io_failed) break;
       if (run_timer.Seconds() < args.warmup_s) continue;
-      auto response = ParseResponseLine(line);
       if (!response.ok()) {
         local.errors += 1;
         continue;
@@ -347,7 +417,11 @@ int main(int argc, char** argv) {
       local.latencies_us.push_back(micros);
       switch (response->kind) {
         case WireResponse::Kind::kBusy:
-          local.busy += 1;
+          if (attempt > 0) {
+            local.retry_exhausted += 1;
+          } else {
+            local.busy += 1;
+          }
           break;
         case WireResponse::Kind::kErr:
           local.errors += 1;
@@ -401,6 +475,8 @@ int main(int argc, char** argv) {
     total.memory_budget += s.memory_budget;
     total.busy += s.busy;
     total.errors += s.errors;
+    total.retries += s.retries;
+    total.retry_exhausted += s.retry_exhausted;
     io_error = io_error || s.io_error;
   }
   const LatencySummary latency = SummarizeLatencies(total.latencies_us);
@@ -416,7 +492,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.offered));
   std::printf(
       "requests: %llu (completed %llu, deadline %llu, limit %llu, "
-      "cancelled %llu, memory_budget %llu, busy %llu, err %llu)\n",
+      "cancelled %llu, memory_budget %llu, busy %llu, "
+      "retry_exhausted %llu, err %llu)\n",
       static_cast<unsigned long long>(latency.count),
       static_cast<unsigned long long>(total.completed),
       static_cast<unsigned long long>(total.deadline),
@@ -424,7 +501,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total.cancelled),
       static_cast<unsigned long long>(total.memory_budget),
       static_cast<unsigned long long>(total.busy),
+      static_cast<unsigned long long>(total.retry_exhausted),
       static_cast<unsigned long long>(total.errors));
+  if (args.retries > 0) {
+    std::printf("retries: %llu (max %llu per request, backoff %.0fms base)\n",
+                static_cast<unsigned long long>(total.retries),
+                static_cast<unsigned long long>(args.retries),
+                args.retry_backoff_ms);
+  }
   std::printf("qps: %.1f\n", qps);
   std::printf(
       "latency_us: mean=%.0f p50=%llu p95=%llu p99=%llu max=%llu\n",
@@ -445,6 +529,9 @@ int main(int argc, char** argv) {
           << ",\"zipf\":" << args.zipf << ",\"seed\":" << args.workload.seed
           << ",\"limit\":" << args.limit
           << ",\"deadline_ms\":" << args.deadline_ms
+          << ",\"max_retries\":" << args.retries
+          << ",\"retry_backoff_ms\":" << args.retry_backoff_ms
+          << ",\"retries\":" << total.retries
           << ",\"warmup_s\":" << args.warmup_s
           << ",\"elapsed_s\":" << elapsed_s << ",\"offered\":" << total.offered
           << ",\"requests\":"
@@ -457,7 +544,9 @@ int main(int argc, char** argv) {
           << ",\"limit\":" << total.limit
           << ",\"cancelled\":" << total.cancelled
           << ",\"memory_budget\":" << total.memory_budget
-          << ",\"busy\":" << total.busy << ",\"error\":" << total.errors
+          << ",\"busy\":" << total.busy
+          << ",\"retry_exhausted\":" << total.retry_exhausted
+          << ",\"error\":" << total.errors
           << "},\"command\":\"" << JsonEscape(command.str()) << "\"}";
     std::FILE* f = std::fopen(args.out.c_str(), "a");
     if (f == nullptr) {

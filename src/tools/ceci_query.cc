@@ -50,6 +50,16 @@
 //                     `ceci_serve --index P`
 //   --no-flat-index   enumerate from the pointer-rich CECI layout instead
 //                     of the arena-backed flat layout (A/B comparisons)
+//   --dist N          run the query across N real ceci_worker processes
+//                     (dist/supervisor.h) instead of in-process threads;
+//                     prints per-worker and recovery accounting
+//   --failure-plan P  JSON FailurePlan (dist/plan_io.h) injecting real
+//                     kill -9 crashes and stragglers into the --dist run —
+//                     the chaos harness; totals must still be exact
+//   --worker-binary P path to ceci_worker (default: next to this binary)
+//   --dist-json P     write the DistRunReport JSON to P, "-" for stdout
+//   --no-work-stealing
+//                     disable idle-worker re-dispatch in the --dist run
 //   --help            print usage to stdout and exit 0
 //
 // Exit codes:
@@ -69,6 +79,8 @@
 #include "ceci/matcher.h"
 #include "ceci/stats_json.h"
 #include "ceci/symmetry.h"
+#include "dist/plan_io.h"
+#include "dist/supervisor.h"
 #include "graphio/binary_csr.h"
 #include "graphio/edge_list.h"
 #include "graphio/pattern_parser.h"
@@ -101,6 +113,12 @@ struct Args {
   std::string trace_chrome;
   std::string save_index;
   bool flat_index = true;
+  std::size_t dist_workers = 0;
+  std::string failure_plan;
+  std::string worker_binary;
+  std::string dist_json;
+  bool work_stealing = true;
+  double heartbeat_ms = 0.0;
   bool help = false;
 };
 
@@ -115,7 +133,9 @@ void Usage(std::FILE* out, const char* argv0) {
                "          [--metrics-json PATH|-] [--audit]\n"
                "          [--deadline-ms N] [--memory-budget-mb F]\n"
                "          [--cancel-after N] [--save-index PATH]\n"
-               "          [--no-flat-index] [--help]\n"
+               "          [--no-flat-index] [--dist N] [--failure-plan PATH]\n"
+               "          [--worker-binary PATH] [--dist-json PATH|-]\n"
+               "          [--no-work-stealing] [--heartbeat-ms MS] [--help]\n"
                "exit codes: 0 ok (completed/cancelled/limit), 1 I/O or "
                "match error,\n"
                "            2 usage, 3 audit violations, 4 deadline or "
@@ -210,6 +230,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->save_index = v;
     } else if (flag == "--no-flat-index") {
       args->flat_index = false;
+    } else if (flag == "--dist") {
+      const char* v = next();
+      if (!v) return false;
+      args->dist_workers = std::strtoul(v, nullptr, 10);
+      if (args->dist_workers == 0) return false;
+    } else if (flag == "--failure-plan") {
+      const char* v = next();
+      if (!v) return false;
+      args->failure_plan = v;
+    } else if (flag == "--worker-binary") {
+      const char* v = next();
+      if (!v) return false;
+      args->worker_binary = v;
+    } else if (flag == "--dist-json") {
+      const char* v = next();
+      if (!v) return false;
+      args->dist_json = v;
+    } else if (flag == "--no-work-stealing") {
+      args->work_stealing = false;
+    } else if (flag == "--heartbeat-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->heartbeat_ms = std::strtod(v, nullptr);
+      if (args->heartbeat_ms <= 0.0) return false;
     } else if (flag == "--metrics-json") {
       const char* v = next();
       if (!v) return false;
@@ -232,7 +276,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                          "(drop --no-flat-index)\n");
     return false;
   }
+  if (!args->failure_plan.empty() && args->dist_workers == 0) {
+    std::fprintf(stderr, "--failure-plan requires --dist N\n");
+    return false;
+  }
+  if (args->dist_workers > 0 &&
+      (args->print || !args->save_index.empty() || args->cancel_after > 0 ||
+       args->deadline_ms > 0.0 || args->memory_budget_mb > 0.0 ||
+       args->limit > 0)) {
+    std::fprintf(stderr, "--dist is incompatible with --print, --limit, "
+                         "--save-index, and the budget flags\n");
+    return false;
+  }
   return true;
+}
+
+// Default --worker-binary: ceci_worker next to this executable.
+std::string SiblingWorkerBinary(const char* argv0) {
+  std::string self = argv0;
+  const std::size_t slash = self.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/ceci_worker";
 }
 
 Result<Graph> LoadData(const Args& args) {
@@ -298,6 +363,84 @@ int main(int argc, char** argv) {
   std::printf("data:  %s\n", data->Summary().c_str());
   std::printf("query: %s  (%s)\n", query->Summary().c_str(),
               FormatPattern(*query).c_str());
+
+  if (args.dist_workers > 0) {
+    dist::DistProcessOptions dist_options;
+    dist_options.num_workers = args.dist_workers;
+    dist_options.worker_binary = args.worker_binary.empty()
+                                     ? SiblingWorkerBinary(argv[0])
+                                     : args.worker_binary;
+    dist_options.beta = args.beta;
+    dist_options.break_automorphisms = args.symmetry;
+    dist_options.work_stealing = args.work_stealing;
+    if (args.heartbeat_ms > 0.0) {
+      dist_options.heartbeat_seconds = args.heartbeat_ms / 1000.0;
+    }
+    if (!args.failure_plan.empty()) {
+      auto plan = dist::ReadFailurePlanJson(args.failure_plan);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "failure-plan: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      dist_options.failure_plan = *plan;
+    }
+    auto report = dist::RunDistributed(*data, *query, dist_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "dist: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("embeddings: %llu\n",
+                static_cast<unsigned long long>(report->embeddings));
+    std::printf("dist: %zu workers, %llu units, wall %.3fs "
+                "(preprocess %.3f, build %.3f)\n",
+                args.dist_workers,
+                static_cast<unsigned long long>(report->total_units),
+                report->wall_seconds, report->preprocess_seconds,
+                report->build_seconds);
+    std::printf("recovery: %zu crashed, %llu clusters reassigned, "
+                "%llu units redelivered, %llu results discarded, "
+                "%llu heartbeat timeouts\n",
+                report->crashed_workers,
+                static_cast<unsigned long long>(
+                    report->total_reassigned_clusters),
+                static_cast<unsigned long long>(
+                    report->total_redelivered_units),
+                static_cast<unsigned long long>(report->discarded_results),
+                static_cast<unsigned long long>(report->heartbeat_timeouts));
+    for (const auto& w : report->workers) {
+      std::printf("  worker %u: pid %lld%s, %zu pivots, %zu units -> "
+                  "%llu executed (%llu adopted, %llu stolen), "
+                  "%llu embeddings, enum %.3fs\n",
+                  w.worker_id, static_cast<long long>(w.pid),
+                  w.crashed ? (w.killed_by_plan ? " [killed by plan]"
+                                                : " [crashed]")
+                            : "",
+                  w.pivots, w.initial_units,
+                  static_cast<unsigned long long>(w.units_executed),
+                  static_cast<unsigned long long>(w.adopted_units),
+                  static_cast<unsigned long long>(w.stolen_units),
+                  static_cast<unsigned long long>(w.embeddings),
+                  w.enum_seconds);
+    }
+    std::printf("audit: %s\n", report->audit_summary.c_str());
+    if (!args.dist_json.empty()) {
+      const std::string json = dist::DistRunReportJson(*report);
+      if (args.dist_json == "-") {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::FILE* f = std::fopen(args.dist_json.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "dist-json: cannot open %s\n",
+                       args.dist_json.c_str());
+          return 1;
+        }
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+      }
+    }
+    return report->audit_ok ? 0 : 3;
+  }
 
   if (args.trace || !args.metrics_json.empty() ||
       !args.trace_chrome.empty()) {

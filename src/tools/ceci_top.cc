@@ -101,7 +101,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 /// an error Status on connect/read problems.
 Result<std::string> HttpGet(const std::string& host, int port,
                             const std::string& path) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // lint: raw-socket TCP client
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }

@@ -1,0 +1,126 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ceci {
+
+Result<ChildProcess> SpawnWithChannel(const std::string& binary,
+                                      const std::vector<std::string>& args,
+                                      int child_fd) {
+  if (child_fd < 0) {
+    return Status::InvalidArgument("child_fd must be non-negative");
+  }
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IoError(std::string("socketpair: ") +
+                           std::strerror(errno));
+  }
+  const int parent_end = fds[0];
+  const int child_end = fds[1];
+  // The parent end must not leak into later-spawned siblings: a sibling
+  // holding a copy would keep the channel open after this child dies,
+  // suppressing the EOF the supervisor relies on for failure detection.
+  ::fcntl(parent_end, F_SETFD, FD_CLOEXEC);
+
+  std::vector<std::string> argv_storage;
+  argv_storage.reserve(args.size() + 1);
+  argv_storage.push_back(binary);
+  for (const std::string& a : args) argv_storage.push_back(a);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    Status status = Status::IoError(std::string("fork: ") +
+                                    std::strerror(errno));
+    ::close(parent_end);
+    ::close(child_end);
+    return status;
+  }
+  if (pid == 0) {
+    // Child. Move the channel onto the agreed descriptor and exec. Only
+    // async-signal-safe calls between fork and exec.
+    ::close(parent_end);
+    if (child_end != child_fd) {
+      if (::dup2(child_end, child_fd) < 0) _exit(127);
+      ::close(child_end);
+    } else {
+      // Clear any close-on-exec bit so the descriptor survives the exec.
+      ::fcntl(child_fd, F_SETFD, 0);
+    }
+    std::vector<char*> argv;
+    argv.reserve(argv_storage.size() + 1);
+    for (std::string& a : argv_storage) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees EOF on the channel
+  }
+  ::close(child_end);
+  ChildProcess child;
+  child.pid = pid;
+  child.channel_fd = parent_end;
+  return child;
+}
+
+namespace {
+
+ChildExit DecodeWaitStatus(int wstatus) {
+  ChildExit out;
+  if (WIFEXITED(wstatus)) {
+    out.exited = true;
+    out.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    out.signaled = true;
+    out.term_signal = WTERMSIG(wstatus);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool TryReapChild(pid_t pid, ChildExit* out) {
+  if (pid <= 0) return false;
+  int wstatus = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &wstatus, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r != pid) return false;
+  if (out != nullptr) *out = DecodeWaitStatus(wstatus);
+  return true;
+}
+
+ChildExit WaitChild(pid_t pid) {
+  ChildExit out;
+  if (pid <= 0) return out;
+  int wstatus = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &wstatus, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid) out = DecodeWaitStatus(wstatus);
+  return out;
+}
+
+void SignalChild(pid_t pid, int signum) {
+  if (pid <= 0) return;
+  ::kill(pid, signum);
+}
+
+Status MakeSocketPair(int* left, int* right) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IoError(std::string("socketpair: ") +
+                           std::strerror(errno));
+  }
+  *left = fds[0];
+  *right = fds[1];
+  return Status::Ok();
+}
+
+}  // namespace ceci
